@@ -1,0 +1,134 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (one target per table/figure; see DESIGN.md §4) and runs a
+   Bechamel micro-suite over the core kernels.
+
+   Usage:
+     dune exec bench/main.exe              # all experiment targets
+     dune exec bench/main.exe -- table1 fig13 ...   # selected targets
+     dune exec bench/main.exe -- micro     # Bechamel micro-benchmarks only
+
+   Knobs: WACO_SCALE (corpus multiplier), WACO_EPOCHS, WACO_SEED. *)
+
+open Sptensor
+open Schedule
+
+let experiment_targets : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "Motivation: format/schedule/co-opt tuning spaces", Experiments.Motivation.run);
+    ("fig13", "Per-matrix speedup distribution on SpMM", Experiments.Perf.run_fig13);
+    ("table4", "Geomean speedup vs auto-tuners", Experiments.Perf.run_table4);
+    ("table5", "Geomean speedup vs fixed implementations", Experiments.Perf.run_table5);
+    ("table6", "Speedup-factor attribution", Experiments.Attribution.run);
+    ("fig14", "SIMD heuristic vs block size", Experiments.Simd.run);
+    ("fig15", "Cost-model feature extractor comparison", Experiments.Costmodel_exp.run);
+    ("fig16", "Search strategies + search-time breakdown", Experiments.Searchcmp.run);
+    ("table7", "Cross-hardware generalization", Experiments.Crosshw.run);
+    ("fig17", "Tuning overhead vs speedup", Experiments.Overhead.run_fig17);
+    ("table8", "End-to-end scenarios", Experiments.Overhead.run_table8);
+    ("ablation", "Reproduction design-choice ablations", Experiments.Ablation.run);
+  ]
+
+(* table1 also prints table2; keep aliases so those names work as targets. *)
+let aliases = [ ("table2", "table1"); ("fig16a", "fig16"); ("fig16b", "fig16") ]
+
+(* --- Bechamel micro-benchmarks over the substrate kernels --- *)
+
+let micro () =
+  let open Bechamel in
+  let rng = Rng.create 1234 in
+  let m = Gen.uniform rng ~nrows:1024 ~ncols:1024 ~nnz:10000 in
+  let csr = Csr.of_coo m in
+  let x = Dense.vec_random rng 1024 in
+  let b = Dense.mat_random rng 1024 16 in
+  let algo = Algorithm.Spmm 16 in
+  let sched = Superschedule.fixed_default algo in
+  let spec = Superschedule.to_spec sched ~dims:[| 1024; 1024 |] in
+  let packed =
+    match Format_abs.Packed.of_coo spec m with Ok p -> p | Error e -> failwith e
+  in
+  let wl = Machine_model.Workload.of_coo ~id:"bench" m in
+  let machine = Machine_model.Machine.intel_like in
+  let model_rng = Rng.create 5 in
+  let model = Waco.Costmodel.create model_rng algo in
+  let input = Waco.Extractor.input_of_coo ~id:"bench" m in
+  let schedules =
+    Array.of_list (Space.sample_distinct model_rng algo ~dims:[| 1024; 1024 |] ~count:64)
+  in
+  let hnsw = Anns.Hnsw.create ~dim:8 model_rng in
+  for i = 0 to 499 do
+    Anns.Hnsw.insert hnsw (Array.init 8 (fun _ -> Rng.float model_rng)) i
+  done;
+  let query = Array.init 8 (fun _ -> Rng.float model_rng) in
+  let tests =
+    [
+      Test.make ~name:"pack-csr" (Staged.stage (fun () ->
+          ignore (Format_abs.Packed.of_coo spec m)));
+      Test.make ~name:"spmv-packed" (Staged.stage (fun () ->
+          ignore (Exec_engine.Kernels.spmv packed x)));
+      Test.make ~name:"spmv-csr-ref" (Staged.stage (fun () -> ignore (Csr.spmv csr x)));
+      Test.make ~name:"spmm-packed" (Staged.stage (fun () ->
+          ignore (Exec_engine.Kernels.spmm packed b)));
+      Test.make ~name:"costsim-estimate" (Staged.stage (fun () ->
+          ignore (Machine_model.Costsim.runtime machine wl sched)));
+      Test.make ~name:"waconet-forward" (Staged.stage (fun () ->
+          ignore (Waco.Extractor.forward model.Waco.Costmodel.extractor input)));
+      Test.make ~name:"embedder-batch64" (Staged.stage (fun () ->
+          ignore (Waco.Costmodel.embed model schedules)));
+      Test.make ~name:"hnsw-query" (Staged.stage (fun () ->
+          ignore (Anns.Hnsw.search hnsw ~query ~k:10 ())));
+    ]
+  in
+  Printf.printf "\n=== Bechamel micro-benchmarks ===\n%!";
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"waco" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name stats ->
+      match Analyze.OLS.estimates stats with
+      | Some [ est ] -> Printf.printf "  %-28s %14.1f ns/run\n%!" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+    results
+
+let canonical_order selected =
+  let ordered =
+    List.filter_map
+      (fun (n, _, _) -> if List.mem n selected then Some n else None)
+      experiment_targets
+  in
+  ordered @ (if List.mem "micro" selected then [ "micro" ] else [])
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.map (fun a -> match List.assoc_opt a aliases with Some t -> t | None -> a) args
+  in
+  let selected =
+    match args with
+    | [] -> List.map (fun (n, _, _) -> n) experiment_targets @ [ "micro" ]
+    | _ -> args
+  in
+  List.iter
+    (fun a ->
+      if a <> "micro" && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
+      then Printf.eprintf "unknown target: %s (ignored)\n%!" a)
+    selected;
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "WACO reproduction bench (seed=%d scale=%.1f epochs=%d)\n%!"
+    (Waco.Config.seed ()) (Waco.Config.scale ()) (Waco.Config.epochs ());
+  List.iter
+    (fun name ->
+      if name = "micro" then micro ()
+      else
+        match List.find_opt (fun (n, _, _) -> n = name) experiment_targets with
+        | Some (_, desc, run) ->
+            Printf.printf "\n>>> %s — %s\n%!" name desc;
+            let t = Unix.gettimeofday () in
+            run ();
+            Printf.printf "<<< %s done in %.1fs\n%!" name (Unix.gettimeofday () -. t)
+        | None -> ())
+    (canonical_order (List.sort_uniq compare selected));
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

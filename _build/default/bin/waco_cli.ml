@@ -1,0 +1,182 @@
+(* waco — command-line driver.
+
+     waco gen --out m.mtx --family rmat --rows 2048 --nnz 60000
+     waco inspect m.mtx
+     waco tune m.mtx --algo SpMM --machine intel
+     waco train --algo SpMM --out model.txt
+     waco bench table1 fig14 ...   (same targets as bench/main.exe)
+*)
+
+open Cmdliner
+open Sptensor
+open Schedule
+
+let machine_of = function
+  | "intel" -> Machine_model.Machine.intel_like
+  | "amd" -> Machine_model.Machine.amd_like
+  | s -> invalid_arg ("unknown machine: " ^ s ^ " (use intel|amd)")
+
+let machine_arg =
+  Arg.(value & opt string "intel" & info [ "machine" ] ~docv:"MACHINE"
+         ~doc:"Machine model: intel|amd")
+
+let algo_arg =
+  Arg.(value & opt string "SpMM" & info [ "algo" ] ~docv:"ALGO"
+         ~doc:"Algorithm: SpMV|SpMM|SDDMM|MTTKRP")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let run out family rows cols nnz seed =
+    let rng = Rng.create seed in
+    let fam =
+      match family with
+      | "uniform" -> Gen.Uniform
+      | "powerlaw" -> Gen.Power_law 1.4
+      | "banded" -> Gen.Banded 16
+      | "block" -> Gen.Block_dense 8
+      | "rmat" -> Gen.Rmat
+      | "stencil" -> Gen.Stencil2d
+      | "clustered" -> Gen.Clustered 16
+      | s -> invalid_arg ("unknown family: " ^ s)
+    in
+    let m = Gen.generate rng fam ~nrows:rows ~ncols:cols ~nnz in
+    Mmio.write_coo out m;
+    Printf.printf "wrote %s: %d x %d, %d nonzeros (%s)\n" out m.Coo.nrows m.Coo.ncols
+      (Coo.nnz m) family
+  in
+  let out = Arg.(value & opt string "matrix.mtx" & info [ "out" ] ~doc:"Output path") in
+  let family =
+    Arg.(value & opt string "rmat" & info [ "family" ]
+           ~doc:"uniform|powerlaw|banded|block|rmat|stencil|clustered")
+  in
+  let rows = Arg.(value & opt int 2048 & info [ "rows" ] ~doc:"Rows") in
+  let cols = Arg.(value & opt int 0 & info [ "cols" ] ~doc:"Cols (default: rows)") in
+  let nnz = Arg.(value & opt int 60000 & info [ "nnz" ] ~doc:"Nonzeros") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic sparse matrix (MatrixMarket)")
+    Term.(
+      const (fun out family rows cols nnz seed ->
+          run out family rows (if cols = 0 then rows else cols) nnz seed)
+      $ out $ family $ rows $ cols $ nnz $ seed_arg)
+
+(* --- inspect --- *)
+
+let inspect_cmd =
+  let run path =
+    let m = Mmio.read_coo path in
+    let s = Stats.compute m in
+    Format.printf "%a@." Stats.pp s;
+    Printf.printf "row nnz: mean %.1f std %.1f max %d; empty rows %d\n"
+      s.Stats.row_nnz_mean s.Stats.row_nnz_std s.Stats.row_nnz_max s.Stats.empty_rows;
+    List.iter
+      (fun b ->
+        let bs = Stats.block_stats m ~bi:b ~bk:b in
+        Printf.printf "%dx%d blocks: %d nonempty, fill %.2f\n" b b
+          bs.Stats.nonempty_blocks bs.Stats.avg_fill)
+      [ 2; 4; 8; 16 ]
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MATRIX") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print sparsity-pattern statistics")
+    Term.(const run $ path)
+
+(* --- tune --- *)
+
+let tune_cmd =
+  let run path algo_name machine_name seed =
+    let machine = machine_of machine_name in
+    let algo = Experiments.Lab.algo_of_name algo_name in
+    let m = Mmio.read_coo path in
+    let rng = Rng.create seed in
+    Printf.eprintf "training a fresh %s cost model (use the library API to reuse one)...\n%!"
+      algo_name;
+    let corpus = Gen.suite rng ~count:16 ~max_dim:1024 ~max_nnz:60000 in
+    let mats = List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus in
+    let data =
+      Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:24
+        ~valid_fraction:0.2
+    in
+    let model = Waco.Costmodel.create rng algo in
+    ignore (Waco.Trainer.train ~lr:2e-3 rng model data ~epochs:(Waco.Config.epochs ()));
+    let index = Waco.Tuner.build_index rng model (Waco.Dataset.all_schedules data) in
+    let wl = Machine_model.Workload.of_coo ~id:path m in
+    let input = Waco.Extractor.input_of_coo ~id:path m in
+    let r = Waco.Tuner.tune model machine wl input index in
+    let csr = Baselines.fixed_csr machine wl algo in
+    Printf.printf "chosen   : %s\n" (Superschedule.describe r.Waco.Tuner.best);
+    Printf.printf "kernel   : %.3e s (model)\n" r.Waco.Tuner.best_measured;
+    Printf.printf "fixed CSR: %.3e s -> speedup %.2fx\n" csr.Baselines.kernel_time
+      (csr.Baselines.kernel_time /. r.Waco.Tuner.best_measured);
+    Printf.printf "overhead : feature %.3fs, search %.4fs (%d cost-model evals)\n"
+      r.Waco.Tuner.feature_seconds r.Waco.Tuner.search_seconds r.Waco.Tuner.cost_evals
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MATRIX") in
+  Cmd.v (Cmd.info "tune" ~doc:"Co-optimize format+schedule for a matrix")
+    Term.(const run $ path $ algo_arg $ machine_arg $ seed_arg)
+
+(* --- collect --- *)
+
+let collect_cmd =
+  let run algo_name machine_name out count spm seed =
+    let machine = machine_of machine_name in
+    let algo = Experiments.Lab.algo_of_name algo_name in
+    let rng = Rng.create seed in
+    let corpus = Gen.suite rng ~count ~max_dim:1024 ~max_nnz:80000 in
+    let mats = List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus in
+    let data =
+      Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:spm
+        ~valid_fraction:0.2
+    in
+    Waco.Dataset_io.save data ~dir:out;
+    Printf.printf "collected %d tuples over %d matrices into %s\n"
+      (Waco.Dataset.total_tuples data) count out
+  in
+  let out = Arg.(value & opt string "waco-data" & info [ "out" ] ~doc:"Output directory") in
+  let count = Arg.(value & opt int 32 & info [ "matrices" ] ~doc:"Corpus size") in
+  let spm = Arg.(value & opt int 30 & info [ "schedules" ] ~doc:"Schedules per matrix") in
+  Cmd.v (Cmd.info "collect" ~doc:"Collect (matrix, schedule, runtime) tuples to disk")
+    Term.(const run $ algo_arg $ machine_arg $ out $ count $ spm $ seed_arg)
+
+(* --- train --- *)
+
+let train_cmd =
+  let run algo_name machine_name out data_dir seed =
+    let machine = machine_of machine_name in
+    let algo = Experiments.Lab.algo_of_name algo_name in
+    let rng = Rng.create seed in
+    let data =
+      match data_dir with
+      | Some dir ->
+          Waco.Dataset_io.load ~dir ~algo ~machine ~valid_fraction:0.2 rng
+      | None ->
+          let corpus =
+            Gen.suite rng ~count:(Waco.Config.scaled 32) ~max_dim:1024 ~max_nnz:80000
+          in
+          let mats = List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus in
+          Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:30
+            ~valid_fraction:0.2
+    in
+    let model = Waco.Costmodel.create rng algo in
+    let curve =
+      Waco.Trainer.train ~lr:2e-3 ~log:print_endline rng model data
+        ~epochs:(Waco.Config.epochs ())
+    in
+    Waco.Costmodel.save model out;
+    Printf.printf "saved model to %s (val acc %.3f)\n" out
+      curve.Waco.Trainer.valid_acc.(Array.length curve.Waco.Trainer.valid_acc - 1)
+  in
+  let out = Arg.(value & opt string "waco.model" & info [ "out" ] ~doc:"Model path") in
+  let data_dir =
+    Arg.(value & opt (some string) None & info [ "data" ]
+           ~doc:"Train from tuples collected with `waco collect` instead of generating")
+  in
+  Cmd.v (Cmd.info "train" ~doc:"Train and save a cost model")
+    Term.(const run $ algo_arg $ machine_arg $ out $ data_dir $ seed_arg)
+
+let main =
+  Cmd.group (Cmd.info "waco" ~version:"1.0" ~doc:"WACO reproduction toolkit")
+    [ gen_cmd; inspect_cmd; tune_cmd; collect_cmd; train_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/gnn.ml: Algorithm Array Baselines Coo Csr Dense Exec_engine Float Gen List Machine_model Printf Rng Schedule Sptensor Superschedule Unix Waco

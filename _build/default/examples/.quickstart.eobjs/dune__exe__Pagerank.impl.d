@@ -1,0 +1,1 @@
+examples/pagerank.ml: Algorithm Array Baselines Coo Dense Exec_engine Float Gen List Machine_model Printf Rng Schedule Sptensor Superschedule Waco

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithm Array Baselines Coo Csr Dense Exec_engine Format_abs Gen List Machine_model Printf Rng Schedule Sptensor Superschedule Waco

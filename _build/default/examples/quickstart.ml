@@ -1,0 +1,85 @@
+(* Quickstart: the whole WACO pipeline on one page.
+
+     dune exec examples/quickstart.exe
+
+   1. generate a training corpus of sparsity patterns;
+   2. collect (matrix, SuperSchedule, runtime) tuples from the machine model;
+   3. train the WACONet cost model with the pairwise ranking loss;
+   4. build the KNN graph over program embeddings;
+   5. tune a *new* matrix via ANNS and compare against fixed CSR —
+   then actually execute the chosen format with the packed-kernel engine to
+   show the tuned schedule is a real, runnable format. *)
+
+open Sptensor
+open Schedule
+
+let () =
+  let rng = Rng.create 42 in
+  let machine = Machine_model.Machine.intel_like in
+  let algo = Algorithm.Spmm 256 in
+
+  print_endline "== 1. corpus ==";
+  let corpus = Gen.suite rng ~count:12 ~max_dim:768 ~max_nnz:40000 in
+  let mats = List.map (fun (n : Gen.named) -> (n.Gen.name, n.Gen.matrix)) corpus in
+  (* Make sure the demo corpus covers the large-scattered regime the test
+     matrix lives in (a real corpus would be much larger, cf. bench/). *)
+  let mats =
+    mats
+    @ List.init 6 (fun i ->
+          let n = 4000 + (500 * i) in
+          ( Printf.sprintf "scattered%d" i,
+            Gen.uniform rng ~nrows:n ~ncols:n ~nnz:(n * 30) ))
+  in
+  Printf.printf "generated %d matrices\n%!" (List.length mats);
+
+  print_endline "== 2. dataset (ground-truth runtimes from the machine model) ==";
+  let data =
+    Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:32
+      ~valid_fraction:0.2
+  in
+  Printf.printf "collected %d (matrix, schedule, runtime) tuples\n%!"
+    (Waco.Dataset.total_tuples data);
+
+  print_endline "== 3. training the cost model ==";
+  let model = Waco.Costmodel.create rng algo in
+  let curve =
+    Waco.Trainer.train ~lr:2e-3 ~log:print_endline rng model data ~epochs:12
+  in
+  Printf.printf "final validation ranking accuracy: %.3f\n%!"
+    curve.Waco.Trainer.valid_acc.(Array.length curve.Waco.Trainer.valid_acc - 1);
+
+  print_endline "== 4. KNN graph over program embeddings ==";
+  let index = Waco.Tuner.build_index rng model (Waco.Dataset.all_schedules data) in
+  Printf.printf "HNSW over %d SuperSchedules built in %.2fs\n%!"
+    index.Waco.Tuner.corpus_size index.Waco.Tuner.build_seconds;
+
+  print_endline "== 5. tune a new matrix ==";
+  (* A sparsine-like system: large and scattered — the regime where the
+     sparse-block (UUC) formats the paper's 5.2.1 discusses win big. *)
+  let m = Gen.sparsine_like rng in
+  let wl = Machine_model.Workload.of_coo ~id:"quickstart" m in
+  let input = Waco.Extractor.input_of_coo ~id:"quickstart" m in
+  let result = Waco.Tuner.tune ~k:15 ~ef:96 model machine wl input index in
+  let csr = Baselines.fixed_csr machine wl algo in
+  Printf.printf "WACO chose : %s\n" (Superschedule.describe result.Waco.Tuner.best);
+  Printf.printf "WACO       : %.2e s/kernel (feature %.3fs + search %.4fs, %d model evals)\n"
+    result.Waco.Tuner.best_measured result.Waco.Tuner.feature_seconds
+    result.Waco.Tuner.search_seconds result.Waco.Tuner.cost_evals;
+  Printf.printf "Fixed CSR  : %.2e s/kernel\n" csr.Baselines.kernel_time;
+  Printf.printf "speedup    : %.2fx\n%!"
+    (csr.Baselines.kernel_time /. result.Waco.Tuner.best_measured);
+
+  print_endline "== 6. execute the tuned format for real ==";
+  let bdense = Dense.mat_random rng m.Coo.ncols 8 in
+  (match Exec_engine.Kernels.pack_for result.Waco.Tuner.best m with
+  | Error e -> Printf.printf "could not pack: %s\n" e
+  | Ok packed ->
+      let c = Exec_engine.Kernels.spmm packed bdense in
+      let reference = Csr.spmm (Csr.of_coo m) bdense in
+      Printf.printf "packed kernel matches CSR reference: %b\n"
+        (Dense.mat_approx_equal ~eps:1e-6 c reference);
+      let st = Format_abs.Packed.storage_of packed in
+      Printf.printf "chosen format %s: %d value slots (fill %.2f), %d pos + %d crd ints\n"
+        (Format_abs.Spec.name packed.Format_abs.Packed.spec)
+        st.Format_abs.Packed.nvals st.Format_abs.Packed.fill_ratio
+        st.Format_abs.Packed.pos_ints st.Format_abs.Packed.crd_ints)

@@ -1,0 +1,1 @@
+lib/anns/heap.mli:

@@ -1,0 +1,1 @@
+lib/anns/hnsw.ml: Array Float Hashtbl Heap List Rng Sptensor

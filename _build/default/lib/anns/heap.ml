@@ -1,0 +1,66 @@
+(* Binary min-heap over (priority, value) pairs; max-heap behaviour by
+   negating priorities.  Backbone of HNSW's candidate/result queues. *)
+
+type 'a t = {
+  mutable arr : (float * 'a) array;
+  mutable size : int;
+}
+
+let create () = { arr = Array.make 16 (0.0, Obj.magic 0); size = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t =
+  if t.size = Array.length t.arr then begin
+    let bigger = Array.make (2 * Array.length t.arr) t.arr.(0) in
+    Array.blit t.arr 0 bigger 0 t.size;
+    t.arr <- bigger
+  end
+
+let push t prio v =
+  grow t;
+  t.arr.(t.size) <- (prio, v);
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pp, _ = t.arr.(parent) and cp, _ = t.arr.(!i) in
+    if cp < pp then begin
+      let tmp = t.arr.(parent) in
+      t.arr.(parent) <- t.arr.(!i);
+      t.arr.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t = if t.size = 0 then None else Some t.arr.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.size <- t.size - 1;
+    t.arr.(0) <- t.arr.(t.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && fst t.arr.(l) < fst t.arr.(!smallest) then smallest := l;
+      if r < t.size && fst t.arr.(r) < fst t.arr.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.arr.(!smallest) in
+        t.arr.(!smallest) <- t.arr.(!i);
+        t.arr.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+let to_list t = Array.to_list (Array.sub t.arr 0 t.size)

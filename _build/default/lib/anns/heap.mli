@@ -1,0 +1,20 @@
+(** Binary min-heap over (priority, value) pairs; use negated priorities for
+    max-heap behaviour.  Backbone of HNSW's candidate/result queues. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+
+val to_list : 'a t -> (float * 'a) list
+(** Current contents in unspecified order. *)

@@ -1,0 +1,273 @@
+(* Hierarchical Navigable Small World graphs (Malkov & Yashunin [31]), the
+   graph-based approximate nearest neighbour index WACO searches over.
+
+   Build phase: vertices are inserted with geometrically-sampled levels; each
+   level keeps up to M links chosen with the neighbour-selection heuristic
+   under the *L2* metric over program embeddings (§4.2.2: the KNN graph is
+   built on embedding distance).
+
+   Search phase: [search_by] traverses the same graph greedily under an
+   arbitrary scoring function — in WACO's case the predicted runtime
+   y(m, s) — exploiting the property that an L2-built KNN graph supports
+   retrieval under generic measures (Tan et al. [44]). *)
+
+open Sptensor
+
+type 'a node = {
+  vec : float array;
+  payload : 'a;
+  level : int;
+  neighbors : int list array; (* per level 0..level *)
+}
+
+type 'a t = {
+  dim : int;
+  m : int; (* target out-degree on upper levels *)
+  m0 : int; (* out-degree on level 0 *)
+  ef_construction : int;
+  ml : float;
+  rng : Rng.t;
+  mutable nodes : 'a node array;
+  mutable count : int;
+  mutable entry : int;
+  mutable max_level : int;
+}
+
+let create ?(m = 12) ?(ef_construction = 80) ~dim rng =
+  {
+    dim;
+    m;
+    m0 = 2 * m;
+    ef_construction;
+    ml = 1.0 /. log (float_of_int m);
+    rng;
+    nodes = [||];
+    count = 0;
+    entry = -1;
+    max_level = -1;
+  }
+
+let size t = t.count
+
+let get_payload t i = t.nodes.(i).payload
+
+let l2 a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist t i q = l2 t.nodes.(i).vec q
+
+(* Greedy beam search restricted to one level; returns up to [ef] closest
+   (dist, id) pairs.  [distance] abstracts the metric so the same routine
+   serves both the L2 build and the generic-score query. *)
+let search_layer t ~distance ~entry_points ~ef ~level =
+  let visited = Hashtbl.create 64 in
+  let candidates = Heap.create () in (* min-heap by distance *)
+  let results = Heap.create () in (* min-heap by -distance = max-heap *)
+  List.iter
+    (fun ep ->
+      if not (Hashtbl.mem visited ep) then begin
+        Hashtbl.add visited ep ();
+        let d = distance ep in
+        Heap.push candidates d ep;
+        Heap.push results (-.d) ep
+      end)
+    entry_points;
+  let continue = ref true in
+  while !continue do
+    match Heap.pop candidates with
+    | None -> continue := false
+    | Some (dc, c) ->
+        let worst = match Heap.peek results with Some (nd, _) -> -.nd | None -> infinity in
+        if dc > worst && Heap.size results >= ef then continue := false
+        else
+          List.iter
+            (fun nb ->
+              if not (Hashtbl.mem visited nb) then begin
+                Hashtbl.add visited nb ();
+                let d = distance nb in
+                let worst =
+                  match Heap.peek results with Some (nd, _) -> -.nd | None -> infinity
+                in
+                if Heap.size results < ef || d < worst then begin
+                  Heap.push candidates d nb;
+                  Heap.push results (-.d) nb;
+                  if Heap.size results > ef then ignore (Heap.pop results)
+                end
+              end)
+            (if level <= t.nodes.(c).level then t.nodes.(c).neighbors.(level) else [])
+  done;
+  Heap.to_list results |> List.map (fun (nd, id) -> (-.nd, id))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Neighbour-selection heuristic from the HNSW paper: accept a candidate only
+   if it is closer to the query than to every already-accepted neighbour,
+   which keeps links spread across directions. *)
+let select_heuristic t ~candidates ~m =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) candidates in
+  let chosen = ref [] and n = ref 0 in
+  List.iter
+    (fun (d, id) ->
+      if !n < m then begin
+        let ok =
+          List.for_all (fun (_, c) -> l2 t.nodes.(id).vec t.nodes.(c).vec >= d) !chosen
+        in
+        if ok then begin
+          chosen := (d, id) :: !chosen;
+          incr n
+        end
+      end)
+    sorted;
+  (* Backfill with nearest skipped candidates if the heuristic was too picky. *)
+  if !n < m then begin
+    List.iter
+      (fun (d, id) ->
+        if !n < m && not (List.exists (fun (_, c) -> c = id) !chosen) then begin
+          chosen := (d, id) :: !chosen;
+          incr n
+        end)
+      sorted
+  end;
+  List.map snd !chosen
+
+let max_degree t level = if level = 0 then t.m0 else t.m
+
+(* Re-prune a node's adjacency after gaining a link. *)
+let shrink_links t id level =
+  let node = t.nodes.(id) in
+  let links = node.neighbors.(level) in
+  let cap = max_degree t level in
+  if List.length links > cap then begin
+    let cands = List.map (fun nb -> (l2 node.vec t.nodes.(nb).vec, nb)) links in
+    node.neighbors.(level) <- select_heuristic t ~candidates:cands ~m:cap
+  end
+
+let insert t vec payload =
+  if Array.length vec <> t.dim then invalid_arg "Hnsw.insert: dimension mismatch";
+  let level =
+    int_of_float (Float.of_int 0 -. (log (Float.max 1e-12 (Rng.float t.rng)) *. t.ml))
+  in
+  let node = { vec; payload; level; neighbors = Array.make (level + 1) [] } in
+  (* Append node. *)
+  if t.count = Array.length t.nodes then begin
+    let cap = max 16 (2 * Array.length t.nodes) in
+    let bigger = Array.make cap node in
+    Array.blit t.nodes 0 bigger 0 t.count;
+    t.nodes <- bigger
+  end;
+  let id = t.count in
+  t.nodes.(id) <- node;
+  t.count <- t.count + 1;
+  if id = 0 then begin
+    t.entry <- 0;
+    t.max_level <- level
+  end
+  else begin
+    let distance i = dist t i vec in
+    (* Greedy descent through levels above the node's level. *)
+    let ep = ref t.entry in
+    for l = t.max_level downto level + 1 do
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        List.iter
+          (fun nb ->
+            if distance nb < distance !ep then begin
+              ep := nb;
+              improved := true
+            end)
+          (if l <= t.nodes.(!ep).level then t.nodes.(!ep).neighbors.(l) else [])
+      done
+    done;
+    (* Connect on each level from min(level, max_level) down to 0. *)
+    let eps = ref [ !ep ] in
+    for l = min level t.max_level downto 0 do
+      let found =
+        search_layer t ~distance ~entry_points:!eps ~ef:t.ef_construction ~level:l
+      in
+      let selected = select_heuristic t ~candidates:found ~m:(max_degree t l) in
+      node.neighbors.(l) <- selected;
+      List.iter
+        (fun nb ->
+          t.nodes.(nb).neighbors.(l) <- id :: t.nodes.(nb).neighbors.(l);
+          shrink_links t nb l)
+        selected;
+      eps := List.map snd found
+    done;
+    if level > t.max_level then begin
+      t.max_level <- level;
+      t.entry <- id
+    end
+  end
+
+(* Exact k-NN under L2 against a query vector. *)
+let search t ~query ~k ?(ef = 50) () =
+  if t.count = 0 then []
+  else begin
+    let distance i = dist t i query in
+    let ep = ref t.entry in
+    for l = t.max_level downto 1 do
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        List.iter
+          (fun nb ->
+            if distance nb < distance !ep then begin
+              ep := nb;
+              improved := true
+            end)
+          (if l <= t.nodes.(!ep).level then t.nodes.(!ep).neighbors.(l) else [])
+      done
+    done;
+    let found =
+      search_layer t ~distance ~entry_points:[ !ep ] ~ef:(max ef k) ~level:0
+    in
+    List.filteri (fun i _ -> i < k) found
+  end
+
+(* Generic-measure search: traverse the L2-built graph minimizing an arbitrary
+   [score] over payload ids — WACO's ANNS over the predicted runtime.  Returns
+   the top-k (score, id) pairs and the number of score evaluations spent. *)
+let search_by t ~score ~k ?(ef = 50) () =
+  if t.count = 0 then ([], 0)
+  else begin
+    let evals = ref 0 in
+    let cache = Hashtbl.create 256 in
+    let distance i =
+      match Hashtbl.find_opt cache i with
+      | Some d -> d
+      | None ->
+          incr evals;
+          let d = score i in
+          Hashtbl.add cache i d;
+          d
+    in
+    let ep = ref t.entry in
+    for l = t.max_level downto 1 do
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        List.iter
+          (fun nb ->
+            if distance nb < distance !ep then begin
+              ep := nb;
+              improved := true
+            end)
+          (if l <= t.nodes.(!ep).level then t.nodes.(!ep).neighbors.(l) else [])
+      done
+    done;
+    let found =
+      search_layer t ~distance ~entry_points:[ !ep ] ~ef:(max ef k) ~level:0
+    in
+    (List.filteri (fun i _ -> i < k) found, !evals)
+  end
+
+(* Brute-force exact search, for recall measurements in tests. *)
+let brute_force t ~query ~k =
+  let all = List.init t.count (fun i -> (dist t i query, i)) in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+  List.filteri (fun i _ -> i < k) sorted

@@ -1,0 +1,54 @@
+(** Hierarchical Navigable Small World graphs (Malkov & Yashunin) — the
+    graph-based approximate nearest-neighbour index WACO's search runs on
+    (§4.2.2).
+
+    The graph is built under the L2 metric over program embeddings;
+    [search_by] then traverses the same graph under an arbitrary scoring
+    function — WACO's predicted runtime — exploiting the property that an
+    L2-built KNN graph supports retrieval under generic measures. *)
+
+type 'a node = {
+  vec : float array;
+  payload : 'a;
+  level : int;
+  neighbors : int list array;  (** adjacency per level, 0..level *)
+}
+
+type 'a t = {
+  dim : int;
+  m : int;
+  m0 : int;
+  ef_construction : int;
+  ml : float;
+  rng : Sptensor.Rng.t;
+  mutable nodes : 'a node array;
+  mutable count : int;
+  mutable entry : int;
+  mutable max_level : int;
+}
+
+val create : ?m:int -> ?ef_construction:int -> dim:int -> Sptensor.Rng.t -> 'a t
+(** [m] is the target out-degree on upper levels (level 0 gets [2m]). *)
+
+val size : 'a t -> int
+
+val get_payload : 'a t -> int -> 'a
+
+val l2 : float array -> float array -> float
+(** Squared Euclidean distance. *)
+
+val insert : 'a t -> float array -> 'a -> unit
+(** Raises [Invalid_argument] on dimension mismatch. *)
+
+val search : 'a t -> query:float array -> k:int -> ?ef:int -> unit -> (float * int) list
+(** Approximate k-NN under L2: [(distance, node id)] pairs sorted ascending. *)
+
+val search_by :
+  'a t -> score:(int -> float) -> k:int -> ?ef:int -> unit ->
+  (float * int) list * int
+(** Generic-measure search: greedy traversal minimizing [score] over node
+    ids.  Returns the top-k [(score, id)] pairs and the number of score
+    evaluations spent (scores are cached per query). *)
+
+val brute_force : 'a t -> query:float array -> k:int -> (float * int) list
+(** Exact k-NN by linear scan — for recall measurements in tests. *)

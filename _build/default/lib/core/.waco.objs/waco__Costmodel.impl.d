@@ -1,0 +1,1 @@
+lib/core/costmodel.ml: Algorithm Array Config Embedder Extractor Fun Hashtbl List Nn Printf Schedule String Superschedule

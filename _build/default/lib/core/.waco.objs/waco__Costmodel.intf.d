@@ -1,0 +1,1 @@
+lib/core/costmodel.mli: Algorithm Embedder Extractor Hashtbl Nn Schedule Sptensor Superschedule

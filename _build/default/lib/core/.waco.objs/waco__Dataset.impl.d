@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Algorithm Array Coo Costsim Extractor Hashtbl List Machine Machine_model Rng Schedule Space Sptensor Superschedule Tensor3 Workload

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Algorithm Coo Extractor Machine Machine_model Rng Schedule Sptensor Superschedule Tensor3 Workload

@@ -1,0 +1,1 @@
+lib/core/dataset_io.ml: Algorithm Array Coo Dataset Extractor Filename Format_abs Fun Hashtbl List Machine_model Mmio Printf Rng Schedule Sptensor String Superschedule Sys

@@ -1,0 +1,1 @@
+lib/core/dataset_io.mli: Algorithm Dataset Machine_model Schedule Sptensor Superschedule

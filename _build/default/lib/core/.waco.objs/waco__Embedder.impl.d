@@ -1,0 +1,1 @@
+lib/core/embedder.ml: Array Config Encode List Nn Printf Schedule Space Superschedule

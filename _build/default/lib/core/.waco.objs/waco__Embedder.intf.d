@@ -1,0 +1,1 @@
+lib/core/embedder.mli: Nn Schedule Sptensor Superschedule

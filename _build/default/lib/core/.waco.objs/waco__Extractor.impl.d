@@ -1,0 +1,1 @@
+lib/core/extractor.ml: Array Config Coo Hashtbl Lazy List Nn Printf Sptensor Stats Tensor3

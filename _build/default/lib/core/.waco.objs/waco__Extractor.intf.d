@@ -1,0 +1,1 @@
+lib/core/extractor.mli: Lazy Nn Sptensor

@@ -1,0 +1,1 @@
+lib/core/trainer.ml: Array Costmodel Dataset Extractor Nn Printf Rng Sptensor

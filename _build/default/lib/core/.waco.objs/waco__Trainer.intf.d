@@ -1,0 +1,1 @@
+lib/core/trainer.mli: Costmodel Dataset Rng Schedule Sptensor

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Anns Array Config Costmodel Costsim Extractor List Machine_model Schedule Superschedule Unix Workload

@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Anns Costmodel Extractor Machine Machine_model Schedule Sptensor Superschedule Workload

@@ -1,0 +1,37 @@
+(* Global knobs, overridable from the environment so the same benches can run
+   as a quick smoke pass or a long full reproduction:
+
+     WACO_SEED    deterministic seed (default 20230325, the ASPLOS'23 date)
+     WACO_SCALE   multiplies corpus sizes / trial budgets (default 1.0)
+     WACO_EPOCHS  training epochs (default 12)
+*)
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try float_of_string v with _ -> default)
+  | None -> default
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with _ -> default)
+  | None -> default
+
+let seed () = env_int "WACO_SEED" 20230325
+
+let scale () = env_float "WACO_SCALE" 1.0
+
+let epochs () = env_int "WACO_EPOCHS" 12
+
+let scaled n = max 1 (int_of_float (float_of_int n *. scale ()))
+
+(* Network widths. *)
+let channels = 6 (* sparse-conv channels (paper: 32; scaled for CPU training) *)
+
+let feature_dim = 64 (* sparsity-pattern feature vector *)
+
+let embed_dim = 32 (* program embedding *)
+
+(* WACONet depth: 1 + strided layers covering grids up to 2^12 = 4096. *)
+let waconet_strided_layers = 12
+
+let dense_conv_target = 64 (* DenseConv downsampling resolution *)

@@ -1,0 +1,30 @@
+(** Global knobs, overridable from the environment so the same benches can be
+    a quick smoke pass or a long full reproduction:
+
+    - [WACO_SEED]: deterministic seed (default 20230325);
+    - [WACO_SCALE]: multiplies corpus sizes and search budgets (default 1.0);
+    - [WACO_EPOCHS]: training epochs (default 12). *)
+
+val seed : unit -> int
+
+val scale : unit -> float
+
+val epochs : unit -> int
+
+val scaled : int -> int
+(** [scaled n = max 1 (round (n * scale ()))]. *)
+
+val channels : int
+(** Sparse-conv channel width (paper: 32; scaled for CPU training). *)
+
+val feature_dim : int
+(** Width of the sparsity-pattern feature vector. *)
+
+val embed_dim : int
+(** Width of the program embedding. *)
+
+val waconet_strided_layers : int
+(** Strided layers after the 5x5 stem: covers grids up to [2^n]. *)
+
+val dense_conv_target : int
+(** DenseConv baseline's downsampling resolution. *)

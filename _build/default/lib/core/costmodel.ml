@@ -1,0 +1,134 @@
+(* WACO's cost model (Fig. 6): feature extractor + program embedder + runtime
+   predictor.  Trained with the pairwise ranking loss to order SuperSchedules
+   per matrix; at inference the sparsity-pattern feature is computed once per
+   matrix and reused across every schedule probed (§5.4's search-time
+   breakdown depends on exactly this reuse). *)
+
+open Schedule
+
+type t = {
+  algo : Algorithm.t;
+  extractor : Extractor.t;
+  embedder : Embedder.t;
+  predictor : Nn.Mlp.t;
+  feature_cache : (string, float array) Hashtbl.t;
+}
+
+let create rng ?(kind = Extractor.Waconet) (algo : Algorithm.t) =
+  let rank = Algorithm.sparse_rank algo in
+  {
+    algo;
+    extractor = Extractor.create rng kind;
+    embedder = Embedder.create rng ~rank;
+    predictor =
+      Nn.Mlp.create rng ~name:"predictor"
+        ~dims:[| Config.feature_dim + Config.embed_dim; 64; 32; 1 |]
+        ~final_relu:false;
+    feature_cache = Hashtbl.create 128;
+  }
+
+let params t =
+  Extractor.params t.extractor @ Embedder.params t.embedder @ Nn.Mlp.params t.predictor
+
+let param_count t = Nn.Param.total_size (params t)
+
+let row_dim = Config.feature_dim + Config.embed_dim
+
+(* Build predictor input rows: the (shared) feature concatenated with each
+   program embedding. *)
+let rows_of ~feature ~embs ~batch =
+  let fd = Config.feature_dim and ed = Config.embed_dim in
+  let rows = Array.make (batch * row_dim) 0.0 in
+  for b = 0 to batch - 1 do
+    Array.blit feature 0 rows (b * row_dim) fd;
+    Array.blit embs (b * ed) rows ((b * row_dim) + fd) ed
+  done;
+  rows
+
+(* Training-mode forward: returns predictions and a backward closure that
+   pushes d(predictions) through predictor, embedder and extractor.  The
+   feature is computed once and its gradient accumulated over the batch. *)
+let forward_train t (input : Extractor.input) (schedules : Superschedule.t array) =
+  let batch = Array.length schedules in
+  let feature = Extractor.forward t.extractor input in
+  let embs = Embedder.forward t.embedder schedules in
+  let rows = rows_of ~feature ~embs ~batch in
+  let pred = Nn.Mlp.forward t.predictor ~batch rows in
+  let backward dpred =
+    let drows = Nn.Mlp.backward t.predictor dpred in
+    let fd = Config.feature_dim and ed = Config.embed_dim in
+    let dfeat = Array.make fd 0.0 in
+    let dembs = Array.make (batch * ed) 0.0 in
+    for b = 0 to batch - 1 do
+      for i = 0 to fd - 1 do
+        dfeat.(i) <- dfeat.(i) +. drows.((b * row_dim) + i)
+      done;
+      Array.blit drows ((b * row_dim) + fd) dembs (b * ed) ed
+    done;
+    Embedder.backward t.embedder dembs;
+    Extractor.backward t.extractor dfeat
+  in
+  (pred, backward)
+
+(* --- Inference --- *)
+
+let feature t (input : Extractor.input) =
+  match Hashtbl.find_opt t.feature_cache input.Extractor.id with
+  | Some f -> f
+  | None ->
+      let f = Array.copy (Extractor.forward t.extractor input) in
+      Hashtbl.add t.feature_cache input.Extractor.id f;
+      f
+
+let clear_feature_cache t =
+  Hashtbl.reset t.feature_cache;
+  Extractor.clear_cache t.extractor
+
+(* Program embeddings for a batch of schedules (the vectors the KNN graph is
+   built on). *)
+let embed t (schedules : Superschedule.t array) = Embedder.forward t.embedder schedules
+
+(* Predict from a precomputed feature and a precomputed embedding — the cheap
+   "final part of the cost model" ANNS runs per graph hop (Fig. 1c). *)
+let predict_tail t ~feature ~(embedding : float array) =
+  let rows = rows_of ~feature ~embs:embedding ~batch:1 in
+  (Nn.Mlp.forward t.predictor ~batch:1 rows).(0)
+
+(* Full prediction for a batch of schedules against one matrix. *)
+let predict t (input : Extractor.input) (schedules : Superschedule.t array) =
+  let batch = Array.length schedules in
+  let feature = feature t input in
+  let embs = embed t schedules in
+  let rows = rows_of ~feature ~embs ~batch in
+  Nn.Mlp.forward t.predictor ~batch rows
+
+(* --- Persistence: flat text dump of all parameters, matched by name. --- *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun p ->
+          Printf.fprintf oc "%s %d\n" p.Nn.Param.name (Nn.Param.size p);
+          Array.iter (fun v -> Printf.fprintf oc "%.17g\n" v) p.Nn.Param.data)
+        (params t))
+
+let load t path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      List.iter
+        (fun p ->
+          let header = input_line ic in
+          (match String.split_on_char ' ' header with
+          | [ name; n ] when name = p.Nn.Param.name && int_of_string n = Nn.Param.size p ->
+              ()
+          | _ -> failwith ("Costmodel.load: parameter mismatch at " ^ header));
+          for i = 0 to Nn.Param.size p - 1 do
+            p.Nn.Param.data.(i) <- float_of_string (input_line ic)
+          done)
+        (params t));
+  clear_feature_cache t

@@ -1,0 +1,60 @@
+(** WACO's cost model (Fig. 6): feature extractor + program embedder +
+    runtime predictor, trained with the pairwise ranking loss to {e order}
+    SuperSchedules per matrix.  At inference the sparsity-pattern feature is
+    computed once per matrix and reused across every schedule probed —
+    §5.4's search-time breakdown depends on exactly this reuse. *)
+
+open Schedule
+
+type t = {
+  algo : Algorithm.t;
+  extractor : Extractor.t;
+  embedder : Embedder.t;
+  predictor : Nn.Mlp.t;
+  feature_cache : (string, float array) Hashtbl.t;
+}
+
+val create : Sptensor.Rng.t -> ?kind:Extractor.kind -> Algorithm.t -> t
+(** [kind] defaults to {!Extractor.Waconet}. *)
+
+val params : t -> Nn.Param.t list
+
+val param_count : t -> int
+
+val row_dim : int
+(** Width of a predictor input row (feature ++ embedding). *)
+
+val rows_of : feature:float array -> embs:float array -> batch:int -> float array
+(** Builds predictor input rows: the shared feature concatenated with each
+    program embedding. *)
+
+val forward_train :
+  t -> Extractor.input -> Superschedule.t array ->
+  float array * (float array -> unit)
+(** Training-mode forward: predictions plus a backward closure pushing
+    d(predictions) through predictor, embedder and extractor (the feature is
+    computed once, its gradient summed over the batch). *)
+
+val feature : t -> Extractor.input -> float array
+(** Cached per [input.id]; see {!clear_feature_cache}. *)
+
+val clear_feature_cache : t -> unit
+(** Required whenever extractor weights change (after training) or when the
+    same model tunes against a different machine. *)
+
+val embed : t -> Superschedule.t array -> float array
+(** Program embeddings — the vectors the KNN graph is built on. *)
+
+val predict_tail : t -> feature:float array -> embedding:float array -> float
+(** The cheap "final part of the cost model" ANNS runs per graph hop
+    (Fig. 1c): predictor only, over a stored embedding. *)
+
+val predict : t -> Extractor.input -> Superschedule.t array -> float array
+(** Full prediction for a batch of schedules against one matrix. *)
+
+val save : t -> string -> unit
+(** Flat text dump of all parameters. *)
+
+val load : t -> string -> unit
+(** Restores parameters saved by {!save} into an identically-shaped model;
+    raises [Failure] on mismatch.  Clears the feature cache. *)

@@ -1,0 +1,104 @@
+(* Training data generation (§4.1.3): tuples of
+   (sparse matrix, SuperSchedule, ground-truth runtime), with the runtime
+   produced by the cost simulator standing in for hardware measurement.
+   Runtimes are stored as log10 seconds — the ranking loss only needs order,
+   and logs keep magnitudes comparable across matrices. *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+type sample = {
+  name : string;
+  wl : Workload.t;
+  input : Extractor.input;
+  schedules : Superschedule.t array;
+  log_runtimes : float array;
+  valid_pairs : (int * int) array; (* fixed pairs for comparable val loss *)
+}
+
+type t = {
+  algo : Algorithm.t;
+  machine : Machine.t;
+  train : sample array;
+  valid : sample array;
+}
+
+let log10 x = log x /. log 10.0
+
+let make_sample rng machine algo ~name ~wl ~input ~schedules_per_matrix =
+  let schedules =
+    Array.of_list
+      (Space.sample_distinct rng algo ~dims:wl.Workload.dims ~count:schedules_per_matrix)
+  in
+  let log_runtimes =
+    Array.map (fun s -> log10 (Costsim.runtime machine wl s)) schedules
+  in
+  let n = Array.length schedules in
+  let npairs = min 32 (max 1 (n / 2)) in
+  let valid_pairs =
+    Array.init npairs (fun _ ->
+        let a = Rng.int rng n in
+        let b = Rng.int rng n in
+        (a, if b = a then (b + 1) mod n else b))
+  in
+  { name; wl; input; schedules; log_runtimes; valid_pairs }
+
+let split_train_valid rng samples ~valid_fraction =
+  let arr = Array.of_list samples in
+  Rng.shuffle rng arr;
+  let nvalid = max 1 (int_of_float (valid_fraction *. float_of_int (Array.length arr))) in
+  let valid = Array.sub arr 0 nvalid in
+  let train = Array.sub arr nvalid (Array.length arr - nvalid) in
+  (train, valid)
+
+(* Dataset over 2-D matrices (SpMV / SpMM / SDDMM). *)
+let of_matrices rng machine algo (matrices : (string * Coo.t) list)
+    ~schedules_per_matrix ~valid_fraction =
+  let samples =
+    List.map
+      (fun (name, m) ->
+        let wl = Workload.of_coo ~id:name m in
+        let input = Extractor.input_of_coo ~id:name m in
+        make_sample rng machine algo ~name ~wl ~input ~schedules_per_matrix)
+      matrices
+  in
+  let train, valid = split_train_valid rng samples ~valid_fraction in
+  { algo; machine; train; valid }
+
+(* Dataset over 3-D tensors (MTTKRP). *)
+let of_tensors rng machine algo (tensors : (string * Tensor3.t) list)
+    ~schedules_per_matrix ~valid_fraction =
+  let samples =
+    List.map
+      (fun (name, t) ->
+        let wl = Workload.of_tensor3 ~id:name t in
+        let input = Extractor.input_of_tensor3 ~id:name t in
+        make_sample rng machine algo ~name ~wl ~input ~schedules_per_matrix)
+      tensors
+  in
+  let train, valid = split_train_valid rng samples ~valid_fraction in
+  { algo; machine; train; valid }
+
+(* All distinct schedules appearing in the dataset — the KNN-graph corpus
+   (§4.2.2: "we built the graph with the SuperSchedules which appeared in our
+   training dataset"). *)
+let all_schedules t =
+  let seen = Hashtbl.create 1024 in
+  let out = ref [] in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun sched ->
+          let k = Superschedule.key sched in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            out := sched :: !out
+          end)
+        s.schedules)
+    t.train;
+  Array.of_list !out
+
+let total_tuples t =
+  Array.fold_left (fun acc s -> acc + Array.length s.schedules) 0
+    (Array.append t.train t.valid)

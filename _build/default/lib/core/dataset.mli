@@ -1,0 +1,45 @@
+(** Training data generation (§4.1.3): (sparse matrix, SuperSchedule,
+    ground-truth runtime) tuples, with runtimes from the cost simulator
+    standing in for hardware measurement.  Runtimes are stored as log10
+    seconds — the ranking loss only needs order. *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+type sample = {
+  name : string;
+  wl : Workload.t;
+  input : Extractor.input;
+  schedules : Superschedule.t array;
+  log_runtimes : float array;
+  valid_pairs : (int * int) array;
+      (** fixed pairs so validation losses are comparable across epochs *)
+}
+
+type t = {
+  algo : Algorithm.t;
+  machine : Machine.t;
+  train : sample array;
+  valid : sample array;
+}
+
+val split_train_valid :
+  Rng.t -> sample list -> valid_fraction:float -> sample array * sample array
+(** Shuffled split with at least one validation sample. *)
+
+val of_matrices :
+  Rng.t -> Machine.t -> Algorithm.t -> (string * Coo.t) list ->
+  schedules_per_matrix:int -> valid_fraction:float -> t
+
+val of_tensors :
+  Rng.t -> Machine.t -> Algorithm.t -> (string * Tensor3.t) list ->
+  schedules_per_matrix:int -> valid_fraction:float -> t
+(** MTTKRP datasets over 3-D tensors. *)
+
+val all_schedules : t -> Superschedule.t array
+(** All distinct schedules in the training split — the KNN-graph corpus
+    ("we built the graph with the SuperSchedules which appeared in our
+    training dataset", §4.2.2). *)
+
+val total_tuples : t -> int

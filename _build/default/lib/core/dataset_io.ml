@@ -1,0 +1,171 @@
+(* Dataset persistence: (matrix id, SuperSchedule, log runtime) tuples in a
+   line-oriented text format, plus the matrices themselves as MatrixMarket
+   files in a sibling directory.
+
+   The paper's data collection ran for two weeks on 10 nodes; persisting
+   tuples decouples the expensive collection from training, and lets corpora
+   be merged across runs (`waco_cli collect` / `waco_cli train --data`).
+
+   Format, one record per line:
+     MATRIX <name> <relative .mtx path>
+     TUPLE <matrix name> <log10 runtime> <schedule key-value encoding>
+   The schedule is serialized field by field (not via [Superschedule.key],
+   which is not designed to be parsed back). *)
+
+open Sptensor
+open Schedule
+
+let serialize_schedule (s : Superschedule.t) =
+  let ints a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
+  let fmts =
+    String.concat ""
+      (Array.to_list
+         (Array.map (fun f -> String.make 1 (Format_abs.Levelfmt.to_char f)) s.Superschedule.a_formats))
+  in
+  Printf.sprintf "algo=%s;splits=%s;order=%s;par=%d;threads=%s;chunk=%d;aorder=%s;afmt=%s"
+    (Algorithm.name s.Superschedule.algo)
+    (ints s.Superschedule.splits)
+    (ints s.Superschedule.compute_order)
+    s.Superschedule.par_var
+    (Superschedule.threads_name s.Superschedule.threads)
+    s.Superschedule.chunk
+    (ints s.Superschedule.a_order)
+    fmts
+
+exception Corrupt of string
+
+let parse_ints s =
+  Array.of_list (List.map int_of_string (String.split_on_char ',' s))
+
+let parse_schedule (algo : Algorithm.t) (text : string) : Superschedule.t =
+  let fields =
+    String.split_on_char ';' text
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+           | None -> None)
+  in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> raise (Corrupt ("missing field " ^ k))
+  in
+  if get "algo" <> Algorithm.name algo then raise (Corrupt "algorithm mismatch");
+  let s =
+    {
+      Superschedule.algo;
+      splits = parse_ints (get "splits");
+      compute_order = parse_ints (get "order");
+      par_var = int_of_string (get "par");
+      threads = (if get "threads" = "half" then Superschedule.Half else Superschedule.Full);
+      chunk = int_of_string (get "chunk");
+      a_order = parse_ints (get "aorder");
+      a_formats =
+        Array.init
+          (String.length (get "afmt"))
+          (fun i -> Format_abs.Levelfmt.of_char (get "afmt").[i]);
+    }
+  in
+  Superschedule.validate s;
+  s
+
+(* Write a dataset's tuples (and matrices) under [dir]. *)
+let save (data : Dataset.t) ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "tuples.txt") in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# WACO dataset: algo=%s machine=%s\n"
+        (Algorithm.name data.Dataset.algo)
+        data.Dataset.machine.Machine_model.Machine.name;
+      Array.iter
+        (fun (sample : Dataset.sample) ->
+          (* Persist 2-D matrices; 3-D tensors are saved via their entries. *)
+          if Array.length sample.Dataset.wl.Machine_model.Workload.dims = 2 then begin
+            let m =
+              Coo.of_triplets
+                ~nrows:sample.Dataset.wl.Machine_model.Workload.dims.(0)
+                ~ncols:sample.Dataset.wl.Machine_model.Workload.dims.(1)
+                (Array.to_list sample.Dataset.wl.Machine_model.Workload.entries
+                |> List.map (fun (c, v) -> (c.(0), c.(1), v)))
+            in
+            let file = sample.Dataset.name ^ ".mtx" in
+            Mmio.write_coo (Filename.concat dir file) m;
+            Printf.fprintf oc "MATRIX %s %s\n" sample.Dataset.name file
+          end;
+          Array.iteri
+            (fun i s ->
+              Printf.fprintf oc "TUPLE %s %.17g %s\n" sample.Dataset.name
+                sample.Dataset.log_runtimes.(i) (serialize_schedule s))
+            sample.Dataset.schedules)
+        (Array.append data.Dataset.train data.Dataset.valid))
+
+(* Load tuples saved by [save] back into a dataset (2-D matrices only). *)
+let load ~dir ~algo ~machine ~valid_fraction rng =
+  let ic = open_in (Filename.concat dir "tuples.txt") in
+  let matrices : (string, Coo.t) Hashtbl.t = Hashtbl.create 64 in
+  let tuples : (string, (Superschedule.t * float) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.length line > 0 && line.[0] <> '#' then begin
+            match String.index_opt line ' ' with
+            | None -> ()
+            | Some sp -> (
+                let tag = String.sub line 0 sp in
+                let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+                match tag with
+                | "MATRIX" -> (
+                    match String.split_on_char ' ' rest with
+                    | [ name; file ] ->
+                        Hashtbl.replace matrices name
+                          (Mmio.read_coo (Filename.concat dir file))
+                    | _ -> raise (Corrupt line))
+                | "TUPLE" -> (
+                    match String.split_on_char ' ' rest with
+                    | name :: time :: sched ->
+                        let s = parse_schedule algo (String.concat " " sched) in
+                        let lst =
+                          match Hashtbl.find_opt tuples name with
+                          | Some l -> l
+                          | None ->
+                              let l = ref [] in
+                              Hashtbl.add tuples name l;
+                              l
+                        in
+                        lst := (s, float_of_string time) :: !lst
+                    | _ -> raise (Corrupt line))
+                | _ -> raise (Corrupt line))
+          end
+        done
+      with End_of_file -> ());
+  let samples =
+    Hashtbl.fold
+      (fun name m acc ->
+        match Hashtbl.find_opt tuples name with
+        | None | Some { contents = [] } -> acc
+        | Some { contents = pairs } ->
+            let wl = Machine_model.Workload.of_coo ~id:name m in
+            let input = Extractor.input_of_coo ~id:name m in
+            let schedules = Array.of_list (List.map fst pairs) in
+            let log_runtimes = Array.of_list (List.map snd pairs) in
+            let n = Array.length schedules in
+            let valid_pairs =
+              Array.init
+                (min 32 (max 1 (n / 2)))
+                (fun _ ->
+                  let a = Rng.int rng n and b = Rng.int rng n in
+                  (a, if b = a then (b + 1) mod n else b))
+            in
+            { Dataset.name; wl; input; schedules; log_runtimes; valid_pairs } :: acc)
+      matrices []
+  in
+  let train, valid = Dataset.split_train_valid rng samples ~valid_fraction in
+  { Dataset.algo; machine; train; valid }

@@ -1,0 +1,25 @@
+(** Dataset persistence: decouples the expensive runtime collection from
+    training (the paper's collection ran for two weeks on 10 nodes) and lets
+    corpora be merged across runs.  Tuples live in a line-oriented
+    [tuples.txt]; 2-D matrices are stored alongside as MatrixMarket files. *)
+
+open Schedule
+
+exception Corrupt of string
+
+val serialize_schedule : Superschedule.t -> string
+
+val parse_schedule : Algorithm.t -> string -> Superschedule.t
+(** Raises [Corrupt] on malformed input or algorithm mismatch. *)
+
+val save : Dataset.t -> dir:string -> unit
+(** Writes [dir/tuples.txt] plus one [.mtx] per 2-D matrix (creating [dir]). *)
+
+val load :
+  dir:string ->
+  algo:Algorithm.t ->
+  machine:Machine_model.Machine.t ->
+  valid_fraction:float ->
+  Sptensor.Rng.t ->
+  Dataset.t
+(** Rebuilds a dataset saved by {!save} (2-D matrices only). *)

@@ -1,0 +1,185 @@
+(* Sparsity-pattern feature extractors — WACONet and the three alternatives it
+   is compared against in Fig. 15.  All variants map a pattern to a
+   [Config.feature_dim]-vector:
+
+   - [Waconet]   (§4.1.1, Fig. 9): 5x5 stride-1 sparse conv over the *raw*
+     pattern, then stride-2 3x3 sparse convs; global-average-pool after every
+     layer, concatenate all pooled vectors, final linear.
+   - [Minkowski] : stride-1 sparse convs with one final pooling — receptive
+     field cannot bridge distant nonzeros (Fig. 8a).
+   - [Dense_conv]: the conventional-CNN approach — the pattern is downsampled
+     onto a 64x64 grid first (losing local structure, Fig. 5), then convolved;
+     submanifold convolution over an all-sites map is exactly dense
+     convolution.
+   - [Human]     : the (rows, cols, nnz) hand-crafted statistics through an
+     MLP. *)
+
+open Sptensor
+
+type kind = Human | Dense_conv | Minkowski | Waconet
+
+let kind_name = function
+  | Human -> "HumanFeature"
+  | Dense_conv -> "DenseConv"
+  | Minkowski -> "MinkowskiNet"
+  | Waconet -> "WACONet"
+
+(* Pattern input: raw sparse map, lazily-downsampled map, and hand statistics
+   (log-scaled).  Built once per matrix. *)
+type input = {
+  id : string;
+  smap : Nn.Smap.t;
+  down : Nn.Smap.t Lazy.t;
+  human : float array;
+}
+
+let input_of_coo ~id (m : Coo.t) =
+  let s = Stats.compute m in
+  {
+    id;
+    smap = Nn.Smap.of_coo m;
+    down = lazy (Nn.Smap.downsample m ~target:Config.dense_conv_target);
+    human =
+      Array.map (fun x -> log (1.0 +. x)) (Stats.human_features ~rich:false s);
+  }
+
+let input_of_tensor3 ~id (t : Tensor3.t) = input_of_coo ~id (Tensor3.flatten t)
+
+type conv_stack = {
+  convs : Nn.Sparse_conv.t array;
+  relus : Nn.Act.relu array;
+  pools : Nn.Pool.t array; (* length = nconvs if pool_all, else 1 *)
+  pool_all : bool;
+  head : Nn.Linear.t; (* pooled concat -> feature *)
+  arch : (int * int) list; (* (ksize, stride) per conv *)
+  use_down : bool;
+  pyramids : (string, Nn.Pyramid.t) Hashtbl.t;
+}
+
+type body = Conv of conv_stack | Mlp of Nn.Mlp.t
+
+type t = { kind : kind; body : body; out_dim : int }
+
+let conv_arch = function
+  | Waconet -> ((5, 1) :: List.init Config.waconet_strided_layers (fun _ -> (3, 2)), true, false)
+  | Minkowski -> ([ (5, 1); (3, 1); (3, 1); (3, 1) ], false, false)
+  | Dense_conv -> ((5, 1) :: List.init 6 (fun _ -> (3, 2)), false, true)
+  | Human -> ([], false, false)
+
+let create rng kind =
+  let out_dim = Config.feature_dim in
+  match kind with
+  | Human ->
+      {
+        kind;
+        body = Mlp (Nn.Mlp.create rng ~name:"human" ~dims:[| 3; 32; out_dim |] ~final_relu:true);
+        out_dim;
+      }
+  | _ ->
+      let arch, pool_all, use_down = conv_arch kind in
+      let c = Config.channels in
+      let nconv = List.length arch in
+      let convs =
+        Array.of_list
+          (List.mapi
+             (fun i (ksize, stride) ->
+               Nn.Sparse_conv.create rng
+                 ~name:(Printf.sprintf "%s.conv%d" (kind_name kind) i)
+                 ~in_ch:(if i = 0 then 1 else c)
+                 ~out_ch:c ~ksize ~stride)
+             arch)
+      in
+      let npools = if pool_all then nconv else 1 in
+      let head =
+        Nn.Linear.create rng
+          ~name:(kind_name kind ^ ".head")
+          ~in_dim:(npools * c) ~out_dim
+      in
+      {
+        kind;
+        body =
+          Conv
+            {
+              convs;
+              relus = Array.init nconv (fun _ -> Nn.Act.relu_create ());
+              pools = Array.init npools (fun _ -> Nn.Pool.create ());
+              pool_all;
+              head;
+              arch;
+              use_down;
+              pyramids = Hashtbl.create 64;
+            };
+        out_dim;
+      }
+
+let params t =
+  match t.body with
+  | Mlp m -> Nn.Mlp.params m
+  | Conv c ->
+      List.concat_map Nn.Sparse_conv.params (Array.to_list c.convs)
+      @ Nn.Linear.params c.head
+
+let pyramid_of (c : conv_stack) (input : input) =
+  match Hashtbl.find_opt c.pyramids input.id with
+  | Some p -> p
+  | None ->
+      let base = if c.use_down then Lazy.force input.down else input.smap in
+      let p = Nn.Pyramid.build base ~layers:c.arch in
+      Hashtbl.add c.pyramids input.id p;
+      p
+
+(* Forward one pattern to its feature vector.  Layer caches are retained for
+   an immediately following [backward]. *)
+let forward t (input : input) =
+  match t.body with
+  | Mlp m -> Nn.Mlp.forward m ~batch:1 input.human
+  | Conv c ->
+      let pyr = pyramid_of c input in
+      let nconv = Array.length c.convs in
+      let pooled = ref [] in
+      let cur = ref pyr.Nn.Pyramid.base in
+      for i = 0 to nconv - 1 do
+        let m = Nn.Sparse_conv.forward_with_map c.convs.(i) pyr.Nn.Pyramid.maps.(i) !cur in
+        let activated =
+          { m with Nn.Smap.feats = Nn.Act.relu_forward c.relus.(i) m.Nn.Smap.feats }
+        in
+        if c.pool_all then pooled := Nn.Pool.forward c.pools.(i) activated :: !pooled
+        else if i = nconv - 1 then pooled := [ Nn.Pool.forward c.pools.(0) activated ];
+        cur := activated
+      done;
+      let concat = Array.concat (List.rev !pooled) in
+      Nn.Linear.forward c.head ~batch:1 concat
+
+(* Accumulate parameter gradients from d(feature). *)
+let backward t (dfeat : float array) =
+  match t.body with
+  | Mlp m -> ignore (Nn.Mlp.backward m dfeat)
+  | Conv c ->
+      let nconv = Array.length c.convs in
+      let dconcat = Nn.Linear.backward c.head dfeat in
+      let ch = Config.channels in
+      let dpool i =
+        if c.pool_all then Array.sub dconcat (i * ch) ch
+        else if i = nconv - 1 then Array.sub dconcat 0 ch
+        else Array.make ch 0.0
+      in
+      (* Walk layers deepest-first, merging pooled gradients with the gradient
+         arriving from the next conv. *)
+      let dnext = ref [||] in
+      for i = nconv - 1 downto 0 do
+        let pool_idx = if c.pool_all then i else 0 in
+        let dpooled =
+          if c.pool_all || i = nconv - 1 then Nn.Pool.backward c.pools.(pool_idx) (dpool i)
+          else [||]
+        in
+        let dact =
+          if Array.length !dnext = 0 then dpooled
+          else if Array.length dpooled = 0 then !dnext
+          else Array.mapi (fun k v -> v +. dpooled.(k)) !dnext
+        in
+        let dpre = Nn.Act.relu_backward c.relus.(i) dact in
+        dnext := Nn.Sparse_conv.backward c.convs.(i) dpre
+      done
+
+let clear_cache t =
+  match t.body with Conv c -> Hashtbl.reset c.pyramids | Mlp _ -> ()

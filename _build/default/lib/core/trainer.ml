@@ -1,0 +1,107 @@
+(* Cost-model training loop (§4.1.3): per step, one matrix's feature forward
+   is shared by a batch of SuperSchedule pairs scored with the pairwise hinge
+   ranking loss; Adam at lr 1e-4. *)
+
+open Sptensor
+
+type curve = {
+  extractor : string;
+  epochs : int array;
+  train_loss : float array;
+  valid_loss : float array;
+  valid_acc : float array;
+}
+
+(* Assemble a pair-major batch (schedules and truths) from a sample, oriented
+   slower-first so every pair carries a ranking constraint. *)
+let batch_of_pairs (sample : Dataset.sample) (pairs : (int * int) array) =
+  let n = Array.length pairs in
+  let schedules = Array.make (2 * n) sample.Dataset.schedules.(0) in
+  let truth = Array.make (2 * n) 0.0 in
+  Array.iteri
+    (fun p (a, b) ->
+      let a, b =
+        if sample.Dataset.log_runtimes.(a) >= sample.Dataset.log_runtimes.(b) then (a, b)
+        else (b, a)
+      in
+      schedules.(2 * p) <- sample.Dataset.schedules.(a);
+      truth.(2 * p) <- sample.Dataset.log_runtimes.(a);
+      schedules.((2 * p) + 1) <- sample.Dataset.schedules.(b);
+      truth.((2 * p) + 1) <- sample.Dataset.log_runtimes.(b))
+    pairs;
+  (schedules, truth)
+
+let random_pairs rng (sample : Dataset.sample) ~count =
+  let n = Array.length sample.Dataset.schedules in
+  Array.init count (fun _ ->
+      let a = Rng.int rng n in
+      let b = Rng.int rng n in
+      (a, if b = a then (b + 1) mod n else b))
+
+(* Ranking loss of the model on a sample's fixed validation pairs
+   (forward only). *)
+let eval_sample model (sample : Dataset.sample) =
+  let schedules, truth = batch_of_pairs sample sample.Dataset.valid_pairs in
+  let feature = Extractor.forward model.Costmodel.extractor sample.Dataset.input in
+  let embs = Costmodel.embed model schedules in
+  let rows = Costmodel.rows_of ~feature ~embs ~batch:(Array.length schedules) in
+  let pred = Nn.Mlp.forward model.Costmodel.predictor ~batch:(Array.length schedules) rows in
+  let loss, _ = Nn.Loss.pairwise ~min_gap:0.02 ~truth ~pred () in
+  let acc = Nn.Loss.pair_accuracy ~truth ~pred in
+  (loss, acc)
+
+let eval_set model (samples : Dataset.sample array) =
+  if Array.length samples = 0 then (0.0, 1.0)
+  else begin
+    let tl = ref 0.0 and ta = ref 0.0 in
+    Array.iter
+      (fun s ->
+        let l, a = eval_sample model s in
+        tl := !tl +. l;
+        ta := !ta +. a)
+      samples;
+    let n = float_of_int (Array.length samples) in
+    (!tl /. n, !ta /. n)
+  end
+
+let train ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ()) rng model
+    (data : Dataset.t) ~epochs =
+  let adam = Nn.Adam.create ~lr (Costmodel.params model) in
+  let nepochs = max 1 epochs in
+  let ep = Array.make nepochs 0 in
+  let trl = Array.make nepochs 0.0 in
+  let vll = Array.make nepochs 0.0 in
+  let vla = Array.make nepochs 0.0 in
+  let order = Array.init (Array.length data.Dataset.train) (fun i -> i) in
+  for epoch = 0 to nepochs - 1 do
+    Rng.shuffle rng order;
+    let epoch_loss = ref 0.0 in
+    Array.iter
+      (fun idx ->
+        let sample = data.Dataset.train.(idx) in
+        let pairs = random_pairs rng sample ~count:pairs_per_step in
+        let schedules, truth = batch_of_pairs sample pairs in
+        let pred, backward = Costmodel.forward_train model sample.Dataset.input schedules in
+        let loss, dpred = Nn.Loss.pairwise ~min_gap:0.02 ~truth ~pred () in
+        epoch_loss := !epoch_loss +. loss;
+        backward dpred;
+        Nn.Adam.step adam)
+      order;
+    let vl, va = eval_set model data.Dataset.valid in
+    ep.(epoch) <- epoch + 1;
+    trl.(epoch) <- !epoch_loss /. float_of_int (max 1 (Array.length order));
+    vll.(epoch) <- vl;
+    vla.(epoch) <- va;
+    log
+      (Printf.sprintf "epoch %2d  train_loss=%.4f  val_loss=%.4f  val_acc=%.3f"
+         (epoch + 1) trl.(epoch) vl va)
+  done;
+  (* Features were evolving during training; drop any cached ones. *)
+  Costmodel.clear_feature_cache model;
+  {
+    extractor = Extractor.kind_name model.Costmodel.extractor.Extractor.kind;
+    epochs = ep;
+    train_loss = trl;
+    valid_loss = vll;
+    valid_acc = vla;
+  }

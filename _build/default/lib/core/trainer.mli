@@ -1,0 +1,30 @@
+(** Cost-model training loop (§4.1.3): per step, one matrix's feature forward
+    is shared by a batch of SuperSchedule pairs scored with the pairwise
+    hinge ranking loss; optimized by Adam. *)
+
+open Sptensor
+
+type curve = {
+  extractor : string;
+  epochs : int array;
+  train_loss : float array;
+  valid_loss : float array;
+  valid_acc : float array;  (** pair-ranking accuracy on fixed pairs *)
+}
+
+val batch_of_pairs :
+  Dataset.sample -> (int * int) array -> Schedule.Superschedule.t array * float array
+(** Pair-major batch, oriented slower-first. *)
+
+val random_pairs : Rng.t -> Dataset.sample -> count:int -> (int * int) array
+
+val eval_set : Costmodel.t -> Dataset.sample array -> float * float
+(** (mean loss, mean pair accuracy) on fixed validation pairs. *)
+
+val train :
+  ?pairs_per_step:int ->
+  ?lr:float ->
+  ?log:(string -> unit) ->
+  Rng.t -> Costmodel.t -> Dataset.t -> epochs:int -> curve
+(** Trains in place; clears the model's feature cache on exit (features
+    evolved during training). *)

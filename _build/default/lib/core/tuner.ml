@@ -1,0 +1,102 @@
+(* WACO's search (§4.2): a KNN graph (HNSW) is built once over the program
+   embeddings of the training SuperSchedules under L2; a query matrix is
+   answered by traversing that graph with the predicted runtime as the metric,
+   then measuring the top-k survivors and returning the fastest (§5.2 reports
+   the best of the top-10 measured on hardware; here "hardware" is the cost
+   simulator). *)
+
+open Schedule
+open Machine_model
+
+type index = {
+  hnsw : Superschedule.t Anns.Hnsw.t;
+  build_seconds : float;
+  corpus_size : int;
+}
+
+(* Embed every corpus schedule and insert it into the HNSW graph. *)
+let build_index ?(m = 12) ?(ef_construction = 60) rng model
+    (corpus : Superschedule.t array) =
+  let t0 = Unix.gettimeofday () in
+  let hnsw = Anns.Hnsw.create ~m ~ef_construction ~dim:Config.embed_dim rng in
+  let ed = Config.embed_dim in
+  (* Embed in batches to amortize the batched forward. *)
+  let bsz = 256 in
+  let n = Array.length corpus in
+  let i = ref 0 in
+  while !i < n do
+    let len = min bsz (n - !i) in
+    let batch = Array.sub corpus !i len in
+    let embs = Costmodel.embed model batch in
+    for b = 0 to len - 1 do
+      Anns.Hnsw.insert hnsw (Array.sub embs (b * ed) ed) batch.(b)
+    done;
+    i := !i + len
+  done;
+  { hnsw; build_seconds = Unix.gettimeofday () -. t0; corpus_size = n }
+
+type result = {
+  best : Superschedule.t;
+  best_measured : float; (* simulator seconds of the chosen schedule *)
+  best_predicted : float;
+  topk : (Superschedule.t * float) list; (* (schedule, measured) *)
+  feature_seconds : float;
+  search_seconds : float;
+  measure_seconds : float;
+  cost_evals : int; (* predictor evaluations during graph traversal *)
+  measured_runs : int;
+}
+
+let tune ?(k = 10) ?(ef = 40) model machine (wl : Workload.t)
+    (input : Extractor.input) (index : index) =
+  (* Phase 1: extract the sparsity-pattern feature once. *)
+  let t0 = Unix.gettimeofday () in
+  let feature = Costmodel.feature model input in
+  let t1 = Unix.gettimeofday () in
+  (* Phase 2: ANNS over the KNN graph; the score runs only the predictor tail
+     against stored embeddings. *)
+  let score i =
+    Costmodel.predict_tail model ~feature
+      ~embedding:(index.hnsw.Anns.Hnsw.nodes.(i)).Anns.Hnsw.vec
+  in
+  let found, evals = Anns.Hnsw.search_by index.hnsw ~score ~k ~ef () in
+  let t2 = Unix.gettimeofday () in
+  (* Phase 3: measure the top-k on the "hardware" and keep the fastest. *)
+  let measured =
+    List.map
+      (fun (pred_cost, id) ->
+        let s = Anns.Hnsw.get_payload index.hnsw id in
+        (s, Costsim.runtime machine wl s, pred_cost))
+      found
+  in
+  let t3 = Unix.gettimeofday () in
+  match measured with
+  | [] -> invalid_arg "Tuner.tune: empty index"
+  | first :: _ ->
+      let best_s, best_m, best_p =
+        List.fold_left
+          (fun (bs, bm, bp) (s, m, p) -> if m < bm then (s, m, p) else (bs, bm, bp))
+          first measured
+      in
+      {
+        best = best_s;
+        best_measured = best_m;
+        best_predicted = best_p;
+        topk = List.map (fun (s, m, _) -> (s, m)) measured;
+        feature_seconds = t1 -. t0;
+        search_seconds = t2 -. t1;
+        measure_seconds = t3 -. t2;
+        cost_evals = evals;
+        measured_runs = List.length measured;
+      }
+
+(* The tuner's one-off cost charged in end-to-end comparisons (Fig. 17,
+   Table 8): feature extraction + graph search in real seconds, plus the
+   simulated cost of the k measurement runs and of converting to the chosen
+   format. *)
+let tuning_overhead machine wl (r : result) =
+  let measure_sim =
+    List.fold_left (fun acc (_, m) -> acc +. m) 0.0 r.topk
+  in
+  r.feature_seconds +. r.search_seconds +. measure_sim
+  +. Costsim.convert_time machine wl r.best

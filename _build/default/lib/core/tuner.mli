@@ -1,0 +1,40 @@
+(** WACO's search (§4.2): a KNN graph (HNSW) over the program embeddings of
+    the training SuperSchedules (L2), queried per matrix by graph traversal
+    with the predicted runtime as the metric, then measuring the top-k
+    survivors on the "hardware" (the cost simulator) and returning the
+    fastest — the paper reports the best of the measured top-10 (§5.2). *)
+
+open Schedule
+open Machine_model
+
+type index = {
+  hnsw : Superschedule.t Anns.Hnsw.t;
+  build_seconds : float;
+  corpus_size : int;
+}
+
+val build_index :
+  ?m:int -> ?ef_construction:int ->
+  Sptensor.Rng.t -> Costmodel.t -> Superschedule.t array -> index
+
+type result = {
+  best : Superschedule.t;
+  best_measured : float;  (** simulator seconds of the chosen schedule *)
+  best_predicted : float;
+  topk : (Superschedule.t * float) list;  (** (schedule, measured) *)
+  feature_seconds : float;  (** phase 1: one WACONet forward *)
+  search_seconds : float;  (** phase 2: ANNS with the predictor tail *)
+  measure_seconds : float;
+  cost_evals : int;  (** predictor evaluations during traversal *)
+  measured_runs : int;
+}
+
+val tune :
+  ?k:int -> ?ef:int ->
+  Costmodel.t -> Machine.t -> Workload.t -> Extractor.input -> index -> result
+(** [k] defaults to the paper's 10 measured candidates. *)
+
+val tuning_overhead : Machine.t -> Workload.t -> result -> float
+(** The one-off cost charged in end-to-end comparisons (Fig. 17, Table 8):
+    real feature+search seconds plus the simulated measurement runs and the
+    conversion to the chosen format. *)

@@ -1,0 +1,1 @@
+lib/exec/kernels.ml: Array Coo Dense Format_abs Schedule Sptensor

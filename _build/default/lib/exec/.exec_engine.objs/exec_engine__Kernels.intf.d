@@ -1,0 +1,1 @@
+lib/exec/kernels.mli: Coo Dense Format_abs Schedule Sptensor

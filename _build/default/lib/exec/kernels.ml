@@ -1,0 +1,83 @@
+(* Correctness executors: run each of the four algorithms over a sparse
+   operand packed in an arbitrary format.
+
+   Numerically, the result of a sparse kernel does not depend on the traversal
+   order (modulo floating-point association), so the executor always walks the
+   packed hierarchy in storage order; the *performance* consequences of the
+   compute schedule (loop order, parallelization, chunking) are the cost
+   simulator's concern (lib/machine).  Padding slots hold exact zeros and are
+   skipped by [Packed.iter_leaves]'s bound check plus the zero-contribution
+   property of multiplication. *)
+
+open Sptensor
+
+(* y[i] = sum_k A[i,k] * x[k] *)
+let spmv (a : Format_abs.Packed.t) (x : Dense.vec) : Dense.vec =
+  let dims = a.Format_abs.Packed.spec.Format_abs.Spec.dims in
+  if Array.length dims <> 2 then invalid_arg "Kernels.spmv: rank 2 expected";
+  if Array.length x <> dims.(1) then invalid_arg "Kernels.spmv: x length mismatch";
+  let y = Dense.vec_create dims.(0) in
+  Format_abs.Packed.iter_leaves a (fun coords v ->
+      if v <> 0.0 then y.(coords.(0)) <- y.(coords.(0)) +. (v *. x.(coords.(1))));
+  y
+
+(* C[i,j] = sum_k A[i,k] * B[k,j] *)
+let spmm (a : Format_abs.Packed.t) (b : Dense.mat) : Dense.mat =
+  let dims = a.Format_abs.Packed.spec.Format_abs.Spec.dims in
+  if Array.length dims <> 2 then invalid_arg "Kernels.spmm: rank 2 expected";
+  if b.Dense.rows <> dims.(1) then invalid_arg "Kernels.spmm: B rows mismatch";
+  let c = Dense.mat_create dims.(0) b.Dense.cols in
+  let jn = b.Dense.cols in
+  Format_abs.Packed.iter_leaves a (fun coords v ->
+      if v <> 0.0 then begin
+        let i = coords.(0) and k = coords.(1) in
+        for j = 0 to jn - 1 do
+          Dense.add_to c i j (v *. Dense.get b k j)
+        done
+      end);
+  c
+
+(* D[i,j] = A[i,j] * sum_k B[i,k] * C[k,j]; D returned as COO with A's
+   nonzero pattern. *)
+let sddmm (a : Format_abs.Packed.t) (b : Dense.mat) (c : Dense.mat) : Coo.t =
+  let dims = a.Format_abs.Packed.spec.Format_abs.Spec.dims in
+  if Array.length dims <> 2 then invalid_arg "Kernels.sddmm: rank 2 expected";
+  if b.Dense.rows <> dims.(0) || c.Dense.cols <> dims.(1) || b.Dense.cols <> c.Dense.rows
+  then invalid_arg "Kernels.sddmm: dimension mismatch";
+  let kn = b.Dense.cols in
+  let triplets = ref [] in
+  Format_abs.Packed.iter_leaves a (fun coords v ->
+      if v <> 0.0 then begin
+        let i = coords.(0) and j = coords.(1) in
+        let acc = ref 0.0 in
+        for k = 0 to kn - 1 do
+          acc := !acc +. (Dense.get b i k *. Dense.get c k j)
+        done;
+        triplets := (i, j, v *. !acc) :: !triplets
+      end);
+  Coo.of_triplets ~nrows:dims.(0) ~ncols:dims.(1) !triplets
+
+(* D[i,j] = sum_{k,l} A[i,k,l] * B[k,j] * C[l,j] *)
+let mttkrp (a : Format_abs.Packed.t) (b : Dense.mat) (c : Dense.mat) : Dense.mat =
+  let dims = a.Format_abs.Packed.spec.Format_abs.Spec.dims in
+  if Array.length dims <> 3 then invalid_arg "Kernels.mttkrp: rank 3 expected";
+  if b.Dense.rows <> dims.(1) || c.Dense.rows <> dims.(2) || b.Dense.cols <> c.Dense.cols
+  then invalid_arg "Kernels.mttkrp: dimension mismatch";
+  let jn = b.Dense.cols in
+  let d = Dense.mat_create dims.(0) jn in
+  Format_abs.Packed.iter_leaves a (fun coords v ->
+      if v <> 0.0 then begin
+        let i = coords.(0) and k = coords.(1) and l = coords.(2) in
+        for j = 0 to jn - 1 do
+          Dense.add_to d i j (v *. Dense.get b k j *. Dense.get c l j)
+        done
+      end);
+  d
+
+(* Run a kernel described by a SuperSchedule on a 2-D matrix, packing A with
+   the schedule's format.  Convenience wrapper used by examples; returns the
+   packed operand so callers can reuse it across repeated executions. *)
+let pack_for (s : Schedule.Superschedule.t) (m : Coo.t) =
+  let dims = [| m.Coo.nrows; m.Coo.ncols |] in
+  let spec = Schedule.Superschedule.to_spec s ~dims in
+  Format_abs.Packed.of_coo spec m

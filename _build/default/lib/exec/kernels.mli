@@ -1,0 +1,25 @@
+(** Correctness executors: run the four algorithms over a sparse operand
+    packed in {e any} representable format.  Results are traversal-order
+    independent (modulo floating-point association), so the executor walks
+    the hierarchy in storage order; the performance consequences of the
+    compute schedule are the cost simulator's concern ({!Machine_model}). *)
+
+open Sptensor
+
+val spmv : Format_abs.Packed.t -> Dense.vec -> Dense.vec
+(** [y = A x].  Raises [Invalid_argument] on rank/shape mismatch. *)
+
+val spmm : Format_abs.Packed.t -> Dense.mat -> Dense.mat
+(** [C = A B], [B] dense row-major. *)
+
+val sddmm : Format_abs.Packed.t -> Dense.mat -> Dense.mat -> Coo.t
+(** [D\[i,j\] = A\[i,j\] * (B\[i,:\] . C\[:,j\])]; D returned as COO with A's
+    nonzero pattern. *)
+
+val mttkrp : Format_abs.Packed.t -> Dense.mat -> Dense.mat -> Dense.mat
+(** [D\[i,j\] = sum A\[i,k,l\] B\[k,j\] C\[l,j\]] for rank-3 packed A. *)
+
+val pack_for :
+  Schedule.Superschedule.t -> Coo.t -> (Format_abs.Packed.t, string) result
+(** Packs a matrix with the format part of a SuperSchedule; [Error] when the
+    materialization budget is exceeded. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Algorithm Baselines Costsim Float Lab List Machine Machine_model Printf Schedule Space Sptensor Waco Workload

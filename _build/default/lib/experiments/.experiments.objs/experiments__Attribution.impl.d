@@ -1,0 +1,1 @@
+lib/experiments/attribution.ml: Algorithm Array Baselines Format_abs Hashtbl Lab Levelfmt List Machine Machine_model Option Printf Schedule Spec String Superschedule Waco Workload

@@ -1,0 +1,1 @@
+lib/experiments/costmodel_exp.ml: Algorithm Array Lab List Machine Machine_model Printf Schedule Waco

@@ -1,0 +1,1 @@
+lib/experiments/crosshw.ml: Algorithm Baselines Lab List Machine Machine_model Printf Schedule Waco

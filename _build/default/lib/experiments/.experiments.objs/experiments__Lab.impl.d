@@ -1,0 +1,1 @@
+lib/experiments/lab.ml: Algorithm Array Char Float Gen Hashtbl Lazy List Machine Machine_model Printf Rng Schedule Sptensor String Sys Unix Waco Workload

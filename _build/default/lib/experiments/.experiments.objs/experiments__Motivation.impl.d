@@ -1,0 +1,1 @@
+lib/experiments/motivation.ml: Algorithm Costsim Format_abs Gen Lab List Machine Machine_model Option Printf Schedule Space Sptensor Superschedule Waco Workload

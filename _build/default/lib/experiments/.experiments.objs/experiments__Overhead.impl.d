@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Algorithm Baselines Gen Hashtbl Lab List Machine Machine_model Option Printf Schedule Sptensor Waco Workload

@@ -1,0 +1,1 @@
+lib/experiments/perf.ml: Algorithm Array Baselines Lab List Machine Machine_model Printf Schedule Waco

@@ -1,0 +1,1 @@
+lib/experiments/searchcmp.ml: Algorithm Array Blackbox Costsim Float Gen Lab List Machine Machine_model Printf Schedule Sptensor Unix Waco Workload

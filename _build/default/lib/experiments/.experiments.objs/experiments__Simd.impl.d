@@ -1,0 +1,1 @@
+lib/experiments/simd.ml: Algorithm Costsim Format_abs Gen Lab List Machine Machine_model Printf Schedule Sptensor Superschedule Workload

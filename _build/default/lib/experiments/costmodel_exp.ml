@@ -1,0 +1,48 @@
+(* Fig. 15: train/validation ranking loss of the SpMM cost model under the
+   four feature extractors — HumanFeature, DenseConv (downsampled CNN),
+   MinkowskiNet-like (stride-1 sparse convs) and WACONet.  The paper's claim:
+   sparse convolution beats downsampling and hand-crafted statistics, and
+   WACONet's strided pyramid beats plain submanifold stacks. *)
+
+open Schedule
+open Machine_model
+
+let run () =
+  let machine = Machine.intel_like in
+  let algo = Algorithm.Spmm 32 in
+  Printf.printf "\n=== Figure 15: train/val loss by feature extractor (SpMM) ===\n";
+  let kinds =
+    [ Waco.Extractor.Human; Waco.Extractor.Dense_conv; Waco.Extractor.Minkowski;
+      Waco.Extractor.Waconet ]
+  in
+  let curves =
+    List.map (fun kind -> (Lab.trained ~kind machine algo).Lab.curve) kinds
+  in
+  Printf.printf "%-6s" "epoch";
+  List.iter
+    (fun (c : Waco.Trainer.curve) ->
+      Printf.printf " | %12s tr/val" c.Waco.Trainer.extractor)
+    curves;
+  Printf.printf "\n";
+  let nep =
+    List.fold_left (fun acc (c : Waco.Trainer.curve) ->
+        min acc (Array.length c.Waco.Trainer.epochs))
+      max_int curves
+  in
+  for e = 0 to nep - 1 do
+    Printf.printf "%-6d" (e + 1);
+    List.iter
+      (fun (c : Waco.Trainer.curve) ->
+        Printf.printf " | %9.3f / %9.3f" c.Waco.Trainer.train_loss.(e)
+          c.Waco.Trainer.valid_loss.(e))
+      curves;
+    Printf.printf "\n"
+  done;
+  Printf.printf "final validation pair-ranking accuracy:";
+  List.iter
+    (fun (c : Waco.Trainer.curve) ->
+      Printf.printf "  %s %.3f" c.Waco.Trainer.extractor
+        c.Waco.Trainer.valid_acc.(Array.length c.Waco.Trainer.valid_acc - 1))
+    curves;
+  Printf.printf
+    "\n(paper: WACONet & MinkowskiNet < DenseConv < HumanFeature; WACONet best,\n roughly halving the loss of DenseConv)\n"

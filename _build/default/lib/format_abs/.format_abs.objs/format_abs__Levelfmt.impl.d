@@ -1,0 +1,1 @@
+lib/format_abs/levelfmt.ml: Fmt Printf

@@ -1,0 +1,1 @@
+lib/format_abs/packed.ml: Array Fmt Levelfmt List Spec Sptensor

@@ -1,0 +1,1 @@
+lib/format_abs/packed.mli: Format Spec Sptensor

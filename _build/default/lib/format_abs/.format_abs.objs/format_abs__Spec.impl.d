@@ -1,0 +1,1 @@
+lib/format_abs/spec.ml: Array Buffer Fmt Levelfmt List Printf String

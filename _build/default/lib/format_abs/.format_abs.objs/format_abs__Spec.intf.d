@@ -1,0 +1,1 @@
+lib/format_abs/spec.mli: Format Levelfmt

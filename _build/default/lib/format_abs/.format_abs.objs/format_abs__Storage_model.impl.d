@@ -1,0 +1,1 @@
+lib/format_abs/storage_model.ml: Array Float Hashtbl Levelfmt Packed Spec Sptensor

@@ -1,0 +1,1 @@
+lib/format_abs/storage_model.mli: Spec Sptensor

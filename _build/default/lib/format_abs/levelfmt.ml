@@ -1,0 +1,22 @@
+(* The two level formats from TACO's format abstraction (Chou et al. [12])
+   that the paper's search space uses.
+
+   - [U] (Uncompressed): the level encodes a dense coordinate interval [0, N);
+     positions are implicit, empty slots are materialized (zero-filled).
+   - [C] (Compressed): the level stores only coordinates that actually appear,
+     via explicit pos/crd arrays. *)
+
+type t = U | C
+
+let to_char = function U -> 'U' | C -> 'C'
+
+let of_char = function
+  | 'U' | 'u' -> U
+  | 'C' | 'c' -> C
+  | c -> invalid_arg (Printf.sprintf "Levelfmt.of_char: %c" c)
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t = Fmt.char ppf (to_char t)
+
+let all = [| U; C |]

@@ -1,0 +1,18 @@
+(** The two level formats from TACO's format abstraction that the paper's
+    search space uses: Uncompressed (dense interval) and Compressed
+    (explicit pos/crd arrays). *)
+
+type t =
+  | U  (** Uncompressed: encodes a dense coordinate interval [\[0, N)] *)
+  | C  (** Compressed: stores only coordinates that appear *)
+
+val to_char : t -> char
+
+val of_char : char -> t
+(** Raises [Invalid_argument] on characters other than [U]/[C] (any case). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val all : t array

@@ -1,0 +1,179 @@
+(* A complete format specification for one sparse tensor, in the paper's
+   SuperSchedule style: every logical index is split exactly once (split size 1
+   degenerates to "no split"), the resulting derived levels are ordered by an
+   arbitrary permutation, and each level is stored Uncompressed or Compressed.
+
+   Derived-variable numbering: for logical dimension [d], the *top* (outer)
+   variable is [2*d] and the *bottom* (inner) variable is [2*d + 1].  The
+   logical coordinate decomposes as [logical = top * split + bottom]. *)
+
+type t = {
+  dims : int array; (* logical dimension sizes *)
+  splits : int array; (* inner split size per logical dim, >= 1 *)
+  order : int array; (* permutation of all 2*rank derived vars, root -> leaf *)
+  formats : Levelfmt.t array; (* one per level, aligned with [order] *)
+}
+
+let rank t = Array.length t.dims
+
+let nlevels t = 2 * rank t
+
+let var_dim v = v / 2
+
+let var_is_top v = v mod 2 = 0
+
+let top_var d = 2 * d
+
+let bottom_var d = (2 * d) + 1
+
+(* Size of the index interval of derived var [v]: splits define the bottom
+   size; the top covers ceil(dim / split) blocks. *)
+let var_size t v =
+  let d = var_dim v in
+  if var_is_top v then (t.dims.(d) + t.splits.(d) - 1) / t.splits.(d)
+  else t.splits.(d)
+
+let level_var t lvl = t.order.(lvl)
+
+let level_size t lvl = var_size t (level_var t lvl)
+
+let level_format t lvl = t.formats.(lvl)
+
+let is_permutation n order =
+  Array.length order = n
+  && begin
+       let seen = Array.make n false in
+       Array.for_all
+         (fun v -> v >= 0 && v < n && not seen.(v) && (seen.(v) <- true; true))
+         order
+     end
+
+let validate t =
+  let r = rank t in
+  if Array.length t.splits <> r then invalid_arg "Spec: splits/dims length mismatch";
+  Array.iteri
+    (fun d s ->
+      if s < 1 then invalid_arg "Spec: split size must be >= 1";
+      if t.dims.(d) < 1 then invalid_arg "Spec: dims must be >= 1")
+    t.splits;
+  if not (is_permutation (2 * r) t.order) then
+    invalid_arg "Spec: order is not a permutation of the derived variables";
+  if Array.length t.formats <> 2 * r then
+    invalid_arg "Spec: formats length mismatch"
+
+let make ~dims ~splits ~order ~formats =
+  let t = { dims; splits; order; formats } in
+  validate t;
+  t
+
+(* --- Canonical constructions --- *)
+
+(* Unsplit row-major compressed-second-level: CSR for rank 2, and the natural
+   generalization for other ranks.  Level order: tops in dim order (first U,
+   rest C), then the size-1 bottoms. *)
+let csr_like ~dims =
+  let r = Array.length dims in
+  let splits = Array.make r 1 in
+  let order =
+    Array.init (2 * r) (fun i -> if i < r then top_var i else bottom_var (i - r))
+  in
+  let formats =
+    Array.init (2 * r) (fun i ->
+        if i = 0 then Levelfmt.U else if i < r then Levelfmt.C else Levelfmt.U)
+  in
+  make ~dims ~splits ~order ~formats
+
+(* Column-major CSC analogue (rank 2 only). *)
+let csc ~dims =
+  if Array.length dims <> 2 then invalid_arg "Spec.csc: rank must be 2";
+  make ~dims ~splits:[| 1; 1 |]
+    ~order:[| top_var 1; top_var 0; bottom_var 1; bottom_var 0 |]
+    ~formats:[| Levelfmt.U; Levelfmt.C; Levelfmt.U; Levelfmt.U |]
+
+(* Block-CSR: rows and columns split by (bi, bk); outer levels (i1 U, k1 C),
+   inner dense block (i0 U, k0 U) — the UCUU layout of Fig. 3(b). *)
+let bcsr ~dims ~bi ~bk =
+  if Array.length dims <> 2 then invalid_arg "Spec.bcsr: rank must be 2";
+  make ~dims ~splits:[| bi; bk |]
+    ~order:[| top_var 0; top_var 1; bottom_var 0; bottom_var 1 |]
+    ~formats:[| Levelfmt.U; Levelfmt.C; Levelfmt.U; Levelfmt.U |]
+
+(* One-dimensional row blocking (UCU): split rows only.  Fig. 14's subject. *)
+let ucu ~dims ~bi =
+  if Array.length dims <> 2 then invalid_arg "Spec.ucu: rank must be 2";
+  make ~dims ~splits:[| bi; 1 |]
+    ~order:[| top_var 0; top_var 1; bottom_var 0; bottom_var 1 |]
+    ~formats:[| Levelfmt.U; Levelfmt.C; Levelfmt.U; Levelfmt.U |]
+
+(* Sparse-block format (UUC flavour from §5.2.1): split the column dimension
+   with a large factor, keep the inner level Compressed. *)
+let sparse_block ~dims ~bk =
+  if Array.length dims <> 2 then invalid_arg "Spec.sparse_block: rank must be 2";
+  make ~dims ~splits:[| 1; bk |]
+    ~order:[| top_var 1; top_var 0; bottom_var 1; bottom_var 0 |]
+    ~formats:[| Levelfmt.U; Levelfmt.U; Levelfmt.C; Levelfmt.U |]
+
+(* CSF (compressed sparse fiber) for 3-D tensors: all top levels compressed. *)
+let csf ~dims =
+  if Array.length dims <> 3 then invalid_arg "Spec.csf: rank must be 3";
+  make ~dims ~splits:[| 1; 1; 1 |]
+    ~order:
+      [| top_var 0; top_var 1; top_var 2; bottom_var 0; bottom_var 1; bottom_var 2 |]
+    ~formats:[| Levelfmt.C; Levelfmt.C; Levelfmt.C; Levelfmt.U; Levelfmt.U; Levelfmt.U |]
+
+(* --- Naming and concordance --- *)
+
+let default_dim_names = [| "i"; "k"; "l"; "m" |]
+
+let var_name ?(dim_names = default_dim_names) v =
+  Printf.sprintf "%s%d" dim_names.(var_dim v) (if var_is_top v then 1 else 0)
+
+(* Compact format name over the levels whose extent exceeds 1 (size-1 levels
+   are degenerate), e.g. "UC" for CSR, "UCUU" for BCSR. *)
+let name t =
+  let buf = Buffer.create 8 in
+  Array.iteri
+    (fun lvl _ ->
+      if level_size t lvl > 1 then Buffer.add_char buf (Levelfmt.to_char t.formats.(lvl)))
+    t.order;
+  if Buffer.length buf = 0 then "scalar" else Buffer.contents buf
+
+let describe ?dim_names t =
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun lvl v ->
+           Printf.sprintf "%s(%c,%d)" (var_name ?dim_names v)
+             (Levelfmt.to_char t.formats.(lvl))
+             (level_size t lvl))
+         t.order)
+  in
+  String.concat "->" parts
+
+(* Number of discordant levels between this tensor's storage order and a
+   compute loop order: positions where the compute order (restricted to this
+   tensor's non-degenerate variables) disagrees with the storage order.
+   Discordant traversal forces searching within Compressed levels (§3.1). *)
+let discordant_levels t ~compute_order =
+  let significant = Array.to_list t.order |> List.filter (fun v -> var_size t v > 1) in
+  let storage_seq = Array.of_list significant in
+  let in_tensor v = List.mem v significant in
+  let compute_seq =
+    Array.of_list (List.filter in_tensor (Array.to_list compute_order))
+  in
+  if Array.length compute_seq <> Array.length storage_seq then
+    (* Compute order missing tensor vars: treat every level as discordant. *)
+    Array.length storage_seq
+  else begin
+    let n = Array.length storage_seq in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if storage_seq.(i) <> compute_seq.(i) then incr count
+    done;
+    !count
+  end
+
+let equal a b =
+  a.dims = b.dims && a.splits = b.splits && a.order = b.order && a.formats = b.formats
+
+let pp ppf t = Fmt.string ppf (describe t)

@@ -1,0 +1,165 @@
+(* Analytic storage model: computes the pos/crd/value footprint of a format
+   Spec over a pattern *without* materializing it, so the cost simulator can
+   price formats whose zero-fill would be too large to pack physically (the
+   paper's dataset likewise excludes schedules that run for over a minute, but
+   the cost model must still rank them as bad).
+
+   Derivation: walking levels root-to-leaf, the position count is
+     p(-1) = 1
+     p(l)  = p(l-1) * size(l)            if level l is U (dense expansion)
+     p(l)  = #distinct nonzero prefixes  if level l is C
+   and a C level's crd length equals its position count while its pos array
+   has p(l-1) + 1 entries.  The value array has p(last) slots. *)
+
+type t = {
+  pos_ints : int;
+  crd_ints : int;
+  nvals : float; (* may exceed max_array_length for pathological formats *)
+  bytes : float;
+  fill_ratio : float;
+  level_positions : float array; (* p(l) per level *)
+  level_branching : float array; (* average children per parent, per level *)
+}
+
+(* Distinct-prefix counts per level depth, computed by exact prefix-id
+   propagation: each entry carries the id of its depth-(l-1) prefix; the
+   depth-l id is interned from (parent id, coordinate).  O(nnz * levels) with
+   no sorting — this is on the dataset-generation hot path. *)
+(* Generation-stamped interning scratch: a direct-mapped array avoids
+   hashtable overhead for the (common) levels whose key space is small, and
+   resets in O(1) via the generation counter. *)
+let scratch_cap = 1 lsl 21
+
+let scratch_id = ref [||]
+let scratch_gen = ref [||]
+let generation = ref 0
+
+(* Allocated once at full capacity; reset is O(1) via [generation]. *)
+let ensure_scratch () =
+  if Array.length !scratch_id < scratch_cap then begin
+    scratch_id := Array.make scratch_cap 0;
+    scratch_gen := Array.make scratch_cap 0
+  end
+
+(* Upper bound on the number of distinct parent ids entering level [lvl]:
+   ids are dense in [0, bound). *)
+let counts_prev_bound prev_ids n lvl =
+  if lvl = 0 then 1
+  else begin
+    let m = ref 0 in
+    for e = 0 to n - 1 do
+      if prev_ids.(e) > !m then m := prev_ids.(e)
+    done;
+    !m + 1
+  end
+
+let distinct_prefix_counts (spec : Spec.t) (entries : (int array * float) array) =
+  let n = Array.length entries in
+  let nlv = Spec.nlevels spec in
+  let counts = Array.make nlv 0 in
+  let prev_ids = Array.make n 0 in
+  let lvl = ref 0 in
+  let all_distinct = ref false in
+  while !lvl < nlv && not !all_distinct do
+    let size = Spec.level_size spec !lvl in
+    let key_space = (counts_prev_bound prev_ids n !lvl * (size + 1)) + size + 1 in
+    let next = ref 0 in
+    if key_space > 0 && key_space <= scratch_cap then begin
+      (* Direct-mapped interning. *)
+      ensure_scratch ();
+      incr generation;
+      let ids = !scratch_id and gens = !scratch_gen and g = !generation in
+      for e = 0 to n - 1 do
+        let coords, _ = entries.(e) in
+        let c = Packed.derived_coord spec ~logical:() !lvl coords in
+        let key = (prev_ids.(e) * (size + 1)) + c in
+        let id =
+          if gens.(key) = g then ids.(key)
+          else begin
+            let id = !next in
+            incr next;
+            gens.(key) <- g;
+            ids.(key) <- id;
+            id
+          end
+        in
+        prev_ids.(e) <- id
+      done
+    end
+    else begin
+      let tbl : (int, int) Hashtbl.t = Hashtbl.create (2 * n) in
+      for e = 0 to n - 1 do
+        let coords, _ = entries.(e) in
+        let c = Packed.derived_coord spec ~logical:() !lvl coords in
+        let key = (prev_ids.(e) * (size + 1)) + c in
+        let id =
+          match Hashtbl.find_opt tbl key with
+          | Some id -> id
+          | None ->
+              let id = !next in
+              incr next;
+              Hashtbl.add tbl key id;
+              id
+        in
+        prev_ids.(e) <- id
+      done
+    end;
+    counts.(!lvl) <- !next;
+    (* Once every entry has a distinct prefix, all deeper levels do too. *)
+    if !next = n then begin
+      for l = !lvl + 1 to nlv - 1 do
+        counts.(l) <- n
+      done;
+      all_distinct := true
+    end;
+    incr lvl
+  done;
+  counts
+
+let analyze (spec : Spec.t) (entries : (int array * float) array) =
+  Spec.validate spec;
+  let nlv = Spec.nlevels spec in
+  let nnz = Array.length entries in
+  let prefix_counts = distinct_prefix_counts spec entries in
+  let level_positions = Array.make nlv 0.0 in
+  let level_branching = Array.make nlv 0.0 in
+  let pos_ints = ref 0 and crd_ints = ref 0 in
+  let prev = ref 1.0 in
+  for lvl = 0 to nlv - 1 do
+    let p =
+      match spec.Spec.formats.(lvl) with
+      | Levelfmt.U -> !prev *. float_of_int (Spec.level_size spec lvl)
+      | Levelfmt.C ->
+          let c = float_of_int prefix_counts.(lvl) in
+          pos_ints := !pos_ints + int_of_float (Float.min !prev 1e9) + 1;
+          crd_ints := !crd_ints + prefix_counts.(lvl);
+          c
+    in
+    level_positions.(lvl) <- p;
+    level_branching.(lvl) <- (if !prev > 0.0 then p /. !prev else 0.0);
+    prev := p
+  done;
+  let nvals = !prev in
+  {
+    pos_ints = !pos_ints;
+    crd_ints = !crd_ints;
+    nvals;
+    bytes = 4.0 *. (float_of_int (!pos_ints + !crd_ints) +. nvals);
+    fill_ratio = (if nvals > 0.0 then float_of_int nnz /. nvals else 0.0);
+    level_positions;
+    level_branching;
+  }
+
+let analyze_coo (spec : Spec.t) (m : Sptensor.Coo.t) =
+  let entries =
+    Array.init (Sptensor.Coo.nnz m) (fun k ->
+        ([| m.Sptensor.Coo.rows.(k); m.Sptensor.Coo.cols.(k) |], m.Sptensor.Coo.vals.(k)))
+  in
+  analyze spec entries
+
+let analyze_tensor3 (spec : Spec.t) (t : Sptensor.Tensor3.t) =
+  let open Sptensor.Tensor3 in
+  let entries =
+    Array.init (nnz t) (fun p -> ([| t.is.(p); t.ks.(p); t.ls.(p) |], t.vals.(p)))
+  in
+  analyze spec entries

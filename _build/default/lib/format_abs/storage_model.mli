@@ -1,0 +1,27 @@
+(** Analytic storage model: the pos/crd/value footprint of a format [Spec]
+    over a pattern, computed in [O(nnz * levels)] without materializing it —
+    so the cost simulator can price formats whose zero-fill would be too
+    large to pack (the paper's dataset likewise excludes >1 min schedules,
+    but the cost model must still rank them as bad).
+
+    Exactness: validated against physical packing by property tests. *)
+
+type t = {
+  pos_ints : int;
+  crd_ints : int;
+  nvals : float;  (** may exceed array limits for pathological formats *)
+  bytes : float;
+  fill_ratio : float;
+  level_positions : float array;  (** positions per level, root to leaf *)
+  level_branching : float array;  (** average children per parent position *)
+}
+
+val distinct_prefix_counts : Spec.t -> (int array * float) array -> int array
+(** Distinct nonzero coordinate prefixes at each level depth, by exact
+    prefix-id interning. *)
+
+val analyze : Spec.t -> (int array * float) array -> t
+
+val analyze_coo : Spec.t -> Sptensor.Coo.t -> t
+
+val analyze_tensor3 : Spec.t -> Sptensor.Tensor3.t -> t

@@ -1,0 +1,1 @@
+lib/machine/costsim.ml: Algorithm Array Float Format_abs List Machine Schedule Sptensor Superschedule Workload

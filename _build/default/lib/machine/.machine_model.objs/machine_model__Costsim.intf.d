@@ -1,0 +1,1 @@
+lib/machine/costsim.mli: Machine Schedule Superschedule Workload

@@ -1,0 +1,1 @@
+lib/machine/workload.ml: Array Buffer Coo Format_abs Hashtbl Sptensor Tensor3

@@ -1,0 +1,1 @@
+lib/machine/workload.mli: Coo Format_abs Hashtbl Sptensor Tensor3

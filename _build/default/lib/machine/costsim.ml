@@ -1,0 +1,402 @@
+(* Analytic cost simulator: the reproduction's stand-in for running
+   TACO-generated code on real hardware.
+
+   Given a machine, a workload and a SuperSchedule it derives the loop nest the
+   schedule describes and prices it with:
+
+   - a *work* model: FLOPs and per-slot overhead over the materialized value
+     slots (so dense-blocked formats pay for their zero fill);
+   - a *SIMD* model: vectorization kicks in when the innermost loop has a dense
+     contiguous extent of at least [simd_threshold] (Fig. 14's icc heuristic);
+   - a *memory* model: per-array reuse-distance analysis — for each dense
+     operand, the innermost loop that does not index it carries its temporal
+     reuse, and the total footprint of one iteration of that loop decides
+     which cache level serves the reuse (this is what makes UUC sparse-block
+     formats profitable on scattered matrices, §5.2.1);
+   - a *discordance* model: traversal orders that disagree with the storage
+     order pay a binary-search probe per access (§3.1);
+   - a *parallelism* model: OpenMP dynamic scheduling is simulated chunk by
+     chunk over the nonzero distribution of the parallelized variable, so
+     skewed matrices need fine chunks while uniform matrices prefer coarse
+     ones (Table 6's dominant factor).
+
+   The absolute seconds are a model; the *ordering* of schedules — who wins,
+   where the crossovers are — is what the experiments depend on. *)
+
+open Schedule
+
+type loop = {
+  var : int; (* derived var id, or -1 for the dense inner loop *)
+  trip : float; (* average trip count per enclosing iteration *)
+  is_compressed : bool;
+  dense_extent : int; (* static extent if dense (U or inner dense loop), else 0 *)
+}
+
+type breakdown = {
+  seconds : float;
+  serial_seconds : float;
+  compute_seconds : float;
+  memory_seconds : float;
+  search_seconds : float;
+  makespan_seconds : float;
+  dram_bytes : float;
+  flops : float;
+  vec_factor : float;
+  nvals : float; (* materialized slots (incl. zero fill) *)
+  discordant : int;
+  threads_used : int;
+}
+
+(* Dense operand descriptor for the reuse model. *)
+type darray = {
+  aname : string;
+  vars : int list; (* derived vars (and -1 for the dense loop) indexing it *)
+  total_bytes : float;
+  contiguous_var : int; (* var whose unit step is stride-1 in memory; -2 none *)
+  is_output : bool;
+}
+
+let dense_arrays (algo : Algorithm.t) (dims : int array) =
+  let top = Format_abs.Spec.top_var and bot = Format_abs.Spec.bottom_var in
+  let fi = float_of_int in
+  match algo with
+  | Algorithm.Spmv ->
+      [
+        { aname = "x"; vars = [ top 1; bot 1 ]; total_bytes = 4.0 *. fi dims.(1);
+          contiguous_var = bot 1; is_output = false };
+        { aname = "y"; vars = [ top 0; bot 0 ]; total_bytes = 4.0 *. fi dims.(0);
+          contiguous_var = bot 0; is_output = true };
+      ]
+  | Algorithm.Spmm jn ->
+      [
+        { aname = "B"; vars = [ top 1; bot 1; -1 ]; total_bytes = 4.0 *. fi dims.(1) *. fi jn;
+          contiguous_var = -1; is_output = false };
+        { aname = "C"; vars = [ top 0; bot 0; -1 ]; total_bytes = 4.0 *. fi dims.(0) *. fi jn;
+          contiguous_var = -1; is_output = true };
+      ]
+  | Algorithm.Sddmm kn ->
+      (* B row-major (contiguous in dense k), C column-major (contiguous in
+         dense k): both stream their dense dimension innermost. *)
+      [
+        { aname = "B"; vars = [ top 0; bot 0; -1 ]; total_bytes = 4.0 *. fi dims.(0) *. fi kn;
+          contiguous_var = -1; is_output = false };
+        { aname = "C"; vars = [ top 1; bot 1; -1 ]; total_bytes = 4.0 *. fi dims.(1) *. fi kn;
+          contiguous_var = -1; is_output = false };
+      ]
+  | Algorithm.Mttkrp jn ->
+      [
+        { aname = "B"; vars = [ top 1; bot 1; -1 ]; total_bytes = 4.0 *. fi dims.(1) *. fi jn;
+          contiguous_var = -1; is_output = false };
+        { aname = "C"; vars = [ top 2; bot 2; -1 ]; total_bytes = 4.0 *. fi dims.(2) *. fi jn;
+          contiguous_var = -1; is_output = false };
+        { aname = "D"; vars = [ top 0; bot 0; -1 ]; total_bytes = 4.0 *. fi dims.(0) *. fi jn;
+          contiguous_var = -1; is_output = true };
+      ]
+
+(* Format of each derived var under A's format schedule. *)
+let var_formats (spec : Format_abs.Spec.t) =
+  let n = Format_abs.Spec.nlevels spec in
+  let fmts = Array.make n Format_abs.Levelfmt.U in
+  Array.iteri (fun lvl v -> fmts.(v) <- spec.Format_abs.Spec.formats.(lvl)) spec.Format_abs.Spec.order;
+  fmts
+
+(* The loop nest in compute order, with trip counts taken from a "virtual"
+   storage analysis of the hierarchy reordered by the compute order (each
+   variable keeps the U/C format its level has in A). *)
+let loop_nest (wl : Workload.t) (s : Superschedule.t) (spec : Format_abs.Spec.t) =
+  let vf = var_formats spec in
+  let virt_spec =
+    Format_abs.Spec.make ~dims:spec.Format_abs.Spec.dims
+      ~splits:spec.Format_abs.Spec.splits ~order:s.Superschedule.compute_order
+      ~formats:(Array.map (fun v -> vf.(v)) s.Superschedule.compute_order)
+  in
+  let virt = Workload.storage wl virt_spec in
+  let loops =
+    Array.mapi
+      (fun lvl v ->
+        let fmt = vf.(v) in
+        let size = Format_abs.Spec.var_size virt_spec v in
+        {
+          var = v;
+          trip = Float.max 1.0 virt.Format_abs.Storage_model.level_branching.(lvl);
+          is_compressed = (fmt = Format_abs.Levelfmt.C);
+          dense_extent = (if fmt = Format_abs.Levelfmt.U then size else 0);
+        })
+      s.Superschedule.compute_order
+  in
+  let dense = Algorithm.dense_inner s.Superschedule.algo in
+  let loops =
+    if dense > 0 then
+      Array.append loops
+        [| { var = -1; trip = float_of_int dense; is_compressed = false; dense_extent = dense } |]
+    else loops
+  in
+  (loops, virt)
+
+(* Spatial-locality multiplier on traffic: contiguous accesses move useful
+   bytes only; scattered gathers drag whole cache lines. *)
+let gather_factor (machine : Machine.t) (loops : loop array) (x : darray) =
+  let line = float_of_int machine.Machine.cache_line in
+  (* Innermost loop that indexes X. *)
+  let rec innermost i =
+    if i < 0 then None
+    else if List.mem loops.(i).var x.vars then Some loops.(i)
+    else innermost (i - 1)
+  in
+  match innermost (Array.length loops - 1) with
+  | None -> 1.0
+  | Some l ->
+      if l.var = x.contiguous_var then
+        if l.is_compressed then Float.min (line /. 4.0) 4.0 (* sorted gather *)
+        else 1.0
+      else line /. 4.0 (* full scatter *)
+
+(* Hierarchical reuse-distance memory model (simplified Timeloop-style
+   analysis).  For each array and each cache level:
+
+   - [footprint x p] is the data of [x] touched by one full iteration of the
+     loop at position [p] (product of the trips of inner loops indexing x);
+   - the level's *fit position* is the outermost loop whose per-iteration
+     total footprint (all arrays + A's streamed share) fits in the level;
+   - misses into the level = that footprint, refetched once per iteration of
+     every outer loop — but only when the accessed subset actually changes
+     across those iterations: it does if an outer loop indexes x directly, or
+     if an inner *compressed* loop indexes x (sparse gathers visit different
+     coordinates under each outer iteration).
+
+   This is what prices the paper's sparse-block (UUC) story: splitting the
+   column dimension shrinks the dense operand's per-panel footprint below the
+   LLC so its misses collapse from per-access to per-panel (§5.2.1, the
+   sparsine 36%%->7%% LLC-miss example). *)
+let memory_model (machine : Machine.t) (loops : loop array) ~(a_bytes : float)
+    ~(body_count : float) (arrays : darray list) =
+  let n = Array.length loops in
+  let trip q = loops.(q).trip in
+  (* Product of trips of loops strictly inside position p (p in [-1, n-1]). *)
+  let inside p pred =
+    let acc = ref 1.0 in
+    for q = p + 1 to n - 1 do
+      if pred q then acc := !acc *. trip q
+    done;
+    !acc
+  in
+  let in_x x q = List.mem loops.(q).var x.vars in
+  let footprint x p = Float.min x.total_bytes (4.0 *. inside p (in_x x)) in
+  let a_footprint p =
+    if body_count <= 0.0 then 0.0 else a_bytes *. inside p (fun _ -> true) /. body_count
+  in
+  let total_footprint p =
+    a_footprint p +. List.fold_left (fun acc x -> acc +. footprint x p) 0.0 arrays
+  in
+  (* Outermost position whose iteration footprint fits in [size]; [n] when
+     even the innermost body does not fit (no temporal reuse captured). *)
+  let fit_pos size =
+    let rec go p = if p > n - 1 then n else if total_footprint p <= size then p else go (p + 1) in
+    go (-1)
+  in
+  let iters_outside p =
+    let acc = ref 1.0 in
+    for q = 0 to min (n - 1) p do
+      acc := !acc *. trip q
+    done;
+    !acc
+  in
+  let subset_varies x p =
+    let outer_indexes = ref false and inner_sparse = ref false in
+    for q = 0 to min (n - 1) p do
+      if in_x x q then outer_indexes := true
+    done;
+    for q = p + 1 to n - 1 do
+      if in_x x q && loops.(q).is_compressed then inner_sparse := true
+    done;
+    !outer_indexes || (!inner_sparse && p >= 0)
+  in
+  (* Misses of [x] at a cache of [size]: bytes fetched into it. *)
+  let misses x size =
+    let p = fit_pos size in
+    let g = gather_factor machine loops x in
+    (* Cold misses: everything the nest touches comes in at least once.
+       Product-of-branchings underestimates the global footprint of gathered
+       operands (unions across outer iterations), so floor it with the
+       access-count bound instead. *)
+    let cold = Float.min x.total_bytes (body_count *. 4.0) in
+    let bytes =
+      if p >= n then
+        (* No reuse captured at this level: every access is a line fetch. *)
+        body_count *. 4.0 *. g
+      else begin
+        let f = footprint x p in
+        if subset_varies x p then f *. g *. iters_outside p else f *. g
+      end
+    in
+    let bytes = Float.max bytes cold in
+    let bytes = Float.min bytes (body_count *. float_of_int machine.Machine.cache_line) in
+    (* An array that wholly fits in this level stays resident after the cold
+       pass (optimistic LRU: its reuse frequency protects it from streaming
+       traffic), so it can never miss more than cold. *)
+    let bytes = if x.total_bytes <= size then cold else bytes in
+    if x.is_output then 2.0 *. bytes else bytes
+  in
+  let level_bytes size =
+    List.fold_left (fun acc x -> acc +. misses x size) 0.0 arrays
+  in
+  let l1m = level_bytes machine.Machine.l1.Machine.size_bytes in
+  let l2m = Float.min l1m (level_bytes machine.Machine.l2.Machine.size_bytes) in
+  let llcm = Float.min l2m (level_bytes machine.Machine.llc.Machine.size_bytes) in
+  (* Register-level accesses (served by L1) and A streaming through all
+     levels. *)
+  let accesses = (body_count *. 4.0) +. a_bytes in
+  (accesses, l1m +. a_bytes, l2m +. a_bytes, llcm +. a_bytes)
+
+(* Vectorization factor from the innermost loop's contiguous dense extent.
+   Degenerate size-1 levels (unsplit bottoms) do not constitute a loop in the
+   generated code, so they are skipped when locating the innermost loop. *)
+let simd_factor (machine : Machine.t) (loops : loop array) =
+  let rec innermost i =
+    if i < 0 then None
+    else begin
+      let l = loops.(i) in
+      if l.dense_extent > 1 || l.is_compressed || l.trip > 1.5 then Some l
+      else innermost (i - 1)
+    end
+  in
+  match innermost (Array.length loops - 1) with
+  | None -> 1.0
+  | Some inner ->
+      let extent = inner.dense_extent in
+      if extent >= machine.Machine.simd_threshold then
+        float_of_int machine.Machine.simd_width
+      else if extent >= 4 then 2.0
+      else 1.0
+
+(* Simulated OpenMP dynamic scheduling: chunks of the parallel variable are
+   dispatched to the earliest-free thread. *)
+let dynamic_makespan ~threads ~chunk_cost (chunk_shares : float array) =
+  let finish = Array.make threads 0.0 in
+  Array.iter
+    (fun share ->
+      (* earliest-free thread *)
+      let best = ref 0 in
+      for t = 1 to threads - 1 do
+        if finish.(t) < finish.(!best) then best := t
+      done;
+      finish.(!best) <- finish.(!best) +. chunk_cost share)
+    chunk_shares;
+  Array.fold_left Float.max 0.0 finish
+
+let estimate (machine : Machine.t) (wl : Workload.t) (s : Superschedule.t) =
+  Superschedule.validate s;
+  let spec = Superschedule.to_spec s ~dims:wl.Workload.dims in
+  let storage = Workload.storage wl spec in
+  let loops, virt = loop_nest wl s spec in
+  let dense = Algorithm.dense_inner s.Superschedule.algo in
+  let dense_trip = if dense > 0 then float_of_int dense else 1.0 in
+  let nvals = virt.Format_abs.Storage_model.nvals in
+  let body_count = nvals *. dense_trip in
+  let flops = Algorithm.flops_per_entry s.Superschedule.algo *. nvals in
+  (* --- compute time --- *)
+  let vec = simd_factor machine loops in
+  let level_iters =
+    Array.fold_left ( +. ) 0.0 virt.Format_abs.Storage_model.level_positions
+  in
+  let compute_cycles =
+    (flops /. (machine.Machine.flops_per_cycle *. vec))
+    +. (nvals *. machine.Machine.leaf_overhead_cycles)
+    +. (level_iters *. machine.Machine.level_iter_cycles)
+  in
+  let compute_sec = compute_cycles /. machine.Machine.freq_hz in
+  (* --- memory time --- *)
+  let a_bytes =
+    let extra_out =
+      (* SDDMM writes a sparse output with A's value footprint. *)
+      match s.Superschedule.algo with
+      | Algorithm.Sddmm _ -> 4.0 *. storage.Format_abs.Storage_model.nvals
+      | _ -> 0.0
+    in
+    storage.Format_abs.Storage_model.bytes +. extra_out
+  in
+  let arrays = dense_arrays s.Superschedule.algo wl.Workload.dims in
+  let accesses, l1_misses, l2_misses, llc_misses =
+    memory_model machine loops ~a_bytes ~body_count arrays
+  in
+  let dramb = llc_misses in
+  let mem_sec =
+    (accesses /. machine.Machine.l1.Machine.bandwidth)
+    +. (l1_misses /. machine.Machine.l2.Machine.bandwidth)
+    +. (l2_misses /. machine.Machine.llc.Machine.bandwidth)
+    +. (llc_misses /. machine.Machine.mem_bandwidth)
+  in
+  (* --- discordant traversal penalty --- *)
+  let discordant =
+    Format_abs.Spec.discordant_levels spec ~compute_order:s.Superschedule.compute_order
+  in
+  let avg_row = Float.max 2.0 (float_of_int wl.Workload.nnz /. float_of_int wl.Workload.dims.(0)) in
+  let search_sec =
+    float_of_int discordant *. nvals
+    *. (log avg_row /. log 2.0)
+    *. machine.Machine.search_cost_cycles /. machine.Machine.freq_hz
+  in
+  let serial_sec = compute_sec +. mem_sec +. search_sec in
+  (* --- parallel execution --- *)
+  let par = s.Superschedule.par_var in
+  let dim = Format_abs.Spec.var_dim par in
+  let split = spec.Format_abs.Spec.splits.(dim) in
+  let work =
+    Workload.work_per_var_value wl ~dim ~split ~is_top:(Format_abs.Spec.var_is_top par)
+  in
+  let total_work = Float.max 1.0 (float_of_int (Array.fold_left ( + ) 0 work)) in
+  let nthreads, throughput = Machine.thread_config machine s.Superschedule.threads in
+  let speed_per_thread = throughput /. float_of_int nthreads in
+  (* Parallel loop nested under outer loops re-enters the region each time. *)
+  let par_pos =
+    let p = ref 0 in
+    Array.iteri (fun i l -> if l.var = par then p := i) loops;
+    !p
+  in
+  let outer_iters =
+    let p = ref 1.0 in
+    for k = 0 to par_pos - 1 do
+      p := !p *. loops.(k).trip
+    done;
+    Float.min 1e6 !p
+  in
+  let chunks = Sptensor.Stats.chunk_work work ~chunk:s.Superschedule.chunk in
+  let chunk_cost share =
+    (share *. serial_sec /. speed_per_thread) +. machine.Machine.chunk_overhead_sec
+  in
+  let shares = Array.map (fun w -> float_of_int w /. total_work) chunks in
+  let makespan =
+    if Array.length work <= 1 then serial_sec (* size-1 parallel var: no parallelism *)
+    else
+      dynamic_makespan ~threads:nthreads ~chunk_cost shares
+      +. (machine.Machine.parallel_region_sec *. outer_iters)
+  in
+  let dram_floor = dramb /. machine.Machine.mem_bandwidth in
+  let seconds = Float.max makespan dram_floor in
+  {
+    seconds;
+    serial_seconds = serial_sec;
+    compute_seconds = compute_sec;
+    memory_seconds = mem_sec;
+    search_seconds = search_sec;
+    makespan_seconds = makespan;
+    dram_bytes = dramb;
+    flops;
+    vec_factor = vec;
+    nvals;
+    discordant;
+    threads_used = nthreads;
+  }
+
+let runtime machine wl s = (estimate machine wl s).seconds
+
+(* Format-conversion time model: packing COO into the target format is a sort
+   plus a streaming write of the materialized slots (used by Fig. 17 and
+   Table 8's end-to-end accounting). *)
+let convert_time (machine : Machine.t) (wl : Workload.t) (s : Superschedule.t) =
+  let spec = Superschedule.to_spec s ~dims:wl.Workload.dims in
+  let storage = Workload.storage wl spec in
+  let n = float_of_int wl.Workload.nnz in
+  let sort_cycles = 8.0 *. n *. (log (Float.max 2.0 n) /. log 2.0) in
+  let write_cycles = 2.0 *. storage.Format_abs.Storage_model.nvals in
+  (sort_cycles +. write_cycles) /. machine.Machine.freq_hz

@@ -1,0 +1,38 @@
+(** Analytic cost simulator: the reproduction's stand-in for running
+    TACO-generated code on hardware (DESIGN.md's central substitution).
+
+    The model derives the loop nest a SuperSchedule describes and prices it
+    with a work model over materialized slots (dense-block zero-fill pays),
+    the icc-like SIMD threshold (Fig. 14), a hierarchical reuse-distance
+    cache analysis (what rewards UUC sparse blocking on scattered matrices,
+    §5.2.1), binary-search penalties for discordant traversal (§3.1), and a
+    simulated OpenMP dynamic scheduler over the parallel variable's work
+    histogram (Table 6's dominant factor).  Absolute seconds are a model;
+    the *ordering* of schedules is the reproduced signal. *)
+
+open Schedule
+
+type breakdown = {
+  seconds : float;  (** final estimate *)
+  serial_seconds : float;
+  compute_seconds : float;
+  memory_seconds : float;
+  search_seconds : float;  (** discordant-traversal penalty *)
+  makespan_seconds : float;  (** dynamic-scheduling simulation result *)
+  dram_bytes : float;
+  flops : float;
+  vec_factor : float;
+  nvals : float;  (** materialized slots including zero fill *)
+  discordant : int;
+  threads_used : int;
+}
+
+val estimate : Machine.t -> Workload.t -> Superschedule.t -> breakdown
+(** Full cost breakdown.  Raises [Invalid_argument] on malformed schedules. *)
+
+val runtime : Machine.t -> Workload.t -> Superschedule.t -> float
+(** [= (estimate ...).seconds] — the ground-truth runtime of the pipeline. *)
+
+val convert_time : Machine.t -> Workload.t -> Superschedule.t -> float
+(** Format-conversion time model (sort + materialization), used by the
+    end-to-end accounting of Fig. 17 and Table 8. *)

@@ -1,0 +1,88 @@
+(* Machine descriptions for the analytic cost simulator.
+
+   Two configurations stand in for the paper's two testbeds (§5.1, §5.5):
+   - [intel_like]: dual-socket 24-core/48-thread Xeon E5-2680v3 with icc
+     (icc's SIMD heuristic vectorizes dense blocks only from size 16, Fig. 14);
+   - [amd_like]: 8-core/16-thread EPYC 7R32 with gcc (smaller LLC, different
+     vectorization behaviour, lower bandwidth).
+   The differences are what make Table 7's cross-hardware transfer matrix
+   non-trivial: the best chunk sizes, blocking factors, and sparse-block split
+   sizes differ between the two. *)
+
+type cache = { size_bytes : float; bandwidth : float (* bytes/sec, aggregate *) }
+
+type t = {
+  name : string;
+  freq_hz : float;
+  cores : int;
+  smt_threads : int;
+  smt_scaling : float; (* throughput of smt_threads relative to cores, / cores *)
+  flops_per_cycle : float; (* scalar FMA throughput per core *)
+  simd_width : int; (* vector lanes once vectorization kicks in *)
+  simd_threshold : int; (* contiguous extent needed for vectorization (Fig. 14) *)
+  l1 : cache;
+  l2 : cache;
+  llc : cache;
+  mem_bandwidth : float; (* bytes/sec, aggregate *)
+  cache_line : int;
+  chunk_overhead_sec : float; (* dynamic-scheduling cost per chunk dispatch *)
+  parallel_region_sec : float; (* cost of entering a parallel region *)
+  leaf_overhead_cycles : float; (* per materialized value slot *)
+  level_iter_cycles : float; (* loop control per level position *)
+  search_cost_cycles : float; (* binary-search probe on discordant traversal *)
+}
+
+let intel_like =
+  {
+    name = "intel-like";
+    freq_hz = 2.5e9;
+    cores = 24;
+    smt_threads = 48;
+    smt_scaling = 1.3;
+    flops_per_cycle = 2.0;
+    simd_width = 8;
+    simd_threshold = 16;
+    (* Cache sizes are scaled ~8x down with the corpus (DESIGN.md: matrices
+       are ~8x smaller than SuiteSparse) so capacity effects — whether a
+       dense-operand panel fits — land at the same relative points. *)
+    l1 = { size_bytes = 16e3; bandwidth = 2000e9 };
+    l2 = { size_bytes = 64e3; bandwidth = 1000e9 };
+    llc = { size_bytes = 4e6; bandwidth = 600e9 };
+    mem_bandwidth = 68e9;
+    cache_line = 64;
+    chunk_overhead_sec = 4e-7;
+    parallel_region_sec = 4e-6;
+    leaf_overhead_cycles = 2.0;
+    level_iter_cycles = 1.5;
+    search_cost_cycles = 25.0;
+  }
+
+let amd_like =
+  {
+    name = "amd-like";
+    freq_hz = 3.0e9;
+    cores = 8;
+    smt_threads = 16;
+    smt_scaling = 1.25;
+    flops_per_cycle = 2.0;
+    simd_width = 4;
+    simd_threshold = 4;
+    l1 = { size_bytes = 16e3; bandwidth = 800e9 };
+    l2 = { size_bytes = 128e3; bandwidth = 400e9 };
+    llc = { size_bytes = 2e6; bandwidth = 200e9 };
+    mem_bandwidth = 42e9;
+    cache_line = 64;
+    chunk_overhead_sec = 3e-7;
+    parallel_region_sec = 3e-6;
+    leaf_overhead_cycles = 2.0;
+    level_iter_cycles = 1.5;
+    search_cost_cycles = 25.0;
+  }
+
+(* Thread count and aggregate throughput scaling for a threads choice. *)
+let thread_config t (choice : Schedule.Superschedule.threads) =
+  match choice with
+  | Schedule.Superschedule.Half -> (t.cores, float_of_int t.cores)
+  | Schedule.Superschedule.Full -> (t.smt_threads, float_of_int t.cores *. t.smt_scaling)
+
+let pp ppf t = Fmt.string ppf t.name

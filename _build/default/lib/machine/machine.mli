@@ -1,0 +1,40 @@
+(** Machine descriptions for the analytic cost simulator.  Two configurations
+    stand in for the paper's testbeds (§5.1, §5.5): [intel_like] (Xeon
+    E5-2680v3 + icc) and [amd_like] (EPYC 7R32 + gcc).  Their differences —
+    thread counts, LLC capacity, vector width and the vectorization
+    threshold — are what make Table 7's cross-hardware transfer matrix
+    non-trivial.  Cache sizes are scaled ~8x down with the corpus so
+    capacity effects land at the same relative points (DESIGN.md). *)
+
+type cache = { size_bytes : float; bandwidth : float  (** bytes/s, aggregate *) }
+
+type t = {
+  name : string;
+  freq_hz : float;
+  cores : int;
+  smt_threads : int;
+  smt_scaling : float;  (** throughput of smt_threads relative to cores *)
+  flops_per_cycle : float;  (** scalar FMA throughput per core *)
+  simd_width : int;  (** vector lanes once vectorization kicks in *)
+  simd_threshold : int;  (** contiguous extent that triggers it (Fig. 14) *)
+  l1 : cache;
+  l2 : cache;
+  llc : cache;
+  mem_bandwidth : float;
+  cache_line : int;
+  chunk_overhead_sec : float;  (** dynamic-scheduling cost per chunk dispatch *)
+  parallel_region_sec : float;  (** cost of entering a parallel region *)
+  leaf_overhead_cycles : float;  (** per materialized value slot *)
+  level_iter_cycles : float;  (** loop control per level position *)
+  search_cost_cycles : float;  (** binary-search probe on discordant traversal *)
+}
+
+val intel_like : t
+
+val amd_like : t
+
+val thread_config : t -> Schedule.Superschedule.threads -> int * float
+(** [(thread count, aggregate throughput in core-equivalents)] for a threads
+    choice. *)
+
+val pp : Format.formatter -> t -> unit

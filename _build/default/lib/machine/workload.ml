@@ -1,0 +1,88 @@
+(* A workload = one sparse operand plus memoized derived statistics.
+
+   The cost simulator evaluates many SuperSchedules against the same operand
+   (dataset generation samples ~tens per matrix; the tuner measures a top-k),
+   so per-format storage analyses and per-dimension slice histograms are
+   cached here. *)
+
+open Sptensor
+
+type t = {
+  id : string;
+  dims : int array;
+  nnz : int;
+  entries : (int array * float) array;
+  counts : int array array; (* counts.(d).(x) = nonzeros with logical coord x on dim d *)
+  storage_cache : (string, Format_abs.Storage_model.t) Hashtbl.t;
+}
+
+let build ~id ~dims ~entries =
+  let r = Array.length dims in
+  let counts = Array.init r (fun d -> Array.make dims.(d) 0) in
+  Array.iter
+    (fun (coords, _) ->
+      for d = 0 to r - 1 do
+        counts.(d).(coords.(d)) <- counts.(d).(coords.(d)) + 1
+      done)
+    entries;
+  {
+    id;
+    dims;
+    nnz = Array.length entries;
+    entries;
+    counts;
+    storage_cache = Hashtbl.create 64;
+  }
+
+let of_coo ?(id = "coo") (m : Coo.t) =
+  let entries =
+    Array.init (Coo.nnz m) (fun k ->
+        ([| m.Coo.rows.(k); m.Coo.cols.(k) |], m.Coo.vals.(k)))
+  in
+  build ~id ~dims:[| m.Coo.nrows; m.Coo.ncols |] ~entries
+
+let of_tensor3 ?(id = "tensor3") (t : Tensor3.t) =
+  let open Tensor3 in
+  let entries =
+    Array.init (nnz t) (fun p -> ([| t.is.(p); t.ks.(p); t.ls.(p) |], t.vals.(p)))
+  in
+  build ~id ~dims:[| t.dim_i; t.dim_k; t.dim_l |] ~entries
+
+let spec_key (spec : Format_abs.Spec.t) =
+  let buf = Buffer.create 32 in
+  Array.iter (fun s -> Buffer.add_string buf (string_of_int s); Buffer.add_char buf ',')
+    spec.Format_abs.Spec.splits;
+  Array.iter (fun v -> Buffer.add_string buf (string_of_int v); Buffer.add_char buf ';')
+    spec.Format_abs.Spec.order;
+  Array.iter
+    (fun f -> Buffer.add_char buf (Format_abs.Levelfmt.to_char f))
+    spec.Format_abs.Spec.formats;
+  Buffer.contents buf
+
+let storage t (spec : Format_abs.Spec.t) =
+  let key = spec_key spec in
+  match Hashtbl.find_opt t.storage_cache key with
+  | Some s -> s
+  | None ->
+      let s = Format_abs.Storage_model.analyze spec t.entries in
+      Hashtbl.add t.storage_cache key s;
+      s
+
+(* Work (nonzero count) per value of derived variable [v] under split [split]
+   of logical dim [d]: the distribution the dynamic-scheduling simulation
+   chunks up.  Top vars group [split] consecutive logical indices; bottom
+   vars stride across them. *)
+let work_per_var_value t ~dim ~split ~is_top =
+  let counts = t.counts.(dim) in
+  let n = Array.length counts in
+  if is_top then begin
+    let nblocks = (n + split - 1) / split in
+    let work = Array.make (max 1 nblocks) 0 in
+    Array.iteri (fun x c -> work.(x / split) <- work.(x / split) + c) counts;
+    work
+  end
+  else begin
+    let work = Array.make (max 1 split) 0 in
+    Array.iteri (fun x c -> work.(x mod split) <- work.(x mod split) + c) counts;
+    work
+  end

@@ -1,0 +1,32 @@
+(** A workload: one sparse operand plus memoized derived statistics.  The
+    simulator evaluates many SuperSchedules against the same operand, so
+    per-format storage analyses and per-dimension histograms are cached. *)
+
+open Sptensor
+
+type t = {
+  id : string;
+  dims : int array;
+  nnz : int;
+  entries : (int array * float) array;
+  counts : int array array;
+      (** [counts.(d).(x)] = nonzeros with logical coordinate [x] on dim [d] *)
+  storage_cache : (string, Format_abs.Storage_model.t) Hashtbl.t;
+}
+
+val build : id:string -> dims:int array -> entries:(int array * float) array -> t
+
+val of_coo : ?id:string -> Coo.t -> t
+
+val of_tensor3 : ?id:string -> Tensor3.t -> t
+
+val spec_key : Format_abs.Spec.t -> string
+(** Memoization key of the format part of a spec. *)
+
+val storage : t -> Format_abs.Spec.t -> Format_abs.Storage_model.t
+(** Cached analytic storage of this workload under a format. *)
+
+val work_per_var_value : t -> dim:int -> split:int -> is_top:bool -> int array
+(** Nonzero count per value of a derived variable — the distribution the
+    dynamic-scheduling simulation chunks up.  Top variables group [split]
+    consecutive logical indices; bottoms stride across them. *)

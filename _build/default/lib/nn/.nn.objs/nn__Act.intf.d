@@ -1,0 +1,1 @@
+lib/nn/act.mli:

@@ -1,0 +1,1 @@
+lib/nn/linear.ml: Array Param

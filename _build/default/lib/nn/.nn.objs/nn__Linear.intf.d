@@ -1,0 +1,1 @@
+lib/nn/linear.mli: Param Sptensor

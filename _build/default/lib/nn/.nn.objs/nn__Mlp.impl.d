@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Act Array Linear List Printf

@@ -1,0 +1,1 @@
+lib/nn/param.ml: Array Buffer List Printf Sptensor

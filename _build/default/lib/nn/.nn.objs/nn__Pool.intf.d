@@ -1,0 +1,1 @@
+lib/nn/pool.mli: Smap

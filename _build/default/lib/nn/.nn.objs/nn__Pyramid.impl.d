@@ -1,0 +1,1 @@
+lib/nn/pyramid.ml: Array List Smap Sparse_conv

@@ -1,0 +1,1 @@
+lib/nn/pyramid.mli: Smap Sparse_conv

@@ -1,0 +1,1 @@
+lib/nn/smap.mli: Sptensor

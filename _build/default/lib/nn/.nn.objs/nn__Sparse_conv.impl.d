@@ -1,0 +1,1 @@
+lib/nn/sparse_conv.ml: Array Hashtbl List Param Smap

@@ -1,0 +1,1 @@
+lib/nn/sparse_conv.mli: Param Smap Sptensor

@@ -1,0 +1,23 @@
+(* Elementwise activations with cached masks. *)
+
+type relu = { mutable mask : bool array }
+
+let relu_create () = { mask = [||] }
+
+let relu_forward t (x : float array) =
+  let n = Array.length x in
+  let mask = Array.make n false in
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if x.(i) > 0.0 then begin
+      mask.(i) <- true;
+      out.(i) <- x.(i)
+    end
+  done;
+  t.mask <- mask;
+  out
+
+let relu_backward t (dout : float array) =
+  if Array.length dout <> Array.length t.mask then
+    invalid_arg "Act.relu_backward: size mismatch";
+  Array.mapi (fun i g -> if t.mask.(i) then g else 0.0) dout

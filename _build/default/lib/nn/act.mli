@@ -1,0 +1,10 @@
+(** Elementwise activations with cached masks. *)
+
+type relu
+
+val relu_create : unit -> relu
+
+val relu_forward : relu -> float array -> float array
+
+val relu_backward : relu -> float array -> float array
+(** Requires a preceding [relu_forward] of the same size. *)

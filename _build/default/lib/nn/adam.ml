@@ -1,0 +1,43 @@
+(* Adam optimizer (Kingma & Ba) over a flat list of parameters — the paper
+   trains its cost model with Adam at learning rate 1e-4 (§4.1.3). *)
+
+type t = {
+  params : Param.t list;
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  m : float array list;
+  v : float array list;
+  mutable step_count : int;
+}
+
+let create ?(lr = 1e-4) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) params =
+  {
+    params;
+    lr;
+    beta1;
+    beta2;
+    eps;
+    m = List.map (fun p -> Array.make (Param.size p) 0.0) params;
+    v = List.map (fun p -> Array.make (Param.size p) 0.0) params;
+    step_count = 0;
+  }
+
+(* Apply one update from the accumulated gradients, then clear them. *)
+let step t =
+  t.step_count <- t.step_count + 1;
+  let bc1 = 1.0 -. (t.beta1 ** float_of_int t.step_count) in
+  let bc2 = 1.0 -. (t.beta2 ** float_of_int t.step_count) in
+  List.iter2
+    (fun p (m, v) ->
+      let g = p.Param.grad and d = p.Param.data in
+      for i = 0 to Array.length d - 1 do
+        m.(i) <- (t.beta1 *. m.(i)) +. ((1.0 -. t.beta1) *. g.(i));
+        v.(i) <- (t.beta2 *. v.(i)) +. ((1.0 -. t.beta2) *. g.(i) *. g.(i));
+        let mh = m.(i) /. bc1 and vh = v.(i) /. bc2 in
+        d.(i) <- d.(i) -. (t.lr *. mh /. (sqrt vh +. t.eps))
+      done)
+    t.params
+    (List.combine t.m t.v);
+  Param.zero_grads t.params

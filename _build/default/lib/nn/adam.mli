@@ -1,0 +1,10 @@
+(** Adam optimizer (Kingma & Ba) — the paper trains its cost model with Adam
+    at learning rate 1e-4 (§4.1.3). *)
+
+type t
+
+val create :
+  ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> Param.t list -> t
+
+val step : t -> unit
+(** Applies one update from the accumulated gradients, then clears them. *)

@@ -1,0 +1,69 @@
+(* Fully-connected layer over a batch of row vectors, with a hand-written
+   backward pass.  Forward caches its input; call backward at most once per
+   forward (the trainer's pattern). *)
+
+
+type t = {
+  in_dim : int;
+  out_dim : int;
+  w : Param.t; (* out_dim x in_dim, row-major *)
+  b : Param.t; (* out_dim *)
+  mutable cache_input : float array;
+  mutable cache_batch : int;
+}
+
+let create rng ~name ~in_dim ~out_dim =
+  {
+    in_dim;
+    out_dim;
+    w =
+      Param.xavier rng ~name:(name ^ ".w") ~fan_in:in_dim ~fan_out:out_dim
+        (in_dim * out_dim);
+    b = Param.create ~name:(name ^ ".b") out_dim;
+    cache_input = [||];
+    cache_batch = 0;
+  }
+
+let params t = [ t.w; t.b ]
+
+let forward t ~batch (input : float array) =
+  if Array.length input <> batch * t.in_dim then
+    invalid_arg "Linear.forward: input size mismatch";
+  t.cache_input <- input;
+  t.cache_batch <- batch;
+  let out = Array.make (batch * t.out_dim) 0.0 in
+  for n = 0 to batch - 1 do
+    let ib = n * t.in_dim and ob = n * t.out_dim in
+    for o = 0 to t.out_dim - 1 do
+      let acc = ref t.b.Param.data.(o) in
+      let wb = o * t.in_dim in
+      for i = 0 to t.in_dim - 1 do
+        acc := !acc +. (t.w.Param.data.(wb + i) *. input.(ib + i))
+      done;
+      out.(ob + o) <- !acc
+    done
+  done;
+  out
+
+(* Accumulates dW, db; returns d(input). *)
+let backward t (dout : float array) =
+  let batch = t.cache_batch in
+  if Array.length dout <> batch * t.out_dim then
+    invalid_arg "Linear.backward: dout size mismatch";
+  let input = t.cache_input in
+  let din = Array.make (batch * t.in_dim) 0.0 in
+  for n = 0 to batch - 1 do
+    let ib = n * t.in_dim and ob = n * t.out_dim in
+    for o = 0 to t.out_dim - 1 do
+      let g = dout.(ob + o) in
+      if g <> 0.0 then begin
+        let wb = o * t.in_dim in
+        t.b.Param.grad.(o) <- t.b.Param.grad.(o) +. g;
+        for i = 0 to t.in_dim - 1 do
+          t.w.Param.grad.(wb + i) <- t.w.Param.grad.(wb + i) +. (g *. input.(ib + i));
+          din.(ib + i) <- din.(ib + i) +. (g *. t.w.Param.data.(wb + i))
+        done
+      end
+    done
+  done;
+  din

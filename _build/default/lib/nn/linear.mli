@@ -1,0 +1,22 @@
+(** Fully-connected layer over a batch of row vectors, with a hand-written
+    backward pass.  Forward caches its input; call [backward] at most once
+    per forward. *)
+
+type t = {
+  in_dim : int;
+  out_dim : int;
+  w : Param.t;  (** out_dim x in_dim, row-major *)
+  b : Param.t;
+  mutable cache_input : float array;
+  mutable cache_batch : int;
+}
+
+val create : Sptensor.Rng.t -> name:string -> in_dim:int -> out_dim:int -> t
+
+val params : t -> Param.t list
+
+val forward : t -> batch:int -> float array -> float array
+(** Input length must be [batch * in_dim]; output is [batch * out_dim]. *)
+
+val backward : t -> float array -> float array
+(** Accumulates dW, db; returns d(input). *)

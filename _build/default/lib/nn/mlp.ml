@@ -1,0 +1,46 @@
+(* A stack of Linear layers with ReLU between them (and optionally after the
+   last one) — the "multiple linear-ReLU layers" building block the paper's
+   cost model uses everywhere (Figs. 6, 9, 11). *)
+
+type t = {
+  linears : Linear.t array;
+  relus : Act.relu array; (* one per activated layer *)
+  final_relu : bool;
+}
+
+let create rng ~name ~dims ~final_relu =
+  let n = Array.length dims - 1 in
+  if n < 1 then invalid_arg "Mlp.create: need at least one layer";
+  let linears =
+    Array.init n (fun l ->
+        Linear.create rng
+          ~name:(Printf.sprintf "%s.%d" name l)
+          ~in_dim:dims.(l) ~out_dim:dims.(l + 1))
+  in
+  let n_act = if final_relu then n else n - 1 in
+  { linears; relus = Array.init n_act (fun _ -> Act.relu_create ()); final_relu }
+
+let params t =
+  Array.to_list t.linears |> List.concat_map Linear.params
+
+let out_dim t = t.linears.(Array.length t.linears - 1).Linear.out_dim
+
+let in_dim t = t.linears.(0).Linear.in_dim
+
+let forward t ~batch x =
+  let n = Array.length t.linears in
+  let cur = ref x in
+  for l = 0 to n - 1 do
+    cur := Linear.forward t.linears.(l) ~batch !cur;
+    if l < Array.length t.relus then cur := Act.relu_forward t.relus.(l) !cur
+  done;
+  !cur
+
+let backward t dout =
+  let n = Array.length t.linears in
+  let cur = ref dout in
+  for l = n - 1 downto 0 do
+    if l < Array.length t.relus then cur := Act.relu_backward t.relus.(l) !cur;
+    cur := Linear.backward t.linears.(l) !cur
+  done;
+  !cur

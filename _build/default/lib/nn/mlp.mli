@@ -1,0 +1,20 @@
+(** A stack of Linear layers with ReLU between them (and optionally after the
+    last) — the "multiple linear-ReLU layers" building block used throughout
+    the paper's cost model (Figs. 6, 9, 11). *)
+
+type t
+
+val create :
+  Sptensor.Rng.t -> name:string -> dims:int array -> final_relu:bool -> t
+(** [dims] are layer widths, e.g. [\[|in; hidden; out|\]]. *)
+
+val params : t -> Param.t list
+
+val out_dim : t -> int
+
+val in_dim : t -> int
+
+val forward : t -> batch:int -> float array -> float array
+
+val backward : t -> float array -> float array
+(** Returns d(input); call once per forward. *)

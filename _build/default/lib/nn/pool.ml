@@ -1,0 +1,38 @@
+(* Global average pooling over a sparse feature map: mean per channel across
+   sites.  WACONet pools after *every* layer and concatenates the results to
+   compensate for its narrow channel width (Fig. 9). *)
+
+type t = { mutable nsites : int; mutable channels : int }
+
+let create () = { nsites = 0; channels = 0 }
+
+let forward t (m : Smap.t) =
+  let n = Smap.nsites m and c = m.Smap.channels in
+  t.nsites <- n;
+  t.channels <- c;
+  let out = Array.make c 0.0 in
+  if n > 0 then begin
+    for s = 0 to n - 1 do
+      for ch = 0 to c - 1 do
+        out.(ch) <- out.(ch) +. m.Smap.feats.((s * c) + ch)
+      done
+    done;
+    let scale = 1.0 /. float_of_int n in
+    Array.iteri (fun ch v -> out.(ch) <- v *. scale) out
+  end;
+  out
+
+(* d(feats) from d(pooled). *)
+let backward t (dout : float array) =
+  if Array.length dout <> t.channels then invalid_arg "Pool.backward: size mismatch";
+  let n = t.nsites and c = t.channels in
+  let din = Array.make (n * c) 0.0 in
+  if n > 0 then begin
+    let scale = 1.0 /. float_of_int n in
+    for s = 0 to n - 1 do
+      for ch = 0 to c - 1 do
+        din.((s * c) + ch) <- dout.(ch) *. scale
+      done
+    done
+  end;
+  din

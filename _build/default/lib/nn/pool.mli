@@ -1,0 +1,12 @@
+(** Global average pooling over a sparse feature map: per-channel mean across
+    sites.  WACONet pools after every layer and concatenates (Fig. 9). *)
+
+type t
+
+val create : unit -> t
+
+val forward : t -> Smap.t -> float array
+(** Length = channels. *)
+
+val backward : t -> float array -> float array
+(** d(feats) from d(pooled); requires a preceding forward. *)

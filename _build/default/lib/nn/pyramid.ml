@@ -1,0 +1,24 @@
+(* Coordinate pyramid: the chain of kernel maps a fixed conv stack induces on
+   one input pattern.  Kernel maps depend only on coordinates — not weights or
+   features — so the trainer builds each matrix's pyramid once and reuses it
+   every epoch (this is where most sparse-conv time would otherwise go). *)
+
+type t = {
+  base : Smap.t; (* single-channel input map *)
+  maps : Sparse_conv.kernel_map array; (* one per conv layer *)
+}
+
+(* [layers] gives (ksize, stride) per conv layer, in order. *)
+let build (base : Smap.t) ~(layers : (int * int) list) =
+  let maps = ref [] in
+  let coords = ref base.Smap.coords in
+  let h = ref base.Smap.h and w = ref base.Smap.w in
+  List.iter
+    (fun (ksize, stride) ->
+      let map = Sparse_conv.build_map ~ksize ~stride !coords ~h:!h ~w:!w in
+      maps := map :: !maps;
+      coords := map.Sparse_conv.out_coords;
+      h := map.Sparse_conv.out_h;
+      w := map.Sparse_conv.out_w)
+    layers;
+  { base; maps = Array.of_list (List.rev !maps) }

@@ -1,0 +1,12 @@
+(** Coordinate pyramid: the chain of kernel maps a fixed conv stack induces
+    on one input pattern.  Kernel maps depend only on coordinates — not
+    weights or features — so the trainer builds each matrix's pyramid once
+    and reuses it every epoch. *)
+
+type t = {
+  base : Smap.t;  (** the single-channel input map *)
+  maps : Sparse_conv.kernel_map array;  (** one per conv layer *)
+}
+
+val build : Smap.t -> layers:(int * int) list -> t
+(** [layers] gives (ksize, stride) per conv layer in order. *)

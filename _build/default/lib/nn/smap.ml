@@ -1,0 +1,73 @@
+(* A sparse 2-D feature map: the activation type flowing through WACONet.
+   Sites are the nonzero coordinates; each carries a [channels]-vector of
+   features stored site-major in [feats]. *)
+
+type t = {
+  h : int;
+  w : int;
+  coords : (int * int) array;
+  channels : int;
+  feats : float array; (* length = nsites * channels *)
+}
+
+let nsites t = Array.length t.coords
+
+(* Build the single-channel input map of a sparsity pattern: one site per
+   nonzero, feature 1.0 (the paper feeds the raw pattern; values don't affect
+   the format/schedule choice).
+
+   [max_sites] caps the site count by deterministic uniform subsampling of
+   the *raw coordinates* — unlike grid downsampling this keeps exact
+   positions, so global structure and block alignment survive; it is the
+   CPU-budget stand-in for the paper's GPU capacity (they cap at 10M nnz). *)
+let default_max_sites = 8192
+
+let of_coo ?(max_sites = default_max_sites) (m : Sptensor.Coo.t) =
+  let n = Sptensor.Coo.nnz m in
+  let keep =
+    if n <= max_sites then Array.init n (fun k -> k)
+    else begin
+      let rng = Sptensor.Rng.create (n lxor 0x5eed) in
+      let idx = Sptensor.Rng.permutation rng n in
+      let sub = Array.sub idx 0 max_sites in
+      Array.sort compare sub;
+      sub
+    end
+  in
+  let coords =
+    Array.map (fun k -> (m.Sptensor.Coo.rows.(k), m.Sptensor.Coo.cols.(k))) keep
+  in
+  {
+    h = m.Sptensor.Coo.nrows;
+    w = m.Sptensor.Coo.ncols;
+    coords;
+    channels = 1;
+    feats = Array.make (Array.length coords) 1.0;
+  }
+
+(* Downsample a pattern onto a target x target dense grid, every cell a site
+   with feature log1p(count) — the DenseConv baseline's input (§3.2.1: the
+   conventional-CNN approach downsamples to a fixed shape and loses local
+   pattern information).  All grid cells are sites, so the submanifold
+   convolution over this map *is* a dense convolution. *)
+let downsample (m : Sptensor.Coo.t) ~target =
+  let counts = Array.make (target * target) 0 in
+  let si = float_of_int target /. float_of_int (max 1 m.Sptensor.Coo.nrows) in
+  let sj = float_of_int target /. float_of_int (max 1 m.Sptensor.Coo.ncols) in
+  Sptensor.Coo.iter
+    (fun i j _ ->
+      let di = min (target - 1) (int_of_float (float_of_int i *. si)) in
+      let dj = min (target - 1) (int_of_float (float_of_int j *. sj)) in
+      counts.((di * target) + dj) <- counts.((di * target) + dj) + 1)
+    m;
+  {
+    h = target;
+    w = target;
+    coords = Array.init (target * target) (fun k -> (k / target, k mod target));
+    channels = 1;
+    feats = Array.map (fun c -> log (1.0 +. float_of_int c)) counts;
+  }
+
+(* A 3-D tensor enters the 2-D pipeline through its mode-0 flattening, the
+   same simplification SpTFS applies for MTTKRP workloads. *)
+let of_tensor3 (t : Sptensor.Tensor3.t) = of_coo (Sptensor.Tensor3.flatten t)

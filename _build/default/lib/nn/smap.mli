@@ -1,0 +1,32 @@
+(** A sparse 2-D feature map: the activation type flowing through WACONet.
+    Sites are nonzero coordinates, each carrying a [channels]-vector stored
+    site-major in [feats]. *)
+
+type t = {
+  h : int;
+  w : int;
+  coords : (int * int) array;
+  channels : int;
+  feats : float array;  (** length = nsites * channels *)
+}
+
+val nsites : t -> int
+
+val default_max_sites : int
+(** Site cap for the raw input map ([8192]): the CPU-budget stand-in for the
+    paper's 10M-nnz GPU capacity. *)
+
+val of_coo : ?max_sites:int -> Sptensor.Coo.t -> t
+(** Single-channel input map of a pattern: one site per nonzero, feature 1.0.
+    Patterns above [max_sites] are deterministically subsampled — unlike grid
+    downsampling this keeps exact coordinates, so global structure and block
+    alignment survive. *)
+
+val downsample : Sptensor.Coo.t -> target:int -> t
+(** The DenseConv baseline's input (§3.2.1): the pattern binned onto a
+    [target x target] grid, every cell a site with feature [log1p count].
+    Submanifold convolution over an all-sites map is exactly dense
+    convolution. *)
+
+val of_tensor3 : Sptensor.Tensor3.t -> t
+(** 3-D tensors enter through their mode-0 flattening (SpTFS's approach). *)

@@ -1,0 +1,184 @@
+(* Submanifold sparse convolution (Graham & van der Maaten [17]), the layer
+   WACONet is built from.
+
+   Semantics: out[o] = bias + sum_d W_d * in[stride * o + d], where d ranges
+   over the kernel window and only sites present in the input contribute.
+   For stride 1 the output sites equal the input sites (submanifold: the
+   activation pattern never dilates); for stride 2 the output sites are the
+   distinct halved coordinates, which is what lets stacked strided layers grow
+   the receptive field across distant nonzeros (Fig. 8). *)
+
+type kernel_map = {
+  out_coords : (int * int) array;
+  out_h : int;
+  out_w : int;
+  (* pairs.(offset_index) = [(in_site, out_site); ...] *)
+  pairs : (int * int) array array;
+}
+
+type t = {
+  in_ch : int;
+  out_ch : int;
+  ksize : int;
+  stride : int;
+  w : Param.t; (* [ksize*ksize] x out_ch x in_ch *)
+  b : Param.t;
+  mutable cache_map : kernel_map option;
+  mutable cache_in : float array;
+  mutable cache_nsites_out : int;
+}
+
+let create rng ~name ~in_ch ~out_ch ~ksize ~stride =
+  if ksize mod 2 = 0 then invalid_arg "Sparse_conv.create: kernel size must be odd";
+  {
+    in_ch;
+    out_ch;
+    ksize;
+    stride;
+    w =
+      Param.xavier rng ~name:(name ^ ".w")
+        ~fan_in:(in_ch * ksize * ksize)
+        ~fan_out:out_ch
+        (ksize * ksize * out_ch * in_ch);
+    b =
+      (* Small positive bias keeps deep layers of narrow nets from going dead
+         once the strided pyramid shrinks to a handful of sites. *)
+      (let p = Param.create ~name:(name ^ ".b") out_ch in
+       Array.fill p.Param.data 0 out_ch 0.01;
+       p);
+    cache_map = None;
+    cache_in = [||];
+    cache_nsites_out = 0;
+  }
+
+let params t = [ t.w; t.b ]
+
+(* Kernel maps depend only on the coordinate set; they are built once per
+   input pattern and reused across epochs via [Pyramid] caching. *)
+let build_map ~ksize ~stride (coords : (int * int) array) ~h ~w =
+  let half = ksize / 2 in
+  let nk = ksize * ksize in
+  let out_h = (h + stride - 1) / stride and out_w = (w + stride - 1) / stride in
+  (* Output site set. *)
+  let out_tbl : (int * int, int) Hashtbl.t = Hashtbl.create (Array.length coords) in
+  let out_list = ref [] and out_count = ref 0 in
+  if stride = 1 then
+    Array.iteri
+      (fun idx (r, c) ->
+        Hashtbl.add out_tbl (r, c) idx;
+        out_list := (r, c) :: !out_list;
+        incr out_count)
+      coords
+  else
+    Array.iter
+      (fun (r, c) ->
+        let o = (r / stride, c / stride) in
+        if not (Hashtbl.mem out_tbl o) then begin
+          Hashtbl.add out_tbl o !out_count;
+          out_list := o :: !out_list;
+          incr out_count
+        end)
+      coords;
+  let out_coords = Array.of_list (List.rev !out_list) in
+  (* For every input site and offset, find the output site it feeds. *)
+  let pairs = Array.make nk [] in
+  Array.iteri
+    (fun in_idx (r, c) ->
+      for dy = -half to half do
+        for dx = -half to half do
+          let tr = r - dy and tc = c - dx in
+          if tr >= 0 && tc >= 0 && tr mod stride = 0 && tc mod stride = 0 then begin
+            match Hashtbl.find_opt out_tbl (tr / stride, tc / stride) with
+            | Some out_idx ->
+                let off = ((dy + half) * ksize) + dx + half in
+                pairs.(off) <- (in_idx, out_idx) :: pairs.(off)
+            | None -> ()
+          end
+        done
+      done)
+    coords;
+  { out_coords; out_h; out_w; pairs = Array.map Array.of_list pairs }
+
+(* Forward over an explicit kernel map (the cached-pyramid path). *)
+let forward_with_map t (map : kernel_map) (input : Smap.t) : Smap.t =
+  if input.Smap.channels <> t.in_ch then invalid_arg "Sparse_conv.forward: channel mismatch";
+  let n_out = Array.length map.out_coords in
+  let out = Array.make (n_out * t.out_ch) 0.0 in
+  (* bias *)
+  for s = 0 to n_out - 1 do
+    for o = 0 to t.out_ch - 1 do
+      out.((s * t.out_ch) + o) <- t.b.Param.data.(o)
+    done
+  done;
+  let ci = t.in_ch and co = t.out_ch in
+  Array.iteri
+    (fun off pair_list ->
+      let wbase = off * co * ci in
+      Array.iter
+        (fun (in_idx, out_idx) ->
+          let ib = in_idx * ci and ob = out_idx * co in
+          for o = 0 to co - 1 do
+            let wrow = wbase + (o * ci) in
+            let acc = ref 0.0 in
+            for i = 0 to ci - 1 do
+              acc := !acc +. (t.w.Param.data.(wrow + i) *. input.Smap.feats.(ib + i))
+            done;
+            out.(ob + o) <- out.(ob + o) +. !acc
+          done)
+        pair_list)
+    map.pairs;
+  t.cache_map <- Some map;
+  t.cache_in <- input.Smap.feats;
+  t.cache_nsites_out <- n_out;
+  {
+    Smap.h = map.out_h;
+    w = map.out_w;
+    coords = map.out_coords;
+    channels = t.out_ch;
+    feats = out;
+  }
+
+let forward t (input : Smap.t) : Smap.t =
+  let map =
+    build_map ~ksize:t.ksize ~stride:t.stride input.Smap.coords ~h:input.Smap.h
+      ~w:input.Smap.w
+  in
+  forward_with_map t map input
+
+(* Returns d(input feats); accumulates dW and db. *)
+let backward t (dout : float array) =
+  let map =
+    match t.cache_map with
+    | Some m -> m
+    | None -> invalid_arg "Sparse_conv.backward: no cached forward"
+  in
+  if Array.length dout <> t.cache_nsites_out * t.out_ch then
+    invalid_arg "Sparse_conv.backward: dout size mismatch";
+  let ci = t.in_ch and co = t.out_ch in
+  let din = Array.make (Array.length t.cache_in) 0.0 in
+  (* bias grads *)
+  for s = 0 to t.cache_nsites_out - 1 do
+    for o = 0 to co - 1 do
+      t.b.Param.grad.(o) <- t.b.Param.grad.(o) +. dout.((s * co) + o)
+    done
+  done;
+  Array.iteri
+    (fun off pair_list ->
+      let wbase = off * co * ci in
+      Array.iter
+        (fun (in_idx, out_idx) ->
+          let ib = in_idx * ci and ob = out_idx * co in
+          for o = 0 to co - 1 do
+            let g = dout.(ob + o) in
+            if g <> 0.0 then begin
+              let wrow = wbase + (o * ci) in
+              for i = 0 to ci - 1 do
+                t.w.Param.grad.(wrow + i) <-
+                  t.w.Param.grad.(wrow + i) +. (g *. t.cache_in.(ib + i));
+                din.(ib + i) <- din.(ib + i) +. (g *. t.w.Param.data.(wrow + i))
+              done
+            end
+          done)
+        pair_list)
+    map.pairs;
+  din

@@ -1,0 +1,49 @@
+(** Submanifold sparse convolution (Graham & van der Maaten), the layer
+    WACONet is built from: [out\[o\] = bias + sum_d W_d * in\[stride*o + d\]]
+    with only present sites contributing.  Stride 1 keeps the site set
+    (submanifold — activations never dilate); stride 2 halves coordinates,
+    which is what lets stacked strided layers bridge distant nonzeros
+    (Fig. 8). *)
+
+type kernel_map = {
+  out_coords : (int * int) array;
+  out_h : int;
+  out_w : int;
+  pairs : (int * int) array array;
+      (** per kernel offset: (input site, output site) pairs *)
+}
+
+type t = {
+  in_ch : int;
+  out_ch : int;
+  ksize : int;
+  stride : int;
+  w : Param.t;  (** [ksize^2] x out_ch x in_ch *)
+  b : Param.t;
+  mutable cache_map : kernel_map option;
+  mutable cache_in : float array;
+  mutable cache_nsites_out : int;
+}
+
+val create :
+  Sptensor.Rng.t -> name:string -> in_ch:int -> out_ch:int -> ksize:int ->
+  stride:int -> t
+(** Kernel size must be odd.  Biases start slightly positive so narrow deep
+    layers don't go dead once the pyramid shrinks to a few sites. *)
+
+val params : t -> Param.t list
+
+val build_map :
+  ksize:int -> stride:int -> (int * int) array -> h:int -> w:int -> kernel_map
+(** Kernel maps depend only on coordinates; build once per pattern and reuse
+    across epochs (see {!Pyramid}). *)
+
+val forward_with_map : t -> kernel_map -> Smap.t -> Smap.t
+(** Forward over a prebuilt kernel map (the cached-pyramid fast path). *)
+
+val forward : t -> Smap.t -> Smap.t
+(** Convenience: builds the map, then [forward_with_map]. *)
+
+val backward : t -> float array -> float array
+(** Accumulates dW, db from d(output feats); returns d(input feats).
+    Requires a preceding forward. *)

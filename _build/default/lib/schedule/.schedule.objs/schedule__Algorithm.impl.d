@@ -1,0 +1,1 @@
+lib/schedule/algorithm.ml: Fmt Format_abs List

@@ -1,0 +1,1 @@
+lib/schedule/algorithm.mli: Format

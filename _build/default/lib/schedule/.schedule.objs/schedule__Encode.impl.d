@@ -1,0 +1,1 @@
+lib/schedule/encode.ml: Algorithm Array Float Format_abs Space Superschedule

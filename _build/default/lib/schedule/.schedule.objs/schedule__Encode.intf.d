@@ -1,0 +1,1 @@
+lib/schedule/encode.mli: Superschedule

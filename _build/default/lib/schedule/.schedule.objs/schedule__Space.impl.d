@@ -1,0 +1,1 @@
+lib/schedule/space.ml: Algorithm Array Format_abs Hashtbl List Rng Sptensor Superschedule

@@ -1,0 +1,1 @@
+lib/schedule/space.mli: Algorithm Rng Sptensor Superschedule

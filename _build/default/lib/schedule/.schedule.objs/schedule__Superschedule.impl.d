@@ -1,0 +1,1 @@
+lib/schedule/superschedule.ml: Algorithm Array Buffer Fmt Format_abs List Printf String

@@ -1,0 +1,1 @@
+lib/schedule/superschedule.mli: Algorithm Format Format_abs

@@ -1,0 +1,60 @@
+(* The four sparse tensor algebra algorithms of the paper's evaluation, with
+   the structural facts the SuperSchedule and the cost simulator need: the
+   sparse tensor's rank, which logical dims are reductions (parallelizing a
+   reduction dim needs atomics), and the trip count of the dense inner loop
+   that is not part of the sparse tensor's index space. *)
+
+type t =
+  | Spmv (* C[i] = A[i,k] * B[k] *)
+  | Spmm of int (* C[i,j] = A[i,k] * B[k,j]; argument = |j| *)
+  | Sddmm of int (* D[i,j] = A[i,j] * B[i,k] * C[k,j]; argument = |k| *)
+  | Mttkrp of int (* D[i,j] = A[i,k,l] * B[k,j] * C[l,j]; argument = |j| *)
+
+let name = function
+  | Spmv -> "SpMV"
+  | Spmm _ -> "SpMM"
+  | Sddmm _ -> "SDDMM"
+  | Mttkrp _ -> "MTTKRP"
+
+(* Rank of the sparse operand A. *)
+let sparse_rank = function Spmv | Spmm _ | Sddmm _ -> 2 | Mttkrp _ -> 3
+
+let dim_names = function
+  | Spmv | Spmm _ -> [| "i"; "k" |]
+  | Sddmm _ -> [| "i"; "j" |]
+  | Mttkrp _ -> [| "i"; "k"; "l" |]
+
+(* Trip count of the dense loop outside A's index space (0 = none). *)
+let dense_inner = function
+  | Spmv -> 0
+  | Spmm jn -> jn
+  | Sddmm kn -> kn
+  | Mttkrp jn -> jn
+
+(* Logical dims of A along which the kernel reduces: parallelizing these
+   requires atomics / privatization (§5.2.1's reason SDDMM alone can
+   parallelize over columns). *)
+let reduction_dims = function
+  | Spmv | Spmm _ -> [ 1 ] (* k *)
+  | Sddmm _ -> [] (* the reduction is the dense k loop *)
+  | Mttkrp _ -> [ 1; 2 ] (* k, l *)
+
+(* Derived variables eligible for `parallelize` (Table 3 restricts MV to
+   [i1; i0]; SDDMM additionally allows the column dimension). *)
+let parallel_candidates algo =
+  let r = sparse_rank algo in
+  let reductions = reduction_dims algo in
+  List.concat_map
+    (fun d ->
+      if List.mem d reductions then []
+      else [ Format_abs.Spec.top_var d; Format_abs.Spec.bottom_var d ])
+    (List.init r (fun d -> d))
+
+(* FLOPs per stored (materialized) value slot of A. *)
+let flops_per_entry = function
+  | Spmv -> 2.0
+  | Spmm jn -> 2.0 *. float_of_int jn
+  | Sddmm kn -> (2.0 *. float_of_int kn) +. 1.0
+  | Mttkrp jn -> 3.0 *. float_of_int jn
+
+let pp ppf t = Fmt.string ppf (name t)

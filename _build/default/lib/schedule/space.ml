@@ -1,0 +1,200 @@
+(* The SuperSchedule parameter space (Table 3) with uniform sampling and the
+   mutation/crossover operators the black-box search baselines use. *)
+
+open Sptensor
+
+(* Power-of-two split sizes 1..4096 (the paper goes to 32768 on full-size
+   SuiteSparse; our corpus is ~8x smaller). *)
+let split_options = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 |]
+
+(* OpenMP dynamic chunk sizes.  The paper sweeps 1..256 on matrices with up
+   to 131,072 rows; our corpus is ~8x smaller, so the menu is scaled the same
+   way the cache sizes are (DESIGN.md) to keep chunks-per-thread ratios
+   comparable. *)
+let chunk_options = [| 1; 2; 4; 8; 16; 32; 64 |]
+
+let threads_options = [| Superschedule.Half; Superschedule.Full |]
+
+let log2_index options v =
+  let rec find i = if i >= Array.length options then None
+    else if options.(i) = v then Some i else find (i + 1) in
+  find 0
+
+(* Splits larger than the dimension are degenerate; cap the menu per dim. *)
+let split_options_for_dim dim =
+  let opts = Array.to_list split_options in
+  Array.of_list (List.filter (fun s -> s = 1 || s <= dim) opts)
+
+let sample rng (algo : Algorithm.t) ~(dims : int array) : Superschedule.t =
+  let r = Algorithm.sparse_rank algo in
+  let splits =
+    Array.init r (fun d -> Rng.choose rng (split_options_for_dim dims.(d)))
+  in
+  let compute_order = Rng.permutation rng (2 * r) in
+  let a_order = Rng.permutation rng (2 * r) in
+  let a_formats =
+    Array.init (2 * r) (fun _ -> Rng.choose rng Format_abs.Levelfmt.all)
+  in
+  let candidates = Array.of_list (Algorithm.parallel_candidates algo) in
+  {
+    Superschedule.algo;
+    splits;
+    compute_order;
+    par_var = Rng.choose rng candidates;
+    threads = Rng.choose rng threads_options;
+    chunk = Rng.choose rng chunk_options;
+    a_order;
+    a_formats;
+  }
+
+(* Swap two positions of a permutation. *)
+let perm_mutate rng perm =
+  let p = Array.copy perm in
+  let n = Array.length p in
+  if n >= 2 then begin
+    let a = Rng.int rng n in
+    let b = Rng.int rng n in
+    let tmp = p.(a) in
+    p.(a) <- p.(b);
+    p.(b) <- tmp
+  end;
+  p
+
+(* Change one parameter at random; used by the OpenTuner-like ensemble. *)
+let mutate rng ~(dims : int array) (s : Superschedule.t) : Superschedule.t =
+  let r = Algorithm.sparse_rank s.Superschedule.algo in
+  match Rng.int rng 7 with
+  | 0 ->
+      let d = Rng.int rng r in
+      let splits = Array.copy s.splits in
+      splits.(d) <- Rng.choose rng (split_options_for_dim dims.(d));
+      { s with splits }
+  | 1 -> { s with compute_order = perm_mutate rng s.compute_order }
+  | 2 -> { s with a_order = perm_mutate rng s.a_order }
+  | 3 ->
+      let a_formats = Array.copy s.a_formats in
+      let lvl = Rng.int rng (2 * r) in
+      a_formats.(lvl) <-
+        (match a_formats.(lvl) with
+        | Format_abs.Levelfmt.U -> Format_abs.Levelfmt.C
+        | Format_abs.Levelfmt.C -> Format_abs.Levelfmt.U);
+      { s with a_formats }
+  | 4 ->
+      let candidates = Array.of_list (Algorithm.parallel_candidates s.algo) in
+      { s with par_var = Rng.choose rng candidates }
+  | 5 -> { s with threads = Rng.choose rng threads_options }
+  | _ -> { s with chunk = Rng.choose rng chunk_options }
+
+(* Uniform parameter-wise crossover (permutations taken whole from a parent). *)
+let crossover rng (a : Superschedule.t) (b : Superschedule.t) : Superschedule.t =
+  let pick x y = if Rng.bool rng then x else y in
+  {
+    Superschedule.algo = a.Superschedule.algo;
+    splits = Array.mapi (fun d sa -> pick sa b.Superschedule.splits.(d)) a.Superschedule.splits;
+    compute_order =
+      Array.copy (pick a.Superschedule.compute_order b.Superschedule.compute_order);
+    par_var = pick a.Superschedule.par_var b.Superschedule.par_var;
+    threads = pick a.Superschedule.threads b.Superschedule.threads;
+    chunk = pick a.Superschedule.chunk b.Superschedule.chunk;
+    a_order = Array.copy (pick a.Superschedule.a_order b.Superschedule.a_order);
+    a_formats = Array.copy (pick a.Superschedule.a_formats b.Superschedule.a_formats);
+  }
+
+(* Structured samples: a canonical format family with randomized scheduling
+   parameters.  Uniform sampling almost never draws a concordant loop order
+   (1/(2r)! per tensor), so at our corpus scale — hundreds of tuples per
+   matrix instead of the paper's 2M total — we mix a fraction of
+   family-seeded samples in so the dataset spans the useful region of the
+   space as the paper's giant uniform corpus does. *)
+let sample_guided rng (algo : Algorithm.t) ~(dims : int array) : Superschedule.t =
+  let r = Algorithm.sparse_rank algo in
+  let top = Format_abs.Spec.top_var and bot = Format_abs.Spec.bottom_var in
+  let u = Format_abs.Levelfmt.U and c = Format_abs.Levelfmt.C in
+  let base =
+    if r = 3 then begin
+      (* CSF or block-CSF *)
+      let b = Rng.choose rng [| 1; 1; 2; 4 |] in
+      if b = 1 then Superschedule.fixed_default algo
+      else
+        Superschedule.concordant_with_format algo ~splits:[| b; b; b |]
+          ~a_order:[| top 0; top 1; top 2; bot 0; bot 1; bot 2 |]
+          ~a_formats:[| c; c; c; u; u; u |]
+    end
+    else begin
+      match Rng.int rng 5 with
+      | 0 -> Superschedule.fixed_default algo (* CSR *)
+      | 1 ->
+          (* BCSR / UCU row blocking *)
+          let bi = Rng.choose rng [| 2; 4; 8; 16; 32 |] in
+          let bk = Rng.choose rng [| 1; 1; bi |] in
+          Superschedule.concordant_with_format algo ~splits:[| bi; bk |]
+            ~a_order:[| top 0; top 1; bot 0; bot 1 |] ~a_formats:[| u; c; u; u |]
+      | 2 ->
+          (* sparse block UUC with a large column split *)
+          let bk = Rng.choose rng [| 128; 256; 512; 1024; 2048 |] in
+          Superschedule.concordant_with_format algo ~splits:[| 1; bk |]
+            ~a_order:[| top 1; top 0; bot 1; bot 0 |] ~a_formats:[| u; u; c; u |]
+      | 3 ->
+          (* doubly-blocked compressed (CUCC): row blocks of compressed block
+             rows with a compressed column split — the sparsine-style format
+             §5.2.1's cache analysis favours on large scattered matrices *)
+          let bi = Rng.choose rng [| 8; 16; 32; 64 |] in
+          let bk = Rng.choose rng [| 128; 256; 512; 1024 |] in
+          Superschedule.concordant_with_format algo ~splits:[| bi; bk |]
+            ~a_order:[| top 0; top 1; bot 0; bot 1 |] ~a_formats:[| c; u; c; c |]
+      | _ ->
+          (* CSC *)
+          Superschedule.concordant_with_format algo ~splits:[| 1; 1 |]
+            ~a_order:[| top 1; top 0; bot 1; bot 0 |] ~a_formats:[| u; c; u; u |]
+    end
+  in
+  let candidates = Array.of_list (Algorithm.parallel_candidates algo) in
+  let s =
+    {
+      base with
+      Superschedule.chunk = Rng.choose rng chunk_options;
+      threads = Rng.choose rng threads_options;
+      par_var = Rng.choose rng candidates;
+    }
+  in
+  (* Occasionally drift away from the family. *)
+  if Rng.float rng < 0.3 then mutate rng ~dims s else s
+
+(* Distinct samples (by schedule key) for datasets and the KNN-graph corpus;
+   [guided_fraction] controls the uniform/structured mix. *)
+let sample_distinct ?(guided_fraction = 0.4) rng algo ~dims ~count =
+  let seen = Hashtbl.create (2 * count) in
+  let out = ref [] and n = ref 0 and attempts = ref 0 in
+  while !n < count && !attempts < 100 * count do
+    incr attempts;
+    let s =
+      if Rng.float rng < guided_fraction then sample_guided rng algo ~dims
+      else sample rng algo ~dims
+    in
+    let k = Superschedule.key s in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      out := s :: !out;
+      incr n
+    end
+  done;
+  List.rev !out
+
+(* Log-size of the discrete space (for reporting). *)
+let log10_size (algo : Algorithm.t) ~(dims : int array) =
+  let r = Algorithm.sparse_rank algo in
+  let log10 x = log x /. log 10.0 in
+  let splits =
+    Array.fold_left
+      (fun acc d -> acc +. log10 (float_of_int (Array.length (split_options_for_dim d))))
+      0.0 dims
+  in
+  let fact n =
+    let rec go acc i = if i <= 1 then acc else go (acc +. log10 (float_of_int i)) (i - 1) in
+    go 0.0 n
+  in
+  splits +. (2.0 *. fact (2 * r))
+  +. log10 (float_of_int (List.length (Algorithm.parallel_candidates algo)))
+  +. log10 2.0
+  +. log10 (float_of_int (Array.length chunk_options))
+  +. (float_of_int (2 * r) *. log10 2.0)

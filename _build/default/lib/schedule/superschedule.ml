@@ -1,0 +1,125 @@
+(* The SuperSchedule (§4.1.2): a unified template defining the format schedule
+   and the compute schedule together.  Each logical index of the sparse
+   operand is split exactly once (size 1 = no split); the template fixes
+
+     - compute schedule: loop order over the derived variables, which loop is
+       parallelized, thread count, OpenMP dynamic chunk size;
+     - format schedule: A's level order and per-level U/C formats.
+
+   Dense operands keep the fixed orientations of the paper's evaluation setup
+   (SpMM B/C row-major, SDDMM B row-major / C column-major, MTTKRP B/C
+   row-major), so they are not part of the template. *)
+
+type threads = Half | Full
+
+type t = {
+  algo : Algorithm.t;
+  splits : int array; (* inner split size per sparse logical dim *)
+  compute_order : int array; (* permutation of the 2*rank derived vars *)
+  par_var : int; (* derived var that is parallelized *)
+  threads : threads;
+  chunk : int; (* OpenMP dynamic chunk size *)
+  a_order : int array; (* A's level order (permutation of derived vars) *)
+  a_formats : Format_abs.Levelfmt.t array; (* per level of A *)
+}
+
+let threads_name = function Half -> "half" | Full -> "full"
+
+(* A's format Spec for a concrete tensor shape. *)
+let to_spec t ~dims =
+  Format_abs.Spec.make ~dims
+    ~splits:(Array.map2 (fun s d -> min s (max 1 d)) t.splits dims)
+    ~order:t.a_order ~formats:t.a_formats
+
+let validate t =
+  let r = Algorithm.sparse_rank t.algo in
+  if Array.length t.splits <> r then invalid_arg "Superschedule: splits rank mismatch";
+  Array.iter (fun s -> if s < 1 then invalid_arg "Superschedule: split < 1") t.splits;
+  if not (Format_abs.Spec.is_permutation (2 * r) t.compute_order) then
+    invalid_arg "Superschedule: compute_order not a permutation";
+  if not (Format_abs.Spec.is_permutation (2 * r) t.a_order) then
+    invalid_arg "Superschedule: a_order not a permutation";
+  if Array.length t.a_formats <> 2 * r then
+    invalid_arg "Superschedule: a_formats length mismatch";
+  if t.par_var < 0 || t.par_var >= 2 * r then
+    invalid_arg "Superschedule: par_var out of range";
+  if not (List.mem t.par_var (Algorithm.parallel_candidates t.algo)) then
+    invalid_arg "Superschedule: par_var not parallelizable for this algorithm";
+  if t.chunk < 1 then invalid_arg "Superschedule: chunk < 1"
+
+(* Unique identity string; used for deduplication in the KNN graph and for
+   memoizing ground-truth runtimes. *)
+let key t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Algorithm.name t.algo);
+  Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf "|s%d" s)) t.splits;
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "|c%d" v)) t.compute_order;
+  Buffer.add_string buf (Printf.sprintf "|p%d|t%s|k%d" t.par_var
+                           (threads_name t.threads) t.chunk);
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "|o%d" v)) t.a_order;
+  Array.iter
+    (fun f -> Buffer.add_char buf (Format_abs.Levelfmt.to_char f))
+    t.a_formats;
+  Buffer.contents buf
+
+let equal a b = key a = key b
+
+let describe t =
+  let names = Algorithm.dim_names t.algo in
+  let var v = Format_abs.Spec.var_name ~dim_names:names v in
+  Printf.sprintf "%s splits=[%s] loop=[%s] par=%s(%s,chunk=%d) A=[%s/%s]"
+    (Algorithm.name t.algo)
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.splits)))
+    (String.concat ">" (Array.to_list (Array.map var t.compute_order)))
+    (var t.par_var) (threads_name t.threads) t.chunk
+    (String.concat ">" (Array.to_list (Array.map var t.a_order)))
+    (String.concat ""
+       (Array.to_list
+          (Array.map
+             (fun f -> String.make 1 (Format_abs.Levelfmt.to_char f))
+             t.a_formats)))
+
+let pp ppf t = Fmt.string ppf (describe t)
+
+(* --- Canonical schedules --- *)
+
+(* The paper's FixedCSR baseline: UC (CSR) / CCC (CSF for MTTKRP), default
+   concordant loop order, parallel outer rows, all threads, OpenMP chunk 128
+   for SpMV and 32 otherwise (§5.1). *)
+let fixed_default algo =
+  let r = Algorithm.sparse_rank algo in
+  let splits = Array.make r 1 in
+  let order =
+    Array.init (2 * r) (fun i ->
+        if i < r then Format_abs.Spec.top_var i else Format_abs.Spec.bottom_var (i - r))
+  in
+  let formats =
+    match algo with
+    | Algorithm.Mttkrp _ ->
+        (* CSF: CCC on the top levels. *)
+        Array.init (2 * r) (fun i -> if i < r then Format_abs.Levelfmt.C else Format_abs.Levelfmt.U)
+    | Algorithm.Spmv | Algorithm.Spmm _ | Algorithm.Sddmm _ ->
+        Array.init (2 * r) (fun i ->
+            if i = 0 then Format_abs.Levelfmt.U
+            else if i < r then Format_abs.Levelfmt.C
+            else Format_abs.Levelfmt.U)
+  in
+  {
+    algo;
+    splits;
+    compute_order = Array.copy order;
+    par_var = Format_abs.Spec.top_var 0;
+    threads = Full;
+    (* Paper defaults are 128 (SpMV) / 32 (others); scaled by 8 with the
+       corpus dimensions so the chunks-per-thread ratio matches. *)
+    chunk = (match algo with Algorithm.Spmv -> 16 | _ -> 4);
+    a_order = order;
+    a_formats = formats;
+  }
+
+(* A schedule whose format is [spec]-shaped with a concordant loop order —
+   used by format-only tuning (Table 1's "F." column keeps the iteration
+   order concordant with the tuned format). *)
+let concordant_with_format algo ~splits ~a_order ~a_formats =
+  let base = fixed_default algo in
+  { base with splits; a_order; a_formats; compute_order = Array.copy a_order }

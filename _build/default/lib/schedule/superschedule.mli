@@ -1,0 +1,52 @@
+(** The SuperSchedule (§4.1.2): a unified template defining the format
+    schedule and the compute schedule together.  Each logical index of the
+    sparse operand is split exactly once (size 1 = no split).  Dense operands
+    keep the fixed orientations of the paper's evaluation setup, so they are
+    not part of the template. *)
+
+type threads = Half | Full  (** physical cores only / all SMT threads *)
+
+type t = {
+  algo : Algorithm.t;
+  splits : int array;  (** inner split size per sparse logical dim *)
+  compute_order : int array;  (** permutation of the [2*rank] derived vars *)
+  par_var : int;  (** derived variable that is parallelized *)
+  threads : threads;
+  chunk : int;  (** OpenMP dynamic chunk size *)
+  a_order : int array;  (** A's level order *)
+  a_formats : Format_abs.Levelfmt.t array;  (** per level of A *)
+}
+
+val threads_name : threads -> string
+
+val to_spec : t -> dims:int array -> Format_abs.Spec.t
+(** A's format spec for a concrete tensor shape; splits are capped by the
+    dimensions. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on malformed schedules (bad permutations,
+    non-parallelizable [par_var], ...). *)
+
+val key : t -> string
+(** Unique identity string: deduplication in the KNN graph, runtime
+    memoization. *)
+
+val equal : t -> t -> bool
+
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val fixed_default : Algorithm.t -> t
+(** The paper's FixedCSR baseline schedule: UC (CSR) format — CCC/CSF for
+    MTTKRP — concordant default loop order, rows parallelized on all
+    threads, the default chunk sizes of §5.1 (scaled with the corpus). *)
+
+val concordant_with_format :
+  Algorithm.t ->
+  splits:int array ->
+  a_order:int array ->
+  a_formats:Format_abs.Levelfmt.t array ->
+  t
+(** A schedule storing A as specified with a concordant iteration order —
+    what format-only tuning produces (§2.1's F. column). *)

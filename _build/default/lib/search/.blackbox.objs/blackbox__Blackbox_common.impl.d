@@ -1,0 +1,1 @@
+lib/search/blackbox_common.ml: Array Hashtbl List Option Schedule Superschedule Unix

@@ -1,0 +1,1 @@
+lib/search/blackbox_common.mli: Hashtbl Schedule Superschedule

@@ -1,0 +1,1 @@
+lib/search/strategies.ml: Array Blackbox_common List Queue Rng Schedule Space Sptensor Superschedule

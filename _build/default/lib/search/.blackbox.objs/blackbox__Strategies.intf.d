@@ -1,0 +1,1 @@
+lib/search/strategies.mli: Algorithm Blackbox_common Rng Schedule Sptensor Superschedule

@@ -1,0 +1,36 @@
+(** Shared scaffolding for budgeted black-box schedule search: every strategy
+    reports the same result record, with wall time split into evaluation time
+    vs optimizer metadata time — the quantity Fig. 16 breaks down. *)
+
+open Schedule
+
+type result = {
+  name : string;
+  best : Superschedule.t;
+  best_cost : float;
+  trials : int;
+  eval_seconds : float;  (** time spent inside cost evaluations *)
+  total_seconds : float;  (** wall time of the whole search *)
+  history : (int * float) array;  (** (trial, best-so-far cost) *)
+}
+
+type budgeted_eval = {
+  eval : Superschedule.t -> float;
+  mutable eval_time : float;
+  mutable eval_count : int;
+  cache : (string, float) Hashtbl.t;
+}
+
+val make_eval : (Superschedule.t -> float) -> budgeted_eval
+
+val run_eval : budgeted_eval -> Superschedule.t -> float
+(** Cached and timed; repeated queries of the same schedule are free. *)
+
+val drive :
+  name:string ->
+  budget:int ->
+  budgeted_eval ->
+  propose:((Superschedule.t * float) list -> Superschedule.t) ->
+  result
+(** Runs [budget] trials; [propose] receives the observation history
+    (newest first). *)

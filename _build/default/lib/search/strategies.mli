@@ -1,0 +1,25 @@
+(** The black-box optimizers WACO's ANNS is compared against in Fig. 16.
+    All of them pay per-trial metadata time that ANNS does not: observation
+    bookkeeping, distribution refits, bandit statistics. *)
+
+open Sptensor
+open Schedule
+
+val random_search :
+  Rng.t -> Algorithm.t -> dims:int array ->
+  eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
+
+val tpe :
+  ?gamma:float -> ?explore:float ->
+  Rng.t -> Algorithm.t -> dims:int array ->
+  eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
+(** HyperOpt-style estimator of distributions: each parameter is resampled
+    from the best-[gamma]-quantile trials (with an [explore] fraction of
+    uniform restarts). *)
+
+val bandit :
+  ?window:int ->
+  Rng.t -> Algorithm.t -> dims:int array ->
+  eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
+(** OpenTuner-style ensemble: random / mutate-best / mutate-good / crossover
+    operators picked by a UCB1 bandit over a sliding improvement window. *)

@@ -1,0 +1,1 @@
+lib/sptensor/coo.ml: Array Dense Float Fmt List Printf

@@ -1,0 +1,1 @@
+lib/sptensor/coo.mli: Dense Format

@@ -1,0 +1,1 @@
+lib/sptensor/csr.ml: Array Coo Dense Fmt

@@ -1,0 +1,1 @@
+lib/sptensor/csr.mli: Coo Dense Format

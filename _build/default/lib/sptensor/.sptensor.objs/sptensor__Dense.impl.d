@@ -1,0 +1,1 @@
+lib/sptensor/dense.ml: Array Float Fmt Rng

@@ -1,0 +1,1 @@
+lib/sptensor/dense.mli: Format Rng

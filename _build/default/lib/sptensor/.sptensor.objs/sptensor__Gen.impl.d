@@ -1,0 +1,1 @@
+lib/sptensor/gen.ml: Array Coo Hashtbl List Printf Rng Tensor3

@@ -1,0 +1,1 @@
+lib/sptensor/gen.mli: Coo Rng Tensor3

@@ -1,0 +1,1 @@
+lib/sptensor/mmio.ml: Coo Fun List Printf String

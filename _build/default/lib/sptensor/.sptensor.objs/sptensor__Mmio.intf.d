@@ -1,0 +1,1 @@
+lib/sptensor/mmio.mli: Coo

@@ -1,0 +1,1 @@
+lib/sptensor/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/sptensor/stats.ml: Array Coo Float Fmt Hashtbl

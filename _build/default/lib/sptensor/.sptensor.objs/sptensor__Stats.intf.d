@@ -1,0 +1,1 @@
+lib/sptensor/stats.mli: Coo Format

@@ -1,0 +1,1 @@
+lib/sptensor/tensor3.ml: Array Coo Dense Fmt List

@@ -1,0 +1,1 @@
+lib/sptensor/tensor3.mli: Coo Dense Format

@@ -1,0 +1,82 @@
+(* Compressed Sparse Row matrices.
+
+   CSR is the fixed format of the FixedCSR and MKL-like baselines and the
+   reference implementation the differential tests compare against. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array; (* length nrows+1 *)
+  col_idx : int array; (* length nnz *)
+  vals : float array; (* length nnz *)
+}
+
+let nnz t = Array.length t.col_idx
+
+let of_coo (c : Coo.t) =
+  let row_ptr = Coo.row_ptr c in
+  {
+    nrows = c.Coo.nrows;
+    ncols = c.Coo.ncols;
+    row_ptr;
+    col_idx = Array.copy c.Coo.cols;
+    vals = Array.copy c.Coo.vals;
+  }
+
+let to_coo (t : t) =
+  let triplets = ref [] in
+  for i = t.nrows - 1 downto 0 do
+    for k = t.row_ptr.(i + 1) - 1 downto t.row_ptr.(i) do
+      triplets := (i, t.col_idx.(k), t.vals.(k)) :: !triplets
+    done
+  done;
+  Coo.of_triplets ~nrows:t.nrows ~ncols:t.ncols !triplets
+
+(* y = A * x *)
+let spmv t (x : Dense.vec) =
+  if Array.length x <> t.ncols then invalid_arg "Csr.spmv: dimension mismatch";
+  let y = Dense.vec_create t.nrows in
+  for i = 0 to t.nrows - 1 do
+    let acc = ref 0.0 in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.vals.(k) *. x.(t.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+(* C = A * B, B dense row-major. *)
+let spmm t (b : Dense.mat) =
+  if b.Dense.rows <> t.ncols then invalid_arg "Csr.spmm: dimension mismatch";
+  let c = Dense.mat_create t.nrows b.Dense.cols in
+  let jn = b.Dense.cols in
+  for i = 0 to t.nrows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      let a = t.vals.(k) and col = t.col_idx.(k) in
+      for j = 0 to jn - 1 do
+        Dense.add_to c i j (a *. Dense.get b col j)
+      done
+    done
+  done;
+  c
+
+(* D[i,j] = A[i,j] * (B[i,:] . C[:,j]) with A's pattern; B is rows x k,
+   C is k x cols. *)
+let sddmm t (b : Dense.mat) (c : Dense.mat) =
+  if b.Dense.rows <> t.nrows || c.Dense.cols <> t.ncols || b.Dense.cols <> c.Dense.rows
+  then invalid_arg "Csr.sddmm: dimension mismatch";
+  let kn = b.Dense.cols in
+  let out_vals = Array.make (nnz t) 0.0 in
+  for i = 0 to t.nrows - 1 do
+    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      let j = t.col_idx.(p) in
+      let acc = ref 0.0 in
+      for k = 0 to kn - 1 do
+        acc := !acc +. (Dense.get b i k *. Dense.get c k j)
+      done;
+      out_vals.(p) <- t.vals.(p) *. !acc
+    done
+  done;
+  { t with vals = out_vals }
+
+let pp ppf t = Fmt.pf ppf "csr %dx%d nnz=%d" t.nrows t.ncols (nnz t)

@@ -1,0 +1,29 @@
+(** Compressed Sparse Row matrices — the fixed format of the FixedCSR and
+    MKL-like baselines, and the reference implementation the differential
+    tests compare the generic packed executors against. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;  (** length nrows+1 *)
+  col_idx : int array;  (** length nnz *)
+  vals : float array;  (** length nnz *)
+}
+
+val nnz : t -> int
+
+val of_coo : Coo.t -> t
+
+val to_coo : t -> Coo.t
+
+val spmv : t -> Dense.vec -> Dense.vec
+(** [spmv a x] is [a * x].  Raises [Invalid_argument] on dimension mismatch. *)
+
+val spmm : t -> Dense.mat -> Dense.mat
+(** [spmm a b] is [a * b] with [b] dense row-major. *)
+
+val sddmm : t -> Dense.mat -> Dense.mat -> t
+(** [sddmm a b c] computes [d.(i,j) = a.(i,j) * (b.(i,:) . c.(:,j))] over
+    [a]'s nonzero pattern. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(* Minimal MatrixMarket-coordinate reader/writer.
+
+   Lets users feed real matrices (e.g. actual SuiteSparse downloads) into the
+   pipeline and lets the dataset generator persist corpora to disk.  Supports
+   the `matrix coordinate real general` header plus `pattern` (values default
+   to 1.0) and `%`-comments; 1-based indices per the format. *)
+
+let write_coo path (m : Coo.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%%%%MatrixMarket matrix coordinate real general\n";
+      Printf.fprintf oc "%d %d %d\n" m.Coo.nrows m.Coo.ncols (Coo.nnz m);
+      Coo.iter (fun i j v -> Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v) m)
+
+exception Parse_error of string
+
+let split_ws line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let read_coo path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let lower = String.lowercase_ascii header in
+      let pattern_mode, symmetric =
+        match split_ws lower with
+        | _ :: "matrix" :: "coordinate" :: field :: rest ->
+            let sym =
+              match rest with
+              | [ "symmetric" ] | [ "skew-symmetric" ] -> true
+              | [] | [ "general" ] -> false
+              | _ -> raise (Parse_error "unsupported MatrixMarket symmetry")
+            in
+            (field = "pattern", sym)
+        | _ -> raise (Parse_error "unsupported MatrixMarket header")
+      in
+      (* Skip comments. *)
+      let rec next_data () =
+        let line = input_line ic in
+        if String.length line > 0 && line.[0] = '%' then next_data () else line
+      in
+      let nrows, ncols, nnz =
+        match split_ws (next_data ()) with
+        | [ r; c; n ] -> (int_of_string r, int_of_string c, int_of_string n)
+        | _ -> raise (Parse_error "bad size line")
+      in
+      let triplets = ref [] in
+      let add i j v =
+        triplets := (i, j, v) :: !triplets;
+        (* Symmetric files store the lower triangle only; mirror it. *)
+        if symmetric && i <> j then triplets := (j, i, v) :: !triplets
+      in
+      for _ = 1 to nnz do
+        match split_ws (next_data ()) with
+        | [ i; j ] when pattern_mode -> add (int_of_string i - 1) (int_of_string j - 1) 1.0
+        | [ i; j; v ] ->
+            add (int_of_string i - 1) (int_of_string j - 1) (float_of_string v)
+        | _ -> raise (Parse_error "bad entry line")
+      done;
+      Coo.of_triplets ~nrows ~ncols !triplets)

@@ -1,0 +1,12 @@
+(** Minimal MatrixMarket coordinate-format IO: `matrix coordinate real
+    general` plus `pattern` (values default to 1.0), with `%` comments and
+    1-based indices. *)
+
+exception Parse_error of string
+
+val write_coo : string -> Coo.t -> unit
+(** Writes a matrix to [path] in MatrixMarket coordinate format. *)
+
+val read_coo : string -> Coo.t
+(** Reads a matrix.  Raises [Parse_error] on malformed input and
+    [Sys_error] on IO failure. *)

@@ -1,0 +1,81 @@
+(* 3-D sparse tensors in coordinate form, for MTTKRP
+   (D[i,j] = sum_{k,l} A[i,k,l] * B[k,j] * C[l,j]). *)
+
+type t = {
+  dim_i : int;
+  dim_k : int;
+  dim_l : int;
+  is : int array; (* sorted lexicographically by (i,k,l) *)
+  ks : int array;
+  ls : int array;
+  vals : float array;
+}
+
+let nnz t = Array.length t.is
+
+let of_quads ~dim_i ~dim_k ~dim_l quads =
+  List.iter
+    (fun (i, k, l, _) ->
+      if i < 0 || i >= dim_i || k < 0 || k >= dim_k || l < 0 || l >= dim_l then
+        invalid_arg "Tensor3.of_quads: coordinate out of bounds")
+    quads;
+  let arr = Array.of_list quads in
+  Array.sort
+    (fun (a, b, c, _) (d, e, f, _) ->
+      if a <> d then compare a d else if b <> e then compare b e else compare c f)
+    arr;
+  (* Sum duplicates. *)
+  let out = ref [] in
+  Array.iter
+    (fun (i, k, l, v) ->
+      match !out with
+      | (pi, pk, pl, pv) :: rest when pi = i && pk = k && pl = l ->
+          out := (i, k, l, pv +. v) :: rest
+      | _ -> out := (i, k, l, v) :: !out)
+    arr;
+  let arr = Array.of_list (List.rev !out) in
+  {
+    dim_i;
+    dim_k;
+    dim_l;
+    is = Array.map (fun (i, _, _, _) -> i) arr;
+    ks = Array.map (fun (_, k, _, _) -> k) arr;
+    ls = Array.map (fun (_, _, l, _) -> l) arr;
+    vals = Array.map (fun (_, _, _, v) -> v) arr;
+  }
+
+let to_quads t =
+  let out = ref [] in
+  for p = nnz t - 1 downto 0 do
+    out := (t.is.(p), t.ks.(p), t.ls.(p), t.vals.(p)) :: !out
+  done;
+  !out
+
+let iter f t =
+  for p = 0 to nnz t - 1 do
+    f t.is.(p) t.ks.(p) t.ls.(p) t.vals.(p)
+  done
+
+(* Reference MTTKRP: D[i,j] = sum A[i,k,l] * B[k,j] * C[l,j]. *)
+let mttkrp t (b : Dense.mat) (c : Dense.mat) =
+  if b.Dense.rows <> t.dim_k || c.Dense.rows <> t.dim_l || b.Dense.cols <> c.Dense.cols
+  then invalid_arg "Tensor3.mttkrp: dimension mismatch";
+  let jn = b.Dense.cols in
+  let d = Dense.mat_create t.dim_i jn in
+  iter
+    (fun i k l v ->
+      for j = 0 to jn - 1 do
+        Dense.add_to d i j (v *. Dense.get b k j *. Dense.get c l j)
+      done)
+    t;
+  d
+
+(* Mode-(0) flattening used by statistics: collapse (k,l) to a single column
+   index, giving a 2-D view of the 3-D pattern (paper follows SpTFS's approach
+   of treating 3-D tensors with the same machinery). *)
+let flatten t =
+  Coo.of_triplets ~nrows:t.dim_i ~ncols:(t.dim_k * t.dim_l)
+    (List.map (fun (i, k, l, v) -> (i, (k * t.dim_l) + l, v)) (to_quads t))
+
+let pp ppf t =
+  Fmt.pf ppf "tensor3 %dx%dx%d nnz=%d" t.dim_i t.dim_k t.dim_l (nnz t)

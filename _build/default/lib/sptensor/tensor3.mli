@@ -1,0 +1,32 @@
+(** 3-D sparse tensors in coordinate form, for MTTKRP
+    ([D\[i,j\] = sum A\[i,k,l\] * B\[k,j\] * C\[l,j\]]). *)
+
+type t = private {
+  dim_i : int;
+  dim_k : int;
+  dim_l : int;
+  is : int array;  (** sorted lexicographically by (i, k, l) *)
+  ks : int array;
+  ls : int array;
+  vals : float array;
+}
+
+val nnz : t -> int
+
+val of_quads : dim_i:int -> dim_k:int -> dim_l:int -> (int * int * int * float) list -> t
+(** Builds from unordered quads; sorts and sums duplicates.  Raises
+    [Invalid_argument] on out-of-bounds coordinates. *)
+
+val to_quads : t -> (int * int * int * float) list
+
+val iter : (int -> int -> int -> float -> unit) -> t -> unit
+
+val mttkrp : t -> Dense.mat -> Dense.mat -> Dense.mat
+(** Reference matricized-tensor-times-Khatri-Rao-product. *)
+
+val flatten : t -> Coo.t
+(** Mode-0 flattening: collapses [(k, l)] into one column index, giving the
+    2-D view the feature extractor consumes (the SpTFS approach the paper
+    follows for 3-D tensors). *)
+
+val pp : Format.formatter -> t -> unit

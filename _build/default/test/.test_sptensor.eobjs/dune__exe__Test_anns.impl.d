@@ -1,0 +1,1 @@
+test/test_anns.ml: Alcotest Anns Array Float List Printf QCheck QCheck_alcotest Rng Sptensor

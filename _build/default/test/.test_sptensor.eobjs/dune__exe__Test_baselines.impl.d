@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Algorithm Baselines Costsim Float Gen List Machine Machine_model Rng Scanf Schedule Sptensor Superschedule Workload

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Algorithm Array Coo Csr Dense Exec_engine Format_abs Gen List QCheck QCheck_alcotest Rng Schedule Space Sptensor Superschedule Tensor3

@@ -1,0 +1,1 @@
+test/test_format_abs.ml: Alcotest Array Coo Format_abs Gen Levelfmt List Packed QCheck QCheck_alcotest Rng Schedule Spec Sptensor Storage_model Tensor3

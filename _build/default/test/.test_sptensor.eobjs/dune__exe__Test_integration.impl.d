@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Algorithm Array Baselines Costsim Csr Dense Exec_engine Float Gen Lazy List Machine Machine_model Printf Rng Schedule Space Sptensor Superschedule Waco Workload

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Algorithm Coo Costsim Float Format_abs Gen List Machine Machine_model Option Printf QCheck QCheck_alcotest Rng Schedule Space Sptensor String Superschedule Workload

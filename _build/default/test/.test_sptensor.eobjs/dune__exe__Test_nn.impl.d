@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Float Gen List Nn Rng Sptensor

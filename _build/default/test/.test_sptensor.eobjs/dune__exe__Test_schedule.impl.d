@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Algorithm Array Encode Format_abs List QCheck QCheck_alcotest Rng Schedule Space Sptensor Superschedule

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Algorithm Array Blackbox Float List Printf Rng Schedule Sptensor Superschedule

@@ -1,0 +1,1 @@
+test/test_sptensor.ml: Alcotest Array Coo Csr Dense Filename Fun Gen List Mmio QCheck QCheck_alcotest Rng Sptensor Stats Sys Tensor3

@@ -1,0 +1,1 @@
+test/test_waco.ml: Alcotest Algorithm Array Costsim Filename Float Gen List Machine Machine_model Nn Printf Rng Schedule Space Sptensor Sys Waco Workload

@@ -1,0 +1,108 @@
+(* Baseline tests: each baseline must honour its documented tuning space. *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+let rng () = Rng.create 88
+
+let machine = Machine.intel_like
+
+let workload () =
+  let r = rng () in
+  Workload.of_coo ~id:"bl" (Gen.power_law r ~alpha:1.4 ~nrows:800 ~ncols:800 ~nnz:24000)
+
+let test_fixed_csr_matches_default () =
+  let wl = workload () in
+  let algo = Algorithm.Spmm 256 in
+  let b = Baselines.fixed_csr machine wl algo in
+  Alcotest.(check (float 1e-15)) "fixed = default schedule"
+    (Costsim.runtime machine wl (Superschedule.fixed_default algo))
+    b.Baselines.kernel_time;
+  Alcotest.(check (float 0.0)) "no tuning cost" 0.0 b.Baselines.tuning_time
+
+let test_mkl_improves_or_ties_fixed () =
+  let wl = workload () in
+  List.iter
+    (fun algo ->
+      let mkl = Baselines.mkl machine wl algo in
+      let fixed = Baselines.fixed_csr machine wl algo in
+      Alcotest.(check bool) "mkl <= fixed csr (same format, tuned schedule)" true
+        (mkl.Baselines.kernel_time <= fixed.Baselines.kernel_time +. 1e-15);
+      Alcotest.(check bool) "mkl pays tuning" true (mkl.Baselines.tuning_time > 0.0);
+      Alcotest.(check (float 0.0)) "mkl no conversion" 0.0 mkl.Baselines.convert_time)
+    [ Algorithm.Spmv; Algorithm.Spmm 256 ]
+
+let test_mkl_rejects_unsupported () =
+  let wl = workload () in
+  Alcotest.check_raises "no sddmm in mkl"
+    (Invalid_argument "Baselines.mkl: MKL supports only SpMV and SpMM") (fun () ->
+      ignore (Baselines.mkl machine wl (Algorithm.Sddmm 256)))
+
+let test_best_format_beats_or_ties_csr () =
+  let wl = workload () in
+  List.iter
+    (fun algo ->
+      let bf = Baselines.best_format machine wl algo in
+      let fixed = Baselines.fixed_csr machine wl algo in
+      (* CSR is among the candidates, so BestFormat can never be slower. *)
+      Alcotest.(check bool) "bestformat <= fixed" true
+        (bf.Baselines.kernel_time <= fixed.Baselines.kernel_time +. 1e-15))
+    [ Algorithm.Spmv; Algorithm.Spmm 256; Algorithm.Sddmm 256 ]
+
+let test_best_format_mttkrp_candidates () =
+  let r = rng () in
+  let t = Gen.tensor3_uniform r ~dim_i:64 ~dim_k:64 ~dim_l:64 ~nnz:2000 in
+  let wl = Workload.of_tensor3 ~id:"t3" t in
+  let bf = Baselines.best_format machine wl (Algorithm.Mttkrp 16) in
+  Alcotest.(check bool) "mttkrp bestformat runs" true (bf.Baselines.kernel_time > 0.0)
+
+let test_aspt_partitions_all_nonzeros () =
+  let r = rng () in
+  let m = Gen.block_dense r ~block:8 ~nrows:512 ~ncols:512 ~nnz:20000 in
+  let wl = Workload.of_coo ~id:"aspt" m in
+  let a = Baselines.aspt machine wl (Algorithm.Spmm 256) in
+  (* description records tiled_nnz and rest_nnz; they must sum to nnz *)
+  Scanf.sscanf a.Baselines.description "panels=%d tiled_nnz=%d rest_nnz=%d"
+    (fun _ tiled rest ->
+      Alcotest.(check int) "partition covers matrix" wl.Workload.nnz (tiled + rest))
+
+let test_aspt_helps_blocked_matrices () =
+  let r = rng () in
+  (* dense columns within panels: ASpT's favourable case *)
+  let m = Gen.block_dense r ~block:16 ~nrows:1024 ~ncols:1024 ~nnz:150000 in
+  let wl = Workload.of_coo ~id:"aspt2" m in
+  let a = Baselines.aspt machine wl (Algorithm.Spmm 256) in
+  Alcotest.(check bool) "aspt finite positive" true
+    (a.Baselines.kernel_time > 0.0 && Float.is_finite a.Baselines.kernel_time)
+
+let test_aspt_rejects_spmv () =
+  let wl = workload () in
+  Alcotest.check_raises "no spmv in aspt"
+    (Invalid_argument "Baselines.aspt: ASpT artifacts cover only SpMM and SDDMM")
+    (fun () -> ignore (Baselines.aspt machine wl Algorithm.Spmv))
+
+let test_mkl_naive_coarser_than_tuned () =
+  let wl = workload () in
+  let algo = Algorithm.Spmm 256 in
+  let naive = Baselines.mkl_naive machine wl algo in
+  let tuned = Baselines.mkl machine wl algo in
+  Alcotest.(check bool) "tuned mkl <= naive mkl" true
+    (tuned.Baselines.kernel_time <= naive.Baselines.kernel_time +. 1e-15)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "fixed csr" `Quick test_fixed_csr_matches_default;
+          Alcotest.test_case "mkl improves" `Quick test_mkl_improves_or_ties_fixed;
+          Alcotest.test_case "mkl unsupported" `Quick test_mkl_rejects_unsupported;
+          Alcotest.test_case "bestformat >= csr" `Quick test_best_format_beats_or_ties_csr;
+          Alcotest.test_case "bestformat mttkrp" `Quick test_best_format_mttkrp_candidates;
+          Alcotest.test_case "aspt partition" `Quick test_aspt_partitions_all_nonzeros;
+          Alcotest.test_case "aspt blocked" `Quick test_aspt_helps_blocked_matrices;
+          Alcotest.test_case "aspt unsupported" `Quick test_aspt_rejects_spmv;
+          Alcotest.test_case "mkl naive" `Quick test_mkl_naive_coarser_than_tuned;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Differential tests: packed-format executors vs the CSR/dense references,
+   across randomly sampled formats — the packing/execution pipeline must give
+   identical numerics for every representable format. *)
+
+open Sptensor
+open Schedule
+
+let rng () = Rng.create 4242
+
+let pack_ok spec m =
+  match Format_abs.Packed.of_coo spec m with Ok p -> p | Error e -> Alcotest.fail e
+
+let test_spmv_all_canonical_formats () =
+  let r = rng () in
+  let m = Gen.clustered r ~cluster:5 ~nrows:80 ~ncols:70 ~nnz:300 in
+  let x = Dense.vec_random r 70 in
+  let expected = Csr.spmv (Csr.of_coo m) x in
+  List.iter
+    (fun (name, spec) ->
+      let y = Exec_engine.Kernels.spmv (pack_ok spec m) x in
+      Alcotest.(check bool) (name ^ " matches") true
+        (Dense.vec_approx_equal ~eps:1e-9 y expected))
+    [
+      ("csr", Format_abs.Spec.csr_like ~dims:[| 80; 70 |]);
+      ("csc", Format_abs.Spec.csc ~dims:[| 80; 70 |]);
+      ("bcsr4x4", Format_abs.Spec.bcsr ~dims:[| 80; 70 |] ~bi:4 ~bk:4);
+      ("ucu8", Format_abs.Spec.ucu ~dims:[| 80; 70 |] ~bi:8);
+      ("uuc16", Format_abs.Spec.sparse_block ~dims:[| 80; 70 |] ~bk:16);
+    ]
+
+let test_spmm_random_formats () =
+  let r = rng () in
+  let m = Gen.power_law r ~alpha:1.4 ~nrows:60 ~ncols:50 ~nnz:250 in
+  let b = Dense.mat_random r 50 7 in
+  let expected = Csr.spmm (Csr.of_coo m) b in
+  for _ = 1 to 25 do
+    let s = Space.sample r (Algorithm.Spmm 7) ~dims:[| 60; 50 |] in
+    match Exec_engine.Kernels.pack_for s m with
+    | Error _ -> () (* over budget is fine *)
+    | Ok p ->
+        let got = Exec_engine.Kernels.spmm p b in
+        Alcotest.(check bool)
+          ("spmm " ^ Superschedule.describe s)
+          true
+          (Dense.mat_approx_equal ~eps:1e-9 got expected)
+  done
+
+let test_sddmm_random_formats () =
+  let r = rng () in
+  let m = Gen.uniform r ~nrows:40 ~ncols:45 ~nnz:200 in
+  let b = Dense.mat_random r 40 6 in
+  let c = Dense.mat_random r 6 45 in
+  let expected = Csr.to_coo (Csr.sddmm (Csr.of_coo m) b c) in
+  for _ = 1 to 25 do
+    let s = Space.sample r (Algorithm.Sddmm 6) ~dims:[| 40; 45 |] in
+    match Exec_engine.Kernels.pack_for s m with
+    | Error _ -> ()
+    | Ok p ->
+        let got = Exec_engine.Kernels.sddmm p b c in
+        Alcotest.(check bool) "sddmm matches csr reference" true
+          (Coo.approx_equal ~eps:1e-9 got expected)
+  done
+
+let test_mttkrp_random_formats () =
+  let r = rng () in
+  let t = Gen.tensor3_blocked r ~block:2 ~dim_i:24 ~dim_k:20 ~dim_l:16 ~nnz:150 in
+  let b = Dense.mat_random r 20 5 in
+  let c = Dense.mat_random r 16 5 in
+  let expected = Tensor3.mttkrp t b c in
+  for _ = 1 to 20 do
+    let s = Space.sample r (Algorithm.Mttkrp 5) ~dims:[| 24; 20; 16 |] in
+    let spec = Superschedule.to_spec s ~dims:[| 24; 20; 16 |] in
+    match Format_abs.Packed.of_tensor3 spec t with
+    | Error _ -> ()
+    | Ok p ->
+        let got = Exec_engine.Kernels.mttkrp p b c in
+        Alcotest.(check bool) "mttkrp matches reference" true
+          (Dense.mat_approx_equal ~eps:1e-9 got expected)
+  done
+
+let test_kernel_dimension_checks () =
+  let r = rng () in
+  let m = Gen.uniform r ~nrows:10 ~ncols:12 ~nnz:20 in
+  let p = pack_ok (Format_abs.Spec.csr_like ~dims:[| 10; 12 |]) m in
+  Alcotest.check_raises "spmv wrong x"
+    (Invalid_argument "Kernels.spmv: x length mismatch") (fun () ->
+      ignore (Exec_engine.Kernels.spmv p (Dense.vec_create 5)))
+
+let test_empty_matrix () =
+  let m = Coo.of_triplets ~nrows:5 ~ncols:5 [] in
+  let p = pack_ok (Format_abs.Spec.csr_like ~dims:[| 5; 5 |]) m in
+  let y = Exec_engine.Kernels.spmv p (Dense.vec_init 5 (fun _ -> 1.0)) in
+  Alcotest.(check bool) "empty spmv = zeros" true
+    (Dense.vec_approx_equal y (Dense.vec_create 5))
+
+let test_single_entry () =
+  let m = Coo.of_triplets ~nrows:3 ~ncols:3 [ (1, 2, 5.0) ] in
+  let p = pack_ok (Format_abs.Spec.bcsr ~dims:[| 3; 3 |] ~bi:2 ~bk:2) m in
+  let y = Exec_engine.Kernels.spmv p [| 1.0; 1.0; 2.0 |] in
+  Alcotest.(check (float 1e-12)) "single entry" 10.0 y.(1)
+
+(* Non-divisible splits: padding slots fall outside bounds and must be
+   skipped. *)
+let test_non_divisible_splits () =
+  let r = rng () in
+  let m = Gen.uniform r ~nrows:37 ~ncols:23 ~nnz:100 in
+  let x = Dense.vec_random r 23 in
+  let expected = Csr.spmv (Csr.of_coo m) x in
+  let spec = Format_abs.Spec.bcsr ~dims:[| 37; 23 |] ~bi:5 ~bk:7 in
+  let y = Exec_engine.Kernels.spmv (pack_ok spec m) x in
+  Alcotest.(check bool) "ragged blocks" true (Dense.vec_approx_equal ~eps:1e-9 y expected)
+
+let qcheck_spmv_any_format =
+  QCheck.Test.make ~name:"spmv correct under any sampled format (prop)" ~count:60
+    QCheck.small_nat
+    (fun seed ->
+      let r = Rng.create (seed + 5) in
+      let nrows = 20 + Rng.int r 60 and ncols = 20 + Rng.int r 60 in
+      let m = Gen.uniform r ~nrows ~ncols ~nnz:(20 + Rng.int r 150) in
+      let x = Dense.vec_random r ncols in
+      let expected = Csr.spmv (Csr.of_coo m) x in
+      let s = Space.sample r Algorithm.Spmv ~dims:[| nrows; ncols |] in
+      match Exec_engine.Kernels.pack_for s m with
+      | Error _ -> true
+      | Ok p ->
+          Dense.vec_approx_equal ~eps:1e-9 (Exec_engine.Kernels.spmv p x) expected)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "spmv canonical formats" `Quick test_spmv_all_canonical_formats;
+          Alcotest.test_case "spmm random formats" `Quick test_spmm_random_formats;
+          Alcotest.test_case "sddmm random formats" `Quick test_sddmm_random_formats;
+          Alcotest.test_case "mttkrp random formats" `Quick test_mttkrp_random_formats;
+          Alcotest.test_case "dimension checks" `Quick test_kernel_dimension_checks;
+          Alcotest.test_case "empty matrix" `Quick test_empty_matrix;
+          Alcotest.test_case "single entry" `Quick test_single_entry;
+          Alcotest.test_case "non-divisible splits" `Quick test_non_divisible_splits;
+          QCheck_alcotest.to_alcotest qcheck_spmv_any_format;
+        ] );
+    ]

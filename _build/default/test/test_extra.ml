@@ -1,0 +1,404 @@
+(* Second-layer behavioural tests: cross-module equivalences and regression
+   tests for the specific paper stories the simulator must price. *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+let rng () = Rng.create 5150
+
+(* --- exec: algebraic cross-checks --- *)
+
+(* SpMM with a 1-column dense operand must equal SpMV. *)
+let test_spmm_1col_equals_spmv () =
+  let r = rng () in
+  let m = Gen.rmat r ~nrows:64 ~ncols:64 ~nnz:400 in
+  let x = Dense.vec_random r 64 in
+  let b = { Dense.rows = 64; cols = 1; data = Array.copy x } in
+  let spec = Format_abs.Spec.bcsr ~dims:[| 64; 64 |] ~bi:4 ~bk:4 in
+  let p = match Format_abs.Packed.of_coo spec m with Ok p -> p | Error e -> failwith e in
+  let y = Exec_engine.Kernels.spmv p x in
+  let c = Exec_engine.Kernels.spmm p b in
+  Alcotest.(check bool) "spmm(1 col) = spmv" true
+    (Dense.vec_approx_equal ~eps:1e-12 y c.Dense.data)
+
+(* SDDMM with all-ones dense operands scales A by |k|. *)
+let test_sddmm_ones_scales () =
+  let r = rng () in
+  let m = Gen.uniform r ~nrows:30 ~ncols:30 ~nnz:100 in
+  let ones rows cols = Dense.mat_init rows cols (fun _ _ -> 1.0) in
+  let spec = Format_abs.Spec.csr_like ~dims:[| 30; 30 |] in
+  let p = match Format_abs.Packed.of_coo spec m with Ok p -> p | Error e -> failwith e in
+  let d = Exec_engine.Kernels.sddmm p (ones 30 5) (ones 5 30) in
+  let expected =
+    Coo.of_triplets ~nrows:30 ~ncols:30
+      (List.map (fun (i, j, v) -> (i, j, 5.0 *. v)) (Coo.to_triplets m))
+  in
+  Alcotest.(check bool) "sddmm(ones) = 5*A" true (Coo.approx_equal ~eps:1e-9 d expected)
+
+(* MTTKRP with dim_l = 1 and all-ones C degenerates to SpMM over the (i,k)
+   flattening. *)
+let test_mttkrp_degenerate_spmm () =
+  let r = rng () in
+  let quads =
+    List.init 60 (fun _ -> (Rng.int r 20, Rng.int r 18, 0, Rng.float_in r 0.1 1.0))
+  in
+  let t = Tensor3.of_quads ~dim_i:20 ~dim_k:18 ~dim_l:1 quads in
+  let b = Dense.mat_random r 18 4 in
+  let ones = Dense.mat_init 1 4 (fun _ _ -> 1.0) in
+  let spec = Format_abs.Spec.csf ~dims:[| 20; 18; 1 |] in
+  let p = match Format_abs.Packed.of_tensor3 spec t with Ok p -> p | Error e -> failwith e in
+  let d = Exec_engine.Kernels.mttkrp p b ones in
+  let flat2d =
+    Coo.of_triplets ~nrows:20 ~ncols:18
+      (List.map (fun (i, k, _, v) -> (i, k, v)) (Tensor3.to_quads t))
+  in
+  let expected = Csr.spmm (Csr.of_coo flat2d) b in
+  Alcotest.(check bool) "degenerate mttkrp = spmm" true
+    (Dense.mat_approx_equal ~eps:1e-9 d expected)
+
+(* --- machine: paper-story regressions --- *)
+
+(* The sparsine story (§5.2.1): on a large scattered matrix whose dense
+   operand exceeds the LLC, a sparse-block (UUC) format with a large column
+   split beats tuned CSR. *)
+let test_sparse_block_beats_csr_on_scattered () =
+  let r = rng () in
+  let machine = Machine.intel_like in
+  let algo = Algorithm.Spmm 256 in
+  let m = Gen.sparsine_like r in
+  let wl = Workload.of_coo ~id:"sparsine-story" m in
+  let fixed = Superschedule.fixed_default algo in
+  let csr_best =
+    List.fold_left Float.min infinity
+      (List.map
+         (fun c -> Costsim.runtime machine wl { fixed with Superschedule.chunk = c })
+         [ 1; 4; 16; 64 ])
+  in
+  let uuc ~bi ~bk =
+    Superschedule.concordant_with_format algo ~splits:[| bi; bk |]
+      ~a_order:
+        [| Format_abs.Spec.top_var 0; Format_abs.Spec.top_var 1;
+           Format_abs.Spec.bottom_var 0; Format_abs.Spec.bottom_var 1 |]
+      ~a_formats:
+        [| (if bi > 1 then Format_abs.Levelfmt.C else Format_abs.Levelfmt.U);
+           Format_abs.Levelfmt.U; Format_abs.Levelfmt.C; Format_abs.Levelfmt.C |]
+  in
+  let uuc_best =
+    List.fold_left Float.min infinity
+      (List.concat_map
+         (fun (bi, bk) ->
+           List.map
+             (fun c -> Costsim.runtime machine wl { (uuc ~bi ~bk) with Superschedule.chunk = c })
+             [ 1; 4; 16 ])
+         [ (32, 256); (16, 512); (32, 512) ])
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "uuc %.2e < csr %.2e" uuc_best csr_best)
+    true (uuc_best < csr_best)
+
+(* The TSOPF story (§2.1): on a dense-blocked matrix, tuned BCSR beats tuned
+   CSR. *)
+let test_bcsr_beats_csr_on_tsopf () =
+  let r = rng () in
+  let machine = Machine.intel_like in
+  let algo = Algorithm.Spmm 256 in
+  let m = Gen.tsopf_like r in
+  let wl = Workload.of_coo ~id:"tsopf-story" m in
+  let fixed = Superschedule.fixed_default algo in
+  let bcsr =
+    Superschedule.concordant_with_format algo ~splits:[| 8; 8 |]
+      ~a_order:
+        [| Format_abs.Spec.top_var 0; Format_abs.Spec.top_var 1;
+           Format_abs.Spec.bottom_var 0; Format_abs.Spec.bottom_var 1 |]
+      ~a_formats:
+        [| Format_abs.Levelfmt.U; Format_abs.Levelfmt.C; Format_abs.Levelfmt.U;
+           Format_abs.Levelfmt.U |]
+  in
+  let best s =
+    List.fold_left Float.min infinity
+      (List.map
+         (fun c -> Costsim.runtime machine wl { s with Superschedule.chunk = c })
+         [ 1; 4; 16 ])
+  in
+  Alcotest.(check bool) "tuned bcsr beats tuned csr" true (best bcsr < best fixed)
+
+(* Breakdown consistency: final seconds within [makespan, serial]. *)
+let test_breakdown_consistency () =
+  let r = rng () in
+  let machine = Machine.intel_like in
+  let m = Gen.clustered r ~cluster:8 ~nrows:700 ~ncols:700 ~nnz:20000 in
+  let wl = Workload.of_coo ~id:"bd" m in
+  for _ = 1 to 30 do
+    let s = Space.sample r (Algorithm.Spmm 256) ~dims:[| 700; 700 |] in
+    let b = Costsim.estimate machine wl s in
+    Alcotest.(check bool) "seconds >= makespan" true
+      (b.Costsim.seconds >= b.Costsim.makespan_seconds -. 1e-15);
+    Alcotest.(check bool) "serial = comp + mem + search" true
+      (Float.abs
+         (b.Costsim.serial_seconds
+         -. (b.Costsim.compute_seconds +. b.Costsim.memory_seconds
+             +. b.Costsim.search_seconds))
+      < 1e-12);
+    Alcotest.(check bool) "components non-negative" true
+      (b.Costsim.compute_seconds >= 0.0 && b.Costsim.memory_seconds >= 0.0
+       && b.Costsim.search_seconds >= 0.0)
+  done
+
+(* Larger dense operand => strictly more simulated work for same pattern. *)
+let test_jn_monotonicity () =
+  let r = rng () in
+  let machine = Machine.intel_like in
+  let m = Gen.uniform r ~nrows:600 ~ncols:600 ~nnz:12000 in
+  let wl = Workload.of_coo ~id:"jn" m in
+  let t jn = Costsim.runtime machine wl (Superschedule.fixed_default (Algorithm.Spmm jn)) in
+  Alcotest.(check bool) "jn=256 slower than jn=32" true (t 256 > t 32)
+
+(* --- schedule: guided sampler concordance --- *)
+
+let test_guided_samples_often_concordant () =
+  let r = rng () in
+  let algo = Algorithm.Spmm 256 in
+  let concordant = ref 0 in
+  let n = 200 in
+  for _ = 1 to n do
+    let s = Space.sample_guided r algo ~dims:[| 512; 512 |] in
+    let spec = Superschedule.to_spec s ~dims:[| 512; 512 |] in
+    if Format_abs.Spec.discordant_levels spec ~compute_order:s.Superschedule.compute_order = 0
+    then incr concordant
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d concordant" !concordant n)
+    true
+    (!concordant > n / 2)
+
+(* --- nn: pyramid reuse and embedding-table equivalence --- *)
+
+let test_pyramid_forward_equivalence () =
+  let r = rng () in
+  let m = Gen.clustered r ~cluster:4 ~nrows:60 ~ncols:60 ~nnz:200 in
+  let base = Nn.Smap.of_coo m in
+  let conv = Nn.Sparse_conv.create r ~name:"c" ~in_ch:1 ~out_ch:4 ~ksize:3 ~stride:2 in
+  let pyr = Nn.Pyramid.build base ~layers:[ (3, 2) ] in
+  let a = Nn.Sparse_conv.forward conv base in
+  let b = Nn.Sparse_conv.forward_with_map conv pyr.Nn.Pyramid.maps.(0) base in
+  Alcotest.(check (array (float 1e-12))) "cached map = fresh map" a.Nn.Smap.feats
+    b.Nn.Smap.feats
+
+(* A bias-free linear over a one-hot is a lookup table: row o of W. *)
+let test_linear_as_lookup () =
+  let r = rng () in
+  let l = Nn.Linear.create r ~name:"lut" ~in_dim:5 ~out_dim:3 in
+  Array.fill l.Nn.Linear.b.Nn.Param.data 0 3 0.0;
+  let onehot = Array.make 5 0.0 in
+  onehot.(2) <- 1.0;
+  let out = Nn.Linear.forward l ~batch:1 onehot in
+  let expected = Array.init 3 (fun o -> l.Nn.Linear.w.Nn.Param.data.((o * 5) + 2)) in
+  Alcotest.(check (array (float 1e-12))) "lookup row" expected out
+
+let test_adam_bias_correction_first_step () =
+  (* With g constant, the first Adam step is ~ -lr * sign(g). *)
+  let p = Nn.Param.create ~name:"p" 1 in
+  p.Nn.Param.grad.(0) <- 0.5;
+  let adam = Nn.Adam.create ~lr:0.1 [ p ] in
+  Nn.Adam.step adam;
+  Alcotest.(check (float 1e-6)) "first step = -lr" (-0.1) p.Nn.Param.data.(0)
+
+(* --- waco: batched predict consistency --- *)
+
+let test_predict_batch_matches_singles () =
+  let r = rng () in
+  let algo = Algorithm.Spmm 8 in
+  let m = Gen.uniform r ~nrows:70 ~ncols:70 ~nnz:300 in
+  let input = Waco.Extractor.input_of_coo ~id:"pb" m in
+  let model = Waco.Costmodel.create r algo in
+  let scheds = Array.of_list (Space.sample_distinct r algo ~dims:[| 70; 70 |] ~count:5) in
+  let batch = Waco.Costmodel.predict model input scheds in
+  Array.iteri
+    (fun i s ->
+      let single = (Waco.Costmodel.predict model input [| s |]).(0) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "row %d" i) single batch.(i))
+    scheds
+
+(* Rank-3 embedder handles 6 derived variables. *)
+let test_embedder_rank3 () =
+  let r = rng () in
+  let algo = Algorithm.Mttkrp 16 in
+  let emb = Waco.Embedder.create r ~rank:3 in
+  let scheds =
+    Array.of_list (Space.sample_distinct r algo ~dims:[| 64; 64; 64 |] ~count:3)
+  in
+  let out = Waco.Embedder.forward emb scheds in
+  Alcotest.(check int) "3 rows of embed_dim" (3 * Waco.Config.embed_dim)
+    (Array.length out)
+
+(* --- baselines: ASpT threshold behaviour --- *)
+
+let test_aspt_threshold_extremes () =
+  let r = rng () in
+  let machine = Machine.intel_like in
+  let algo = Algorithm.Spmm 256 in
+  let m = Gen.block_dense r ~block:8 ~nrows:512 ~ncols:512 ~nnz:30000 in
+  let wl = Workload.of_coo ~id:"asptx" m in
+  (* threshold 1: everything tiled; huge threshold: everything CSR *)
+  let all_tiled = Baselines.aspt ~threshold:1 machine wl algo in
+  let all_csr = Baselines.aspt ~threshold:1_000_000 machine wl algo in
+  let csr = Baselines.fixed_csr machine wl algo in
+  Scanf.sscanf all_tiled.Baselines.description "panels=%d tiled_nnz=%d rest_nnz=%d"
+    (fun _ tiled rest ->
+      Alcotest.(check int) "all tiled" wl.Workload.nnz tiled;
+      Alcotest.(check int) "none left" 0 rest);
+  Alcotest.(check (float 1e-12)) "degenerate aspt = csr" csr.Baselines.kernel_time
+    all_csr.Baselines.kernel_time
+
+(* --- experiments lab --- *)
+
+let test_lab_helpers () =
+  Alcotest.(check string) "algo roundtrip" "SpMM"
+    (Algorithm.name (Experiments.Lab.algo_of_name "SpMM"));
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Experiments.Lab.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean empty" 1.0 (Experiments.Lab.geomean []);
+  (* corpora are deterministic across calls *)
+  let a = Lazy.force Experiments.Lab.test_corpus_2d in
+  let b = Lazy.force Experiments.Lab.test_corpus_2d in
+  Alcotest.(check bool) "corpus shared" true (a == b)
+
+
+(* --- dataset persistence & mmio symmetric --- *)
+
+let test_mmio_symmetric () =
+  let path = Filename.temp_file "waco" ".mtx" in
+  let oc = open_out path in
+  output_string oc
+    "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 5.0\n3 3 1.0\n";
+  close_out oc;
+  let m = Mmio.read_coo path in
+  Sys.remove path;
+  (* lower triangle mirrored: (1,0) also appears as (0,1) *)
+  Alcotest.(check int) "mirrored nnz" 4 (Coo.nnz m);
+  let d = Coo.to_dense m in
+  Alcotest.(check (float 1e-12)) "mirror value" 5.0 (Dense.get d 0 1)
+
+let test_schedule_serialization_roundtrip () =
+  let r = rng () in
+  let algo = Algorithm.Mttkrp 16 in
+  for _ = 1 to 50 do
+    let s = Space.sample r algo ~dims:[| 64; 64; 64 |] in
+    let s' = Waco.Dataset_io.parse_schedule algo (Waco.Dataset_io.serialize_schedule s) in
+    Alcotest.(check string) "roundtrip" (Superschedule.key s) (Superschedule.key s')
+  done
+
+let test_dataset_save_load_roundtrip () =
+  let r = rng () in
+  let machine = Machine.intel_like in
+  let algo = Algorithm.Spmm 256 in
+  let mats =
+    List.init 4 (fun i ->
+        (Printf.sprintf "dsm%d" i, Gen.uniform r ~nrows:100 ~ncols:100 ~nnz:600))
+  in
+  let data =
+    Waco.Dataset.of_matrices r machine algo mats ~schedules_per_matrix:8
+      ~valid_fraction:0.25
+  in
+  let dir = Filename.temp_file "waco" ".d" in
+  Sys.remove dir;
+  Waco.Dataset_io.save data ~dir;
+  let data' = Waco.Dataset_io.load ~dir ~algo ~machine ~valid_fraction:0.25 r in
+  Alcotest.(check int) "tuples preserved" (Waco.Dataset.total_tuples data)
+    (Waco.Dataset.total_tuples data');
+  Alcotest.(check int) "matrices preserved" 4
+    (Array.length data'.Waco.Dataset.train + Array.length data'.Waco.Dataset.valid);
+  (* the stored log runtimes must agree with recomputed simulator values *)
+  Array.iter
+    (fun (smp : Waco.Dataset.sample) ->
+      Array.iteri
+        (fun i s ->
+          let fresh = log (Costsim.runtime machine smp.Waco.Dataset.wl s) /. log 10.0 in
+          Alcotest.(check (float 1e-9)) "stored runtime consistent"
+            fresh smp.Waco.Dataset.log_runtimes.(i))
+        smp.Waco.Dataset.schedules)
+    data'.Waco.Dataset.train;
+  (* cleanup *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+
+(* --- attribution classifier unit tests --- *)
+
+let test_attribution_classifier () =
+  let r = rng () in
+  let algo = Algorithm.Spmm 256 in
+  let m = Gen.uniform r ~nrows:256 ~ncols:256 ~nnz:2000 in
+  let wl = Workload.of_coo ~id:"attr" m in
+  let fixed = Superschedule.fixed_default algo in
+  let top = Format_abs.Spec.top_var and bot = Format_abs.Spec.bottom_var in
+  let u = Format_abs.Levelfmt.U and c = Format_abs.Levelfmt.C in
+  (* chunk-only change -> Chunk_size *)
+  Alcotest.(check string) "chunk" "OpenMP Chunk Size"
+    (Experiments.Attribution.factor_name
+       (Experiments.Attribution.classify wl { fixed with Superschedule.chunk = 1 }));
+  (* dense inner block -> Dense_block (fill decides the variant) *)
+  let bcsr =
+    Superschedule.concordant_with_format algo ~splits:[| 4; 4 |]
+      ~a_order:[| top 0; top 1; bot 0; bot 1 |] ~a_formats:[| u; c; u; u |]
+  in
+  let f = Experiments.Attribution.classify wl bcsr in
+  Alcotest.(check bool) "bcsr classified as dense block" true
+    (f = Experiments.Attribution.Dense_block_full
+     || f = Experiments.Attribution.Dense_block_sparse);
+  (* inner compressed split -> Sparse_block *)
+  let uuc =
+    Superschedule.concordant_with_format algo ~splits:[| 1; 128 |]
+      ~a_order:[| top 1; top 0; bot 1; bot 0 |] ~a_formats:[| u; u; c; u |]
+  in
+  Alcotest.(check string) "uuc" "Sparse Block"
+    (Experiments.Attribution.factor_name (Experiments.Attribution.classify wl uuc));
+  (* SDDMM parallelized over a column var -> Parallelize over Column *)
+  let sddmm = Superschedule.fixed_default (Algorithm.Sddmm 256) in
+  let colpar = { sddmm with Superschedule.par_var = top 1 } in
+  Alcotest.(check string) "column parallel" "Parallelize over Column"
+    (Experiments.Attribution.factor_name (Experiments.Attribution.classify wl colpar))
+
+let () =
+  Alcotest.run "extra"
+    [
+      ( "exec-algebra",
+        [
+          Alcotest.test_case "spmm 1col = spmv" `Quick test_spmm_1col_equals_spmv;
+          Alcotest.test_case "sddmm ones" `Quick test_sddmm_ones_scales;
+          Alcotest.test_case "mttkrp degenerate" `Quick test_mttkrp_degenerate_spmm;
+        ] );
+      ( "machine-stories",
+        [
+          Alcotest.test_case "sparsine: uuc beats csr" `Slow
+            test_sparse_block_beats_csr_on_scattered;
+          Alcotest.test_case "tsopf: bcsr beats csr" `Slow test_bcsr_beats_csr_on_tsopf;
+          Alcotest.test_case "breakdown consistency" `Quick test_breakdown_consistency;
+          Alcotest.test_case "jn monotone" `Quick test_jn_monotonicity;
+        ] );
+      ( "schedule-guided",
+        [ Alcotest.test_case "concordance" `Quick test_guided_samples_often_concordant ] );
+      ( "nn-extra",
+        [
+          Alcotest.test_case "pyramid equivalence" `Quick test_pyramid_forward_equivalence;
+          Alcotest.test_case "linear as lookup" `Quick test_linear_as_lookup;
+          Alcotest.test_case "adam first step" `Quick test_adam_bias_correction_first_step;
+        ] );
+      ( "waco-extra",
+        [
+          Alcotest.test_case "predict batch" `Quick test_predict_batch_matches_singles;
+          Alcotest.test_case "embedder rank3" `Quick test_embedder_rank3;
+        ] );
+      ( "baselines-extra",
+        [ Alcotest.test_case "aspt thresholds" `Quick test_aspt_threshold_extremes ] );
+      ("lab", [ Alcotest.test_case "helpers" `Quick test_lab_helpers ]);
+      ( "attribution",
+        [ Alcotest.test_case "classifier" `Quick test_attribution_classifier ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "mmio symmetric" `Quick test_mmio_symmetric;
+          Alcotest.test_case "schedule serialization" `Quick
+            test_schedule_serialization_roundtrip;
+          Alcotest.test_case "dataset save/load" `Quick test_dataset_save_load_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* End-to-end integration tests: the full WACO pipeline (dataset -> training
+   -> KNN graph -> ANNS tuning -> measured winner) against the baselines, at
+   miniature scale.  These are the "does the whole thing hang together" tests;
+   the per-module suites cover the parts. *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+let machine = Machine.intel_like
+
+let algo = Algorithm.Spmm 256
+
+(* A miniature lab: a corpus biased to blocked + skewed matrices so a small
+   training run can learn the structure. *)
+let build_pipeline seed =
+  let r = Rng.create seed in
+  let mats =
+    List.init 14 (fun i ->
+        let name = Printf.sprintf "im%d" i in
+        let m =
+          match i mod 3 with
+          | 0 -> Gen.block_dense r ~block:8 ~nrows:768 ~ncols:768 ~nnz:40000
+          | 1 -> Gen.power_law r ~alpha:1.5 ~nrows:768 ~ncols:768 ~nnz:30000
+          | _ -> Gen.uniform r ~nrows:768 ~ncols:768 ~nnz:25000
+        in
+        (name, m))
+  in
+  let data =
+    Waco.Dataset.of_matrices r machine algo mats ~schedules_per_matrix:24
+      ~valid_fraction:0.2
+  in
+  let model = Waco.Costmodel.create r algo in
+  let curve = Waco.Trainer.train ~lr:2e-3 ~pairs_per_step:20 r model data ~epochs:10 in
+  let index = Waco.Tuner.build_index r model (Waco.Dataset.all_schedules data) in
+  (r, model, index, curve)
+
+let pipeline = lazy (build_pipeline 31415)
+
+let test_training_learned_something () =
+  let _, _, _, curve = Lazy.force pipeline in
+  let accs = curve.Waco.Trainer.valid_acc in
+  let final = accs.(Array.length accs - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "final val pair accuracy %.3f >= 0.7" final)
+    true (final >= 0.7)
+
+let tune_case r model index name m =
+  ignore r;
+  let wl = Workload.of_coo ~id:name m in
+  let input = Waco.Extractor.input_of_coo ~id:name m in
+  let res = Waco.Tuner.tune model machine wl input index in
+  (wl, res)
+
+let test_waco_beats_fixed_csr_on_blocked () =
+  let r, model, index, _ = Lazy.force pipeline in
+  let m = Gen.block_dense (Rng.create 99) ~block:8 ~nrows:900 ~ncols:900 ~nnz:60000 in
+  let wl, res = tune_case r model index "itest-block" m in
+  let csr = (Baselines.fixed_csr machine wl algo).Baselines.kernel_time in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2fx >= 1.0" (csr /. res.Waco.Tuner.best_measured))
+    true
+    (res.Waco.Tuner.best_measured <= csr *. 1.0001)
+
+let test_waco_close_to_corpus_oracle () =
+  let r, model, index, _ = Lazy.force pipeline in
+  let m = Gen.power_law (Rng.create 123) ~alpha:1.5 ~nrows:800 ~ncols:800 ~nnz:35000 in
+  let wl, res = tune_case r model index "itest-skew" m in
+  (* Oracle over a 150-sample subspace: WACO's measured winner should be
+     within 2x of it (the paper's top-10-then-measure gives near-oracle). *)
+  let oracle =
+    List.fold_left
+      (fun acc s -> Float.min acc (Costsim.runtime machine wl s))
+      infinity
+      (Space.sample_distinct (Rng.create 7) algo ~dims:wl.Workload.dims ~count:150)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "waco %.2e within 2x of oracle %.2e" res.Waco.Tuner.best_measured
+       oracle)
+    true
+    (res.Waco.Tuner.best_measured <= 2.0 *. oracle)
+
+let test_anns_more_efficient_than_random_probing () =
+  let r, model, index, _ = Lazy.force pipeline in
+  let m = Gen.block_dense (Rng.create 5) ~block:8 ~nrows:700 ~ncols:700 ~nnz:30000 in
+  ignore r;
+  let wl = Workload.of_coo ~id:"itest-anns" m in
+  let input = Waco.Extractor.input_of_coo ~id:"itest-anns" m in
+  let res = Waco.Tuner.tune model machine wl input index in
+  (* ANNS touches a small fraction of the corpus. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "evals %d < corpus %d" res.Waco.Tuner.cost_evals
+       index.Waco.Tuner.corpus_size)
+    true
+    (res.Waco.Tuner.cost_evals < index.Waco.Tuner.corpus_size / 2)
+
+(* The chosen schedule must also be *executable*: pack the matrix with it and
+   check numerics against the CSR reference (ties the tuner to the real
+   kernels, not just the simulator). *)
+let test_tuned_schedule_executes_correctly () =
+  let r, model, index, _ = Lazy.force pipeline in
+  ignore r;
+  let rng = Rng.create 2718 in
+  let m = Gen.uniform rng ~nrows:300 ~ncols:300 ~nnz:4000 in
+  let wl = Workload.of_coo ~id:"itest-exec" m in
+  let input = Waco.Extractor.input_of_coo ~id:"itest-exec" m in
+  let res = Waco.Tuner.tune model machine wl input index in
+  let b = Dense.mat_random rng 300 6 in
+  let expected = Csr.spmm (Csr.of_coo m) b in
+  (* Execute with a small dense dimension for test speed; the format part of
+     the schedule is what is being exercised. *)
+  match Exec_engine.Kernels.pack_for res.Waco.Tuner.best m with
+  | Error e -> Alcotest.fail ("tuned schedule unpackable: " ^ e)
+  | Ok packed ->
+      Alcotest.(check bool) "tuned format executes correctly" true
+        (Dense.mat_approx_equal ~eps:1e-9 (Exec_engine.Kernels.spmm packed b) expected)
+
+(* MTTKRP end-to-end at tiny scale: dataset over 3-D tensors, train, tune. *)
+let test_mttkrp_pipeline () =
+  let r = Rng.create 112 in
+  let algo3 = Algorithm.Mttkrp 16 in
+  let tensors =
+    List.init 6 (fun i ->
+        ( Printf.sprintf "t%d" i,
+          if i mod 2 = 0 then Gen.tensor3_blocked r ~block:2 ~dim_i:96 ~dim_k:96 ~dim_l:96 ~nnz:3000
+          else Gen.tensor3_uniform r ~dim_i:96 ~dim_k:96 ~dim_l:96 ~nnz:3000 ))
+  in
+  let data =
+    Waco.Dataset.of_tensors r machine algo3 tensors ~schedules_per_matrix:12
+      ~valid_fraction:0.3
+  in
+  let model = Waco.Costmodel.create r algo3 in
+  ignore (Waco.Trainer.train ~lr:2e-3 r model data ~epochs:3);
+  let index = Waco.Tuner.build_index r model (Waco.Dataset.all_schedules data) in
+  let t = Gen.tensor3_blocked (Rng.create 9) ~block:2 ~dim_i:80 ~dim_k:80 ~dim_l:80 ~nnz:2500 in
+  let wl = Workload.of_tensor3 ~id:"t3-test" t in
+  let input = Waco.Extractor.input_of_tensor3 ~id:"t3-test" t in
+  let res = Waco.Tuner.tune ~k:5 model machine wl input index in
+  Alcotest.(check bool) "mttkrp tuner produced a schedule" true
+    (res.Waco.Tuner.best_measured > 0.0);
+  Superschedule.validate res.Waco.Tuner.best
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "training learns" `Slow test_training_learned_something;
+          Alcotest.test_case "beats fixed csr (blocked)" `Slow
+            test_waco_beats_fixed_csr_on_blocked;
+          Alcotest.test_case "close to oracle" `Slow test_waco_close_to_corpus_oracle;
+          Alcotest.test_case "anns efficiency" `Slow test_anns_more_efficient_than_random_probing;
+          Alcotest.test_case "tuned schedule executes" `Slow
+            test_tuned_schedule_executes_correctly;
+          Alcotest.test_case "mttkrp pipeline" `Slow test_mttkrp_pipeline;
+        ] );
+    ]

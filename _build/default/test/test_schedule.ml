@@ -1,0 +1,188 @@
+(* Tests for the SuperSchedule template: validity, sampling, encodings. *)
+
+open Sptensor
+open Schedule
+
+let rng () = Rng.create 31337
+
+let dims2 = [| 128; 96 |]
+
+(* --- Algorithm --- *)
+
+let test_algorithm_facts () =
+  Alcotest.(check int) "spmv rank" 2 (Algorithm.sparse_rank Algorithm.Spmv);
+  Alcotest.(check int) "mttkrp rank" 3 (Algorithm.sparse_rank (Algorithm.Mttkrp 16));
+  Alcotest.(check int) "spmm dense" 256 (Algorithm.dense_inner (Algorithm.Spmm 256));
+  Alcotest.(check (list int)) "spmv par candidates = i1,i0" [ 0; 1 ]
+    (Algorithm.parallel_candidates Algorithm.Spmv);
+  (* SDDMM can parallelize columns too (paper §5.2.1) *)
+  Alcotest.(check (list int)) "sddmm par candidates" [ 0; 1; 2; 3 ]
+    (Algorithm.parallel_candidates (Algorithm.Sddmm 4))
+
+let test_flops_per_entry () =
+  Alcotest.(check (float 1e-9)) "spmv" 2.0 (Algorithm.flops_per_entry Algorithm.Spmv);
+  Alcotest.(check (float 1e-9)) "spmm" 16.0 (Algorithm.flops_per_entry (Algorithm.Spmm 8))
+
+(* --- Superschedule --- *)
+
+let test_fixed_default_csr () =
+  let s = Superschedule.fixed_default (Algorithm.Spmm 8) in
+  Superschedule.validate s;
+  let spec = Superschedule.to_spec s ~dims:dims2 in
+  Alcotest.(check string) "csr" "UC" (Format_abs.Spec.name spec);
+  Alcotest.(check int) "spmm chunk" 4 s.Superschedule.chunk;
+  let sv = Superschedule.fixed_default Algorithm.Spmv in
+  Alcotest.(check int) "spmv chunk 16" 16 sv.Superschedule.chunk
+
+let test_fixed_default_csf () =
+  let s = Superschedule.fixed_default (Algorithm.Mttkrp 16) in
+  let spec = Superschedule.to_spec s ~dims:[| 32; 32; 32 |] in
+  Alcotest.(check string) "csf" "CCC" (Format_abs.Spec.name spec)
+
+let test_validate_rejects_bad_par () =
+  let s = Superschedule.fixed_default (Algorithm.Spmm 8) in
+  let bad = { s with Superschedule.par_var = Format_abs.Spec.top_var 1 } in
+  Alcotest.check_raises "k1 not parallelizable for SpMM"
+    (Invalid_argument "Superschedule: par_var not parallelizable for this algorithm")
+    (fun () -> Superschedule.validate bad)
+
+let test_key_unique_and_stable () =
+  let r = rng () in
+  let samples = Space.sample_distinct r (Algorithm.Spmm 8) ~dims:dims2 ~count:100 in
+  let keys = List.map Superschedule.key samples in
+  Alcotest.(check int) "distinct keys" 100 (List.length (List.sort_uniq compare keys));
+  List.iter2
+    (fun s k -> Alcotest.(check string) "stable" k (Superschedule.key s))
+    samples keys
+
+let test_split_capping () =
+  let s = Superschedule.fixed_default (Algorithm.Spmm 8) in
+  let s = { s with Superschedule.splits = [| 4096; 4096 |] } in
+  let spec = Superschedule.to_spec s ~dims:[| 100; 50 |] in
+  Alcotest.(check int) "split capped to dim" 100 spec.Format_abs.Spec.splits.(0);
+  Alcotest.(check int) "split capped to dim 2" 50 spec.Format_abs.Spec.splits.(1)
+
+(* --- Space --- *)
+
+let test_sample_always_valid () =
+  let r = rng () in
+  for _ = 1 to 200 do
+    Superschedule.validate (Space.sample r (Algorithm.Sddmm 8) ~dims:dims2)
+  done;
+  for _ = 1 to 200 do
+    Superschedule.validate (Space.sample r (Algorithm.Mttkrp 16) ~dims:[| 64; 64; 64 |])
+  done
+
+let test_mutate_valid_and_different () =
+  let r = rng () in
+  let changed = ref 0 in
+  for _ = 1 to 100 do
+    let s = Space.sample r (Algorithm.Spmm 8) ~dims:dims2 in
+    let m = Space.mutate r ~dims:dims2 s in
+    Superschedule.validate m;
+    if Superschedule.key m <> Superschedule.key s then incr changed
+  done;
+  Alcotest.(check bool) "mutation usually changes" true (!changed > 60)
+
+let test_crossover_valid () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let a = Space.sample r (Algorithm.Spmm 8) ~dims:dims2 in
+    let b = Space.sample r (Algorithm.Spmm 8) ~dims:dims2 in
+    Superschedule.validate (Space.crossover r a b)
+  done
+
+let test_guided_sampling_valid () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    Superschedule.validate (Space.sample_guided r (Algorithm.Spmm 8) ~dims:dims2);
+    Superschedule.validate (Space.sample_guided r (Algorithm.Mttkrp 16) ~dims:[| 32; 32; 32 |])
+  done
+
+let test_space_size_large () =
+  Alcotest.(check bool) "search space is astronomically large" true
+    (Space.log10_size (Algorithm.Spmm 8) ~dims:dims2 > 7.0)
+
+(* --- Encode --- *)
+
+let test_encode_shapes () =
+  let r = rng () in
+  let s = Space.sample r (Algorithm.Spmm 8) ~dims:dims2 in
+  let e = Encode.encode s in
+  Alcotest.(check int) "split one-hots" 2 (Array.length e.Encode.split_onehots);
+  Alcotest.(check int) "perm matrix 16" 16 (Array.length e.Encode.compute_perm);
+  Alcotest.(check int) "formats 8" 8 (Array.length e.Encode.a_format_onehot);
+  Alcotest.(check int) "flat dim" (Encode.flat_dim ~rank:2) (Array.length (Encode.to_flat e))
+
+let test_encode_perm_matrix_rows () =
+  let r = rng () in
+  let s = Space.sample r (Algorithm.Spmm 8) ~dims:dims2 in
+  let e = Encode.encode s in
+  (* each row and column of the permutation matrix sums to 1 *)
+  let n = 4 in
+  for row = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for col = 0 to n - 1 do
+      sum := !sum +. e.Encode.compute_perm.((row * n) + col)
+    done;
+    Alcotest.(check (float 1e-9)) "row sum" 1.0 !sum
+  done
+
+let test_encode_distinguishes () =
+  let r = rng () in
+  let a = Space.sample r (Algorithm.Spmm 8) ~dims:dims2 in
+  let b = Space.mutate r ~dims:dims2 a in
+  if Superschedule.key a <> Superschedule.key b then begin
+    let fa = Encode.to_flat (Encode.encode a) and fb = Encode.to_flat (Encode.encode b) in
+    Alcotest.(check bool) "different schedules -> different encodings" true (fa <> fb)
+  end
+
+let test_encode_onehot_exact () =
+  let s = Superschedule.fixed_default (Algorithm.Spmm 8) in
+  let s = { s with Superschedule.chunk = 64 } in
+  let e = Encode.encode s in
+  Alcotest.(check (float 1e-9)) "chunk 64 -> slot 6" 1.0 e.Encode.chunk_onehot.(6);
+  Alcotest.(check (float 1e-9)) "one-hot sums to 1" 1.0
+    (Array.fold_left ( +. ) 0.0 e.Encode.chunk_onehot)
+
+let qcheck_sampling_within_menu =
+  QCheck.Test.make ~name:"samples use menu values (prop)" ~count:100 QCheck.small_nat
+    (fun seed ->
+      let r = Rng.create (seed + 3) in
+      let s = Space.sample r (Algorithm.Spmm 8) ~dims:dims2 in
+      Array.mem s.Superschedule.chunk Space.chunk_options
+      && Array.for_all (fun sp -> Array.mem sp Space.split_options) s.Superschedule.splits)
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "algorithm",
+        [
+          Alcotest.test_case "facts" `Quick test_algorithm_facts;
+          Alcotest.test_case "flops" `Quick test_flops_per_entry;
+        ] );
+      ( "superschedule",
+        [
+          Alcotest.test_case "fixed csr" `Quick test_fixed_default_csr;
+          Alcotest.test_case "fixed csf" `Quick test_fixed_default_csf;
+          Alcotest.test_case "bad par rejected" `Quick test_validate_rejects_bad_par;
+          Alcotest.test_case "keys" `Quick test_key_unique_and_stable;
+          Alcotest.test_case "split capping" `Quick test_split_capping;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "samples valid" `Quick test_sample_always_valid;
+          Alcotest.test_case "mutate" `Quick test_mutate_valid_and_different;
+          Alcotest.test_case "crossover" `Quick test_crossover_valid;
+          Alcotest.test_case "guided" `Quick test_guided_sampling_valid;
+          Alcotest.test_case "space size" `Quick test_space_size_large;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "shapes" `Quick test_encode_shapes;
+          Alcotest.test_case "perm rows" `Quick test_encode_perm_matrix_rows;
+          Alcotest.test_case "distinguishes" `Quick test_encode_distinguishes;
+          Alcotest.test_case "one-hot exact" `Quick test_encode_onehot_exact;
+          QCheck_alcotest.to_alcotest qcheck_sampling_within_menu;
+        ] );
+    ]

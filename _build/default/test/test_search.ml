@@ -1,0 +1,108 @@
+(* Black-box optimizer tests: budget obedience, improvement over time, and
+   superiority over pure random on a structured objective. *)
+
+open Sptensor
+open Schedule
+
+let rng () = Rng.create 55
+
+let algo = Algorithm.Spmm 8
+
+let dims = [| 256; 256 |]
+
+(* A synthetic, structured objective: rewards CSR-like concordance and a
+   specific chunk — cheap, deterministic, and informative. *)
+let objective (s : Superschedule.t) =
+  let fixed = Superschedule.fixed_default algo in
+  let dist = ref 0.0 in
+  if s.Superschedule.compute_order <> fixed.Superschedule.compute_order then
+    dist := !dist +. 1.0;
+  if s.Superschedule.a_order <> fixed.Superschedule.a_order then dist := !dist +. 1.0;
+  if s.Superschedule.a_formats <> fixed.Superschedule.a_formats then dist := !dist +. 0.5;
+  dist := !dist +. Float.abs (log (float_of_int s.Superschedule.chunk /. 16.0));
+  !dist
+
+let run_strategy f =
+  let r = rng () in
+  f r algo ~dims ~eval:objective ~budget:300
+
+let test_budget_respected () =
+  List.iter
+    (fun (r : Blackbox.Blackbox_common.result) ->
+      Alcotest.(check int) "trials = budget" 300 r.Blackbox.Blackbox_common.trials;
+      Alcotest.(check int) "history length" 300
+        (Array.length r.Blackbox.Blackbox_common.history))
+    [
+      run_strategy Blackbox.Strategies.random_search;
+      run_strategy (fun r -> Blackbox.Strategies.tpe r);
+      run_strategy (fun r -> Blackbox.Strategies.bandit r);
+    ]
+
+let test_history_monotone () =
+  List.iter
+    (fun (r : Blackbox.Blackbox_common.result) ->
+      let prev = ref infinity in
+      Array.iter
+        (fun (_, best) ->
+          Alcotest.(check bool) "best-so-far non-increasing" true (best <= !prev);
+          prev := best)
+        r.Blackbox.Blackbox_common.history;
+      Alcotest.(check (float 1e-12)) "final best matches" r.Blackbox.Blackbox_common.best_cost !prev)
+    [
+      run_strategy Blackbox.Strategies.random_search;
+      run_strategy (fun r -> Blackbox.Strategies.tpe r);
+      run_strategy (fun r -> Blackbox.Strategies.bandit r);
+    ]
+
+let test_adaptive_beats_random () =
+  (* Average over several seeds to damp noise. *)
+  let avg f =
+    let acc = ref 0.0 in
+    for seed = 1 to 5 do
+      let r = Rng.create seed in
+      let res = f r algo ~dims ~eval:objective ~budget:250 in
+      acc := !acc +. res.Blackbox.Blackbox_common.best_cost
+    done;
+    !acc /. 5.0
+  in
+  let rand = avg Blackbox.Strategies.random_search in
+  let tpe = avg (fun r -> Blackbox.Strategies.tpe r) in
+  let bandit = avg (fun r -> Blackbox.Strategies.bandit r) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tpe (%.3f) <= random (%.3f)" tpe rand)
+    true (tpe <= rand +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "bandit (%.3f) <= random (%.3f)" bandit rand)
+    true (bandit <= rand +. 1e-9)
+
+let test_eval_caching () =
+  let calls = ref 0 in
+  let be =
+    Blackbox.Blackbox_common.make_eval (fun _ ->
+        incr calls;
+        1.0)
+  in
+  let s = Superschedule.fixed_default algo in
+  ignore (Blackbox.Blackbox_common.run_eval be s);
+  ignore (Blackbox.Blackbox_common.run_eval be s);
+  Alcotest.(check int) "second eval cached" 1 !calls
+
+let test_proposals_valid () =
+  let r = rng () in
+  let res = Blackbox.Strategies.tpe r algo ~dims ~eval:objective ~budget:100 in
+  Superschedule.validate res.Blackbox.Blackbox_common.best;
+  let res2 = Blackbox.Strategies.bandit r algo ~dims ~eval:objective ~budget:100 in
+  Superschedule.validate res2.Blackbox.Blackbox_common.best
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+          Alcotest.test_case "history monotone" `Quick test_history_monotone;
+          Alcotest.test_case "adaptive beats random" `Slow test_adaptive_beats_random;
+          Alcotest.test_case "eval caching" `Quick test_eval_caching;
+          Alcotest.test_case "proposals valid" `Quick test_proposals_valid;
+        ] );
+    ]

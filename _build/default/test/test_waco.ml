@@ -1,0 +1,217 @@
+(* Tests for the WACO core: cost model wiring, gradients through the full
+   model, dataset generation, persistence, tuner mechanics. *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+let rng () = Rng.create 2023
+
+let algo = Algorithm.Spmm 8
+
+let dims = [| 80; 80 |]
+
+let small_input r =
+  let m = Gen.clustered r ~cluster:4 ~nrows:80 ~ncols:80 ~nnz:300 in
+  (m, Waco.Extractor.input_of_coo ~id:"cm" m)
+
+let test_extractors_shapes () =
+  let r = rng () in
+  let _, input = small_input r in
+  List.iter
+    (fun kind ->
+      let e = Waco.Extractor.create r kind in
+      let f = Waco.Extractor.forward e input in
+      Alcotest.(check int)
+        (Waco.Extractor.kind_name kind ^ " feature dim")
+        Waco.Config.feature_dim (Array.length f))
+    [ Waco.Extractor.Human; Waco.Extractor.Dense_conv; Waco.Extractor.Minkowski;
+      Waco.Extractor.Waconet ]
+
+let test_extractor_deterministic () =
+  let r = rng () in
+  let _, input = small_input r in
+  let e = Waco.Extractor.create r Waco.Extractor.Waconet in
+  let f1 = Waco.Extractor.forward e input in
+  let f2 = Waco.Extractor.forward e input in
+  Alcotest.(check (array (float 1e-12))) "same forward" f1 f2
+
+let test_embedder_batch_consistency () =
+  let r = rng () in
+  let emb = Waco.Embedder.create r ~rank:2 in
+  let scheds =
+    Array.of_list (Space.sample_distinct r algo ~dims ~count:5)
+  in
+  let batch = Waco.Embedder.forward emb scheds in
+  let single = Waco.Embedder.forward emb [| scheds.(3) |] in
+  let d = Waco.Config.embed_dim in
+  let slice = Array.sub batch (3 * d) d in
+  Alcotest.(check (array (float 1e-9))) "batch row = single row" single slice
+
+let test_costmodel_gradients_flow () =
+  let r = rng () in
+  let _, input = small_input r in
+  let model = Waco.Costmodel.create r algo in
+  let scheds = Array.of_list (Space.sample_distinct r algo ~dims ~count:6) in
+  let pred, backward = Waco.Costmodel.forward_train model input scheds in
+  backward (Array.map (fun p -> p) pred);
+  let total_grad = Nn.Param.grad_l2 (Waco.Costmodel.params model) in
+  Alcotest.(check bool) "gradients nonzero" true (total_grad > 1e-9)
+
+(* Full-model gradient check on a smooth loss (sum of squared predictions). *)
+let test_costmodel_gradcheck () =
+  let r = rng () in
+  let _, input = small_input r in
+  let model = Waco.Costmodel.create r algo in
+  let scheds = Array.of_list (Space.sample_distinct r algo ~dims ~count:4) in
+  let loss_of () =
+    let pred, _ = Waco.Costmodel.forward_train model input scheds in
+    Array.fold_left (fun a p -> a +. (0.5 *. p *. p)) 0.0 pred
+  in
+  let pred, backward = Waco.Costmodel.forward_train model input scheds in
+  backward (Array.copy pred);
+  let eps = 1e-6 in
+  let bad = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (p : Nn.Param.t) ->
+      let n = Nn.Param.size p in
+      for t = 0 to min 1 (n - 1) do
+        let idx = t * 7919 mod n in
+        let orig = p.Nn.Param.data.(idx) in
+        p.Nn.Param.data.(idx) <- orig +. eps;
+        let lp = loss_of () in
+        p.Nn.Param.data.(idx) <- orig -. eps;
+        let lm = loss_of () in
+        p.Nn.Param.data.(idx) <- orig;
+        let fd = (lp -. lm) /. (2.0 *. eps) in
+        let an = p.Nn.Param.grad.(idx) in
+        let rel =
+          Float.abs (fd -. an) /. Float.max 1e-4 (Float.max (Float.abs fd) (Float.abs an))
+        in
+        incr checked;
+        (* ReLU subgradients at exact kinks can disagree; tolerate a few. *)
+        if rel > 1e-2 then incr bad
+      done)
+    (Waco.Costmodel.params model);
+  Alcotest.(check bool)
+    (Printf.sprintf "gradcheck: %d/%d bad" !bad !checked)
+    true
+    (float_of_int !bad <= 0.06 *. float_of_int !checked)
+
+let test_predict_tail_matches_full () =
+  let r = rng () in
+  let _, input = small_input r in
+  let model = Waco.Costmodel.create r algo in
+  let s = Space.sample r algo ~dims in
+  let full = (Waco.Costmodel.predict model input [| s |]).(0) in
+  let feature = Waco.Costmodel.feature model input in
+  let emb = Waco.Costmodel.embed model [| s |] in
+  let tail = Waco.Costmodel.predict_tail model ~feature ~embedding:emb in
+  Alcotest.(check (float 1e-9)) "tail = full" full tail
+
+let test_save_load_roundtrip () =
+  let r = rng () in
+  let _, input = small_input r in
+  let model = Waco.Costmodel.create r algo in
+  let s = Space.sample r algo ~dims in
+  let before = (Waco.Costmodel.predict model input [| s |]).(0) in
+  let path = Filename.temp_file "waco" ".model" in
+  Waco.Costmodel.save model path;
+  (* fresh model with different init *)
+  let model2 = Waco.Costmodel.create (Rng.create 999) algo in
+  let differs = (Waco.Costmodel.predict model2 input [| s |]).(0) <> before in
+  Waco.Costmodel.load model2 path;
+  Sys.remove path;
+  let after = (Waco.Costmodel.predict model2 input [| s |]).(0) in
+  Alcotest.(check bool) "fresh model differed" true differs;
+  Alcotest.(check (float 1e-9)) "loaded model agrees" before after
+
+let tiny_dataset r machine =
+  let mats =
+    List.init 6 (fun i ->
+        (Printf.sprintf "m%d" i, Gen.uniform r ~nrows:80 ~ncols:80 ~nnz:400))
+  in
+  Waco.Dataset.of_matrices r machine algo mats ~schedules_per_matrix:10
+    ~valid_fraction:0.3
+
+let test_dataset_shapes () =
+  let r = rng () in
+  let data = tiny_dataset r Machine.intel_like in
+  Alcotest.(check int) "train+valid = 6"
+    6
+    (Array.length data.Waco.Dataset.train + Array.length data.Waco.Dataset.valid);
+  Alcotest.(check bool) "valid nonempty" true (Array.length data.Waco.Dataset.valid >= 1);
+  Array.iter
+    (fun (s : Waco.Dataset.sample) ->
+      Alcotest.(check int) "schedules per matrix" 10 (Array.length s.Waco.Dataset.schedules);
+      Array.iter
+        (fun lr -> Alcotest.(check bool) "log runtime finite" true (Float.is_finite lr))
+        s.Waco.Dataset.log_runtimes)
+    data.Waco.Dataset.train;
+  let corpus = Waco.Dataset.all_schedules data in
+  Alcotest.(check bool) "corpus from train only" true
+    (Array.length corpus <= 10 * Array.length data.Waco.Dataset.train)
+
+let test_training_reduces_loss () =
+  let r = rng () in
+  let data = tiny_dataset r Machine.intel_like in
+  let model = Waco.Costmodel.create r algo in
+  let curve = Waco.Trainer.train ~lr:2e-3 r model data ~epochs:8 in
+  let first = curve.Waco.Trainer.train_loss.(0) in
+  let last = curve.Waco.Trainer.train_loss.(7) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss decreased (%.3f -> %.3f)" first last)
+    true (last < first)
+
+let test_tuner_end_to_end () =
+  let r = rng () in
+  let machine = Machine.intel_like in
+  let data = tiny_dataset r Machine.intel_like in
+  let model = Waco.Costmodel.create r algo in
+  ignore (Waco.Trainer.train ~lr:2e-3 r model data ~epochs:4);
+  let index = Waco.Tuner.build_index r model (Waco.Dataset.all_schedules data) in
+  let m = Gen.uniform r ~nrows:90 ~ncols:90 ~nnz:500 in
+  let wl = Workload.of_coo ~id:"tune-me" m in
+  let input = Waco.Extractor.input_of_coo ~id:"tune-me" m in
+  let res = Waco.Tuner.tune ~k:5 model machine wl input index in
+  Alcotest.(check int) "measured top-k" 5 res.Waco.Tuner.measured_runs;
+  Alcotest.(check bool) "chosen = min of measured" true
+    (List.for_all (fun (_, t) -> res.Waco.Tuner.best_measured <= t) res.Waco.Tuner.topk);
+  Alcotest.(check bool) "cost evals bounded by corpus" true
+    (res.Waco.Tuner.cost_evals <= index.Waco.Tuner.corpus_size);
+  Alcotest.(check (float 1e-12)) "measured agrees with simulator"
+    (Costsim.runtime machine wl res.Waco.Tuner.best)
+    res.Waco.Tuner.best_measured
+
+let test_feature_cache () =
+  let r = rng () in
+  let _, input = small_input r in
+  let model = Waco.Costmodel.create r algo in
+  let f1 = Waco.Costmodel.feature model input in
+  let f2 = Waco.Costmodel.feature model input in
+  Alcotest.(check bool) "cached (same array)" true (f1 == f2);
+  Waco.Costmodel.clear_feature_cache model;
+  let f3 = Waco.Costmodel.feature model input in
+  Alcotest.(check (array (float 1e-12))) "same values after clear" f1 f3
+
+let () =
+  Alcotest.run "waco"
+    [
+      ( "costmodel",
+        [
+          Alcotest.test_case "extractor shapes" `Quick test_extractors_shapes;
+          Alcotest.test_case "extractor deterministic" `Quick test_extractor_deterministic;
+          Alcotest.test_case "embedder batch" `Quick test_embedder_batch_consistency;
+          Alcotest.test_case "gradients flow" `Quick test_costmodel_gradients_flow;
+          Alcotest.test_case "gradcheck" `Slow test_costmodel_gradcheck;
+          Alcotest.test_case "predict tail" `Quick test_predict_tail_matches_full;
+          Alcotest.test_case "save/load" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "feature cache" `Quick test_feature_cache;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "dataset shapes" `Quick test_dataset_shapes;
+          Alcotest.test_case "loss decreases" `Slow test_training_reduces_loss;
+          Alcotest.test_case "tuner end-to-end" `Slow test_tuner_end_to_end;
+        ] );
+    ]
