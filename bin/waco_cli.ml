@@ -175,8 +175,141 @@ let train_cmd =
   Cmd.v (Cmd.info "train" ~doc:"Train and save a cost model")
     Term.(const run $ algo_arg $ machine_arg $ out $ data_dir $ seed_arg)
 
+(* --- lint --- *)
+
+let lint_cmd =
+  let run sched_text random_n matrix data_dir model algo_name dims_text json seed =
+    let algo =
+      match Algorithm.of_name algo_name with
+      | Some a -> a
+      | None -> invalid_arg ("unknown algorithm: " ^ algo_name)
+    in
+    let rank = Algorithm.sparse_rank algo in
+    let dims =
+      if dims_text = "" then Array.make rank 1024
+      else begin
+        let parts = String.split_on_char 'x' dims_text in
+        let parsed =
+          List.map
+            (fun p ->
+              match int_of_string_opt p with
+              | Some v when v >= 1 -> v
+              | _ -> invalid_arg ("bad --dims: " ^ dims_text))
+            parts
+        in
+        if List.length parsed <> rank then
+          invalid_arg
+            (Printf.sprintf "--dims has %d components, %s needs %d"
+               (List.length parsed) algo_name rank);
+        Array.of_list parsed
+      end
+    in
+    let acc = ref [] in
+    let emit ds = acc := !acc @ ds in
+    (* One explicit schedule, parsed leniently so structural problems surface
+       as diagnostics rather than aborting the whole run. *)
+    (match sched_text with
+    | None -> ()
+    | Some text -> (
+        match Sched_io.parse ~algo text with
+        | Error e ->
+            emit [ Diag.error ~code:"WACO-D006" ~loc:"--schedule" "unparseable schedule: %s" e ]
+        | Ok s -> emit (Analysis.Lint.check_schedule ~dims s)));
+    (* Random samples from the SuperSchedule space (a smoke test of the
+       sampler: legality findings here are generator bugs). *)
+    (if random_n > 0 then begin
+       let rng = Rng.create seed in
+       for i = 0 to random_n - 1 do
+         let s = Space.sample rng algo ~dims in
+         emit
+           (List.map
+              (Diag.relocate ~prefix:(Printf.sprintf "sample[%d]" i))
+              (Analysis.Lint.check_schedule ~dims s))
+       done
+     end);
+    (* Pack a matrix into the canonical formats and verify the physical
+       storage invariants plus a COO round-trip. *)
+    (match matrix with
+    | None -> ()
+    | Some path ->
+        let m = Mmio.read_coo path in
+        let mdims = [| m.Coo.nrows; m.Coo.ncols |] in
+        let entries =
+          Array.init (Coo.nnz m) (fun k ->
+              ([| m.Coo.rows.(k); m.Coo.cols.(k) |], m.Coo.vals.(k)))
+        in
+        List.iter
+          (fun (label, spec) ->
+            let prefix = Printf.sprintf "%s[%s]" path label in
+            match Analysis.Packed_check.pack_and_check spec entries with
+            | Error ds -> emit (List.map (Diag.relocate ~prefix) ds)
+            | Ok packed ->
+                emit
+                  (List.map (Diag.relocate ~prefix)
+                     (Analysis.Packed_check.check ~reference:m packed)))
+          [
+            ("csr", Format_abs.Spec.csr_like ~dims:mdims);
+            ("csc", Format_abs.Spec.csc ~dims:mdims);
+            ("bcsr8", Format_abs.Spec.bcsr ~dims:mdims ~bi:8 ~bk:8);
+            ("ucc256", Format_abs.Spec.sparse_block ~dims:mdims ~bk:256);
+          ]);
+    (match data_dir with None -> () | Some dir -> emit (Analysis.Dataset_check.check dir));
+    (match model with None -> () | Some path -> emit (Analysis.Model_check.check path));
+    if sched_text = None && random_n = 0 && matrix = None && data_dir = None
+       && model = None
+    then begin
+      prerr_endline
+        "waco lint: nothing to lint (pass --schedule, --random, --matrix, --data or --model)";
+      exit 2
+    end;
+    let ds = Diag.sort !acc in
+    print_string (if json then Diag.render_json ds else Diag.render_text ds);
+    exit (Diag.exit_code ds)
+  in
+  let sched =
+    Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"SCHED"
+           ~doc:"Lint one schedule in the dataset encoding \
+                 (algo=..;splits=..;order=..;par=..;threads=..;chunk=..;aorder=..;afmt=..)")
+  in
+  let random_n =
+    Arg.(value & opt int 0 & info [ "random" ] ~docv:"N"
+           ~doc:"Lint $(docv) random samples from the schedule space")
+  in
+  let matrix =
+    Arg.(value & opt (some string) None & info [ "matrix" ] ~docv:"FILE"
+           ~doc:"Pack a MatrixMarket file into canonical formats and verify the storage")
+  in
+  let data_dir =
+    Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR"
+           ~doc:"Lint a dataset directory collected with `waco collect`")
+  in
+  let model =
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
+           ~doc:"Lint a trained cost model saved with `waco train`")
+  in
+  let dims =
+    Arg.(value & opt string "" & info [ "dims" ] ~docv:"RxC"
+           ~doc:"Sparse operand dimensions for schedule linting (default 1024 per dim)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static legality/performance analysis of schedules, formats and artifacts"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Runs the WACO-* diagnostic passes and prints every finding. \
+               Exit status: 0 when clean (hints allowed), 1 with warnings, \
+               2 with errors.";
+         ])
+    Term.(
+      const run $ sched $ random_n $ matrix $ data_dir $ model $ algo_arg $ dims
+      $ json $ seed_arg)
+
 let main =
   Cmd.group (Cmd.info "waco" ~version:"1.0" ~doc:"WACO reproduction toolkit")
-    [ gen_cmd; inspect_cmd; tune_cmd; collect_cmd; train_cmd ]
+    [ gen_cmd; inspect_cmd; tune_cmd; collect_cmd; train_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,8 @@
+(** Trained-model artifact pass (codes [WACO-A00x]) over the flat text
+    format of [Costmodel.save]: malformed or truncated blocks, non-finite
+    parameter values (a diverged run), all-zero parameters (possibly never
+    updated — a hint, since zero biases are a legitimate trained state),
+    and duplicate parameter names.  Works from the dump alone — no live
+    model required. *)
+
+val check : string -> Diag.t list

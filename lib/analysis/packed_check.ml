@@ -1,0 +1,168 @@
+(* Verifier for physically packed tensors (codes WACO-F0xx).
+
+   Walks the coordinate hierarchy root->leaf checking the TACO-style
+   structural invariants: level kinds match the spec, pos arrays are
+   zero-based and monotone, crd entries are in-bounds and strictly sorted
+   within each segment, and the leaf value array has exactly one slot per
+   leaf position.  Structural errors invalidate every derived quantity
+   below them, so the walk stops at the first broken level; value-array and
+   round-trip checks run only on structurally sound storage. *)
+
+module Spec = Format_abs.Spec
+module Levelfmt = Format_abs.Levelfmt
+module Packed = Format_abs.Packed
+
+let check ?(reference : Sptensor.Coo.t option) (t : Packed.t) : Diag.t list =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let spec = t.Packed.spec in
+  let spec_errors = Spec.check spec in
+  List.iter (fun d -> add (Diag.relocate ~prefix:"packed" d)) spec_errors;
+  if Diag.first_error spec_errors <> None then List.rev !ds
+  else begin
+    let nlv = Spec.nlevels spec in
+    let structural_ok = ref true in
+    (if Array.length t.Packed.levels <> nlv then begin
+       structural_ok := false;
+       add
+         (Diag.error ~code:"WACO-F001" ~loc:"packed.levels"
+            "%d stored levels, spec has %d" (Array.length t.Packed.levels) nlv)
+     end
+     else begin
+       (* nseg = number of positions (segments) feeding the current level;
+          meaningless past a broken level, hence the early stop. *)
+       let nseg = ref 1 in
+       (try
+          for lvl = 0 to nlv - 1 do
+            let loc = Printf.sprintf "packed.levels[%d]" lvl in
+            let fmt = Spec.level_format spec lvl in
+            let size = Spec.level_size spec lvl in
+            match (t.Packed.levels.(lvl), fmt) with
+            | Packed.Dense _, Levelfmt.C | Packed.Compressed _, Levelfmt.U ->
+                structural_ok := false;
+                add
+                  (Diag.error ~code:"WACO-F001" ~loc
+                     "level kind %s does not match spec format %s"
+                     (match t.Packed.levels.(lvl) with
+                     | Packed.Dense _ -> "Dense"
+                     | Packed.Compressed _ -> "Compressed")
+                     (String.make 1 (Levelfmt.to_char fmt)));
+                raise Exit
+            | Packed.Dense n, Levelfmt.U ->
+                if n <> size then begin
+                  structural_ok := false;
+                  add
+                    (Diag.error ~code:"WACO-F002" ~loc
+                       "dense extent %d, spec level size %d" n size);
+                  raise Exit
+                end;
+                nseg := !nseg * n
+            | Packed.Compressed { pos; crd }, Levelfmt.C ->
+                let np = Array.length pos in
+                if np <> !nseg + 1 then begin
+                  structural_ok := false;
+                  add
+                    (Diag.error ~code:"WACO-F003" ~loc
+                       "pos has %d entries, expected %d (parent positions + 1)" np
+                       (!nseg + 1));
+                  raise Exit
+                end;
+                if pos.(0) <> 0 then begin
+                  structural_ok := false;
+                  add (Diag.error ~code:"WACO-F004" ~loc "pos[0] = %d, must be 0" pos.(0));
+                  raise Exit
+                end;
+                let mono = ref true in
+                for s = 1 to np - 1 do
+                  if pos.(s) < pos.(s - 1) then mono := false
+                done;
+                if not !mono then begin
+                  structural_ok := false;
+                  add
+                    (Diag.error ~code:"WACO-F005" ~loc
+                       "pos is not monotonically non-decreasing");
+                  raise Exit
+                end;
+                if Array.length crd <> pos.(np - 1) then begin
+                  structural_ok := false;
+                  add
+                    (Diag.error ~code:"WACO-F006" ~loc
+                       "crd has %d entries, pos ends at %d" (Array.length crd)
+                       pos.(np - 1));
+                  raise Exit
+                end;
+                let oob = ref 0 and unsorted = ref 0 in
+                for s = 0 to np - 2 do
+                  for q = pos.(s) to pos.(s + 1) - 1 do
+                    if crd.(q) < 0 || crd.(q) >= size then incr oob;
+                    if q > pos.(s) && crd.(q) <= crd.(q - 1) then incr unsorted
+                  done
+                done;
+                if !oob > 0 then begin
+                  structural_ok := false;
+                  add
+                    (Diag.error ~code:"WACO-F007" ~loc
+                       "%d crd entr%s outside [0, %d)" !oob
+                       (if !oob = 1 then "y" else "ies")
+                       size)
+                end;
+                if !unsorted > 0 then begin
+                  structural_ok := false;
+                  add
+                    (Diag.error ~code:"WACO-F008" ~loc
+                       "%d crd entr%s not strictly increasing within a segment"
+                       !unsorted
+                       (if !unsorted = 1 then "y is" else "ies are"))
+                end;
+                if not !structural_ok then raise Exit;
+                nseg := Array.length crd
+          done;
+          if Array.length t.Packed.vals <> !nseg then begin
+            structural_ok := false;
+            add
+              (Diag.error ~code:"WACO-F009" ~loc:"packed.vals"
+                 "%d values, %d leaf positions" (Array.length t.Packed.vals) !nseg)
+          end
+        with Exit -> ())
+     end);
+    let bad_vals = ref 0 in
+    Array.iter (fun v -> if not (Float.is_finite v) then incr bad_vals) t.Packed.vals;
+    if !bad_vals > 0 then
+      add
+        (Diag.error ~code:"WACO-F010" ~loc:"packed.vals"
+           "%d non-finite value(s) in the leaf array" !bad_vals);
+    if !structural_ok && !bad_vals = 0 then begin
+      (match reference with
+      | Some m when Spec.rank spec = 2 ->
+          let rt = Packed.to_coo t in
+          if not (Sptensor.Coo.approx_equal rt m) then
+            add
+              (Diag.error ~code:"WACO-F011" ~loc:"packed"
+                 "COO round-trip does not reproduce the reference matrix (%d vs %d nonzeros)"
+                 (Sptensor.Coo.nnz rt) (Sptensor.Coo.nnz m))
+      | _ -> ());
+      let st = Packed.storage_of t in
+      if st.Packed.fill_ratio > 0.0 && st.Packed.fill_ratio < 0.05 then
+        add
+          (Diag.hint ~code:"WACO-F012" ~loc:"packed"
+             "fill ratio %.4f: over 95%% of materialized slots are zero padding"
+             st.Packed.fill_ratio)
+    end;
+    List.rev !ds
+  end
+
+let pack_and_check ?budget (spec : Spec.t) (entries : (int array * float) array) :
+    (Packed.t, Diag.t list) result =
+  match Packed.pack ?budget spec entries with
+  | Ok t -> Ok t
+  | Error msg ->
+      let contains sub =
+        let n = String.length msg and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+        go 0
+      in
+      if contains "duplicate" then
+        Error [ Diag.error ~code:"WACO-F013" ~loc:"packed" "%s" msg ]
+      else if contains "budget" then
+        Error [ Diag.warning ~code:"WACO-F014" ~loc:"packed" "%s" msg ]
+      else Error [ Diag.error ~code:"WACO-F013" ~loc:"packed" "%s" msg ]

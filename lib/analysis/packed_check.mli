@@ -1,0 +1,18 @@
+(** Verifier for physically packed tensors (codes [WACO-F0xx]): level kinds
+    match the spec, pos arrays are zero-based and monotone, crd entries are
+    in-bounds and strictly sorted per segment, the value array is leaf-sized
+    and finite, and (optionally) a COO round-trip reproduces a reference
+    matrix.  Structural errors stop the walk — everything below a broken
+    level is meaningless. *)
+
+val check : ?reference:Sptensor.Coo.t -> Format_abs.Packed.t -> Diag.t list
+
+val pack_and_check :
+  ?budget:int ->
+  Format_abs.Spec.t ->
+  (int array * float) array ->
+  (Format_abs.Packed.t, Diag.t list) result
+(** [Packed.pack] with its [Error] strings mapped to diagnostics:
+    duplicate coordinates become [WACO-F013] (error), budget overflows
+    [WACO-F014] (warning — the format is representable, just not
+    materializable). *)

@@ -1,0 +1,153 @@
+(* Performance-smell passes over a SuperSchedule (codes WACO-P00x).
+
+   These encode the paper's own motivation — most SuperSchedule points are
+   *statically* bad before any cost-model evaluation (§3.1's discordant
+   traversal, degenerate splits, dead levels), echoing the asymptotic cost
+   model of Ahrens & Kjolstad.  All are warnings or hints: the tuner
+   pre-filter rejects only error-level (legality) diagnostics, while these
+   explain *why* a point will price badly.
+
+   Every pass is individually defensive: a schedule that fails legality in
+   one field still gets the smells its well-formed fields support, so one
+   lint run reports everything. *)
+
+open Schedule
+module Spec = Format_abs.Spec
+module Levelfmt = Format_abs.Levelfmt
+
+let check ~(dims : int array) (s : Superschedule.t) : Diag.t list =
+  let r = Algorithm.sparse_rank s.Superschedule.algo in
+  let n = 2 * r in
+  let names = Algorithm.dim_names s.Superschedule.algo in
+  let var v = Spec.var_name ~dim_names:names v in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let splits = s.Superschedule.splits in
+  let dims_ok = Array.length dims = r && Array.for_all (fun d -> d >= 1) dims in
+  (* --- degenerate splits: exceed the dimension / silently clamped --- *)
+  if dims_ok then
+    for d = 0 to min r (Array.length splits) - 1 do
+      if splits.(d) > dims.(d) then
+        add
+          (Diag.warning ~code:"WACO-P002"
+             ~loc:(Printf.sprintf "schedule.splits[%d]" d)
+             "split %d exceeds dimension %d (%s's top level collapses to a single block)"
+             splits.(d) dims.(d) names.(d));
+      (* [Superschedule.to_spec] clamps with [min s (max 1 d)]; surface the
+         clamp so it is visible rather than silent. *)
+      let clamped = min splits.(d) (max 1 dims.(d)) in
+      if clamped <> splits.(d) && splits.(d) >= 1 then
+        add
+          (Diag.hint ~code:"WACO-P003"
+             ~loc:(Printf.sprintf "schedule.splits[%d]" d)
+             "to_spec clamps split %d to %d for dimension %s=%d" splits.(d) clamped
+             names.(d) dims.(d))
+    done;
+  (* A concrete spec is available only when the format-side fields are
+     well-formed; passes that need level extents are gated on it. *)
+  let spec_ok =
+    dims_ok
+    && Array.length splits = r
+    && Array.for_all (fun x -> x >= 1) splits
+    && Spec.is_permutation n s.Superschedule.a_order
+    && Array.length s.Superschedule.a_formats = n
+  in
+  let spec = if spec_ok then Some (Superschedule.to_spec s ~dims) else None in
+  (match spec with
+  | None -> ()
+  | Some spec ->
+      let ext lvl = Spec.level_size spec lvl in
+      let nlv = Spec.nlevels spec in
+      (* --- dead levels: extent-1 levels ordered above non-degenerate ones --- *)
+      let last_sig = ref (-1) in
+      for lvl = 0 to nlv - 1 do
+        if ext lvl > 1 then last_sig := lvl
+      done;
+      for lvl = 0 to !last_sig - 1 do
+        if ext lvl = 1 then
+          add
+            (Diag.hint ~code:"WACO-P004"
+               ~loc:(Printf.sprintf "schedule.a_order[%d]" lvl)
+               "level %s has extent 1 but is ordered above non-degenerate levels (dead loop)"
+               (var (Spec.level_var spec lvl)))
+      done;
+      (* --- compressed levels with nothing to compress --- *)
+      for lvl = 0 to nlv - 1 do
+        if ext lvl = 1 && Spec.level_format spec lvl = Levelfmt.C then
+          add
+            (Diag.warning ~code:"WACO-P005"
+               ~loc:(Printf.sprintf "schedule.a_formats[%d]" lvl)
+               "compressed level %s has extent 1 (pos/crd overhead with no selectivity)"
+               (var (Spec.level_var spec lvl)))
+      done;
+      (* --- discordant iteration over compressed levels (§3.1) --- *)
+      let significant =
+        Array.to_list spec.Spec.order
+        |> List.mapi (fun lvl v -> (lvl, v))
+        |> List.filter (fun (lvl, _) -> ext lvl > 1)
+      in
+      let storage_seq = Array.of_list (List.map snd significant) in
+      let fmt_seq =
+        Array.of_list (List.map (fun (lvl, _) -> Spec.level_format spec lvl) significant)
+      in
+      let in_tensor v = Array.exists (fun w -> w = v) storage_seq in
+      let compute_seq =
+        Array.of_list
+          (List.filter in_tensor (Array.to_list s.Superschedule.compute_order))
+      in
+      let discordant_compressed =
+        if Array.length compute_seq <> Array.length storage_seq then
+          (* compute order is missing (or repeating) tensor variables: every
+             compressed level counts as discordant *)
+          Array.fold_left
+            (fun acc f -> if f = Levelfmt.C then acc + 1 else acc)
+            0 fmt_seq
+        else begin
+          let c = ref 0 in
+          Array.iteri
+            (fun i v ->
+              if v <> compute_seq.(i) && fmt_seq.(i) = Levelfmt.C then incr c)
+            storage_seq;
+          !c
+        end
+      in
+      if discordant_compressed > 0 then
+        add
+          (Diag.warning ~code:"WACO-P001" ~loc:"schedule.compute_order"
+             "compute order iterates %d compressed level(s) of A discordantly (a binary search per access, paper §3.1)"
+             discordant_compressed);
+      (* --- parallel variable under a compressed loop --- *)
+      let par = s.Superschedule.par_var in
+      if par >= 0 && par < n then begin
+        (if Spec.is_permutation n s.Superschedule.compute_order then begin
+           let vf = Array.make n Levelfmt.U in
+           Array.iteri
+             (fun lvl v -> vf.(v) <- spec.Spec.formats.(lvl))
+             spec.Spec.order;
+           let par_pos = ref 0 in
+           Array.iteri
+             (fun i v -> if v = par then par_pos := i)
+             s.Superschedule.compute_order;
+           let offender = ref None in
+           for q = 0 to !par_pos - 1 do
+             let v = s.Superschedule.compute_order.(q) in
+             if !offender = None && vf.(v) = Levelfmt.C && Spec.var_size spec v > 1 then
+               offender := Some v
+           done;
+           match !offender with
+           | Some v ->
+               add
+                 (Diag.warning ~code:"WACO-P006" ~loc:"schedule.par_var"
+                    "parallel variable %s is nested under compressed loop %s (irregular per-thread work, region re-entered per outer iteration)"
+                    (var par) (var v))
+           | None -> ()
+         end);
+        (* --- chunk larger than the parallel loop --- *)
+        let extent = Spec.var_size spec par in
+        if s.Superschedule.chunk > extent then
+          add
+            (Diag.warning ~code:"WACO-P007" ~loc:"schedule.chunk"
+               "chunk %d exceeds the parallel loop's %d iteration(s) of %s (at most one thread stays busy)"
+               s.Superschedule.chunk extent (var par))
+      end);
+  List.rev !ds

@@ -1,0 +1,10 @@
+(** Performance-smell passes over a SuperSchedule (codes [WACO-P00x]):
+    discordant iteration over compressed levels (paper §3.1), splits
+    exceeding the dimension (and the silent [to_spec] clamp), dead
+    extent-1 levels, compressed levels with nothing to compress, a parallel
+    variable nested under a compressed loop, and chunk sizes larger than the
+    parallel loop.  All warnings/hints — legality lives in
+    [Superschedule.check].  Defensive: fields that fail legality simply
+    skip the passes that need them. *)
+
+val check : dims:int array -> Schedule.Superschedule.t -> Diag.t list

@@ -15,60 +15,19 @@
 open Sptensor
 open Schedule
 
-let serialize_schedule (s : Superschedule.t) =
-  let ints a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
-  let fmts =
-    String.concat ""
-      (Array.to_list
-         (Array.map (fun f -> String.make 1 (Format_abs.Levelfmt.to_char f)) s.Superschedule.a_formats))
-  in
-  Printf.sprintf "algo=%s;splits=%s;order=%s;par=%d;threads=%s;chunk=%d;aorder=%s;afmt=%s"
-    (Algorithm.name s.Superschedule.algo)
-    (ints s.Superschedule.splits)
-    (ints s.Superschedule.compute_order)
-    s.Superschedule.par_var
-    (Superschedule.threads_name s.Superschedule.threads)
-    s.Superschedule.chunk
-    (ints s.Superschedule.a_order)
-    fmts
+let serialize_schedule = Sched_io.serialize
 
 exception Corrupt of string
 
-let parse_ints s =
-  Array.of_list (List.map int_of_string (String.split_on_char ',' s))
-
+(* Structural parsing is shared with the lint passes ([Sched_io]); the
+   persistence layer keeps its historical strictness: a structurally valid
+   but illegal schedule is still a corrupt record. *)
 let parse_schedule (algo : Algorithm.t) (text : string) : Superschedule.t =
-  let fields =
-    String.split_on_char ';' text
-    |> List.filter_map (fun kv ->
-           match String.index_opt kv '=' with
-           | Some i ->
-               Some (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
-           | None -> None)
-  in
-  let get k =
-    match List.assoc_opt k fields with
-    | Some v -> v
-    | None -> raise (Corrupt ("missing field " ^ k))
-  in
-  if get "algo" <> Algorithm.name algo then raise (Corrupt "algorithm mismatch");
-  let s =
-    {
-      Superschedule.algo;
-      splits = parse_ints (get "splits");
-      compute_order = parse_ints (get "order");
-      par_var = int_of_string (get "par");
-      threads = (if get "threads" = "half" then Superschedule.Half else Superschedule.Full);
-      chunk = int_of_string (get "chunk");
-      a_order = parse_ints (get "aorder");
-      a_formats =
-        Array.init
-          (String.length (get "afmt"))
-          (fun i -> Format_abs.Levelfmt.of_char (get "afmt").[i]);
-    }
-  in
-  Superschedule.validate s;
-  s
+  match Sched_io.parse ~algo text with
+  | Error e -> raise (Corrupt e)
+  | Ok s ->
+      Superschedule.validate s;
+      s
 
 (* Write a dataset's tuples (and matrices) under [dir]. *)
 let save (data : Dataset.t) ~dir =

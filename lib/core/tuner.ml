@@ -12,28 +12,44 @@ type index = {
   hnsw : Superschedule.t Anns.Hnsw.t;
   build_seconds : float;
   corpus_size : int;
+  lint_rejected : int; (* corpus points dropped by the legality pre-filter *)
 }
 
-(* Embed every corpus schedule and insert it into the HNSW graph. *)
-let build_index ?(m = 12) ?(ef_construction = 60) rng model
+(* Embed every corpus schedule and insert it into the HNSW graph.  With
+   [lint] (the default), corpus points carrying error-level legality
+   diagnostics are dropped before any embedding forward pass: an illegal
+   schedule can never be the search's answer, so indexing it only wastes
+   embedder time and pollutes the graph's neighborhoods. *)
+let build_index ?(m = 12) ?(ef_construction = 60) ?(lint = true) rng model
     (corpus : Superschedule.t array) =
   let t0 = Unix.gettimeofday () in
+  let kept =
+    if lint then
+      Array.of_list (List.filter Analysis.Lint.accepts (Array.to_list corpus))
+    else corpus
+  in
+  let rejected = Array.length corpus - Array.length kept in
   let hnsw = Anns.Hnsw.create ~m ~ef_construction ~dim:Config.embed_dim rng in
   let ed = Config.embed_dim in
   (* Embed in batches to amortize the batched forward. *)
   let bsz = 256 in
-  let n = Array.length corpus in
+  let n = Array.length kept in
   let i = ref 0 in
   while !i < n do
     let len = min bsz (n - !i) in
-    let batch = Array.sub corpus !i len in
+    let batch = Array.sub kept !i len in
     let embs = Costmodel.embed model batch in
     for b = 0 to len - 1 do
       Anns.Hnsw.insert hnsw (Array.sub embs (b * ed) ed) batch.(b)
     done;
     i := !i + len
   done;
-  { hnsw; build_seconds = Unix.gettimeofday () -. t0; corpus_size = n }
+  {
+    hnsw;
+    build_seconds = Unix.gettimeofday () -. t0;
+    corpus_size = n;
+    lint_rejected = rejected;
+  }
 
 type result = {
   best : Superschedule.t;

@@ -10,12 +10,16 @@ open Machine_model
 type index = {
   hnsw : Superschedule.t Anns.Hnsw.t;
   build_seconds : float;
-  corpus_size : int;
+  corpus_size : int;  (** points actually indexed (after the pre-filter) *)
+  lint_rejected : int;  (** corpus points dropped by the legality pre-filter *)
 }
 
 val build_index :
-  ?m:int -> ?ef_construction:int ->
+  ?m:int -> ?ef_construction:int -> ?lint:bool ->
   Sptensor.Rng.t -> Costmodel.t -> Superschedule.t array -> index
+(** With [lint] (default [true]), corpus schedules carrying error-level
+    legality diagnostics ([Analysis.Lint.accepts]) are dropped before any
+    embedding forward pass. *)
 
 type result = {
   best : Superschedule.t;

@@ -6,12 +6,10 @@ open Sptensor
 open Schedule
 open Machine_model
 
-let algo_of_name = function
-  | "SpMV" -> Algorithm.Spmv
-  | "SpMM" -> Algorithm.Spmm 256
-  | "SDDMM" -> Algorithm.Sddmm 256
-  | "MTTKRP" -> Algorithm.Mttkrp 16
-  | s -> invalid_arg ("Lab.algo_of_name: " ^ s)
+let algo_of_name s =
+  match Algorithm.of_name s with
+  | Some a -> a
+  | None -> invalid_arg ("Lab.algo_of_name: " ^ s)
 
 (* The four evaluation algorithms with the paper's dense sizes: |j|=256 for
    SpMM/SDDMM and |j|=16 for MTTKRP.  The dense operand is analytic in the

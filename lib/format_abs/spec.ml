@@ -39,27 +39,60 @@ let level_size t lvl = var_size t (level_var t lvl)
 
 let level_format t lvl = t.formats.(lvl)
 
-let is_permutation n order =
-  Array.length order = n
-  && begin
-       let seen = Array.make n false in
-       Array.for_all
-         (fun v -> v >= 0 && v < n && not seen.(v) && (seen.(v) <- true; true))
-         order
-     end
+(* The one permutation checker every validation site routes through
+   (Spec.order, Superschedule.compute_order / a_order, Encode.perm_matrix). *)
+let permutation_error ~n order =
+  if Array.length order <> n then
+    Some (Printf.sprintf "length %d, expected %d" (Array.length order) n)
+  else begin
+    let seen = Array.make (max n 1) false in
+    let err = ref None in
+    Array.iter
+      (fun v ->
+        if !err = None then
+          if v < 0 || v >= n then
+            err := Some (Printf.sprintf "entry %d out of range [0,%d)" v n)
+          else if seen.(v) then err := Some (Printf.sprintf "entry %d repeated" v)
+          else seen.(v) <- true)
+      order;
+    !err
+  end
+
+let is_permutation n order = permutation_error ~n order = None
+
+(* Legality pass: every invariant as an accumulated diagnostic.  The messages
+   are the historical [invalid_arg] payloads (sans the "Spec: " prefix) so
+   [validate] can keep its exact exception contract by delegating here. *)
+let check t =
+  let r = rank t in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  if Array.length t.splits <> r then
+    add (Diag.error ~code:"WACO-S001" ~loc:"spec.splits" "splits/dims length mismatch");
+  for d = 0 to min r (Array.length t.splits) - 1 do
+    if t.splits.(d) < 1 then
+      add
+        (Diag.error ~code:"WACO-S002"
+           ~loc:(Printf.sprintf "spec.splits[%d]" d)
+           "split size must be >= 1");
+    if t.dims.(d) < 1 then
+      add
+        (Diag.error ~code:"WACO-S003"
+           ~loc:(Printf.sprintf "spec.dims[%d]" d)
+           "dims must be >= 1")
+  done;
+  if not (is_permutation (2 * r) t.order) then
+    add
+      (Diag.error ~code:"WACO-S004" ~loc:"spec.order"
+         "order is not a permutation of the derived variables");
+  if Array.length t.formats <> 2 * r then
+    add (Diag.error ~code:"WACO-S005" ~loc:"spec.formats" "formats length mismatch");
+  List.rev !ds
 
 let validate t =
-  let r = rank t in
-  if Array.length t.splits <> r then invalid_arg "Spec: splits/dims length mismatch";
-  Array.iteri
-    (fun d s ->
-      if s < 1 then invalid_arg "Spec: split size must be >= 1";
-      if t.dims.(d) < 1 then invalid_arg "Spec: dims must be >= 1")
-    t.splits;
-  if not (is_permutation (2 * r) t.order) then
-    invalid_arg "Spec: order is not a permutation of the derived variables";
-  if Array.length t.formats <> 2 * r then
-    invalid_arg "Spec: formats length mismatch"
+  match Diag.first_error (check t) with
+  | Some d -> invalid_arg ("Spec: " ^ Diag.message d)
+  | None -> ()
 
 let make ~dims ~splits ~order ~formats =
   let t = { dims; splits; order; formats } in

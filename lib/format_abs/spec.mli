@@ -39,10 +39,21 @@ val level_size : t -> int -> int
 
 val level_format : t -> int -> Levelfmt.t
 
+val permutation_error : n:int -> int array -> string option
+(** [None] when the array is a permutation of [0..n-1]; otherwise an
+    explanation (wrong length, out-of-range entry, repeated entry).  The
+    single helper every permutation-validation site routes through. *)
+
 val is_permutation : int -> int array -> bool
 
+val check : t -> Diag.t list
+(** Non-throwing legality pass: every inconsistency as a [WACO-S00x]
+    diagnostic ([]) when the spec is well-formed).  Single source of truth
+    for the invariants; [validate] delegates here. *)
+
 val validate : t -> unit
-(** Raises [Invalid_argument] on inconsistent specs. *)
+(** Raises [Invalid_argument] on the first error-level diagnostic of
+    [check]. *)
 
 val make :
   dims:int array -> splits:int array -> order:int array ->

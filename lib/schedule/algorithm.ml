@@ -16,6 +16,15 @@ let name = function
   | Sddmm _ -> "SDDMM"
   | Mttkrp _ -> "MTTKRP"
 
+(* Inverse of [name], instantiated with the paper's dense sizes (|j|=256 for
+   SpMM/SDDMM, |j|=16 for MTTKRP). *)
+let of_name = function
+  | "SpMV" -> Some Spmv
+  | "SpMM" -> Some (Spmm 256)
+  | "SDDMM" -> Some (Sddmm 256)
+  | "MTTKRP" -> Some (Mttkrp 16)
+  | _ -> None
+
 (* Rank of the sparse operand A. *)
 let sparse_rank = function Spmv | Spmm _ | Sddmm _ -> 2 | Mttkrp _ -> 3
 

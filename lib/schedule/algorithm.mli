@@ -10,6 +10,10 @@ type t =
 
 val name : t -> string
 
+val of_name : string -> t option
+(** Inverse of [name], with the paper's dense sizes ([|j|]=256 for
+    SpMM/SDDMM, 16 for MTTKRP). *)
+
 val sparse_rank : t -> int
 (** Rank of the sparse operand A. *)
 

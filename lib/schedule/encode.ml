@@ -20,6 +20,9 @@ let onehot n i =
 
 let perm_matrix order =
   let n = Array.length order in
+  (match Format_abs.Spec.permutation_error ~n order with
+  | Some why -> invalid_arg ("Encode.perm_matrix: " ^ why)
+  | None -> ());
   let m = Array.make (n * n) 0.0 in
   Array.iteri (fun pos v -> m.((pos * n) + v) <- 1.0) order;
   m

@@ -1,0 +1,88 @@
+(* Field-by-field text serialization of a SuperSchedule, shared by the dataset
+   persistence layer (`waco collect` / `waco train --data`) and the lint
+   artifact passes.  [Superschedule.key] is an identity string, not designed
+   to be parsed back; this encoding is.
+
+   Wire format (one line):
+     algo=SpMM;splits=1,4;order=0,2,1,3;par=0;threads=full;chunk=4;aorder=0,2,1,3;afmt=UCUU *)
+
+let serialize (s : Superschedule.t) =
+  let ints a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
+  let fmts =
+    String.concat ""
+      (Array.to_list
+         (Array.map
+            (fun f -> String.make 1 (Format_abs.Levelfmt.to_char f))
+            s.Superschedule.a_formats))
+  in
+  Printf.sprintf "algo=%s;splits=%s;order=%s;par=%d;threads=%s;chunk=%d;aorder=%s;afmt=%s"
+    (Algorithm.name s.Superschedule.algo)
+    (ints s.Superschedule.splits)
+    (ints s.Superschedule.compute_order)
+    s.Superschedule.par_var
+    (Superschedule.threads_name s.Superschedule.threads)
+    s.Superschedule.chunk
+    (ints s.Superschedule.a_order)
+    fmts
+
+(* Structural parse only: reports malformed fields without judging legality —
+   the caller decides whether to [Superschedule.validate] (throw) or
+   [Superschedule.check] (accumulate diagnostics). *)
+let parse ~(algo : Algorithm.t) (text : string) : (Superschedule.t, string) result =
+  let fields =
+    String.split_on_char ';' text
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+           | None -> None)
+  in
+  let ( let* ) r f = Result.bind r f in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> Ok v
+    | None -> Error ("missing field " ^ k)
+  in
+  let ints k =
+    let* v = get k in
+    try Ok (Array.of_list (List.map int_of_string (String.split_on_char ',' v)))
+    with Failure _ -> Error (Printf.sprintf "field %s: not a comma-separated int list" k)
+  in
+  let int k =
+    let* v = get k in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %s: not an integer" k)
+  in
+  let* a = get "algo" in
+  if a <> Algorithm.name algo then Error "algorithm mismatch"
+  else
+    let* splits = ints "splits" in
+    let* compute_order = ints "order" in
+    let* par_var = int "par" in
+    let* threads_s = get "threads" in
+    let* threads =
+      match threads_s with
+      | "half" -> Ok Superschedule.Half
+      | "full" -> Ok Superschedule.Full
+      | s -> Error (Printf.sprintf "field threads: unknown value %s" s)
+    in
+    let* chunk = int "chunk" in
+    let* a_order = ints "aorder" in
+    let* afmt = get "afmt" in
+    let* a_formats =
+      try
+        Ok (Array.init (String.length afmt) (fun i -> Format_abs.Levelfmt.of_char afmt.[i]))
+      with Invalid_argument _ -> Error "field afmt: level formats must be U or C"
+    in
+    Ok
+      {
+        Superschedule.algo;
+        splits;
+        compute_order;
+        par_var;
+        threads;
+        chunk;
+        a_order;
+        a_formats;
+      }

@@ -1,0 +1,10 @@
+(** Parseable text serialization of a SuperSchedule, shared by the dataset
+    persistence layer and the lint artifact passes
+    (["algo=SpMM;splits=1,4;order=0,2,1,3;..."]). *)
+
+val serialize : Superschedule.t -> string
+
+val parse : algo:Algorithm.t -> string -> (Superschedule.t, string) result
+(** Structural parse only — malformed fields become [Error]; legality is the
+    caller's choice ([Superschedule.validate] to throw, [Superschedule.check]
+    to accumulate diagnostics). *)

@@ -31,21 +31,61 @@ let to_spec t ~dims =
     ~splits:(Array.map2 (fun s d -> min s (max 1 d)) t.splits dims)
     ~order:t.a_order ~formats:t.a_formats
 
-let validate t =
+(* Legality pass: every invariant as an accumulated diagnostic (codes
+   WACO-S01x).  Messages are the historical [invalid_arg] payloads (sans the
+   "Superschedule: " prefix) so [validate] keeps its exception contract by
+   delegating here — single source of truth, no duplicated invariant logic. *)
+let check t =
   let r = Algorithm.sparse_rank t.algo in
-  if Array.length t.splits <> r then invalid_arg "Superschedule: splits rank mismatch";
-  Array.iter (fun s -> if s < 1 then invalid_arg "Superschedule: split < 1") t.splits;
-  if not (Format_abs.Spec.is_permutation (2 * r) t.compute_order) then
-    invalid_arg "Superschedule: compute_order not a permutation";
-  if not (Format_abs.Spec.is_permutation (2 * r) t.a_order) then
-    invalid_arg "Superschedule: a_order not a permutation";
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  if Array.length t.splits <> r then
+    add (Diag.error ~code:"WACO-S010" ~loc:"schedule.splits" "splits rank mismatch");
+  Array.iteri
+    (fun d s ->
+      if s < 1 then
+        add
+          (Diag.error ~code:"WACO-S011"
+             ~loc:(Printf.sprintf "schedule.splits[%d]" d)
+             "split < 1"))
+    t.splits;
+  (match Format_abs.Spec.permutation_error ~n:(2 * r) t.compute_order with
+  | Some why ->
+      add
+        (Diag.error ~code:"WACO-S012" ~loc:"schedule.compute_order"
+           "compute_order not a permutation (%s)" why)
+  | None -> ());
+  (match Format_abs.Spec.permutation_error ~n:(2 * r) t.a_order with
+  | Some why ->
+      add
+        (Diag.error ~code:"WACO-S013" ~loc:"schedule.a_order"
+           "a_order not a permutation (%s)" why)
+  | None -> ());
   if Array.length t.a_formats <> 2 * r then
-    invalid_arg "Superschedule: a_formats length mismatch";
+    add
+      (Diag.error ~code:"WACO-S014" ~loc:"schedule.a_formats" "a_formats length mismatch");
   if t.par_var < 0 || t.par_var >= 2 * r then
-    invalid_arg "Superschedule: par_var out of range";
-  if not (List.mem t.par_var (Algorithm.parallel_candidates t.algo)) then
-    invalid_arg "Superschedule: par_var not parallelizable for this algorithm";
-  if t.chunk < 1 then invalid_arg "Superschedule: chunk < 1"
+    add (Diag.error ~code:"WACO-S015" ~loc:"schedule.par_var" "par_var out of range")
+  else if not (List.mem t.par_var (Algorithm.parallel_candidates t.algo)) then
+    add
+      (Diag.error ~code:"WACO-S016" ~loc:"schedule.par_var"
+         "par_var not parallelizable for this algorithm");
+  if t.chunk < 1 then
+    add (Diag.error ~code:"WACO-S017" ~loc:"schedule.chunk" "chunk < 1");
+  List.rev !ds
+
+(* The historical exception messages truncate the diagnostic detail after the
+   first parenthesis-free payload; strip the "(...)" suffix the permutation
+   diagnostics append. *)
+let legacy_message m =
+  match String.index_opt m '(' with
+  | Some i when i > 0 && m.[i - 1] = ' ' -> String.sub m 0 (i - 1)
+  | _ -> m
+
+let validate t =
+  match Diag.first_error (check t) with
+  | Some d -> invalid_arg ("Superschedule: " ^ legacy_message (Diag.message d))
+  | None -> ()
 
 (* Unique identity string; used for deduplication in the KNN graph and for
    memoizing ground-truth runtimes. *)

@@ -23,9 +23,14 @@ val to_spec : t -> dims:int array -> Format_abs.Spec.t
 (** A's format spec for a concrete tensor shape; splits are capped by the
     dimensions. *)
 
+val check : t -> Diag.t list
+(** Non-throwing legality pass: every malformation (bad permutations,
+    non-parallelizable [par_var], ...) as a [WACO-S01x] diagnostic.  Single
+    source of truth for the invariants; [validate] delegates here. *)
+
 val validate : t -> unit
-(** Raises [Invalid_argument] on malformed schedules (bad permutations,
-    non-parallelizable [par_var], ...). *)
+(** Raises [Invalid_argument] on the first error-level diagnostic of
+    [check]. *)
 
 val key : t -> string
 (** Unique identity string: deduplication in the KNN graph, runtime

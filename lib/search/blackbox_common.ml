@@ -12,30 +12,45 @@ type result = {
   eval_seconds : float; (* time spent inside the cost evaluations *)
   total_seconds : float; (* wall time of the whole search *)
   history : (int * float) array; (* (trial, best-so-far cost) *)
+  rejected : int; (* proposals the lint pre-filter refused to evaluate *)
 }
 
 type budgeted_eval = {
   eval : Superschedule.t -> float;
+  prefilter : (Superschedule.t -> bool) option;
   mutable eval_time : float;
   mutable eval_count : int;
+  mutable rejected : int;
   cache : (string, float) Hashtbl.t;
 }
 
-let make_eval eval = { eval; eval_time = 0.0; eval_count = 0; cache = Hashtbl.create 256 }
+let make_eval ?prefilter eval =
+  { eval; prefilter; eval_time = 0.0; eval_count = 0; rejected = 0;
+    cache = Hashtbl.create 256 }
 
 (* Cached + timed evaluation; repeated queries of the same schedule are free
-   (all strategies benefit equally). *)
+   (all strategies benefit equally).  Proposals the pre-filter rejects cost
+   no evaluation at all: they score [infinity], so best-tracking and the
+   estimator refits push away from them for free. *)
 let run_eval be s =
-  let key = Superschedule.key s in
-  match Hashtbl.find_opt be.cache key with
-  | Some c -> c
-  | None ->
-      let t0 = Unix.gettimeofday () in
-      let c = be.eval s in
-      be.eval_time <- be.eval_time +. (Unix.gettimeofday () -. t0);
-      be.eval_count <- be.eval_count + 1;
-      Hashtbl.add be.cache key c;
-      c
+  let rejected =
+    match be.prefilter with Some ok -> not (ok s) | None -> false
+  in
+  if rejected then begin
+    be.rejected <- be.rejected + 1;
+    infinity
+  end
+  else
+    let key = Superschedule.key s in
+    match Hashtbl.find_opt be.cache key with
+    | Some c -> c
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let c = be.eval s in
+        be.eval_time <- be.eval_time +. (Unix.gettimeofday () -. t0);
+        be.eval_count <- be.eval_count + 1;
+        Hashtbl.add be.cache key c;
+        c
 
 (* Drive a strategy: [propose] yields the next schedule given the observation
    history; the driver owns timing, best tracking and the history curve. *)
@@ -63,4 +78,5 @@ let drive ~name ~budget be ~propose =
     eval_seconds = be.eval_time;
     total_seconds = Unix.gettimeofday () -. t_start;
     history = Array.of_list (List.rev !history);
+    rejected = be.rejected;
   }

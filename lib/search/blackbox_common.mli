@@ -12,19 +12,25 @@ type result = {
   eval_seconds : float;  (** time spent inside cost evaluations *)
   total_seconds : float;  (** wall time of the whole search *)
   history : (int * float) array;  (** (trial, best-so-far cost) *)
+  rejected : int;  (** proposals the lint pre-filter refused to evaluate *)
 }
 
 type budgeted_eval = {
   eval : Superschedule.t -> float;
+  prefilter : (Superschedule.t -> bool) option;
   mutable eval_time : float;
   mutable eval_count : int;
+  mutable rejected : int;
   cache : (string, float) Hashtbl.t;
 }
 
-val make_eval : (Superschedule.t -> float) -> budgeted_eval
+val make_eval :
+  ?prefilter:(Superschedule.t -> bool) -> (Superschedule.t -> float) -> budgeted_eval
 
 val run_eval : budgeted_eval -> Superschedule.t -> float
-(** Cached and timed; repeated queries of the same schedule are free. *)
+(** Cached and timed; repeated queries of the same schedule are free.
+    Schedules the pre-filter rejects score [infinity] without any call to
+    the underlying evaluation. *)
 
 val drive :
   name:string ->

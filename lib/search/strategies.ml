@@ -13,8 +13,13 @@
 open Sptensor
 open Schedule
 
-let random_search rng algo ~dims ~eval ~budget =
-  let be = Blackbox_common.make_eval eval in
+(* All strategies share the lint pre-filter (on by default): error-level
+   legality diagnostics mean the schedule can never execute, so it scores
+   [infinity] without touching the cost evaluation. *)
+let filter_of lint = if lint then Some Analysis.Lint.accepts else None
+
+let random_search ?(lint = true) rng algo ~dims ~eval ~budget =
+  let be = Blackbox_common.make_eval ?prefilter:(filter_of lint) eval in
   Blackbox_common.drive ~name:"Random" ~budget be ~propose:(fun _ ->
       Space.sample rng algo ~dims)
 
@@ -26,8 +31,8 @@ let quantile_split observations ~gamma =
   let ngood = max 1 (int_of_float (gamma *. float_of_int n)) in
   List.filteri (fun i _ -> i < ngood) sorted |> List.map fst
 
-let tpe ?(gamma = 0.25) ?(explore = 0.15) rng algo ~dims ~eval ~budget =
-  let be = Blackbox_common.make_eval eval in
+let tpe ?(gamma = 0.25) ?(explore = 0.15) ?(lint = true) rng algo ~dims ~eval ~budget =
+  let be = Blackbox_common.make_eval ?prefilter:(filter_of lint) eval in
   let propose observations =
     if List.length observations < 8 || Rng.float rng < explore then
       Space.sample rng algo ~dims
@@ -71,8 +76,8 @@ let tpe ?(gamma = 0.25) ?(explore = 0.15) rng algo ~dims ~eval ~budget =
 
 (* --- OpenTuner-like bandit ensemble --- *)
 
-let bandit ?(window = 50) rng algo ~dims ~eval ~budget =
-  let be = Blackbox_common.make_eval eval in
+let bandit ?(window = 50) ?(lint = true) rng algo ~dims ~eval ~budget =
+  let be = Blackbox_common.make_eval ?prefilter:(filter_of lint) eval in
   let n_ops = 4 in
   let uses = Array.make n_ops 0 and wins = Array.make n_ops 0 in
   let recent : (int * bool) Queue.t = Queue.create () in

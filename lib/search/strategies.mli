@@ -6,11 +6,12 @@ open Sptensor
 open Schedule
 
 val random_search :
+  ?lint:bool ->
   Rng.t -> Algorithm.t -> dims:int array ->
   eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
 
 val tpe :
-  ?gamma:float -> ?explore:float ->
+  ?gamma:float -> ?explore:float -> ?lint:bool ->
   Rng.t -> Algorithm.t -> dims:int array ->
   eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
 (** HyperOpt-style estimator of distributions: each parameter is resampled
@@ -18,8 +19,12 @@ val tpe :
     uniform restarts). *)
 
 val bandit :
-  ?window:int ->
+  ?window:int -> ?lint:bool ->
   Rng.t -> Algorithm.t -> dims:int array ->
   eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
 (** OpenTuner-style ensemble: random / mutate-best / mutate-good / crossover
-    operators picked by a UCB1 bandit over a sliding improvement window. *)
+    operators picked by a UCB1 bandit over a sliding improvement window.
+
+    All strategies take [?lint] (default [true]): schedules with error-level
+    legality diagnostics ([Analysis.Lint.accepts]) score [infinity] without
+    a cost evaluation, and the count is reported in [result.rejected]. *)

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Repository lint: formatting checks plus the `waco lint` diagnostic passes.
+#
+# ocamlformat is optional (it is not part of the minimal toolchain); without
+# it only dune files are format-checked, using dune's built-in formatter.
+set -e
+cd "$(dirname "$0")/.."
+
+status=0
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt || status=1
+else
+  echo "lint.sh: ocamlformat not found; checking dune files only" >&2
+  for f in $(git ls-files '*dune'); do
+    if ! dune format-dune-file <"$f" | cmp -s - "$f"; then
+      echo "lint.sh: $f is not dune-fmt clean (run: dune fmt)" >&2
+      status=1
+    fi
+  done
+fi
+
+# The @lint alias packs a generated matrix cleanly and checks that a broken
+# schedule exits 2 with its diagnostics.
+dune build @lint || status=1
+
+exit $status

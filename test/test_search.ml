@@ -33,7 +33,7 @@ let test_budget_respected () =
       Alcotest.(check int) "history length" 300
         (Array.length r.Blackbox.Blackbox_common.history))
     [
-      run_strategy Blackbox.Strategies.random_search;
+      run_strategy (fun r -> Blackbox.Strategies.random_search r);
       run_strategy (fun r -> Blackbox.Strategies.tpe r);
       run_strategy (fun r -> Blackbox.Strategies.bandit r);
     ]
@@ -49,7 +49,7 @@ let test_history_monotone () =
         r.Blackbox.Blackbox_common.history;
       Alcotest.(check (float 1e-12)) "final best matches" r.Blackbox.Blackbox_common.best_cost !prev)
     [
-      run_strategy Blackbox.Strategies.random_search;
+      run_strategy (fun r -> Blackbox.Strategies.random_search r);
       run_strategy (fun r -> Blackbox.Strategies.tpe r);
       run_strategy (fun r -> Blackbox.Strategies.bandit r);
     ]
@@ -65,7 +65,7 @@ let test_adaptive_beats_random () =
     done;
     !acc /. 5.0
   in
-  let rand = avg Blackbox.Strategies.random_search in
+  let rand = avg (fun r -> Blackbox.Strategies.random_search r) in
   let tpe = avg (fun r -> Blackbox.Strategies.tpe r) in
   let bandit = avg (fun r -> Blackbox.Strategies.bandit r) in
   Alcotest.(check bool)
