@@ -85,41 +85,100 @@ let inspect_cmd =
 (* --- tune --- *)
 
 let tune_cmd =
-  let run path algo_name machine_name seed =
+  let run path algo_name machine_name model_file index_file save_index_file seed =
     let machine = machine_of machine_name in
     let algo = Experiments.Lab.algo_of_name algo_name in
     let m = Mmio.read_coo path in
     let rng = Rng.create seed in
-    Printf.eprintf "training a fresh %s cost model (use the library API to reuse one)...\n%!"
-      algo_name;
-    let corpus = Gen.suite rng ~count:16 ~max_dim:1024 ~max_nnz:60000 in
-    let mats = List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus in
-    let data =
-      Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:24
-        ~valid_fraction:0.2
-    in
-    let model = Waco.Costmodel.create rng algo in
-    ignore (Waco.Trainer.train ~lr:2e-3 rng model data ~epochs:(Waco.Config.epochs ()));
-    let index = Waco.Tuner.build_index rng model (Waco.Dataset.all_schedules data) in
     let wl = Machine_model.Workload.of_coo ~id:path m in
     let input = Waco.Extractor.input_of_coo ~id:path m in
-    let r = Waco.Tuner.tune model machine wl input index in
+    let r =
+      match
+        let model, corpus =
+          match model_file with
+          | Some file ->
+              let model = Waco.Costmodel.create rng algo in
+              Waco.Costmodel.load model file;
+              (* No dataset on hand: sample an index corpus from the
+                 SuperSchedule space sized to this matrix. *)
+              let rank = Algorithm.sparse_rank algo in
+              let dims =
+                Array.init rank (fun i -> if i = 0 then m.Coo.nrows else m.Coo.ncols)
+              in
+              (model, Array.init 256 (fun _ -> Space.sample rng algo ~dims))
+          | None ->
+              Printf.eprintf
+                "training a fresh %s cost model (pass --model to reuse one)...\n%!"
+                algo_name;
+              let corpus = Gen.suite rng ~count:16 ~max_dim:1024 ~max_nnz:60000 in
+              let mats =
+                List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus
+              in
+              let data =
+                Waco.Dataset.of_matrices rng machine algo mats
+                  ~schedules_per_matrix:24 ~valid_fraction:0.2
+              in
+              let model = Waco.Costmodel.create rng algo in
+              ignore
+                (Waco.Trainer.train ~lr:2e-3 rng model data
+                   ~epochs:(Waco.Config.epochs ()));
+              (model, Waco.Dataset.all_schedules data)
+        in
+        let index =
+          match index_file with
+          | Some file -> Waco.Tuner.load_index rng ~algo file
+          | None -> Waco.Tuner.build_index rng model corpus
+        in
+        (match save_index_file with
+        | Some file ->
+            Waco.Tuner.save_index index file;
+            Printf.eprintf "saved index snapshot to %s\n%!" file
+        | None -> ());
+        (model, index)
+      with
+      | exception Robust.Load_error err ->
+          (* A damaged model or index must not abort the run: fall back to
+             the fixed-CSR baseline and say so. *)
+          let reason = Robust.load_error_to_string err in
+          Printf.eprintf "waco tune: %s; degrading to the fixed-CSR baseline\n%!"
+            reason;
+          Waco.Tuner.degraded machine wl algo ~reason
+      | model, index -> Waco.Tuner.tune model machine wl input index
+    in
     let csr = Baselines.fixed_csr machine wl algo in
     Printf.printf "chosen   : %s\n" (Superschedule.describe r.Waco.Tuner.best);
     Printf.printf "kernel   : %.3e s (model)\n" r.Waco.Tuner.best_measured;
     Printf.printf "fixed CSR: %.3e s -> speedup %.2fx\n" csr.Baselines.kernel_time
       (csr.Baselines.kernel_time /. r.Waco.Tuner.best_measured);
     Printf.printf "overhead : feature %.3fs, search %.4fs (%d cost-model evals)\n"
-      r.Waco.Tuner.feature_seconds r.Waco.Tuner.search_seconds r.Waco.Tuner.cost_evals
+      r.Waco.Tuner.feature_seconds r.Waco.Tuner.search_seconds r.Waco.Tuner.cost_evals;
+    Printf.printf "degraded : %s\n"
+      (match r.Waco.Tuner.degraded_reason with
+      | Some why -> "yes (" ^ why ^ ")"
+      | None -> "no")
   in
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MATRIX") in
+  let model_file =
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
+           ~doc:"Reuse a cost model saved by `waco train` instead of training")
+  in
+  let index_file =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"FILE"
+           ~doc:"Reuse an index snapshot saved with --save-index")
+  in
+  let save_index_file =
+    Arg.(value & opt (some string) None & info [ "save-index" ] ~docv:"FILE"
+           ~doc:"Snapshot the built search index for later runs")
+  in
   Cmd.v (Cmd.info "tune" ~doc:"Co-optimize format+schedule for a matrix")
-    Term.(const run $ path $ algo_arg $ machine_arg $ seed_arg)
+    Term.(
+      const run $ path $ algo_arg $ machine_arg $ model_file $ index_file
+      $ save_index_file $ seed_arg)
 
 (* --- collect --- *)
 
 let collect_cmd =
-  let run algo_name machine_name out count spm seed =
+  let run algo_name machine_name out count spm append seed =
     let machine = machine_of machine_name in
     let algo = Experiments.Lab.algo_of_name algo_name in
     let rng = Rng.create seed in
@@ -129,27 +188,40 @@ let collect_cmd =
       Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:spm
         ~valid_fraction:0.2
     in
-    Waco.Dataset_io.save data ~dir:out;
-    Printf.printf "collected %d tuples over %d matrices into %s\n"
-      (Waco.Dataset.total_tuples data) count out
+    if append then Waco.Dataset_io.append data ~dir:out
+    else Waco.Dataset_io.save data ~dir:out;
+    Printf.printf "%s %d tuples over %d matrices %s %s\n"
+      (if append then "appended" else "collected")
+      (Waco.Dataset.total_tuples data) count
+      (if append then "onto" else "into")
+      out
   in
   let out = Arg.(value & opt string "waco-data" & info [ "out" ] ~doc:"Output directory") in
   let count = Arg.(value & opt int 32 & info [ "matrices" ] ~doc:"Corpus size") in
   let spm = Arg.(value & opt int 30 & info [ "schedules" ] ~doc:"Schedules per matrix") in
+  let append =
+    Arg.(value & flag & info [ "append" ]
+           ~doc:"Journal records onto an existing corpus (flushed per record) \
+                 instead of rewriting it")
+  in
   Cmd.v (Cmd.info "collect" ~doc:"Collect (matrix, schedule, runtime) tuples to disk")
-    Term.(const run $ algo_arg $ machine_arg $ out $ count $ spm $ seed_arg)
+    Term.(const run $ algo_arg $ machine_arg $ out $ count $ spm $ append $ seed_arg)
 
 (* --- train --- *)
 
 let train_cmd =
-  let run algo_name machine_name out data_dir seed =
+  let run algo_name machine_name out data_dir ckpt_dir ckpt_every resume seed =
     let machine = machine_of machine_name in
     let algo = Experiments.Lab.algo_of_name algo_name in
+    if resume && ckpt_dir = None then
+      invalid_arg "--resume needs --checkpoint-dir";
     let rng = Rng.create seed in
     let data =
       match data_dir with
       | Some dir ->
-          Waco.Dataset_io.load ~dir ~algo ~machine ~valid_fraction:0.2 rng
+          Waco.Dataset_io.load ~dir ~algo ~machine ~valid_fraction:0.2
+            ~report:(fun msg -> Printf.eprintf "waco train: %s\n%!" msg)
+            rng
       | None ->
           let corpus =
             Gen.suite rng ~count:(Waco.Config.scaled 32) ~max_dim:1024 ~max_nnz:80000
@@ -159,9 +231,12 @@ let train_cmd =
             ~valid_fraction:0.2
     in
     let model = Waco.Costmodel.create rng algo in
+    let checkpoint =
+      Option.map (fun dir -> { Waco.Trainer.dir; every = ckpt_every }) ckpt_dir
+    in
     let curve =
-      Waco.Trainer.train ~lr:2e-3 ~log:print_endline rng model data
-        ~epochs:(Waco.Config.epochs ())
+      Waco.Trainer.train ~lr:2e-3 ~log:print_endline ?checkpoint ~resume rng model
+        data ~epochs:(Waco.Config.epochs ())
     in
     Waco.Costmodel.save model out;
     Printf.printf "saved model to %s (val acc %.3f)\n" out
@@ -172,8 +247,23 @@ let train_cmd =
     Arg.(value & opt (some string) None & info [ "data" ]
            ~doc:"Train from tuples collected with `waco collect` instead of generating")
   in
+  let ckpt_dir =
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Write atomic epoch checkpoints into $(docv)")
+  in
+  let ckpt_every =
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Checkpoint every $(docv) epochs (with --checkpoint-dir)")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume from the newest valid checkpoint in --checkpoint-dir \
+                 (damaged checkpoints are skipped with a warning)")
+  in
   Cmd.v (Cmd.info "train" ~doc:"Train and save a cost model")
-    Term.(const run $ algo_arg $ machine_arg $ out $ data_dir $ seed_arg)
+    Term.(
+      const run $ algo_arg $ machine_arg $ out $ data_dir $ ckpt_dir $ ckpt_every
+      $ resume $ seed_arg)
 
 (* --- lint --- *)
 

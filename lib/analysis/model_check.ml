@@ -1,104 +1,138 @@
 (* Trained-model artifact pass (codes WACO-A00x).
 
-   [Costmodel.save] writes a flat text dump: repeating blocks of
-   "<name> <size>" header lines followed by [size] value lines.  This pass
-   re-reads such a file without needing a live model, so a checkpoint can be
-   vetted before a tuning run stakes hours of search on it: NaN/Inf
-   parameters (a diverged training run), all-zero tensors (a never-updated
-   parameter), and duplicate names (a merge gone wrong) are all visible
-   from the dump alone. *)
+   [Costmodel.save] writes a flat text dump — repeating blocks of
+   "<name> <size>" header lines followed by [size] value lines — wrapped in
+   the checksummed [Robust] artifact envelope.  This pass re-reads such a
+   file without needing a live model, so a checkpoint can be vetted before a
+   tuning run stakes hours of search on it: envelope damage (bad checksum,
+   wrong version/kind), NaN/Inf parameters (a diverged training run),
+   all-zero tensors (a never-updated parameter), and duplicate names (a
+   merge gone wrong) are all visible from the dump alone.  Pre-envelope raw
+   dumps are still accepted and linted as before. *)
 
-let check (path : string) : Diag.t list =
+(* Lint the parameter blocks themselves.  [first_lineno] is the 1-based file
+   line the first payload line sits on (2 under the envelope, 1 raw), so
+   diagnostics point at real file lines either way. *)
+let check_lines ~path ~first_lineno (lines : string array) : Diag.t list =
   let ds = ref [] in
   let add d = ds := d :: !ds in
-  (match open_in path with
-  | exception Sys_error msg -> add (Diag.error ~code:"WACO-A001" ~loc:path "%s" msg)
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          try
-          let seen = Hashtbl.create 16 in
-          let lineno = ref 0 in
-          let next () =
-            incr lineno;
-            input_line ic
-          in
-          (try
-             let stop = ref false in
-             while not !stop do
-               match next () with
-               | exception End_of_file -> stop := true
-               | header -> (
-                   let loc = Printf.sprintf "%s:%d" path !lineno in
-                   match String.split_on_char ' ' header with
-                   | [ name; size_s ] when name <> "" -> (
-                       match int_of_string_opt size_s with
-                       | Some size when size >= 0 ->
-                           if Hashtbl.mem seen name then
-                             add
-                               (Diag.warning ~code:"WACO-A005" ~loc
-                                  "duplicate parameter %s (previous at line %d)" name
-                                  (Hashtbl.find seen name))
-                           else Hashtbl.add seen name !lineno;
-                           let non_finite = ref 0 and nonzero = ref 0 in
-                           let first_bad = ref 0 in
-                           (try
-                              for _ = 1 to size do
-                                let line = next () in
-                                match float_of_string_opt line with
-                                | None ->
-                                    add
-                                      (Diag.error ~code:"WACO-A002"
-                                         ~loc:(Printf.sprintf "%s:%d" path !lineno)
-                                         "parameter %s: unparseable value %S" name line);
-                                    raise Exit
-                                | Some v ->
-                                    if Float.is_finite v then begin
-                                      if v <> 0.0 then incr nonzero
-                                    end
-                                    else begin
-                                      if !non_finite = 0 then first_bad := !lineno;
-                                      incr non_finite
-                                    end
-                              done;
-                              if !non_finite > 0 then
-                                add
-                                  (Diag.error ~code:"WACO-A003"
-                                     ~loc:(Printf.sprintf "%s:%d" path !first_bad)
-                                     "parameter %s: %d non-finite value(s)" name
-                                     !non_finite);
-                              (* A hint, not a warning: zero biases are a
-                                 legitimate trained state (they start at zero
-                                 and healthy runs can keep them there). *)
-                              if size > 0 && !nonzero = 0 && !non_finite = 0 then
-                                add
-                                  (Diag.hint ~code:"WACO-A004" ~loc
-                                     "parameter %s is entirely zero (%d values)" name
-                                     size)
-                            with
-                           | Exit -> stop := true
-                           | End_of_file ->
-                               add
-                                 (Diag.error ~code:"WACO-A002"
-                                    ~loc:(Printf.sprintf "%s:%d" path !lineno)
-                                    "parameter %s: file truncated mid-parameter" name);
-                               stop := true)
-                       | _ ->
-                           add
-                             (Diag.error ~code:"WACO-A001" ~loc
-                                "malformed header %S (expected \"<name> <size>\")"
-                                header);
-                           stop := true)
-                   | _ ->
+  let seen = Hashtbl.create 16 in
+  let n = Array.length lines in
+  let pos = ref 0 in
+  let lineno () = first_lineno + !pos - 1 in
+  let next () =
+    if !pos >= n then raise End_of_file
+    else begin
+      incr pos;
+      lines.(!pos - 1)
+    end
+  in
+  (try
+     let stop = ref false in
+     while not !stop do
+       match next () with
+       | exception End_of_file -> stop := true
+       | header -> (
+           let loc = Printf.sprintf "%s:%d" path (lineno ()) in
+           match String.split_on_char ' ' header with
+           | [ name; size_s ] when name <> "" -> (
+               match int_of_string_opt size_s with
+               | Some size when size >= 0 ->
+                   if Hashtbl.mem seen name then
+                     add
+                       (Diag.warning ~code:"WACO-A005" ~loc
+                          "duplicate parameter %s (previous at line %d)" name
+                          (Hashtbl.find seen name))
+                   else Hashtbl.add seen name (lineno ());
+                   let non_finite = ref 0 and nonzero = ref 0 in
+                   let first_bad = ref 0 in
+                   (try
+                      for _ = 1 to size do
+                        let line = next () in
+                        match float_of_string_opt line with
+                        | None ->
+                            add
+                              (Diag.error ~code:"WACO-A002"
+                                 ~loc:(Printf.sprintf "%s:%d" path (lineno ()))
+                                 "parameter %s: unparseable value %S" name line);
+                            raise Exit
+                        | Some v ->
+                            if Float.is_finite v then begin
+                              if v <> 0.0 then incr nonzero
+                            end
+                            else begin
+                              if !non_finite = 0 then first_bad := lineno ();
+                              incr non_finite
+                            end
+                      done;
+                      if !non_finite > 0 then
+                        add
+                          (Diag.error ~code:"WACO-A003"
+                             ~loc:(Printf.sprintf "%s:%d" path !first_bad)
+                             "parameter %s: %d non-finite value(s)" name
+                             !non_finite);
+                      (* A hint, not a warning: zero biases are a legitimate
+                         trained state (they start at zero and healthy runs
+                         can keep them there). *)
+                      if size > 0 && !nonzero = 0 && !non_finite = 0 then
+                        add
+                          (Diag.hint ~code:"WACO-A004" ~loc
+                             "parameter %s is entirely zero (%d values)" name
+                             size)
+                    with
+                   | Exit -> stop := true
+                   | End_of_file ->
                        add
-                         (Diag.error ~code:"WACO-A001" ~loc
-                            "malformed header %S (expected \"<name> <size>\")" header);
+                         (Diag.error ~code:"WACO-A002"
+                            ~loc:(Printf.sprintf "%s:%d" path (lineno ()))
+                            "parameter %s: file truncated mid-parameter" name);
                        stop := true)
-             done
-           with End_of_file -> ())
-          with
-          (* [open_in] on a directory only fails at the first read on some
-             systems; fold that into the unreadable-file diagnostic. *)
-          | Sys_error msg -> add (Diag.error ~code:"WACO-A001" ~loc:path "%s" msg)));
+               | _ ->
+                   add
+                     (Diag.error ~code:"WACO-A001" ~loc
+                        "malformed header %S (expected \"<name> <size>\")"
+                        header);
+                   stop := true)
+           | _ ->
+               add
+                 (Diag.error ~code:"WACO-A001" ~loc
+                    "malformed header %S (expected \"<name> <size>\")" header);
+               stop := true)
+     done
+   with End_of_file -> ());
   List.rev !ds
+
+let check (path : string) : Diag.t list =
+  match Robust.read_artifact ~expected_kind:Robust.Kind.model path with
+  | Ok payload ->
+      (* Envelope verified: payload starts on file line 2. *)
+      check_lines ~path ~first_lineno:2 (Robust.lines payload)
+  | Error (Robust.Not_an_artifact _) -> (
+      (* Pre-envelope raw dump — lint it as before. *)
+      match Robust.read_file path with
+      | Ok content -> check_lines ~path ~first_lineno:1 (Robust.lines content)
+      | Error e ->
+          [
+            Diag.error ~code:"WACO-A001" ~loc:path "%s"
+              (Robust.load_error_to_string e);
+          ])
+  | Error (Robust.Bad_checksum _ as e) ->
+      [
+        Diag.error ~code:"WACO-A006" ~loc:path "%s"
+          (Robust.load_error_to_string e);
+      ]
+  | Error ((Robust.Version_mismatch _ | Robust.Wrong_kind _) as e) ->
+      [
+        Diag.error ~code:"WACO-A007" ~loc:path "%s"
+          (Robust.load_error_to_string e);
+      ]
+  | Error (Robust.Truncated _ as e) ->
+      [
+        Diag.error ~code:"WACO-A002" ~loc:path "%s"
+          (Robust.load_error_to_string e);
+      ]
+  | Error e ->
+      [
+        Diag.error ~code:"WACO-A001" ~loc:path "%s"
+          (Robust.load_error_to_string e);
+      ]

@@ -266,6 +266,129 @@ let search_by t ~score ~k ?(ef = 50) () =
     (List.filteri (fun i _ -> i < k) found, !evals)
   end
 
+(* --- Snapshots ---
+
+   Text serialization of the whole graph (structure + vectors + payloads) so
+   an index built once can be reused across processes instead of rebuilt per
+   query — the build is the expensive half of the tuner's one-off cost.  The
+   payload serializer must be single-line; the caller owns payload syntax
+   (WACO stores SuperSchedules via their dataset encoding). *)
+
+let dump t ~payload =
+  let buf = Buffer.create (4096 + (t.count * 64)) in
+  Printf.bprintf buf "HNSW %d %d %d %d %d %d\n" t.dim t.m t.ef_construction t.count
+    t.entry t.max_level;
+  for i = 0 to t.count - 1 do
+    let n = t.nodes.(i) in
+    let p = payload n.payload in
+    if String.contains p '\n' then
+      invalid_arg "Hnsw.dump: payload serialization must be single-line";
+    Printf.bprintf buf "N %d %s\n" n.level p;
+    Buffer.add_char buf 'V';
+    Array.iter (fun v -> Printf.bprintf buf " %.17g" v) n.vec;
+    Buffer.add_char buf '\n';
+    for l = 0 to n.level do
+      Buffer.add_char buf 'A';
+      List.iter (fun id -> Printf.bprintf buf " %d" id) n.neighbors.(l);
+      Buffer.add_char buf '\n'
+    done
+  done;
+  Buffer.contents buf
+
+exception Restore_error of string
+
+let restore rng ~payload text =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Restore_error m)) fmt in
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let pos = ref 0 in
+  let next what =
+    if !pos >= Array.length lines then fail "snapshot ends while reading %s" what
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let ints_of what parts =
+    List.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> fail "%s: unparseable integer %S" what s)
+      parts
+  in
+  let dim, m, ef_construction, count, entry, max_level =
+    match String.split_on_char ' ' (next "the header") with
+    | "HNSW" :: rest -> (
+        match ints_of "header" rest with
+        | [ dim; m; efc; count; entry; max_level ] ->
+            (dim, m, efc, count, entry, max_level)
+        | _ -> fail "malformed HNSW header")
+    | _ -> fail "missing HNSW header"
+  in
+  if dim < 1 || m < 1 || count < 0 then fail "nonsensical HNSW header";
+  let t = create ~m ~ef_construction ~dim rng in
+  if count > 0 then begin
+    let nodes =
+      Array.init count (fun i ->
+          let level, pay =
+            let line = next (Printf.sprintf "node %d" i) in
+            match String.index_opt line ' ' with
+            | Some sp when String.length line > 2 && String.sub line 0 2 = "N " -> (
+                let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+                match String.index_opt rest ' ' with
+                | Some sp2 -> (
+                    let lvl = String.sub rest 0 sp2 in
+                    let p = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
+                    match int_of_string_opt lvl with
+                    | Some l when l >= 0 -> (l, p)
+                    | _ -> fail "node %d: bad level %S" i lvl)
+                | None -> fail "node %d: malformed N record" i)
+            | _ -> fail "node %d: expected an N record" i
+          in
+          let vec =
+            match String.split_on_char ' ' (next (Printf.sprintf "vector %d" i)) with
+            | "V" :: vals ->
+                let arr =
+                  Array.of_list
+                    (List.map
+                       (fun s ->
+                         match float_of_string_opt s with
+                         | Some v -> v
+                         | None -> fail "node %d: unparseable vector value %S" i s)
+                       vals)
+                in
+                if Array.length arr <> dim then
+                  fail "node %d: vector has %d components, index dim is %d" i
+                    (Array.length arr) dim;
+                arr
+            | _ -> fail "node %d: expected a V record" i
+          in
+          let neighbors =
+            Array.init (level + 1) (fun l ->
+                match
+                  String.split_on_char ' '
+                    (next (Printf.sprintf "adjacency %d of node %d" l i))
+                with
+                | "A" :: ids ->
+                    List.map
+                      (fun id ->
+                        if id < 0 || id >= count then
+                          fail "node %d: neighbor id %d out of range" i id
+                        else id)
+                      (ints_of "adjacency" ids)
+                | _ -> fail "node %d: expected an A record" i)
+          in
+          { vec; payload = payload pay; level; neighbors })
+    in
+    if entry < 0 || entry >= count then fail "entry point %d out of range" entry;
+    t.nodes <- nodes;
+    t.count <- count;
+    t.entry <- entry;
+    t.max_level <- max_level
+  end;
+  t
+
 (* Brute-force exact search, for recall measurements in tests. *)
 let brute_force t ~query ~k =
   let all = List.init t.count (fun i -> (dist t i query, i)) in

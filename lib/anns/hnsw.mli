@@ -52,3 +52,17 @@ val search_by :
 
 val brute_force : 'a t -> query:float array -> k:int -> (float * int) list
 (** Exact k-NN by linear scan — for recall measurements in tests. *)
+
+(** {2 Snapshots} *)
+
+val dump : 'a t -> payload:('a -> string) -> string
+(** Text serialization of the whole graph (structure, vectors, payloads) so a
+    built index can be reused across processes.  [payload] must be
+    single-line; raises [Invalid_argument] otherwise. *)
+
+exception Restore_error of string
+
+val restore : Sptensor.Rng.t -> payload:(string -> 'a) -> string -> 'a t
+(** Rebuilds a graph serialized by {!dump}.  [rng] seeds future level draws
+    (further inserts remain possible).  Raises {!Restore_error} on any
+    structural damage — callers wrap it into their typed load errors. *)

@@ -102,33 +102,69 @@ let predict t (input : Extractor.input) (schedules : Superschedule.t array) =
   let rows = rows_of ~feature ~embs ~batch in
   Nn.Mlp.forward t.predictor ~batch rows
 
-(* --- Persistence: flat text dump of all parameters, matched by name. --- *)
+(* --- Persistence: flat text dump of all parameters, matched by name, inside
+   the checksummed [Robust] artifact envelope and written atomically.  A crash
+   mid-save leaves the previous model; any corruption is a typed
+   [Robust.Load_error], never silently wrong weights. --- *)
 
-let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter
-        (fun p ->
-          Printf.fprintf oc "%s %d\n" p.Nn.Param.name (Nn.Param.size p);
-          Array.iter (fun v -> Printf.fprintf oc "%.17g\n" v) p.Nn.Param.data)
-        (params t))
+let dump_params t =
+  let buf = Buffer.create (1 lsl 16) in
+  List.iter (fun p -> Nn.Param.dump p buf) (params t);
+  Buffer.contents buf
+
+let save t path = Robust.write_artifact ~kind:Robust.Kind.model path (dump_params t)
+
+(* Restore parameters from dump lines.  [lineno_base] anchors error messages
+   to file lines (the envelope header is line 1, so payloads start at 2). *)
+let restore_params t ~file ~lineno_base lines =
+  let pos = ref 0 in
+  let malformed reason =
+    raise (Robust.Load_error (Robust.Malformed { file; reason }))
+  in
+  let next what =
+    if !pos >= Array.length lines then
+      malformed
+        (Printf.sprintf "dump ends at line %d while reading %s"
+           (lineno_base + !pos) what)
+    else begin
+      let line = lines.(!pos) in
+      incr pos;
+      line
+    end
+  in
+  List.iter
+    (fun p ->
+      let header = next ("the header of parameter " ^ p.Nn.Param.name) in
+      (match String.split_on_char ' ' header with
+      | [ name; n ]
+        when name = p.Nn.Param.name && int_of_string_opt n = Some (Nn.Param.size p)
+        ->
+          ()
+      | _ ->
+          malformed
+            (Printf.sprintf "line %d: parameter mismatch: got %S, expected \"%s %d\""
+               (lineno_base + !pos - 1)
+               header p.Nn.Param.name (Nn.Param.size p)));
+      for i = 0 to Nn.Param.size p - 1 do
+        let line = next ("a value of parameter " ^ p.Nn.Param.name) in
+        match float_of_string_opt line with
+        | Some v -> p.Nn.Param.data.(i) <- v
+        | None ->
+            malformed
+              (Printf.sprintf "line %d: parameter %s: unparseable value %S"
+                 (lineno_base + !pos - 1)
+                 p.Nn.Param.name line)
+      done)
+    (params t)
 
 let load t path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      List.iter
-        (fun p ->
-          let header = input_line ic in
-          (match String.split_on_char ' ' header with
-          | [ name; n ] when name = p.Nn.Param.name && int_of_string n = Nn.Param.size p ->
-              ()
-          | _ -> failwith ("Costmodel.load: parameter mismatch at " ^ header));
-          for i = 0 to Nn.Param.size p - 1 do
-            p.Nn.Param.data.(i) <- float_of_string (input_line ic)
-          done)
-        (params t));
+  (match Robust.read_artifact ~expected_kind:Robust.Kind.model path with
+  | Ok payload -> restore_params t ~file:path ~lineno_base:2 (Robust.lines payload)
+  | Error (Robust.Not_an_artifact _) -> (
+      (* Pre-envelope dump: accept it so old artifacts keep loading. *)
+      match Robust.read_file path with
+      | Ok contents ->
+          restore_params t ~file:path ~lineno_base:1 (Robust.lines contents)
+      | Error e -> raise (Robust.Load_error e))
+  | Error e -> raise (Robust.Load_error e));
   clear_feature_cache t

@@ -53,8 +53,12 @@ val predict : t -> Extractor.input -> Superschedule.t array -> float array
 (** Full prediction for a batch of schedules against one matrix. *)
 
 val save : t -> string -> unit
-(** Flat text dump of all parameters. *)
+(** Flat text dump of all parameters inside the checksummed
+    [Robust] artifact envelope, written atomically: a crash mid-save leaves
+    the previous dump intact. *)
 
 val load : t -> string -> unit
 (** Restores parameters saved by {!save} into an identically-shaped model;
-    raises [Failure] on mismatch.  Clears the feature cache. *)
+    raises [Robust.Load_error] on a missing file, checksum/version mismatch
+    or parameter-shape mismatch.  Pre-envelope raw dumps are still accepted.
+    Clears the feature cache. *)

@@ -10,7 +10,16 @@
      MATRIX <name> <relative .mtx path>
      TUPLE <matrix name> <log10 runtime> <schedule key-value encoding>
    The schedule is serialized field by field (not via [Superschedule.key],
-   which is not designed to be parsed back). *)
+   which is not designed to be parsed back).
+
+   Durability: [save] writes the matrices first and tuples.txt last, via
+   [Robust]'s atomic temp-file + rename, so a crash at any write point leaves
+   either the previous complete corpus or no tuples.txt (a typed error at
+   load).  [append] journals records append-only with a flush per record, so
+   a crash costs at most the record being written; [load] recovers such a
+   truncated tail — and a missing or unreadable referenced .mtx — by keeping
+   every complete record and reporting the cut instead of failing the whole
+   corpus. *)
 
 open Sptensor
 open Schedule
@@ -29,82 +38,149 @@ let parse_schedule (algo : Algorithm.t) (text : string) : Superschedule.t =
       Superschedule.validate s;
       s
 
-(* Write a dataset's tuples (and matrices) under [dir]. *)
+let header_line (data : Dataset.t) =
+  Printf.sprintf "# WACO dataset: algo=%s machine=%s\n"
+    (Algorithm.name data.Dataset.algo)
+    data.Dataset.machine.Machine_model.Machine.name
+
+(* Write one sample's records: the .mtx (atomically, 2-D only) plus its
+   MATRIX/TUPLE lines through [emit]. *)
+let write_sample ~dir ~emit (sample : Dataset.sample) =
+  if Array.length sample.Dataset.wl.Machine_model.Workload.dims = 2 then begin
+    let m =
+      Coo.of_triplets
+        ~nrows:sample.Dataset.wl.Machine_model.Workload.dims.(0)
+        ~ncols:sample.Dataset.wl.Machine_model.Workload.dims.(1)
+        (Array.to_list sample.Dataset.wl.Machine_model.Workload.entries
+        |> List.map (fun (c, v) -> (c.(0), c.(1), v)))
+    in
+    let file = sample.Dataset.name ^ ".mtx" in
+    Mmio.write_coo (Filename.concat dir file) m;
+    emit (Printf.sprintf "MATRIX %s %s\n" sample.Dataset.name file)
+  end;
+  Array.iteri
+    (fun i s ->
+      emit
+        (Printf.sprintf "TUPLE %s %.17g %s\n" sample.Dataset.name
+           sample.Dataset.log_runtimes.(i) (serialize_schedule s)))
+    sample.Dataset.schedules
+
+(* Write a dataset's tuples (and matrices) under [dir].  The matrices land
+   first; tuples.txt is renamed into place last, so it never names a matrix
+   file that does not exist yet. *)
 let save (data : Dataset.t) ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let oc = open_out (Filename.concat dir "tuples.txt") in
+  Robust.mkdir_p dir;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header_line data);
+  Array.iter
+    (write_sample ~dir ~emit:(Buffer.add_string buf))
+    (Array.append data.Dataset.train data.Dataset.valid);
+  Robust.write_atomic_string (Filename.concat dir "tuples.txt") (Buffer.contents buf)
+
+(* Append-only journaling for incremental collection (`waco collect
+   --append`): each record is flushed as a whole line, so a crash leaves at
+   worst one truncated final line, which [load] recovers. *)
+let append (data : Dataset.t) ~dir =
+  Robust.mkdir_p dir;
+  let path = Filename.concat dir "tuples.txt" in
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "# WACO dataset: algo=%s machine=%s\n"
-        (Algorithm.name data.Dataset.algo)
-        data.Dataset.machine.Machine_model.Machine.name;
+      if fresh then output_string oc (header_line data);
+      let emit line =
+        Robust.Faults.guard_write (path ^ ":append");
+        output_string oc (Robust.Faults.mangle line);
+        flush oc
+      in
       Array.iter
-        (fun (sample : Dataset.sample) ->
-          (* Persist 2-D matrices; 3-D tensors are saved via their entries. *)
-          if Array.length sample.Dataset.wl.Machine_model.Workload.dims = 2 then begin
-            let m =
-              Coo.of_triplets
-                ~nrows:sample.Dataset.wl.Machine_model.Workload.dims.(0)
-                ~ncols:sample.Dataset.wl.Machine_model.Workload.dims.(1)
-                (Array.to_list sample.Dataset.wl.Machine_model.Workload.entries
-                |> List.map (fun (c, v) -> (c.(0), c.(1), v)))
-            in
-            let file = sample.Dataset.name ^ ".mtx" in
-            Mmio.write_coo (Filename.concat dir file) m;
-            Printf.fprintf oc "MATRIX %s %s\n" sample.Dataset.name file
-          end;
-          Array.iteri
-            (fun i s ->
-              Printf.fprintf oc "TUPLE %s %.17g %s\n" sample.Dataset.name
-                sample.Dataset.log_runtimes.(i) (serialize_schedule s))
-            sample.Dataset.schedules)
+        (write_sample ~dir ~emit)
         (Array.append data.Dataset.train data.Dataset.valid))
 
-(* Load tuples saved by [save] back into a dataset (2-D matrices only). *)
-let load ~dir ~algo ~machine ~valid_fraction rng =
-  let ic = open_in (Filename.concat dir "tuples.txt") in
+(* Load tuples saved by [save]/[append] back into a dataset (2-D matrices
+   only).  [report] receives one line per recovered problem: a truncated
+   final record (kept corpus, cut reported) or a missing/unreadable matrix
+   file (that matrix and its tuples are skipped).  Corruption that is not a
+   tail truncation — a malformed record in the middle of the journal — still
+   raises [Corrupt]: it means the file was damaged in place, not cut short,
+   and silently skipping interior records would misrepresent the corpus. *)
+let load ~dir ~algo ~machine ~valid_fraction ?(report = fun _ -> ()) rng =
+  let path = Filename.concat dir "tuples.txt" in
+  let contents =
+    match Robust.read_file path with
+    | Ok c -> c
+    | Error e -> raise (Robust.Load_error e)
+  in
+  let all_lines = Array.of_list (String.split_on_char '\n' contents) in
+  let n_all = Array.length all_lines in
+  (* A well-formed journal ends with '\n', leaving one empty trailing
+     fragment; without it, the final line is a truncation suspect. *)
+  let complete_tail = n_all > 0 && all_lines.(n_all - 1) = "" in
+  let n_records = if complete_tail then n_all - 1 else n_all in
   let matrices : (string, Coo.t) Hashtbl.t = Hashtbl.create 64 in
   let tuples : (string, (Superschedule.t * float) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      try
-        while true do
-          let line = input_line ic in
-          if String.length line > 0 && line.[0] <> '#' then begin
-            match String.index_opt line ' ' with
-            | None -> ()
-            | Some sp -> (
-                let tag = String.sub line 0 sp in
-                let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
-                match tag with
-                | "MATRIX" -> (
-                    match String.split_on_char ' ' rest with
-                    | [ name; file ] ->
-                        Hashtbl.replace matrices name
-                          (Mmio.read_coo (Filename.concat dir file))
-                    | _ -> raise (Corrupt line))
-                | "TUPLE" -> (
-                    match String.split_on_char ' ' rest with
-                    | name :: time :: sched ->
-                        let s = parse_schedule algo (String.concat " " sched) in
-                        let lst =
-                          match Hashtbl.find_opt tuples name with
-                          | Some l -> l
-                          | None ->
-                              let l = ref [] in
-                              Hashtbl.add tuples name l;
-                              l
-                        in
-                        lst := (s, float_of_string time) :: !lst
-                    | _ -> raise (Corrupt line))
-                | _ -> raise (Corrupt line))
-          end
-        done
-      with End_of_file -> ());
+  let corrupt ~idx line reason =
+    if (not complete_tail) && idx = n_records - 1 then
+      report
+        (Printf.sprintf "%s:%d: dropped truncated final record (%s): %S" path
+           (idx + 1) reason line)
+    else raise (Corrupt (Printf.sprintf "%s:%d: %s: %S" path (idx + 1) reason line))
+  in
+  for idx = 0 to n_records - 1 do
+    let line = all_lines.(idx) in
+    if String.length line > 0 && line.[0] <> '#' then begin
+      match String.index_opt line ' ' with
+      | None -> corrupt ~idx line "unrecognized record"
+      | Some sp -> (
+          let tag = String.sub line 0 sp in
+          let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+          match tag with
+          | "MATRIX" -> (
+              match String.split_on_char ' ' rest with
+              | [ name; file ] -> (
+                  let mpath = Filename.concat dir file in
+                  match Mmio.read_coo mpath with
+                  | m -> Hashtbl.replace matrices name m
+                  | exception Sys_error msg ->
+                      report
+                        (Printf.sprintf
+                           "%s:%d: skipping matrix %s (file unreadable: %s)" path
+                           (idx + 1) name msg)
+                  | exception Mmio.Parse_error msg ->
+                      report
+                        (Printf.sprintf
+                           "%s:%d: skipping matrix %s (corrupt .mtx: %s)" path
+                           (idx + 1) name msg))
+              | _ -> corrupt ~idx line "malformed MATRIX record")
+          | "TUPLE" -> (
+              match String.split_on_char ' ' rest with
+              | name :: time :: sched -> (
+                  match
+                    ( float_of_string_opt time,
+                      parse_schedule algo (String.concat " " sched) )
+                  with
+                  | Some time, s ->
+                      let lst =
+                        match Hashtbl.find_opt tuples name with
+                        | Some l -> l
+                        | None ->
+                            let l = ref [] in
+                            Hashtbl.add tuples name l;
+                            l
+                      in
+                      lst := (s, time) :: !lst
+                  | None, _ -> corrupt ~idx line "unparseable runtime"
+                  | exception Corrupt reason ->
+                      corrupt ~idx line ("unparseable schedule: " ^ reason)
+                  | exception Invalid_argument reason ->
+                      corrupt ~idx line ("illegal schedule: " ^ reason))
+              | _ -> corrupt ~idx line "malformed TUPLE record")
+          | _ -> corrupt ~idx line "unrecognized record tag")
+    end
+  done;
   let samples =
     Hashtbl.fold
       (fun name m acc ->

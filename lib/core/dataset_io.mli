@@ -13,13 +13,27 @@ val parse_schedule : Algorithm.t -> string -> Superschedule.t
 (** Raises [Corrupt] on malformed input or algorithm mismatch. *)
 
 val save : Dataset.t -> dir:string -> unit
-(** Writes [dir/tuples.txt] plus one [.mtx] per 2-D matrix (creating [dir]). *)
+(** Writes [dir/tuples.txt] plus one [.mtx] per 2-D matrix (creating [dir]
+    recursively).  Matrices land first and [tuples.txt] is renamed into place
+    last (atomic, [Robust]), so a crash leaves either the previous complete
+    corpus or no [tuples.txt]. *)
+
+val append : Dataset.t -> dir:string -> unit
+(** Append-only journaling for incremental collection: records are flushed
+    line by line onto an existing [tuples.txt] (created, with header, if
+    absent), so a crash costs at most the record being written. *)
 
 val load :
   dir:string ->
   algo:Algorithm.t ->
   machine:Machine_model.Machine.t ->
   valid_fraction:float ->
+  ?report:(string -> unit) ->
   Sptensor.Rng.t ->
   Dataset.t
-(** Rebuilds a dataset saved by {!save} (2-D matrices only). *)
+(** Rebuilds a dataset saved by {!save}/{!append} (2-D matrices only).
+    Recoverable damage — a truncated final record, a missing or unreadable
+    referenced [.mtx] — keeps every complete record and is described through
+    [report] (default: silent).  Raises [Robust.Load_error] when
+    [tuples.txt] itself is missing, and [Corrupt] on in-place damage (a
+    malformed record that is not the journal tail). *)

@@ -64,16 +64,209 @@ let eval_set model (samples : Dataset.sample array) =
     (!tl /. n, !ta /. n)
   end
 
-let train ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ()) rng model
-    (data : Dataset.t) ~epochs =
+(* --- Checkpointing (crash-safe long runs) ---
+
+   One checkpoint file per epoch inside [spec.dir], written through the
+   [Robust] envelope (atomic + checksummed), capturing everything a resumed
+   run needs to continue the uninterrupted run bit-for-bit: the epoch
+   counter, the RNG state (so the resumed draw stream matches), all model
+   parameters, the Adam moments and step count, and the per-epoch curve rows
+   so the returned curve covers the whole run. *)
+
+type checkpoint_spec = { dir : string; every : int }
+
+let checkpoint_file dir epoch =
+  Filename.concat dir (Printf.sprintf "ckpt-%04d.ckpt" epoch)
+
+let dump_floats buf arr =
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%.17g" v))
+    arr;
+  Buffer.add_char buf '\n'
+
+let write_checkpoint spec model adam rng ~epoch ~trl ~vll ~vla =
+  Robust.mkdir_p spec.dir;
+  let buf = Buffer.create (1 lsl 16) in
+  Printf.bprintf buf "epoch %d\n" epoch;
+  Printf.bprintf buf "rng %Ld\n" (Sptensor.Rng.state rng);
+  let ms, vs, step_count = Nn.Adam.export_state adam in
+  Printf.bprintf buf "adam_step %d\n" step_count;
+  for e = 0 to epoch - 1 do
+    Printf.bprintf buf "hist %d %.17g %.17g %.17g\n" (e + 1) trl.(e) vll.(e) vla.(e)
+  done;
+  List.iter2
+    (fun p (m, v) ->
+      Printf.bprintf buf "param %s %d\n" p.Nn.Param.name (Nn.Param.size p);
+      dump_floats buf p.Nn.Param.data;
+      Printf.bprintf buf "m %d\n" (Array.length m);
+      dump_floats buf m;
+      Printf.bprintf buf "v %d\n" (Array.length v);
+      dump_floats buf v)
+    (Costmodel.params model)
+    (List.combine ms vs);
+  Robust.write_artifact ~kind:Robust.Kind.checkpoint
+    (checkpoint_file spec.dir epoch) (Buffer.contents buf)
+
+(* Restore a checkpoint into [model]/[adam]/[rng]; returns the completed
+   epoch count and the curve history rows.  Every malformation is a typed
+   [Robust.Load_error], so the resume scan can skip damaged checkpoints. *)
+let load_checkpoint path model adam rng =
+  let payload = Robust.read_artifact_exn ~expected_kind:Robust.Kind.checkpoint path in
+  let lines = Robust.lines payload in
+  let pos = ref 0 in
+  let malformed fmt =
+    Printf.ksprintf
+      (fun reason -> raise (Robust.Load_error (Robust.Malformed { file = path; reason })))
+      fmt
+  in
+  let next what =
+    if !pos >= Array.length lines then malformed "checkpoint ends while reading %s" what
+    else begin
+      let line = lines.(!pos) in
+      incr pos;
+      line
+    end
+  in
+  let keyed key what =
+    match String.split_on_char ' ' (next what) with
+    | k :: rest when k = key -> rest
+    | _ -> malformed "expected a %S line (reading %s)" key what
+  in
+  let int_field key =
+    match keyed key key with
+    | [ v ] -> (
+        match int_of_string_opt v with
+        | Some v -> v
+        | None -> malformed "unparseable %s %S" key v)
+    | _ -> malformed "malformed %s line" key
+  in
+  let floats_into what dst =
+    let line = next what in
+    let parts = String.split_on_char ' ' line in
+    if List.length parts <> Array.length dst then
+      malformed "%s: expected %d values, got %d" what (Array.length dst)
+        (List.length parts);
+    List.iteri
+      (fun i v ->
+        match float_of_string_opt v with
+        | Some v -> dst.(i) <- v
+        | None -> malformed "%s: unparseable value %S" what v)
+      parts
+  in
+  let epoch = int_field "epoch" in
+  let rng_state =
+    match keyed "rng" "rng state" with
+    | [ v ] -> (
+        match Int64.of_string_opt v with
+        | Some s -> s
+        | None -> malformed "unparseable rng state %S" v)
+    | _ -> malformed "malformed rng line"
+  in
+  let adam_step = int_field "adam_step" in
+  let history = ref [] in
+  while
+    !pos < Array.length lines
+    && String.starts_with ~prefix:"hist " lines.(!pos)
+  do
+    (match String.split_on_char ' ' lines.(!pos) with
+    | [ _; e; a; b; c ] -> (
+        match
+          (int_of_string_opt e, float_of_string_opt a, float_of_string_opt b,
+           float_of_string_opt c)
+        with
+        | Some e, Some a, Some b, Some c -> history := (e, a, b, c) :: !history
+        | _ -> malformed "unparseable hist line %S" lines.(!pos))
+    | _ -> malformed "malformed hist line %S" lines.(!pos));
+    incr pos
+  done;
+  let params = Costmodel.params model in
+  let ms = List.map (fun p -> Array.make (Nn.Param.size p) 0.0) params in
+  let vs = List.map (fun p -> Array.make (Nn.Param.size p) 0.0) params in
+  List.iter2
+    (fun p (m, v) ->
+      (match keyed "param" ("parameter " ^ p.Nn.Param.name) with
+      | [ name; n ]
+        when name = p.Nn.Param.name && int_of_string_opt n = Some (Nn.Param.size p)
+        ->
+          ()
+      | _ -> malformed "parameter mismatch (expected %s %d)" p.Nn.Param.name
+               (Nn.Param.size p));
+      floats_into ("parameter " ^ p.Nn.Param.name) p.Nn.Param.data;
+      (match keyed "m" "first moment header" with
+      | [ n ] when int_of_string_opt n = Some (Array.length m) -> ()
+      | _ -> malformed "first-moment mismatch for %s" p.Nn.Param.name);
+      floats_into ("first moment of " ^ p.Nn.Param.name) m;
+      (match keyed "v" "second moment header" with
+      | [ n ] when int_of_string_opt n = Some (Array.length v) -> ()
+      | _ -> malformed "second-moment mismatch for %s" p.Nn.Param.name);
+      floats_into ("second moment of " ^ p.Nn.Param.name) v)
+    params
+    (List.combine ms vs);
+  Nn.Adam.import_state adam ~m:ms ~v:vs ~step_count:adam_step;
+  Sptensor.Rng.set_state rng rng_state;
+  Costmodel.clear_feature_cache model;
+  (epoch, List.rev !history)
+
+(* Newest checkpoint that validates; damaged or partial ones are reported
+   through [log] and skipped — never a crash. *)
+let resume_from_dir ~dir ~log model adam rng =
+  if not (Sys.file_exists dir) then None
+  else begin
+    let candidates =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             String.starts_with ~prefix:"ckpt-" f
+             && Filename.check_suffix f ".ckpt")
+      |> List.sort (fun a b -> compare b a)
+    in
+    let rec try_next = function
+      | [] -> None
+      | f :: rest -> (
+          let path = Filename.concat dir f in
+          match load_checkpoint path model adam rng with
+          | result -> Some (path, result)
+          | exception Robust.Load_error e ->
+              log
+                (Printf.sprintf "warning: skipping invalid checkpoint: %s"
+                   (Robust.load_error_to_string e));
+              try_next rest)
+    in
+    try_next candidates
+  end
+
+let train ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ()) ?checkpoint
+    ?(resume = false) rng model (data : Dataset.t) ~epochs =
   let adam = Nn.Adam.create ~lr (Costmodel.params model) in
   let nepochs = max 1 epochs in
   let ep = Array.make nepochs 0 in
   let trl = Array.make nepochs 0.0 in
   let vll = Array.make nepochs 0.0 in
   let vla = Array.make nepochs 0.0 in
+  let start_epoch =
+    match (resume, checkpoint) with
+    | true, Some spec -> (
+        match resume_from_dir ~dir:spec.dir ~log model adam rng with
+        | None ->
+            log "no valid checkpoint found; starting from scratch";
+            0
+        | Some (path, (epoch, history)) ->
+            List.iter
+              (fun (e, a, b, c) ->
+                if e >= 1 && e <= nepochs then begin
+                  ep.(e - 1) <- e;
+                  trl.(e - 1) <- a;
+                  vll.(e - 1) <- b;
+                  vla.(e - 1) <- c
+                end)
+              history;
+            log (Printf.sprintf "resumed from %s at epoch %d" path epoch);
+            min epoch nepochs)
+    | _ -> 0
+  in
   let order = Array.init (Array.length data.Dataset.train) (fun i -> i) in
-  for epoch = 0 to nepochs - 1 do
+  for epoch = start_epoch to nepochs - 1 do
     Rng.shuffle rng order;
     let epoch_loss = ref 0.0 in
     Array.iter
@@ -94,7 +287,11 @@ let train ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ()) rng model
     vla.(epoch) <- va;
     log
       (Printf.sprintf "epoch %2d  train_loss=%.4f  val_loss=%.4f  val_acc=%.3f"
-         (epoch + 1) trl.(epoch) vl va)
+         (epoch + 1) trl.(epoch) vl va);
+    match checkpoint with
+    | Some spec when (epoch + 1) mod max 1 spec.every = 0 || epoch = nepochs - 1 ->
+        write_checkpoint spec model adam rng ~epoch:(epoch + 1) ~trl ~vll ~vla
+    | _ -> ()
   done;
   (* Features were evolving during training; drop any cached ones. *)
   Costmodel.clear_feature_cache model;

@@ -21,10 +21,34 @@ val random_pairs : Rng.t -> Dataset.sample -> count:int -> (int * int) array
 val eval_set : Costmodel.t -> Dataset.sample array -> float * float
 (** (mean loss, mean pair accuracy) on fixed validation pairs. *)
 
+type checkpoint_spec = {
+  dir : string;  (** checkpoint directory (created recursively) *)
+  every : int;  (** write a checkpoint every [every] epochs (min 1) *)
+}
+
+val checkpoint_file : string -> int -> string
+(** [checkpoint_file dir epoch] — the path an epoch checkpoint lands at. *)
+
+val load_checkpoint :
+  string -> Costmodel.t -> Nn.Adam.t -> Rng.t -> int * (int * float * float * float) list
+(** Restores one checkpoint into the model, optimizer and RNG; returns the
+    completed epoch count and per-epoch curve rows.  Raises
+    [Robust.Load_error] on any damage. *)
+
 val train :
   ?pairs_per_step:int ->
   ?lr:float ->
   ?log:(string -> unit) ->
+  ?checkpoint:checkpoint_spec ->
+  ?resume:bool ->
   Rng.t -> Costmodel.t -> Dataset.t -> epochs:int -> curve
 (** Trains in place; clears the model's feature cache on exit (features
-    evolved during training). *)
+    evolved during training).
+
+    With [checkpoint], an atomic checksummed checkpoint (model parameters,
+    Adam moments, RNG state, epoch counter, curve history) is written after
+    every [every]-th epoch and after the last.  With [resume] (requires
+    [checkpoint]), training restarts from the newest {e valid} checkpoint in
+    [checkpoint.dir] — damaged or partial ones are reported through [log]
+    and skipped — and, because the RNG state is restored, continues the
+    exact run the interrupted training would have produced. *)

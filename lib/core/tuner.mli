@@ -31,12 +31,40 @@ type result = {
   measure_seconds : float;
   cost_evals : int;  (** predictor evaluations during traversal *)
   measured_runs : int;
+  measure_failures : int;  (** candidates dropped after exhausting retries *)
+  degraded : bool;  (** [true] when the result is the fixed-CSR fallback *)
+  degraded_reason : string option;
 }
+
+val degraded :
+  Machine.t -> Workload.t -> Schedule.Algorithm.t -> reason:string -> result
+(** The graceful-degradation fallback: the fixed-CSR baseline schedule,
+    measured once, with [degraded = true].  Callers reach for this when the
+    learned pipeline is unusable (e.g. the model or index artifact fails to
+    load). *)
 
 val tune :
   ?k:int -> ?ef:int ->
+  ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
   Costmodel.t -> Machine.t -> Workload.t -> Extractor.input -> index -> result
-(** [k] defaults to the paper's 10 measured candidates. *)
+(** [k] defaults to the paper's 10 measured candidates.
+
+    Each top-k measurement run goes through a bounded retry-with-backoff
+    ([measure_retries] attempts, exponential from [measure_backoff_s],
+    optionally capped by the per-run wall-clock budget [measure_budget_s]);
+    candidates whose runs keep failing are dropped and counted in
+    [measure_failures].  If the index is empty or every measurement fails,
+    the result degrades to the fixed-CSR baseline with [degraded = true]
+    instead of raising. *)
+
+val save_index : index -> string -> unit
+(** Snapshots the built KNN graph (structure, embeddings, schedules) into a
+    checksummed artifact so later [waco tune] invocations skip the rebuild. *)
+
+val load_index : Sptensor.Rng.t -> algo:Algorithm.t -> string -> index
+(** Reloads a {!save_index} snapshot; validates the embedding dimension
+    against this build's [Config.embed_dim].  Raises [Robust.Load_error] on
+    any damage ([build_seconds] is 0 on the reloaded index). *)
 
 val tuning_overhead : Machine.t -> Workload.t -> result -> float
 (** The one-off cost charged in end-to-end comparisons (Fig. 17, Table 8):

@@ -24,6 +24,27 @@ let create ?(lr = 1e-4) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) params =
     step_count = 0;
   }
 
+(* Optimizer-state capture/restore, for training checkpoints: resuming Adam
+   without its moments would restart the bias-corrected warmup and diverge
+   from the uninterrupted run. *)
+let export_state t = (t.m, t.v, t.step_count)
+
+let import_state t ~m ~v ~step_count =
+  let blit_all src dst =
+    try
+      List.iter2
+        (fun s d ->
+          if Array.length s <> Array.length d then
+            invalid_arg "Adam.import_state: moment size mismatch";
+          Array.blit s 0 d 0 (Array.length s))
+        src dst
+    with Invalid_argument _ -> invalid_arg "Adam.import_state: moment shape mismatch"
+  in
+  blit_all m t.m;
+  blit_all v t.v;
+  if step_count < 0 then invalid_arg "Adam.import_state: negative step count";
+  t.step_count <- step_count
+
 (* Apply one update from the accumulated gradients, then clear them. *)
 let step t =
   t.step_count <- t.step_count + 1;

@@ -8,3 +8,12 @@ val create :
 
 val step : t -> unit
 (** Applies one update from the accumulated gradients, then clears them. *)
+
+val export_state : t -> float array list * float array list * int
+(** [(first moments, second moments, step count)] — the live arrays, not
+    copies; serialize them before taking further steps.  For checkpoints. *)
+
+val import_state :
+  t -> m:float array list -> v:float array list -> step_count:int -> unit
+(** Restores state captured by {!export_state} into an optimizer over
+    identically-shaped parameters; raises [Invalid_argument] on mismatch. *)

@@ -1,0 +1,121 @@
+(* Deterministic fault injection for the durability test harness.
+
+   Production code calls the three hooks ([guard_write], [mangle],
+   [measure_tick]) at its injection points; when nothing is armed each hook
+   is a single mutable-bool check, so the pipeline pays nothing in normal
+   operation.  Armed faults are counter-driven, never clock- or
+   randomness-driven, so a crash-at-every-write-point sweep is exactly
+   reproducible: arming [fail_nth_write n] for n = 1, 2, ... walks the crash
+   through every write point the code path has. *)
+
+exception Injected of string
+(* A simulated crash: the process is assumed dead at this point, so this
+   exception must never be retried or swallowed by recovery wrappers. *)
+
+exception Transient of string
+(* A recoverable environment hiccup (the moral equivalent of a measurement
+   node dropping one run); retry wrappers may absorb it. *)
+
+type state = {
+  mutable active : bool; (* any fault armed — the only check on the fast path *)
+  mutable fail_nth : int; (* raise [Injected] at the nth write point; 0 = off *)
+  mutable writes_seen : int;
+  mutable truncate_at : int; (* truncate the next written blob here; -1 = off *)
+  mutable corrupt_at : int; (* flip a byte of the next written blob; -1 = off *)
+  mutable transient_measures : int; (* next n measure ticks raise [Transient] *)
+}
+
+let st =
+  {
+    active = false;
+    fail_nth = 0;
+    writes_seen = 0;
+    truncate_at = -1;
+    corrupt_at = -1;
+    transient_measures = 0;
+  }
+
+let refresh () =
+  st.active <-
+    st.fail_nth > 0 || st.truncate_at >= 0 || st.corrupt_at >= 0
+    || st.transient_measures > 0
+
+let enabled () = st.active
+
+let reset () =
+  st.fail_nth <- 0;
+  st.writes_seen <- 0;
+  st.truncate_at <- -1;
+  st.corrupt_at <- -1;
+  st.transient_measures <- 0;
+  refresh ()
+
+let arm_fail_nth_write n =
+  if n < 1 then invalid_arg "Faults.arm_fail_nth_write: n must be >= 1";
+  st.fail_nth <- n;
+  st.writes_seen <- 0;
+  refresh ()
+
+let arm_truncate_at byte =
+  if byte < 0 then invalid_arg "Faults.arm_truncate_at: negative offset";
+  st.truncate_at <- byte;
+  refresh ()
+
+let arm_corrupt_byte byte =
+  if byte < 0 then invalid_arg "Faults.arm_corrupt_byte: negative offset";
+  st.corrupt_at <- byte;
+  refresh ()
+
+let arm_transient_measures n =
+  if n < 0 then invalid_arg "Faults.arm_transient_measures: negative count";
+  st.transient_measures <- n;
+  refresh ()
+
+let writes_seen () = st.writes_seen
+
+(* --- hooks --- *)
+
+let guard_write point =
+  if st.active && st.fail_nth > 0 then begin
+    st.writes_seen <- st.writes_seen + 1;
+    if st.writes_seen >= st.fail_nth then begin
+      st.fail_nth <- 0;
+      refresh ();
+      raise (Injected point)
+    end
+  end
+
+let mangle blob =
+  if not st.active then blob
+  else begin
+    let blob =
+      if st.truncate_at >= 0 then begin
+        let cut = min st.truncate_at (String.length blob) in
+        st.truncate_at <- -1;
+        String.sub blob 0 cut
+      end
+      else blob
+    in
+    let blob =
+      if st.corrupt_at >= 0 && st.corrupt_at < String.length blob then begin
+        let b = Bytes.of_string blob in
+        let i = st.corrupt_at in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+        st.corrupt_at <- -1;
+        Bytes.to_string b
+      end
+      else begin
+        if st.corrupt_at >= 0 then st.corrupt_at <- -1;
+        blob
+      end
+    in
+    refresh ();
+    blob
+  end
+
+let measure_tick () =
+  if st.active && st.transient_measures > 0 then begin
+    st.transient_measures <- st.transient_measures - 1;
+    refresh ();
+    raise (Transient "injected transient measurement failure")
+  end

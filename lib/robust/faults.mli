@@ -1,0 +1,46 @@
+(** Deterministic fault injection behind the durability layer's write and
+    measurement paths.  Disabled (the default) the hooks cost one mutable
+    check; armed, they drive crash-at-every-write-point sweeps and transient
+    measurement failures from plain counters, so every failure scenario in
+    [test_robust] is exactly reproducible. *)
+
+exception Injected of string
+(** A simulated crash at a named write point.  Recovery wrappers (e.g.
+    {!Robust.with_retry}) must re-raise it: the process is "dead". *)
+
+exception Transient of string
+(** A recoverable hiccup; retry wrappers may absorb it. *)
+
+val enabled : unit -> bool
+(** [true] while any fault is armed. *)
+
+val reset : unit -> unit
+(** Disarm everything and zero the write counter. *)
+
+val arm_fail_nth_write : int -> unit
+(** Raise {!Injected} at the [n]th (1-based) write point reached from now on,
+    then disarm.  Write points are counted across all artifacts. *)
+
+val arm_truncate_at : int -> unit
+(** Truncate the next written blob at this byte offset (one-shot). *)
+
+val arm_corrupt_byte : int -> unit
+(** Flip one byte of the next written blob at this offset (one-shot). *)
+
+val arm_transient_measures : int -> unit
+(** Make the next [n] measurement ticks raise {!Transient}. *)
+
+val writes_seen : unit -> int
+(** Write points counted since {!arm_fail_nth_write} (for sweep bounds). *)
+
+(** {2 Hooks called by production code} *)
+
+val guard_write : string -> unit
+(** Crash point; [string] names it for the {!Injected} payload. *)
+
+val mangle : string -> string
+(** Apply any armed truncate/corrupt transformation to a blob about to hit
+    disk; identity when disarmed. *)
+
+val measure_tick : unit -> unit
+(** Transient-failure point in front of each measurement run. *)

@@ -1,0 +1,98 @@
+(** Durable artifact IO: atomic writes, a versioned + CRC32-checksummed
+    envelope, typed load failures, recursive directory creation and a bounded
+    retry wrapper.  The contract every adopter inherits: {e after a crash at
+    any write point, loading yields either the previous complete artifact or
+    a clean typed error — never garbage}.  [Faults] provides the deterministic
+    injection hooks the test harness uses to prove it. *)
+
+module Faults = Faults
+
+(** {2 Typed load failures} *)
+
+type load_error =
+  | Missing of { file : string; reason : string }
+      (** file absent or unreadable (maps to lint code WACO-A001) *)
+  | Not_an_artifact of { file : string }
+      (** no envelope header — possibly a legacy raw dump *)
+  | Truncated of { file : string; expected_bytes : int; got_bytes : int }
+  | Bad_checksum of { file : string; expected : string; actual : string }
+      (** maps to lint code WACO-A006 *)
+  | Version_mismatch of { file : string; found : int; expected : int }
+      (** maps to lint code WACO-A007 *)
+  | Wrong_kind of { file : string; found : string; expected : string }
+      (** a valid artifact of the wrong kind (also WACO-A007) *)
+  | Malformed of { file : string; reason : string }
+
+exception Load_error of load_error
+
+val load_error_file : load_error -> string
+
+val load_error_to_string : load_error -> string
+
+(** {2 Checksums} *)
+
+val crc32 : string -> int
+(** CRC32 (IEEE 802.3 / zlib convention) as a non-negative int. *)
+
+val crc32_hex : string -> string
+(** Zero-padded 8-digit lowercase hex of {!crc32}. *)
+
+(** {2 Filesystem primitives} *)
+
+val mkdir_p : ?perm:int -> string -> unit
+(** Recursive [mkdir]; existing directories are fine. *)
+
+val write_atomic_string : string -> string -> unit
+(** [write_atomic_string path content]: temp file in [path]'s directory →
+    flush/fsync → [Sys.rename].  Carries the {!Faults} write points. *)
+
+val write_atomic : string -> (Buffer.t -> unit) -> unit
+(** Same, with the content built in a buffer by the callback. *)
+
+val read_file : string -> (string, load_error) result
+(** Whole-file read; [Error (Missing _)] when absent or unreadable. *)
+
+(** {2 The artifact envelope} *)
+
+val magic : string
+(** First bytes of every enveloped artifact. *)
+
+val artifact_version : int
+(** Envelope version this build writes and reads. *)
+
+(** Artifact kind strings shared by writers and the lint passes. *)
+module Kind : sig
+  val model : string
+  val index : string
+  val checkpoint : string
+end
+
+val write_artifact : kind:string -> ?version:int -> string -> string -> unit
+(** [write_artifact ~kind path payload] writes
+    ["%%WACO-ARTIFACT v1 kind=... bytes=... crc32=...\n" ^ payload]
+    atomically. *)
+
+val read_artifact :
+  ?expected_kind:string -> ?expected_version:int -> string ->
+  (string, load_error) result
+(** Verifies envelope version, kind, byte count and checksum, returning the
+    payload.  [Not_an_artifact] signals a pre-envelope legacy file the caller
+    may fall back on. *)
+
+val read_artifact_exn :
+  ?expected_kind:string -> ?expected_version:int -> string -> string
+(** Raising variant ({!Load_error}). *)
+
+val lines : string -> string array
+(** Payload split on newlines, without the empty fragment a trailing newline
+    produces. *)
+
+(** {2 Retry} *)
+
+val with_retry :
+  ?attempts:int -> ?backoff_s:float -> ?budget_s:float -> label:string ->
+  (unit -> 'a) -> ('a, string) result
+(** Run [f] up to [attempts] times (default 3) with exponential backoff
+    starting at [backoff_s] (default 10 ms), stopping early once [budget_s]
+    wall seconds have elapsed.  {!Faults.Injected} (a simulated crash) is
+    re-raised, never retried. *)

@@ -5,14 +5,14 @@
    the `matrix coordinate real general` header plus `pattern` (values default
    to 1.0) and `%`-comments; 1-based indices per the format. *)
 
+(* Atomic write (temp file + rename, [Robust.write_atomic]): a crash mid-write
+   can no longer leave a half-written .mtx behind, and no file descriptor is
+   held across the formatting work. *)
 let write_coo path (m : Coo.t) =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "%%%%MatrixMarket matrix coordinate real general\n";
-      Printf.fprintf oc "%d %d %d\n" m.Coo.nrows m.Coo.ncols (Coo.nnz m);
-      Coo.iter (fun i j v -> Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v) m)
+  Robust.write_atomic path (fun buf ->
+      Printf.bprintf buf "%%%%MatrixMarket matrix coordinate real general\n";
+      Printf.bprintf buf "%d %d %d\n" m.Coo.nrows m.Coo.ncols (Coo.nnz m);
+      Coo.iter (fun i j v -> Printf.bprintf buf "%d %d %.17g\n" (i + 1) (j + 1) v) m)
 
 exception Parse_error of string
 

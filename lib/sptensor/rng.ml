@@ -14,6 +14,12 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(* Raw state capture/restore, for training checkpoints: a resumed run must
+   continue the exact draw stream the interrupted run would have produced. *)
+let state t = t.state
+
+let set_state t s = t.state <- s
+
 (* Core SplitMix64 step: advance by the golden gamma, then mix. *)
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -14,6 +14,13 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy continuing from the current state. *)
 
+val state : t -> int64
+(** Raw state, for checkpoints. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state captured with {!state}: the generator continues the exact
+    draw stream it would have produced. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a decorrelated child stream.  Splitting
     the same parent state twice yields the same child. *)

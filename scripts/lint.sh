@@ -24,4 +24,8 @@ fi
 # schedule exits 2 with its diagnostics.
 dune build @lint || status=1
 
+# The @faults alias runs the durability/fault-injection sweeps: crash at
+# every artifact write point, assert previous-artifact-or-typed-error.
+dune build @faults || status=1
+
 exit $status
