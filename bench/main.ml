@@ -93,16 +93,194 @@ let micro () =
       | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
     results
 
+(* --- Parallel scaling sweep over the lib/parallel adoption sites ---
+
+   For each domain count the three parallel phases run end to end: dataset
+   collection (per-tuple cost-simulator measurements), index build (batched
+   embedding forwards) and validation eval (per-sample forwards).  The d = 1
+   run is the reference: every wider run must reproduce its results exactly
+   (the pool's determinism contract), and its times are the speedup
+   denominators.  Results land in BENCH_parallel.json; to protect the
+   recorded numbers, a run whose 4-domain speedup regresses more than 20%
+   against the recorded one refuses to overwrite without --force. *)
+
+let bench_parallel_file = "BENCH_parallel.json"
+
+(* Minimal extraction from our own hand-rolled JSON: find ["key": <float>].
+   Good enough because we only ever read files this bench wrote. *)
+let json_float_field text key =
+  let needle = "\"" ^ key ^ "\":" in
+  let tlen = String.length text and nlen = String.length needle in
+  let rec find i =
+    if i + nlen > tlen then None
+    else if String.sub text i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while !j < tlen && text.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < tlen
+        && (match text.[!k] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.sub text !j (!k - !j))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let scaling ~force () =
+  let seed = Waco.Config.seed () in
+  let machine = Machine_model.Machine.intel_like in
+  let algo = Algorithm.Spmm 16 in
+  let sweep = [ 1; 2; 4; 8 ] in
+  Printf.printf "domain sweep %s (recommended_domain_count=%d)\n%!"
+    (String.concat "," (List.map string_of_int sweep))
+    (Domain.recommended_domain_count ());
+  (* Work sizes chosen so each phase has enough independent items to keep
+     8 domains busy: 16 matrices x 48 schedules = 768 measurements, a
+     3072-schedule embedding corpus = 12 batches of 256. *)
+  let nmats = Waco.Config.scaled 16 in
+  let spm = 48 in
+  let corpus_n = 3072 in
+  let mats =
+    let rng = Rng.create seed in
+    let corpus = Gen.suite rng ~count:nmats ~max_dim:512 ~max_nnz:30000 in
+    List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus
+  in
+  let collect pool =
+    (* Fresh RNG per run: every domain count replays the same draw stream. *)
+    let rng = Rng.create (seed + 1) in
+    Waco.Dataset.of_matrices ?pool rng machine algo mats ~schedules_per_matrix:spm
+      ~valid_fraction:0.2
+  in
+  let model = Waco.Costmodel.create (Rng.create (seed + 2)) algo in
+  let emb_corpus =
+    let rng = Rng.create (seed + 3) in
+    Array.init corpus_n (fun _ -> Space.sample rng algo ~dims:[| 512; 512 |])
+  in
+  let build pool =
+    Waco.Tuner.build_index ?pool ~lint:false (Rng.create (seed + 4)) model
+      emb_corpus
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let runtimes_of (d : Waco.Dataset.t) =
+    Array.concat
+      (List.map
+         (fun (s : Waco.Dataset.sample) -> s.Waco.Dataset.log_runtimes)
+         (Array.to_list (Array.append d.Waco.Dataset.train d.Waco.Dataset.valid)))
+  in
+  let results =
+    List.map
+      (fun d ->
+        let pool = if d = 1 then None else Some (Parallel.Pool.create ~domains:d) in
+        let data, collect_s = timed (fun () -> collect pool) in
+        let index, index_s = timed (fun () -> build pool) in
+        let eval, eval_s =
+          timed (fun () ->
+              Waco.Trainer.eval_set ?pool model data.Waco.Dataset.train)
+        in
+        Option.iter Parallel.Pool.shutdown pool;
+        Printf.printf
+          "  domains=%d  collect %6.2fs  index %6.2fs  eval %6.2fs\n%!" d
+          collect_s index_s eval_s;
+        (d, collect_s, index_s, eval_s, runtimes_of data,
+         Anns.Hnsw.dump index.Waco.Tuner.hnsw ~payload:Sched_io.serialize, eval))
+      sweep
+  in
+  let _, base_c, base_i, base_e, base_runtimes, base_dump, base_eval =
+    List.hd results
+  in
+  let identical =
+    List.for_all
+      (fun (_, _, _, _, rts, dump, eval) ->
+        rts = base_runtimes && dump = base_dump && eval = base_eval)
+      (List.tl results)
+  in
+  Printf.printf "  byte-identical across domain counts: %b\n%!" identical;
+  if not identical then
+    failwith "scaling: parallel run diverged from the sequential reference";
+  let speedup_at d =
+    match List.find_opt (fun (d', _, _, _, _, _, _) -> d' = d) results with
+    | Some (_, c, i, e, _, _, _) -> (base_c /. c, base_i /. i, base_e /. e)
+    | None -> (1.0, 1.0, 1.0)
+  in
+  let s4c, s4i, s4e = speedup_at 4 in
+  Printf.printf "  speedup at 4 domains: collect %.2fx  index %.2fx  eval %.2fx\n%!"
+    s4c s4i s4e;
+  (* Regression guard: don't silently clobber a better recorded sweep. *)
+  (match
+     if Sys.file_exists bench_parallel_file && not force then begin
+       let ic = open_in_bin bench_parallel_file in
+       let len = in_channel_length ic in
+       let old = really_input_string ic len in
+       close_in ic;
+       match
+         ( json_float_field old "speedup4_collect",
+           json_float_field old "speedup4_index" )
+       with
+       | Some oc, Some oi when s4c < 0.8 *. oc || s4i < 0.8 *. oi ->
+           Some (oc, oi)
+       | _ -> None
+     end
+     else None
+   with
+  | Some (oc, oi) ->
+      Printf.printf
+        "  REGRESSION > 20%% vs recorded %s (collect %.2fx -> %.2fx, index \
+         %.2fx -> %.2fx); keeping the old file (rerun with --force to \
+         overwrite)\n%!"
+        bench_parallel_file oc s4c oi s4i
+  | None ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Printf.bprintf buf "  \"domains\": [%s],\n"
+        (String.concat ", " (List.map string_of_int sweep));
+      List.iter
+        (fun (key, pick) ->
+          Printf.bprintf buf "  \"%s\": [%s],\n" key
+            (String.concat ", "
+               (List.map
+                  (fun (_, c, i, e, _, _, _) ->
+                    Printf.sprintf "%.4f" (pick (c, i, e)))
+                  results)))
+        [
+          ("collect_s", fun (c, _, _) -> c);
+          ("index_s", fun (_, i, _) -> i);
+          ("eval_s", fun (_, _, e) -> e);
+        ];
+      Printf.bprintf buf "  \"speedup4_collect\": %.4f,\n" s4c;
+      Printf.bprintf buf "  \"speedup4_index\": %.4f,\n" s4i;
+      Printf.bprintf buf "  \"speedup4_eval\": %.4f,\n" s4e;
+      Printf.bprintf buf "  \"baseline_s\": [%.4f, %.4f, %.4f],\n" base_c base_i
+        base_e;
+      Printf.bprintf buf "  \"identical\": %b\n" identical;
+      Buffer.add_string buf "}\n";
+      let oc = open_out_bin bench_parallel_file in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" bench_parallel_file)
+
 let canonical_order selected =
   let ordered =
     List.filter_map
       (fun (n, _, _) -> if List.mem n selected then Some n else None)
       experiment_targets
   in
-  ordered @ (if List.mem "micro" selected then [ "micro" ] else [])
+  ordered
+  @ (if List.mem "micro" selected then [ "micro" ] else [])
+  @ (if List.mem "scaling" selected then [ "scaling" ] else [])
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let force = List.mem "--force" args in
+  let args = List.filter (fun a -> a <> "--force") args in
   let args =
     List.map (fun a -> match List.assoc_opt a aliases with Some t -> t | None -> a) args
   in
@@ -113,7 +291,8 @@ let () =
   in
   List.iter
     (fun a ->
-      if a <> "micro" && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
+      if a <> "micro" && a <> "scaling"
+         && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
       then Printf.eprintf "unknown target: %s (ignored)\n%!" a)
     selected;
   let t0 = Unix.gettimeofday () in
@@ -122,6 +301,12 @@ let () =
   List.iter
     (fun name ->
       if name = "micro" then micro ()
+      else if name = "scaling" then begin
+        Printf.printf "\n>>> scaling — domain-parallel speedup sweep\n%!";
+        let t = Unix.gettimeofday () in
+        scaling ~force ();
+        Printf.printf "<<< scaling done in %.1fs\n%!" (Unix.gettimeofday () -. t)
+      end
       else
         match List.find_opt (fun (n, _, _) -> n = name) experiment_targets with
         | Some (_, desc, run) ->

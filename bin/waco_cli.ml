@@ -27,6 +27,22 @@ let algo_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
 
+(* Parallel phases stay sequential unless asked for: results are
+   byte-identical either way (see lib/parallel), so the flag only trades
+   wall-clock for cores. *)
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel phases (measurement, index \
+               build, validation eval): 1 runs sequentially (default), 0 \
+               uses the shared pool sized from WACO_DOMAINS or the machine, \
+               N>1 creates a pool of exactly $(docv) domains")
+
+let pool_of = function
+  | 0 -> Some (Parallel.Pool.default ())
+  | 1 -> None
+  | n when n > 1 -> Some (Parallel.Pool.create ~domains:n)
+  | n -> invalid_arg (Printf.sprintf "--domains %d: must be >= 0" n)
+
 (* --- gen --- *)
 
 let gen_cmd =
@@ -85,11 +101,13 @@ let inspect_cmd =
 (* --- tune --- *)
 
 let tune_cmd =
-  let run path algo_name machine_name model_file index_file save_index_file seed =
+  let run path algo_name machine_name model_file index_file save_index_file seed
+      domains =
     let machine = machine_of machine_name in
     let algo = Experiments.Lab.algo_of_name algo_name in
     let m = Mmio.read_coo path in
     let rng = Rng.create seed in
+    let pool = pool_of domains in
     let wl = Machine_model.Workload.of_coo ~id:path m in
     let input = Waco.Extractor.input_of_coo ~id:path m in
     let r =
@@ -115,19 +133,19 @@ let tune_cmd =
                 List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus
               in
               let data =
-                Waco.Dataset.of_matrices rng machine algo mats
+                Waco.Dataset.of_matrices ?pool rng machine algo mats
                   ~schedules_per_matrix:24 ~valid_fraction:0.2
               in
               let model = Waco.Costmodel.create rng algo in
               ignore
-                (Waco.Trainer.train ~lr:2e-3 rng model data
+                (Waco.Trainer.train ?pool ~lr:2e-3 rng model data
                    ~epochs:(Waco.Config.epochs ()));
               (model, Waco.Dataset.all_schedules data)
         in
         let index =
           match index_file with
           | Some file -> Waco.Tuner.load_index rng ~algo file
-          | None -> Waco.Tuner.build_index rng model corpus
+          | None -> Waco.Tuner.build_index ?pool rng model corpus
         in
         (match save_index_file with
         | Some file ->
@@ -143,7 +161,7 @@ let tune_cmd =
           Printf.eprintf "waco tune: %s; degrading to the fixed-CSR baseline\n%!"
             reason;
           Waco.Tuner.degraded machine wl algo ~reason
-      | model, index -> Waco.Tuner.tune model machine wl input index
+      | model, index -> Waco.Tuner.tune ?pool model machine wl input index
     in
     let csr = Baselines.fixed_csr machine wl algo in
     Printf.printf "chosen   : %s\n" (Superschedule.describe r.Waco.Tuner.best);
@@ -173,20 +191,21 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Co-optimize format+schedule for a matrix")
     Term.(
       const run $ path $ algo_arg $ machine_arg $ model_file $ index_file
-      $ save_index_file $ seed_arg)
+      $ save_index_file $ seed_arg $ domains_arg)
 
 (* --- collect --- *)
 
 let collect_cmd =
-  let run algo_name machine_name out count spm append seed =
+  let run algo_name machine_name out count spm append seed domains =
     let machine = machine_of machine_name in
     let algo = Experiments.Lab.algo_of_name algo_name in
     let rng = Rng.create seed in
+    let pool = pool_of domains in
     let corpus = Gen.suite rng ~count ~max_dim:1024 ~max_nnz:80000 in
     let mats = List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus in
     let data =
-      Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:spm
-        ~valid_fraction:0.2
+      Waco.Dataset.of_matrices ?pool rng machine algo mats
+        ~schedules_per_matrix:spm ~valid_fraction:0.2
     in
     if append then Waco.Dataset_io.append data ~dir:out
     else Waco.Dataset_io.save data ~dir:out;
@@ -205,17 +224,21 @@ let collect_cmd =
                  instead of rewriting it")
   in
   Cmd.v (Cmd.info "collect" ~doc:"Collect (matrix, schedule, runtime) tuples to disk")
-    Term.(const run $ algo_arg $ machine_arg $ out $ count $ spm $ append $ seed_arg)
+    Term.(
+      const run $ algo_arg $ machine_arg $ out $ count $ spm $ append $ seed_arg
+      $ domains_arg)
 
 (* --- train --- *)
 
 let train_cmd =
-  let run algo_name machine_name out data_dir ckpt_dir ckpt_every resume seed =
+  let run algo_name machine_name out data_dir ckpt_dir ckpt_every resume seed
+      domains =
     let machine = machine_of machine_name in
     let algo = Experiments.Lab.algo_of_name algo_name in
     if resume && ckpt_dir = None then
       invalid_arg "--resume needs --checkpoint-dir";
     let rng = Rng.create seed in
+    let pool = pool_of domains in
     let data =
       match data_dir with
       | Some dir ->
@@ -227,16 +250,16 @@ let train_cmd =
             Gen.suite rng ~count:(Waco.Config.scaled 32) ~max_dim:1024 ~max_nnz:80000
           in
           let mats = List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus in
-          Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:30
-            ~valid_fraction:0.2
+          Waco.Dataset.of_matrices ?pool rng machine algo mats
+            ~schedules_per_matrix:30 ~valid_fraction:0.2
     in
     let model = Waco.Costmodel.create rng algo in
     let checkpoint =
       Option.map (fun dir -> { Waco.Trainer.dir; every = ckpt_every }) ckpt_dir
     in
     let curve =
-      Waco.Trainer.train ~lr:2e-3 ~log:print_endline ?checkpoint ~resume rng model
-        data ~epochs:(Waco.Config.epochs ())
+      Waco.Trainer.train ?pool ~lr:2e-3 ~log:print_endline ?checkpoint ~resume
+        rng model data ~epochs:(Waco.Config.epochs ())
     in
     Waco.Costmodel.save model out;
     Printf.printf "saved model to %s (val acc %.3f)\n" out
@@ -263,7 +286,7 @@ let train_cmd =
   Cmd.v (Cmd.info "train" ~doc:"Train and save a cost model")
     Term.(
       const run $ algo_arg $ machine_arg $ out $ data_dir $ ckpt_dir $ ckpt_every
-      $ resume $ seed_arg)
+      $ resume $ seed_arg $ domains_arg)
 
 (* --- lint --- *)
 

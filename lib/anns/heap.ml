@@ -6,21 +6,27 @@ type 'a t = {
   mutable size : int;
 }
 
-let create () = { arr = Array.make 16 (0.0, Obj.magic 0); size = 0 }
+(* The backing array starts empty and is allocated at the first push, using
+   that first element as the fill value — no [Obj.magic] placeholder, so the
+   representation is sound for every ['a] (including [float], where a forged
+   immediate in a would-be-unboxed slot is undefined behaviour) and values
+   are safe to hand across domains. *)
+let create () = { arr = [||]; size = 0 }
 
 let size t = t.size
 
 let is_empty t = t.size = 0
 
-let grow t =
-  if t.size = Array.length t.arr then begin
+let grow t fill =
+  if Array.length t.arr = 0 then t.arr <- Array.make 16 fill
+  else if t.size = Array.length t.arr then begin
     let bigger = Array.make (2 * Array.length t.arr) t.arr.(0) in
     Array.blit t.arr 0 bigger 0 t.size;
     t.arr <- bigger
   end
 
 let push t prio v =
-  grow t;
+  grow t (prio, v);
   t.arr.(t.size) <- (prio, v);
   let i = ref t.size in
   t.size <- t.size + 1;

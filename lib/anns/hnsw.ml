@@ -382,6 +382,18 @@ let restore rng ~payload text =
           { vec; payload = payload pay; level; neighbors })
     in
     if entry < 0 || entry >= count then fail "entry point %d out of range" entry;
+    (* The build maintains two invariants the descent loops rely on: the
+       header's [max_level] is the maximum node level, and the entry point
+       sits at that level.  A snapshot violating either (tampering, a buggy
+       writer) would make every search silently start mid-graph, so reject
+       it here rather than return wrong neighbours forever. *)
+    let table_max = Array.fold_left (fun acc n -> max acc n.level) 0 nodes in
+    if max_level <> table_max then
+      fail "header max_level %d disagrees with the node table's maximum %d"
+        max_level table_max;
+    if nodes.(entry).level <> max_level then
+      fail "entry node %d has level %d, not the graph's max_level %d" entry
+        nodes.(entry).level max_level;
     t.nodes <- nodes;
     t.count <- count;
     t.entry <- entry;

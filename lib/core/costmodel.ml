@@ -30,6 +30,19 @@ let create rng ?(kind = Extractor.Waconet) (algo : Algorithm.t) =
 let params t =
   Extractor.params t.extractor @ Embedder.params t.embedder @ Nn.Mlp.params t.predictor
 
+(* Forward-only replica for a worker domain: every parameter array is shared
+   (so replicas track weight updates made between — never during — parallel
+   sections), every forward cache is private.  Replica forwards are the same
+   float-op sequence as the original's, so results are bit-identical. *)
+let replicate t =
+  {
+    algo = t.algo;
+    extractor = Extractor.replicate t.extractor;
+    embedder = Embedder.replicate t.embedder;
+    predictor = Nn.Mlp.replicate t.predictor;
+    feature_cache = Hashtbl.create 16;
+  }
+
 let param_count t = Nn.Param.total_size (params t)
 
 let row_dim = Config.feature_dim + Config.embed_dim

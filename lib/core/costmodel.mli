@@ -19,6 +19,12 @@ val create : Sptensor.Rng.t -> ?kind:Extractor.kind -> Algorithm.t -> t
 
 val params : t -> Nn.Param.t list
 
+val replicate : t -> t
+(** Forward-only replica for a worker domain: shares every parameter array
+    (replicas track weight updates made between — never during — parallel
+    sections), owns private forward caches.  Replica forwards run the same
+    float-op sequence as the original's, so results are bit-identical. *)
+
 val param_count : t -> int
 
 val row_dim : int

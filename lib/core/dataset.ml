@@ -26,24 +26,6 @@ type t = {
 
 let log10 x = log x /. log 10.0
 
-let make_sample rng machine algo ~name ~wl ~input ~schedules_per_matrix =
-  let schedules =
-    Array.of_list
-      (Space.sample_distinct rng algo ~dims:wl.Workload.dims ~count:schedules_per_matrix)
-  in
-  let log_runtimes =
-    Array.map (fun s -> log10 (Costsim.runtime machine wl s)) schedules
-  in
-  let n = Array.length schedules in
-  let npairs = min 32 (max 1 (n / 2)) in
-  let valid_pairs =
-    Array.init npairs (fun _ ->
-        let a = Rng.int rng n in
-        let b = Rng.int rng n in
-        (a, if b = a then (b + 1) mod n else b))
-  in
-  { name; wl; input; schedules; log_runtimes; valid_pairs }
-
 let split_train_valid rng samples ~valid_fraction =
   let arr = Array.of_list samples in
   Rng.shuffle rng arr;
@@ -52,33 +34,88 @@ let split_train_valid rng samples ~valid_fraction =
   let train = Array.sub arr nvalid (Array.length arr - nvalid) in
   (train, valid)
 
-(* Dataset over 2-D matrices (SpMV / SpMM / SDDMM). *)
-let of_matrices rng machine algo (matrices : (string * Coo.t) list)
+(* Collection runs in three phases so the measurement loop — the expensive
+   part — can fan out across domains without touching the RNG:
+
+   A. sequentially draw every matrix's schedules and fixed validation pairs
+      ([Costsim.runtime] consumes no randomness, so this draw order is
+      exactly the one the all-sequential code produced);
+   B. measure the flattened (workload, schedule) tuples, in parallel when a
+      pool is given — each tuple's runtime lands in its own slot, in order;
+   C. slice the measurements back into per-matrix samples and split.
+
+   The emitted dataset (and hence tuples.txt) is byte-identical whatever the
+   domain count. *)
+let collect ?pool rng machine algo
+    ~(items : (string * Workload.t * Extractor.input) list)
     ~schedules_per_matrix ~valid_fraction =
+  let drawn =
+    List.map
+      (fun (name, wl, input) ->
+        let schedules =
+          Array.of_list
+            (Space.sample_distinct rng algo ~dims:wl.Workload.dims
+               ~count:schedules_per_matrix)
+        in
+        let n = Array.length schedules in
+        let npairs = min 32 (max 1 (n / 2)) in
+        let valid_pairs =
+          Array.init npairs (fun _ ->
+              let a = Rng.int rng n in
+              let b = Rng.int rng n in
+              (a, if b = a then (b + 1) mod n else b))
+        in
+        (name, wl, input, schedules, valid_pairs))
+      items
+  in
+  let tuples =
+    Array.of_list
+      (List.concat_map
+         (fun (_, wl, _, schedules, _) ->
+           Array.to_list (Array.map (fun s -> (wl, s)) schedules))
+         drawn)
+  in
+  let measure (wl, s) = log10 (Costsim.runtime machine wl s) in
+  let measured =
+    match pool with
+    | Some p when Parallel.Pool.domains p > 1 ->
+        Parallel.Pool.parallel_map_array p measure tuples
+    | _ -> Array.map measure tuples
+  in
+  let off = ref 0 in
   let samples =
     List.map
-      (fun (name, m) ->
-        let wl = Workload.of_coo ~id:name m in
-        let input = Extractor.input_of_coo ~id:name m in
-        make_sample rng machine algo ~name ~wl ~input ~schedules_per_matrix)
-      matrices
+      (fun (name, wl, input, schedules, valid_pairs) ->
+        let n = Array.length schedules in
+        let log_runtimes = Array.sub measured !off n in
+        off := !off + n;
+        { name; wl; input; schedules; log_runtimes; valid_pairs })
+      drawn
   in
   let train, valid = split_train_valid rng samples ~valid_fraction in
   { algo; machine; train; valid }
 
-(* Dataset over 3-D tensors (MTTKRP). *)
-let of_tensors rng machine algo (tensors : (string * Tensor3.t) list)
+(* Dataset over 2-D matrices (SpMV / SpMM / SDDMM). *)
+let of_matrices ?pool rng machine algo (matrices : (string * Coo.t) list)
     ~schedules_per_matrix ~valid_fraction =
-  let samples =
+  let items =
+    List.map
+      (fun (name, m) ->
+        (name, Workload.of_coo ~id:name m, Extractor.input_of_coo ~id:name m))
+      matrices
+  in
+  collect ?pool rng machine algo ~items ~schedules_per_matrix ~valid_fraction
+
+(* Dataset over 3-D tensors (MTTKRP). *)
+let of_tensors ?pool rng machine algo (tensors : (string * Tensor3.t) list)
+    ~schedules_per_matrix ~valid_fraction =
+  let items =
     List.map
       (fun (name, t) ->
-        let wl = Workload.of_tensor3 ~id:name t in
-        let input = Extractor.input_of_tensor3 ~id:name t in
-        make_sample rng machine algo ~name ~wl ~input ~schedules_per_matrix)
+        (name, Workload.of_tensor3 ~id:name t, Extractor.input_of_tensor3 ~id:name t))
       tensors
   in
-  let train, valid = split_train_valid rng samples ~valid_fraction in
-  { algo; machine; train; valid }
+  collect ?pool rng machine algo ~items ~schedules_per_matrix ~valid_fraction
 
 (* All distinct schedules appearing in the dataset — the KNN-graph corpus
    (§4.2.2: "we built the graph with the SuperSchedules which appeared in our

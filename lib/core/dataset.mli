@@ -29,13 +29,21 @@ val split_train_valid :
 (** Shuffled split with at least one validation sample. *)
 
 val of_matrices :
+  ?pool:Parallel.Pool.t ->
   Rng.t -> Machine.t -> Algorithm.t -> (string * Coo.t) list ->
   schedules_per_matrix:int -> valid_fraction:float -> t
+(** With [pool], the cost-simulator measurements fan out across domains.
+    Schedules and validation pairs are still drawn sequentially first
+    (the simulator consumes no randomness), and each measurement lands in
+    its tuple's own slot, so the dataset — and any [tuples.txt] written from
+    it — is byte-identical to the sequential run. *)
 
 val of_tensors :
+  ?pool:Parallel.Pool.t ->
   Rng.t -> Machine.t -> Algorithm.t -> (string * Tensor3.t) list ->
   schedules_per_matrix:int -> valid_fraction:float -> t
-(** MTTKRP datasets over 3-D tensors. *)
+(** MTTKRP datasets over 3-D tensors; same parallelism contract as
+    {!of_matrices}. *)
 
 val all_schedules : t -> Superschedule.t array
 (** All distinct schedules in the training split — the KNN-graph corpus

@@ -77,6 +77,21 @@ let params t =
       Nn.Mlp.params t.mixer;
     ]
 
+(* Forward-only copy for another domain: shared parameters, private caches. *)
+let replicate t =
+  {
+    t with
+    split_tables = Array.map Nn.Linear.replicate t.split_tables;
+    compute_mlp = Nn.Mlp.replicate t.compute_mlp;
+    a_order_mlp = Nn.Mlp.replicate t.a_order_mlp;
+    format_table = Nn.Linear.replicate t.format_table;
+    par_table = Nn.Linear.replicate t.par_table;
+    threads_table = Nn.Linear.replicate t.threads_table;
+    chunk_table = Nn.Linear.replicate t.chunk_table;
+    mixer = Nn.Mlp.replicate t.mixer;
+    cache_batch = 0;
+  }
+
 let out_dim _ = Config.embed_dim
 
 (* Batched forward: one embedding row per schedule. *)

@@ -12,6 +12,10 @@ val create : Sptensor.Rng.t -> rank:int -> t
 
 val params : t -> Nn.Param.t list
 
+val replicate : t -> t
+(** Forward-only copy for concurrent use on another domain: shares the
+    parameters (which must not be updated meanwhile), owns fresh caches. *)
+
 val out_dim : t -> int
 (** = {!Config.embed_dim}. *)
 

@@ -119,6 +119,27 @@ let params t =
       List.concat_map Nn.Sparse_conv.params (Array.to_list c.convs)
       @ Nn.Linear.params c.head
 
+(* Forward-only copy for another domain: parameters are shared (reads only),
+   layer caches and the pyramid cache are private.  Pyramids are coordinate-
+   only, so a replica rebuilding them changes no numerics. *)
+let replicate t =
+  match t.body with
+  | Mlp m -> { t with body = Mlp (Nn.Mlp.replicate m) }
+  | Conv c ->
+      {
+        t with
+        body =
+          Conv
+            {
+              c with
+              convs = Array.map Nn.Sparse_conv.replicate c.convs;
+              relus = Array.map (fun _ -> Nn.Act.relu_create ()) c.relus;
+              pools = Array.map (fun _ -> Nn.Pool.create ()) c.pools;
+              head = Nn.Linear.replicate c.head;
+              pyramids = Hashtbl.create 64;
+            };
+      }
+
 let pyramid_of (c : conv_stack) (input : input) =
   match Hashtbl.find_opt c.pyramids input.id with
   | Some p -> p

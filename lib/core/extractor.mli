@@ -36,6 +36,11 @@ val create : Sptensor.Rng.t -> kind -> t
 
 val params : t -> Nn.Param.t list
 
+val replicate : t -> t
+(** Forward-only copy for concurrent use on another domain: shares the
+    parameters (which must not be updated meanwhile), owns fresh layer and
+    pyramid caches. *)
+
 val forward : t -> input -> float array
 (** Feature vector of one pattern; layer caches are retained for an
     immediately following {!backward}.  Coordinate pyramids are cached per

@@ -13,9 +13,13 @@ type curve = {
 }
 
 (* Assemble a pair-major batch (schedules and truths) from a sample, oriented
-   slower-first so every pair carries a ranking constraint. *)
+   slower-first so every pair carries a ranking constraint.  A sample with no
+   schedules (or no pairs) yields an empty batch instead of an out-of-bounds
+   placeholder read. *)
 let batch_of_pairs (sample : Dataset.sample) (pairs : (int * int) array) =
   let n = Array.length pairs in
+  if n = 0 || Array.length sample.Dataset.schedules = 0 then ([||], [||])
+  else begin
   let schedules = Array.make (2 * n) sample.Dataset.schedules.(0) in
   let truth = Array.make (2 * n) 0.0 in
   Array.iteri
@@ -30,13 +34,24 @@ let batch_of_pairs (sample : Dataset.sample) (pairs : (int * int) array) =
       truth.((2 * p) + 1) <- sample.Dataset.log_runtimes.(b))
     pairs;
   (schedules, truth)
+  end
 
+(* A pair needs two distinct schedules: a sample with fewer than two has no
+   ranking constraint to offer (the old [(b + 1) mod n] fallback crashed on
+   zero schedules and emitted degenerate [(a, a)] self-pairs on one), so it
+   yields no pairs and the training loop skips it.  For n >= 2 a collision
+   [b = a] falls back to [(b + 1) mod n], which is never [a]; the fallback
+   slightly over-weights [a + 1] (2/n instead of 1/n), accepted deliberately:
+   it keeps the draw stream identical to prior releases, so seeded training
+   runs stay reproducible across versions. *)
 let random_pairs rng (sample : Dataset.sample) ~count =
   let n = Array.length sample.Dataset.schedules in
-  Array.init count (fun _ ->
-      let a = Rng.int rng n in
-      let b = Rng.int rng n in
-      (a, if b = a then (b + 1) mod n else b))
+  if n < 2 then [||]
+  else
+    Array.init count (fun _ ->
+        let a = Rng.int rng n in
+        let b = Rng.int rng n in
+        (a, if b = a then (b + 1) mod n else b))
 
 (* Ranking loss of the model on a sample's fixed validation pairs
    (forward only). *)
@@ -50,16 +65,32 @@ let eval_sample model (sample : Dataset.sample) =
   let acc = Nn.Loss.pair_accuracy ~truth ~pred in
   (loss, acc)
 
-let eval_set model (samples : Dataset.sample array) =
+(* Forward-only, so samples are independent: with a pool of [d] domains,
+   worker [i] evaluates its samples on replica [i] (shared parameters,
+   private caches — see [Costmodel.replicate]).  Per-sample results land in
+   sample order and the means are folded sequentially, so the parallel run
+   returns bit-identical floats to the sequential one. *)
+let eval_set ?pool model (samples : Dataset.sample array) =
   if Array.length samples = 0 then (0.0, 1.0)
   else begin
+    let per_sample =
+      match pool with
+      | Some p when Parallel.Pool.domains p > 1 ->
+          let replicas =
+            Array.init (Parallel.Pool.domains p) (fun i ->
+                if i = 0 then model else Costmodel.replicate model)
+          in
+          Parallel.Pool.map_workers p
+            (fun ~worker s -> eval_sample replicas.(worker) s)
+            samples
+      | _ -> Array.map (eval_sample model) samples
+    in
     let tl = ref 0.0 and ta = ref 0.0 in
     Array.iter
-      (fun s ->
-        let l, a = eval_sample model s in
+      (fun (l, a) ->
         tl := !tl +. l;
         ta := !ta +. a)
-      samples;
+      per_sample;
     let n = float_of_int (Array.length samples) in
     (!tl /. n, !ta /. n)
   end
@@ -214,12 +245,25 @@ let load_checkpoint path model adam rng =
 let resume_from_dir ~dir ~log model adam rng =
   if not (Sys.file_exists dir) then None
   else begin
+    (* Order by the parsed epoch number, newest first.  A descending string
+       sort agrees with this only while every epoch has the same digit count:
+       past epoch 9999 the zero-padded "%04d" widens and "ckpt-9999" sorts
+       after "ckpt-10000", resuming from a stale checkpoint. *)
+    let epoch_of f =
+      let stem = Filename.chop_suffix f ".ckpt" in
+      let digits = String.sub stem 5 (String.length stem - 5) in
+      int_of_string_opt digits
+    in
     let candidates =
       Sys.readdir dir |> Array.to_list
-      |> List.filter (fun f ->
-             String.starts_with ~prefix:"ckpt-" f
-             && Filename.check_suffix f ".ckpt")
-      |> List.sort (fun a b -> compare b a)
+      |> List.filter_map (fun f ->
+             if
+               String.starts_with ~prefix:"ckpt-" f
+               && Filename.check_suffix f ".ckpt"
+             then Option.map (fun e -> (e, f)) (epoch_of f)
+             else None)
+      |> List.sort (fun (ea, a) (eb, b) -> compare (eb, b) (ea, a))
+      |> List.map snd
     in
     let rec try_next = function
       | [] -> None
@@ -236,8 +280,8 @@ let resume_from_dir ~dir ~log model adam rng =
     try_next candidates
   end
 
-let train ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ()) ?checkpoint
-    ?(resume = false) rng model (data : Dataset.t) ~epochs =
+let train ?pool ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ())
+    ?checkpoint ?(resume = false) rng model (data : Dataset.t) ~epochs =
   let adam = Nn.Adam.create ~lr (Costmodel.params model) in
   let nepochs = max 1 epochs in
   let ep = Array.make nepochs 0 in
@@ -273,14 +317,25 @@ let train ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ()) ?checkpoint
       (fun idx ->
         let sample = data.Dataset.train.(idx) in
         let pairs = random_pairs rng sample ~count:pairs_per_step in
-        let schedules, truth = batch_of_pairs sample pairs in
-        let pred, backward = Costmodel.forward_train model sample.Dataset.input schedules in
-        let loss, dpred = Nn.Loss.pairwise ~min_gap:0.02 ~truth ~pred () in
-        epoch_loss := !epoch_loss +. loss;
-        backward dpred;
-        Nn.Adam.step adam)
+        if Array.length pairs = 0 then begin
+          (* Fewer than two schedules: no ranking constraint, no step. *)
+          if epoch = start_epoch then
+            log
+              (Printf.sprintf "skipping sample %s: fewer than two schedules"
+                 sample.Dataset.input.Extractor.id)
+        end
+        else begin
+          let schedules, truth = batch_of_pairs sample pairs in
+          let pred, backward =
+            Costmodel.forward_train model sample.Dataset.input schedules
+          in
+          let loss, dpred = Nn.Loss.pairwise ~min_gap:0.02 ~truth ~pred () in
+          epoch_loss := !epoch_loss +. loss;
+          backward dpred;
+          Nn.Adam.step adam
+        end)
       order;
-    let vl, va = eval_set model data.Dataset.valid in
+    let vl, va = eval_set ?pool model data.Dataset.valid in
     ep.(epoch) <- epoch + 1;
     trl.(epoch) <- !epoch_loss /. float_of_int (max 1 (Array.length order));
     vll.(epoch) <- vl;

@@ -17,9 +17,15 @@ val batch_of_pairs :
 (** Pair-major batch, oriented slower-first. *)
 
 val random_pairs : Rng.t -> Dataset.sample -> count:int -> (int * int) array
+(** [count] index pairs with distinct members, uniform over them.  Empty when
+    the sample has fewer than two schedules (no ranking constraint exists). *)
 
-val eval_set : Costmodel.t -> Dataset.sample array -> float * float
-(** (mean loss, mean pair accuracy) on fixed validation pairs. *)
+val eval_set :
+  ?pool:Parallel.Pool.t -> Costmodel.t -> Dataset.sample array -> float * float
+(** (mean loss, mean pair accuracy) on fixed validation pairs.  With [pool],
+    samples are evaluated in parallel on per-domain forward-only replicas of
+    the model; results are reduced in sample order, so the floats are
+    bit-identical to the sequential run. *)
 
 type checkpoint_spec = {
   dir : string;  (** checkpoint directory (created recursively) *)
@@ -36,6 +42,7 @@ val load_checkpoint :
     [Robust.Load_error] on any damage. *)
 
 val train :
+  ?pool:Parallel.Pool.t ->
   ?pairs_per_step:int ->
   ?lr:float ->
   ?log:(string -> unit) ->
@@ -43,7 +50,10 @@ val train :
   ?resume:bool ->
   Rng.t -> Costmodel.t -> Dataset.t -> epochs:int -> curve
 (** Trains in place; clears the model's feature cache on exit (features
-    evolved during training).
+    evolved during training).  Gradient steps are inherently sequential and
+    stay so; [pool] parallelizes only the per-epoch validation pass
+    (see {!eval_set}).  Samples with fewer than two schedules contribute no
+    pairs and are skipped (logged once, on the first trained epoch).
 
     With [checkpoint], an atomic checksummed checkpoint (model parameters,
     Adam moments, RNG state, epoch counter, curve history) is written after

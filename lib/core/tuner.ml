@@ -19,8 +19,13 @@ type index = {
    [lint] (the default), corpus points carrying error-level legality
    diagnostics are dropped before any embedding forward pass: an illegal
    schedule can never be the search's answer, so indexing it only wastes
-   embedder time and pollutes the graph's neighborhoods. *)
-let build_index ?(m = 12) ?(ef_construction = 60) ?(lint = true) rng model
+   embedder time and pollutes the graph's neighborhoods.
+
+   With [pool], the embedding forwards — the dominant cost — run batch-wise
+   on per-domain model replicas; insertion stays sequential and in corpus
+   order, and replica forwards are bit-identical to the original's, so the
+   resulting graph is the same whatever the domain count. *)
+let build_index ?pool ?(m = 12) ?(ef_construction = 60) ?(lint = true) rng model
     (corpus : Superschedule.t array) =
   let t0 = Unix.gettimeofday () in
   let kept =
@@ -34,16 +39,34 @@ let build_index ?(m = 12) ?(ef_construction = 60) ?(lint = true) rng model
   (* Embed in batches to amortize the batched forward. *)
   let bsz = 256 in
   let n = Array.length kept in
-  let i = ref 0 in
-  while !i < n do
-    let len = min bsz (n - !i) in
-    let batch = Array.sub kept !i len in
-    let embs = Costmodel.embed model batch in
-    for b = 0 to len - 1 do
-      Anns.Hnsw.insert hnsw (Array.sub embs (b * ed) ed) batch.(b)
-    done;
-    i := !i + len
-  done;
+  let nbatches = (n + bsz - 1) / bsz in
+  let bounds b =
+    let lo = b * bsz in
+    (lo, min bsz (n - lo))
+  in
+  let embed_batch model b =
+    let lo, len = bounds b in
+    Costmodel.embed model (Array.sub kept lo len)
+  in
+  let batch_embs =
+    match pool with
+    | Some p when Parallel.Pool.domains p > 1 && nbatches > 1 ->
+        let replicas =
+          Array.init (Parallel.Pool.domains p) (fun i ->
+              if i = 0 then model else Costmodel.replicate model)
+        in
+        Parallel.Pool.map_workers p
+          (fun ~worker b -> embed_batch replicas.(worker) b)
+          (Array.init nbatches (fun b -> b))
+    | _ -> Array.init nbatches (embed_batch model)
+  in
+  Array.iteri
+    (fun b embs ->
+      let lo, len = bounds b in
+      for i = 0 to len - 1 do
+        Anns.Hnsw.insert hnsw (Array.sub embs (i * ed) ed) kept.(lo + i)
+      done)
+    batch_embs;
   {
     hnsw;
     build_seconds = Unix.gettimeofday () -. t0;
@@ -88,9 +111,9 @@ let degraded machine (wl : Workload.t) algo ~reason =
     degraded_reason = Some reason;
   }
 
-let tune ?(k = 10) ?(ef = 40) ?(measure_retries = 3) ?(measure_backoff_s = 0.01)
-    ?measure_budget_s model machine (wl : Workload.t) (input : Extractor.input)
-    (index : index) =
+let tune ?pool ?(k = 10) ?(ef = 40) ?(measure_retries = 3)
+    ?(measure_backoff_s = 0.01) ?measure_budget_s model machine
+    (wl : Workload.t) (input : Extractor.input) (index : index) =
   if Anns.Hnsw.size index.hnsw = 0 then
     degraded machine wl model.Costmodel.algo ~reason:"empty search index"
   else begin
@@ -109,26 +132,39 @@ let tune ?(k = 10) ?(ef = 40) ?(measure_retries = 3) ?(measure_backoff_s = 0.01)
     (* Phase 3: measure the top-k on the "hardware" and keep the fastest.
        Each run goes through a bounded retry-with-backoff (transient
        measurement errors are absorbed, within the per-run budget); a
-       candidate whose runs keep failing is dropped and counted. *)
-    let failures = ref 0 in
-    let measured =
-      List.filter_map
-        (fun (pred_cost, id) ->
-          let s = Anns.Hnsw.get_payload index.hnsw id in
-          match
-            Robust.with_retry ~attempts:(max 1 measure_retries)
-              ~backoff_s:measure_backoff_s ?budget_s:measure_budget_s
-              ~label:("measure " ^ Superschedule.key s)
-              (fun () ->
-                Robust.Faults.measure_tick ();
-                Costsim.runtime machine wl s)
-          with
-          | Ok m -> Some (s, m, pred_cost)
-          | Error _ ->
-              incr failures;
-              None)
-        found
+       candidate whose runs keep failing is dropped and counted.  Candidates
+       are independent, so with a pool they measure in parallel — each
+       outcome lands in its candidate's slot and failures are folded in
+       candidate order afterwards, keeping [measure_failures] and the
+       top-k list deterministic (the fault-injection counters themselves
+       are mutex-serialized; see [Robust.Faults]). *)
+    let measure_one (pred_cost, id) =
+      let s = Anns.Hnsw.get_payload index.hnsw id in
+      match
+        Robust.with_retry ~attempts:(max 1 measure_retries)
+          ~backoff_s:measure_backoff_s ?budget_s:measure_budget_s
+          ~label:("measure " ^ Superschedule.key s)
+          (fun () ->
+            Robust.Faults.measure_tick ();
+            Costsim.runtime machine wl s)
+      with
+      | Ok m -> Some (s, m, pred_cost)
+      | Error _ -> None
     in
+    let found_arr = Array.of_list found in
+    let outcomes =
+      match pool with
+      | Some p when Parallel.Pool.domains p > 1 ->
+          Parallel.Pool.parallel_map_array p measure_one found_arr
+      | _ -> Array.map measure_one found_arr
+    in
+    let failures =
+      ref
+        (Array.fold_left
+           (fun acc o -> if o = None then acc + 1 else acc)
+           0 outcomes)
+    in
+    let measured = List.filter_map Fun.id (Array.to_list outcomes) in
     let t3 = Unix.gettimeofday () in
     match measured with
     | [] ->

@@ -15,11 +15,15 @@ type index = {
 }
 
 val build_index :
-  ?m:int -> ?ef_construction:int -> ?lint:bool ->
+  ?pool:Parallel.Pool.t -> ?m:int -> ?ef_construction:int -> ?lint:bool ->
   Sptensor.Rng.t -> Costmodel.t -> Superschedule.t array -> index
 (** With [lint] (default [true]), corpus schedules carrying error-level
     legality diagnostics ([Analysis.Lint.accepts]) are dropped before any
-    embedding forward pass. *)
+    embedding forward pass.
+
+    With [pool], the embedding forwards run batch-wise on per-domain model
+    replicas; HNSW insertion stays sequential in corpus order, so the graph
+    is identical whatever the domain count. *)
 
 type result = {
   best : Superschedule.t;
@@ -44,7 +48,7 @@ val degraded :
     load). *)
 
 val tune :
-  ?k:int -> ?ef:int ->
+  ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int ->
   ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
   Costmodel.t -> Machine.t -> Workload.t -> Extractor.input -> index -> result
 (** [k] defaults to the paper's 10 measured candidates.
@@ -53,9 +57,11 @@ val tune :
     ([measure_retries] attempts, exponential from [measure_backoff_s],
     optionally capped by the per-run wall-clock budget [measure_budget_s]);
     candidates whose runs keep failing are dropped and counted in
-    [measure_failures].  If the index is empty or every measurement fails,
-    the result degrades to the fixed-CSR baseline with [degraded = true]
-    instead of raising. *)
+    [measure_failures].  With [pool], the top-k candidates measure in
+    parallel; outcomes are folded in candidate order, so [topk] and
+    [measure_failures] match the sequential run.  If the index is empty or
+    every measurement fails, the result degrades to the fixed-CSR baseline
+    with [degraded = true] instead of raising. *)
 
 val save_index : index -> string -> unit
 (** Snapshots the built KNN graph (structure, embeddings, schedules) into a

@@ -27,19 +27,24 @@ type t = {
    no sorting — this is on the dataset-generation hot path. *)
 (* Generation-stamped interning scratch: a direct-mapped array avoids
    hashtable overhead for the (common) levels whose key space is small, and
-   resets in O(1) via the generation counter. *)
+   resets in O(1) via the generation counter.  Domain-local — the parallel
+   measurement paths run [analyze] concurrently, and a shared scratch would
+   let one domain's interning clobber another's. *)
 let scratch_cap = 1 lsl 21
 
-let scratch_id = ref [||]
-let scratch_gen = ref [||]
-let generation = ref 0
+type scratch = { mutable ids : int array; mutable gens : int array; mutable g : int }
 
-(* Allocated once at full capacity; reset is O(1) via [generation]. *)
-let ensure_scratch () =
-  if Array.length !scratch_id < scratch_cap then begin
-    scratch_id := Array.make scratch_cap 0;
-    scratch_gen := Array.make scratch_cap 0
-  end
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { ids = [||]; gens = [||]; g = 0 })
+
+(* Allocated once per domain at full capacity; reset is O(1) via [g]. *)
+let get_scratch () =
+  let sc = Domain.DLS.get scratch_key in
+  if Array.length sc.ids < scratch_cap then begin
+    sc.ids <- Array.make scratch_cap 0;
+    sc.gens <- Array.make scratch_cap 0
+  end;
+  sc
 
 (* Upper bound on the number of distinct parent ids entering level [lvl]:
    ids are dense in [0, bound). *)
@@ -66,9 +71,9 @@ let distinct_prefix_counts (spec : Spec.t) (entries : (int array * float) array)
     let next = ref 0 in
     if key_space > 0 && key_space <= scratch_cap then begin
       (* Direct-mapped interning. *)
-      ensure_scratch ();
-      incr generation;
-      let ids = !scratch_id and gens = !scratch_gen and g = !generation in
+      let sc = get_scratch () in
+      sc.g <- sc.g + 1;
+      let ids = sc.ids and gens = sc.gens and g = sc.g in
       for e = 0 to n - 1 do
         let coords, _ = entries.(e) in
         let c = Packed.derived_coord spec ~logical:() !lvl coords in

@@ -14,6 +14,9 @@ type t = {
   entries : (int array * float) array;
   counts : int array array; (* counts.(d).(x) = nonzeros with logical coord x on dim d *)
   storage_cache : (string, Format_abs.Storage_model.t) Hashtbl.t;
+  cache_lock : Mutex.t;
+      (* The parallel measurement paths share one workload across domains;
+         Hashtbl is not safe under concurrent mutation. *)
 }
 
 let build ~id ~dims ~entries =
@@ -32,6 +35,7 @@ let build ~id ~dims ~entries =
     entries;
     counts;
     storage_cache = Hashtbl.create 64;
+    cache_lock = Mutex.create ();
   }
 
 let of_coo ?(id = "coo") (m : Coo.t) =
@@ -61,11 +65,18 @@ let spec_key (spec : Format_abs.Spec.t) =
 
 let storage t (spec : Format_abs.Spec.t) =
   let key = spec_key spec in
-  match Hashtbl.find_opt t.storage_cache key with
+  let cached =
+    Mutex.protect t.cache_lock (fun () -> Hashtbl.find_opt t.storage_cache key)
+  in
+  match cached with
   | Some s -> s
   | None ->
+      (* Analyze outside the lock: it is pure, and a duplicate computation on a
+         concurrent miss is cheaper than serializing every analysis. *)
       let s = Format_abs.Storage_model.analyze spec t.entries in
-      Hashtbl.add t.storage_cache key s;
+      Mutex.protect t.cache_lock (fun () ->
+          if not (Hashtbl.mem t.storage_cache key) then
+            Hashtbl.add t.storage_cache key s);
       s
 
 (* Work (nonzero count) per value of derived variable [v] under split [split]

@@ -12,6 +12,9 @@ type t = {
   counts : int array array;
       (** [counts.(d).(x)] = nonzeros with logical coordinate [x] on dim [d] *)
   storage_cache : (string, Format_abs.Storage_model.t) Hashtbl.t;
+  cache_lock : Mutex.t;
+      (** guards [storage_cache]: the parallel measurement paths share one
+          workload across domains *)
 }
 
 val build : id:string -> dims:int array -> entries:(int array * float) array -> t

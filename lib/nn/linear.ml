@@ -26,6 +26,10 @@ let create rng ~name ~in_dim ~out_dim =
 
 let params t = [ t.w; t.b ]
 
+(* Forward-only copy for another domain: parameters are shared (reads only),
+   the per-forward caches are private. *)
+let replicate t = { t with cache_input = [||]; cache_batch = 0 }
+
 let forward t ~batch (input : float array) =
   if Array.length input <> batch * t.in_dim then
     invalid_arg "Linear.forward: input size mismatch";

@@ -15,6 +15,10 @@ val create : Sptensor.Rng.t -> name:string -> in_dim:int -> out_dim:int -> t
 
 val params : t -> Param.t list
 
+val replicate : t -> t
+(** Forward-only copy for concurrent use on another domain: shares the
+    parameters (which must not be updated meanwhile), owns fresh caches. *)
+
 val forward : t -> batch:int -> float array -> float array
 (** Input length must be [batch * in_dim]; output is [batch * out_dim]. *)
 

@@ -23,6 +23,14 @@ let create rng ~name ~dims ~final_relu =
 let params t =
   Array.to_list t.linears |> List.concat_map Linear.params
 
+(* Forward-only copy for another domain: shared parameters, private caches. *)
+let replicate t =
+  {
+    linears = Array.map Linear.replicate t.linears;
+    relus = Array.map (fun _ -> Act.relu_create ()) t.relus;
+    final_relu = t.final_relu;
+  }
+
 let out_dim t = t.linears.(Array.length t.linears - 1).Linear.out_dim
 
 let in_dim t = t.linears.(0).Linear.in_dim

@@ -10,6 +10,10 @@ val create :
 
 val params : t -> Param.t list
 
+val replicate : t -> t
+(** Forward-only copy for concurrent use on another domain: shares the
+    parameters (which must not be updated meanwhile), owns fresh caches. *)
+
 val out_dim : t -> int
 
 val in_dim : t -> int

@@ -53,6 +53,10 @@ let create rng ~name ~in_ch ~out_ch ~ksize ~stride =
 
 let params t = [ t.w; t.b ]
 
+(* Forward-only replica for a worker domain: shares the weight/bias arrays,
+   owns private forward caches. *)
+let replicate t = { t with cache_map = None; cache_in = [||]; cache_nsites_out = 0 }
+
 (* Kernel maps depend only on the coordinate set; they are built once per
    input pattern and reused across epochs via [Pyramid] caching. *)
 let build_map ~ksize ~stride (coords : (int * int) array) ~h ~w =
@@ -128,7 +132,9 @@ let forward_with_map t (map : kernel_map) (input : Smap.t) : Smap.t =
         pair_list)
     map.pairs;
   t.cache_map <- Some map;
-  t.cache_in <- input.Smap.feats;
+  (* Copy, don't alias: a caller mutating its feature buffer between forward
+     and backward must not corrupt dW. *)
+  t.cache_in <- Array.copy input.Smap.feats;
   t.cache_nsites_out <- n_out;
   {
     Smap.h = map.out_h;

@@ -33,6 +33,10 @@ val create :
 
 val params : t -> Param.t list
 
+val replicate : t -> t
+(** Forward-only copy for concurrent use on another domain: shares the
+    parameters (which must not be updated meanwhile), owns fresh caches. *)
+
 val build_map :
   ksize:int -> stride:int -> (int * int) array -> h:int -> w:int -> kernel_map
 (** Kernel maps depend only on coordinates; build once per pattern and reuse

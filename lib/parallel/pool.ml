@@ -1,0 +1,205 @@
+(* A hand-rolled domain worker pool: OCaml 5 [Domain]s coordinated with one
+   [Mutex]/[Condition] pair, no dependencies beyond the stdlib.
+
+   The pool exists for the toolchain's embarrassingly-parallel hot loops —
+   per-tuple cost-simulator measurements during dataset collection, per-batch
+   embedding forwards during index construction, per-sample forward-only
+   evaluation, per-candidate top-k measurement — all of which share one shape:
+   N independent work items whose results must be merged *in index order* so
+   that the parallel run is byte-identical to the sequential one.  Every
+   combinator here therefore writes item [i]'s result into slot [i] and leaves
+   reduction order to the (sequential) caller.
+
+   Scheduling is chunked work stealing off a shared counter: the submitting
+   domain participates as worker 0, the pool's spawned domains claim chunks as
+   they free up, and an exception in any item wins the race to [failed],
+   cancels the unclaimed remainder and is re-raised (with its backtrace) on
+   the submitting domain.
+
+   A pool of [domains = 1] spawns nothing and runs every combinator inline —
+   the exact sequential path — which is also the degraded mode for nested or
+   re-entrant submissions (a body that calls back into its own pool). *)
+
+type job = {
+  body : worker:int -> int -> unit; (* chunk body, given the worker's index *)
+  nchunks : int;
+  mutable next : int; (* next unclaimed chunk; forced to nchunks on failure *)
+  mutable running : int; (* chunks currently executing *)
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* wakes workers: a job arrived (or shutdown) *)
+  idle : Condition.t; (* wakes the submitter: the job completed *)
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let domains t = t.domains
+
+(* Claim-and-run loop shared by workers and the submitting domain.  Entered
+   and left with [t.mutex] held; the mutex is released around each body call,
+   so its lock/unlock pairs are also what publishes worker writes (result
+   slots) to the submitter. *)
+let drain t ~worker (j : job) =
+  while j.next < j.nchunks do
+    let chunk = j.next in
+    j.next <- j.next + 1;
+    j.running <- j.running + 1;
+    Mutex.unlock t.mutex;
+    (match j.body ~worker chunk with
+    | () -> Mutex.lock t.mutex
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.mutex;
+        if j.failed = None then j.failed <- Some (e, bt);
+        (* Fail fast: cancel chunks nobody has claimed yet. *)
+        j.next <- j.nchunks);
+    j.running <- j.running - 1
+  done;
+  if j.running = 0 then begin
+    t.job <- None;
+    Condition.broadcast t.idle
+  end
+
+let worker_loop t ~worker =
+  Mutex.lock t.mutex;
+  while not t.stop do
+    match t.job with
+    | Some j when j.next < j.nchunks -> drain t ~worker j
+    | _ -> Condition.wait t.work t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let create ~domains:n =
+  if n < 1 then invalid_arg "Pool.create: need at least one domain";
+  let t =
+    {
+      domains = n;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop t ~worker:(i + 1)));
+  t
+
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+(* Run [nchunks] chunks of [body], the submitter included as worker 0.  Falls
+   back to inline sequential execution when the pool is sequential, the job is
+   trivially small, or a job is already in flight (re-entrant submission from
+   a worker body must not deadlock on the shared counter). *)
+let run_chunks t ~nchunks body =
+  if nchunks > 0 then begin
+    let sequential () =
+      for c = 0 to nchunks - 1 do
+        body ~worker:0 c
+      done
+    in
+    if t.domains = 1 || nchunks = 1 then sequential ()
+    else begin
+      Mutex.lock t.mutex;
+      if t.stop || t.job <> None then begin
+        Mutex.unlock t.mutex;
+        sequential ()
+      end
+      else begin
+        let j = { body; nchunks; next = 0; running = 0; failed = None } in
+        t.job <- Some j;
+        Condition.broadcast t.work;
+        drain t ~worker:0 j;
+        while t.job <> None do
+          Condition.wait t.idle t.mutex
+        done;
+        Mutex.unlock t.mutex;
+        match j.failed with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+  end
+
+let default_chunk t n = max 1 (n / (t.domains * 8))
+
+let parallel_for t ?chunk ~n body =
+  if n > 0 then begin
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk t n in
+    let nchunks = (n + chunk - 1) / chunk in
+    run_chunks t ~nchunks (fun ~worker:_ c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          body i
+        done)
+  end
+
+(* Ordered map with the worker index exposed, so callers can hand each domain
+   its own replica of otherwise-shared mutable state (e.g. a cost model with
+   private forward caches).  Results land in input order; [None] slots are
+   impossible once [run_chunks] returns without raising. *)
+let map_workers t ?chunk f (arr : 'a array) =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk t n in
+    let nchunks = (n + chunk - 1) / chunk in
+    run_chunks t ~nchunks (fun ~worker c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f ~worker arr.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_map_array t ?chunk f arr = map_workers t ?chunk (fun ~worker:_ x -> f x) arr
+
+(* Ordered chunked reduction: map every index in parallel, fold the results
+   left-to-right sequentially — associativity-free, so float accumulations
+   match the sequential run bit for bit. *)
+let reduce_ordered t ?chunk ~n ~map ~fold ~init () =
+  let mapped = map_workers t ?chunk (fun ~worker:_ i -> map i) (Array.init n (fun i -> i)) in
+  Array.fold_left fold init mapped
+
+(* --- The default pool ---
+
+   Sized from [Domain.recommended_domain_count], overridden by WACO_DOMAINS
+   (so CI can force the multi-domain path with 2 or the sequential path with
+   1).  Created lazily on first use: programs that never touch a parallel
+   path never spawn a domain. *)
+
+let env_domains () =
+  let hw = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "WACO_DOMAINS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> min n 128
+      | _ -> hw)
+  | None -> hw
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create ~domains:(env_domains ()) in
+      default_pool := Some p;
+      p

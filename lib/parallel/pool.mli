@@ -1,0 +1,49 @@
+(** A hand-rolled domain worker pool (OCaml 5 [Domain] + [Mutex]/[Condition],
+    stdlib only) for the toolchain's embarrassingly-parallel hot loops:
+    per-tuple cost-simulator measurements, per-batch embedding forwards,
+    per-sample evaluation, per-candidate top-k measurement.
+
+    {b Determinism contract}: every combinator writes item [i]'s result into
+    slot [i] and leaves reduction to the sequential caller, so a parallel run
+    produces byte-identical artifacts to [domains = 1].  An exception raised
+    by any item cancels the unclaimed remainder and is re-raised (with its
+    backtrace) on the submitting domain. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawns [domains - 1] worker domains; the submitter participates as
+    worker 0.  [domains = 1] spawns nothing and runs everything inline.
+    Raises [Invalid_argument] when [domains < 1]. *)
+
+val domains : t -> int
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent; the pool must be idle. *)
+
+val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n body] runs [body i] for [i] in [0, n), chunked across
+    the pool's domains.  [chunk] overrides the chunk length (default
+    [n / (domains * 8)], at least 1). *)
+
+val parallel_map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Ordered parallel map: result [i] is [f arr.(i)]. *)
+
+val map_workers : t -> ?chunk:int -> (worker:int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map_array} with the executing worker's index
+    ([0 .. domains-1]) exposed, so each domain can be handed its own replica
+    of otherwise-shared mutable state (worker 0 is the submitting domain). *)
+
+val reduce_ordered :
+  t -> ?chunk:int -> n:int -> map:(int -> 'b) -> fold:('a -> 'b -> 'a) ->
+  init:'a -> unit -> 'a
+(** Maps every index in parallel, then folds left-to-right sequentially —
+    float accumulations match the sequential run bit for bit. *)
+
+val env_domains : unit -> int
+(** The default pool's size: [WACO_DOMAINS] when set to a positive integer,
+    else [Domain.recommended_domain_count ()]. *)
+
+val default : unit -> t
+(** The global pool, created lazily at {!env_domains} size on first use.
+    Never shut down; programs that stay sequential never spawn a domain. *)

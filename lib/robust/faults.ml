@@ -35,6 +35,16 @@ let st =
     transient_measures = 0;
   }
 
+(* Counter updates are serialized so armed faults stay exactly counter-driven
+   when hooks fire from several domains at once (parallel top-k measurement):
+   n armed transients injure exactly n ticks, whichever domains take them.
+   The disarmed fast path stays a single unlocked [active] read. *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let refresh () =
   st.active <-
     st.fail_nth > 0 || st.truncate_at >= 0 || st.corrupt_at >= 0
@@ -43,79 +53,88 @@ let refresh () =
 let enabled () = st.active
 
 let reset () =
-  st.fail_nth <- 0;
-  st.writes_seen <- 0;
-  st.truncate_at <- -1;
-  st.corrupt_at <- -1;
-  st.transient_measures <- 0;
-  refresh ()
+  with_lock (fun () ->
+      st.fail_nth <- 0;
+      st.writes_seen <- 0;
+      st.truncate_at <- -1;
+      st.corrupt_at <- -1;
+      st.transient_measures <- 0;
+      refresh ())
 
 let arm_fail_nth_write n =
   if n < 1 then invalid_arg "Faults.arm_fail_nth_write: n must be >= 1";
-  st.fail_nth <- n;
-  st.writes_seen <- 0;
-  refresh ()
+  with_lock (fun () ->
+      st.fail_nth <- n;
+      st.writes_seen <- 0;
+      refresh ())
 
 let arm_truncate_at byte =
   if byte < 0 then invalid_arg "Faults.arm_truncate_at: negative offset";
-  st.truncate_at <- byte;
-  refresh ()
+  with_lock (fun () ->
+      st.truncate_at <- byte;
+      refresh ())
 
 let arm_corrupt_byte byte =
   if byte < 0 then invalid_arg "Faults.arm_corrupt_byte: negative offset";
-  st.corrupt_at <- byte;
-  refresh ()
+  with_lock (fun () ->
+      st.corrupt_at <- byte;
+      refresh ())
 
 let arm_transient_measures n =
   if n < 0 then invalid_arg "Faults.arm_transient_measures: negative count";
-  st.transient_measures <- n;
-  refresh ()
+  with_lock (fun () ->
+      st.transient_measures <- n;
+      refresh ())
 
-let writes_seen () = st.writes_seen
+let writes_seen () = with_lock (fun () -> st.writes_seen)
 
 (* --- hooks --- *)
 
 let guard_write point =
-  if st.active && st.fail_nth > 0 then begin
-    st.writes_seen <- st.writes_seen + 1;
-    if st.writes_seen >= st.fail_nth then begin
-      st.fail_nth <- 0;
-      refresh ();
-      raise (Injected point)
-    end
-  end
+  if st.active then
+    with_lock (fun () ->
+        if st.fail_nth > 0 then begin
+          st.writes_seen <- st.writes_seen + 1;
+          if st.writes_seen >= st.fail_nth then begin
+            st.fail_nth <- 0;
+            refresh ();
+            raise (Injected point)
+          end
+        end)
 
 let mangle blob =
   if not st.active then blob
-  else begin
-    let blob =
-      if st.truncate_at >= 0 then begin
-        let cut = min st.truncate_at (String.length blob) in
-        st.truncate_at <- -1;
-        String.sub blob 0 cut
-      end
-      else blob
-    in
-    let blob =
-      if st.corrupt_at >= 0 && st.corrupt_at < String.length blob then begin
-        let b = Bytes.of_string blob in
-        let i = st.corrupt_at in
-        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
-        st.corrupt_at <- -1;
-        Bytes.to_string b
-      end
-      else begin
-        if st.corrupt_at >= 0 then st.corrupt_at <- -1;
-        blob
-      end
-    in
-    refresh ();
-    blob
-  end
+  else
+    with_lock (fun () ->
+        let blob =
+          if st.truncate_at >= 0 then begin
+            let cut = min st.truncate_at (String.length blob) in
+            st.truncate_at <- -1;
+            String.sub blob 0 cut
+          end
+          else blob
+        in
+        let blob =
+          if st.corrupt_at >= 0 && st.corrupt_at < String.length blob then begin
+            let b = Bytes.of_string blob in
+            let i = st.corrupt_at in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+            st.corrupt_at <- -1;
+            Bytes.to_string b
+          end
+          else begin
+            if st.corrupt_at >= 0 then st.corrupt_at <- -1;
+            blob
+          end
+        in
+        refresh ();
+        blob)
 
 let measure_tick () =
-  if st.active && st.transient_measures > 0 then begin
-    st.transient_measures <- st.transient_measures - 1;
-    refresh ();
-    raise (Transient "injected transient measurement failure")
-  end
+  if st.active then
+    with_lock (fun () ->
+        if st.transient_measures > 0 then begin
+          st.transient_measures <- st.transient_measures - 1;
+          refresh ();
+          raise (Transient "injected transient measurement failure")
+        end)

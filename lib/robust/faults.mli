@@ -2,7 +2,12 @@
     measurement paths.  Disabled (the default) the hooks cost one mutable
     check; armed, they drive crash-at-every-write-point sweeps and transient
     measurement failures from plain counters, so every failure scenario in
-    [test_robust] is exactly reproducible. *)
+    [test_robust] is exactly reproducible.
+
+    Counter updates are serialized behind a mutex, so the hooks may fire from
+    several domains at once (the parallel top-k measurement path): [n] armed
+    transients injure exactly [n] ticks regardless of which domains take
+    them. *)
 
 exception Injected of string
 (** A simulated crash at a named write point.  Recovery wrappers (e.g.

@@ -28,4 +28,9 @@ dune build @lint || status=1
 # every artifact write point, assert previous-artifact-or-typed-error.
 dune build @faults || status=1
 
+# Exercise the multi-domain pool paths once per run: the parallel suite
+# (pool semantics, byte-identical artifacts, faults under parallel
+# measurement) with the shared pool forced to two worker domains.
+WACO_DOMAINS=2 dune exec -- test/test_parallel.exe || status=1
+
 exit $status

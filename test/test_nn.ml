@@ -181,6 +181,32 @@ let test_sparse_conv_gradcheck_deep () =
   in
   Alcotest.(check int) "no bad grads in conv stack" 0 (List.length bad)
 
+(* Regression: [forward] must snapshot the input features it will need for
+   dW.  A caller that reuses (and overwrites) its feature buffer between
+   forward and backward must not corrupt the weight gradient — with the old
+   by-reference cache, the scribbled values below would leak into dW and the
+   finite-difference check would explode. *)
+let test_sparse_conv_caller_mutates_input () =
+  let r = rng () in
+  let conv = Nn.Sparse_conv.create r ~name:"c" ~in_ch:1 ~out_ch:2 ~ksize:3 ~stride:1 in
+  let coords = [| (0, 0); (1, 1); (2, 3); (3, 2) |] in
+  let fresh_input () = smap_of coords 4 4 1 [| 0.7; -0.3; 1.1; 0.4 |] in
+  let loss_of () =
+    let out = Nn.Sparse_conv.forward conv (fresh_input ()) in
+    Array.fold_left (fun a v -> a +. (0.5 *. v *. v)) 0.0 out.Nn.Smap.feats
+  in
+  let input = fresh_input () in
+  let out = Nn.Sparse_conv.forward conv input in
+  (* the caller scribbles over its buffer after the forward... *)
+  Array.fill input.Nn.Smap.feats 0 (Array.length input.Nn.Smap.feats) 1e9;
+  ignore (Nn.Sparse_conv.backward conv (Array.copy out.Nn.Smap.feats));
+  (* ...and the analytic gradients still match finite differences *)
+  let bad =
+    gradcheck ~loss_of ~params:(Nn.Sparse_conv.params conv) ~entries_per_param:6
+      ~tolerance:1e-3
+  in
+  Alcotest.(check int) "grads immune to input mutation" 0 (List.length bad)
+
 let test_pool_mean_and_backward () =
   let pool = Nn.Pool.create () in
   let m = smap_of [| (0, 0); (1, 1) |] 2 2 2 [| 1.0; 2.0; 3.0; 4.0 |] in
@@ -246,6 +272,8 @@ let () =
           Alcotest.test_case "neighbour sums" `Quick test_sparse_conv_neighbors;
           Alcotest.test_case "stride-2 sites" `Quick test_sparse_conv_stride2_sites;
           Alcotest.test_case "deep gradcheck" `Quick test_sparse_conv_gradcheck_deep;
+          Alcotest.test_case "caller mutates input" `Quick
+            test_sparse_conv_caller_mutates_input;
           Alcotest.test_case "pooling" `Quick test_pool_mean_and_backward;
           Alcotest.test_case "site cap" `Quick test_smap_site_cap;
           Alcotest.test_case "downsample dense" `Quick test_smap_downsample_dense;

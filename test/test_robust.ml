@@ -417,6 +417,45 @@ let test_resume_skips_corrupt_checkpoint () =
     c1.Waco.Trainer.train_loss c2.Waco.Trainer.train_loss;
   rm_rf dir
 
+(* Checkpoint recency must follow the parsed epoch number, not the file-name
+   string: zero-padded "%04d" names widen at epoch 10000, and a descending
+   string sort then ranks "ckpt-9999" above "ckpt-10000".  Re-label a real
+   two-epoch run's checkpoints across that boundary and check the resume
+   picks the numerically newest. *)
+let test_resume_numeric_sort () =
+  let data = mk_dataset 8 [ "g0"; "g1" ] in
+  let dir = tmpdir "waco-numsort" in
+  let m1 = mk_train_model () in
+  ignore
+    (Waco.Trainer.train ~lr:1e-3
+       ~checkpoint:{ Waco.Trainer.dir; every = 1 }
+       (Rng.create 7) m1 data ~epochs:2);
+  let rename_ckpt e name =
+    let src = Waco.Trainer.checkpoint_file dir e in
+    write_raw (Filename.concat dir name) (read_raw src);
+    Sys.remove src
+  in
+  rename_ckpt 1 "ckpt-9999.ckpt";
+  rename_ckpt 2 "ckpt-10000.ckpt";
+  let logs = ref [] in
+  let m2 = mk_train_model () in
+  ignore
+    (Waco.Trainer.train ~lr:1e-3
+       ~log:(fun s -> logs := s :: !logs)
+       ~checkpoint:{ Waco.Trainer.dir; every = 1 }
+       ~resume:true (Rng.create 999) m2 data ~epochs:2);
+  Alcotest.(check bool) "resumed from the numerically newest checkpoint" true
+    (List.exists
+       (fun s ->
+         String.starts_with ~prefix:"resumed" s
+         &&
+         let sub = "ckpt-10000.ckpt" in
+         let ls = String.length s and lsub = String.length sub in
+         let rec scan i = i + lsub <= ls && (String.sub s i lsub = sub || scan (i + 1)) in
+         scan 0)
+       !logs);
+  rm_rf dir
+
 let test_resume_empty_dir_starts_fresh () =
   let data = mk_dataset 6 [ "f0" ] in
   let dir = tmpdir "waco-fresh" in
@@ -647,6 +686,61 @@ let test_index_snapshot_roundtrip () =
   | exception Robust.Load_error _ -> ());
   rm_rf dir
 
+(* --- HNSW snapshot structural invariants ------------------------------ *)
+
+(* [Hnsw.restore] must reject snapshots whose header disagrees with the node
+   table: a wrong [max_level] or an entry point below the top level makes
+   every later search silently start mid-graph. *)
+let test_hnsw_snapshot_invariants () =
+  let rng = Rng.create 11 in
+  let h = Anns.Hnsw.create ~dim:4 rng in
+  for i = 0 to 63 do
+    Anns.Hnsw.insert h (Array.init 4 (fun _ -> Rng.float rng)) i
+  done;
+  let dump = Anns.Hnsw.dump h ~payload:string_of_int in
+  let h' = Anns.Hnsw.restore (Rng.create 12) ~payload:int_of_string dump in
+  Alcotest.(check int) "untampered snapshot restores" (Anns.Hnsw.size h)
+    (Anns.Hnsw.size h');
+  let lines = String.split_on_char '\n' dump in
+  let header = List.hd lines in
+  let fields = String.split_on_char ' ' header in
+  (* "HNSW dim m efc count entry max_level" *)
+  let nth n = int_of_string (List.nth fields n) in
+  let entry = nth 5 and max_level = nth 6 in
+  Alcotest.(check bool) "fixture graph has levels" true (max_level > 0);
+  let with_header f =
+    String.concat "\n"
+      (String.concat " " (f fields) :: List.tl lines)
+  in
+  let expect_reject label text =
+    match Anns.Hnsw.restore (Rng.create 12) ~payload:int_of_string text with
+    | _ -> Alcotest.failf "%s: tampered snapshot restored" label
+    | exception Anns.Hnsw.Restore_error _ -> ()
+  in
+  (* header max_level no longer matches the node table's maximum *)
+  expect_reject "inflated max_level"
+    (with_header
+       (List.mapi (fun i f -> if i = 6 then string_of_int (max_level + 1) else f)));
+  (* entry redirected to a node below the top level *)
+  let level0 =
+    let found = ref (-1) and id = ref 0 in
+    List.iter
+      (fun l ->
+        if String.starts_with ~prefix:"N " l then begin
+          (match String.split_on_char ' ' l with
+          | _ :: lvl :: _ when !found < 0 && lvl = "0" && !id <> entry ->
+              found := !id
+          | _ -> ());
+          incr id
+        end)
+      lines;
+    !found
+  in
+  Alcotest.(check bool) "fixture has a level-0 node" true (level0 >= 0);
+  expect_reject "entry below max_level"
+    (with_header
+       (List.mapi (fun i f -> if i = 5 then string_of_int level0 else f)))
+
 let () =
   Alcotest.run "robust"
     [
@@ -678,6 +772,8 @@ let () =
             test_resume_skips_corrupt_checkpoint;
           Alcotest.test_case "empty dir starts fresh" `Quick
             test_resume_empty_dir_starts_fresh;
+          Alcotest.test_case "numeric checkpoint ordering" `Slow
+            test_resume_numeric_sort;
         ] );
       ( "corrupt corpus",
         [
@@ -703,5 +799,7 @@ let () =
           Alcotest.test_case "transient retries + degradation" `Slow
             test_tune_transient_retry;
           Alcotest.test_case "index snapshot" `Slow test_index_snapshot_roundtrip;
+          Alcotest.test_case "hnsw snapshot invariants" `Quick
+            test_hnsw_snapshot_invariants;
         ] );
     ]
