@@ -267,6 +267,328 @@ let scaling ~force () =
       close_out oc;
       Printf.printf "  wrote %s\n%!" bench_parallel_file)
 
+(* --- NN hot-path microbenchmarks: flat kernel maps + scratch buffers vs the
+   retained pre-flat reference implementations (Nn.Sparse_conv_ref and local
+   allocating closures).  Each op reports wall time AND GC allocation per
+   iteration — the point of the flat layout is the allocation column.
+   Results land in BENCH_kernels.json with the same >20%-regression refusal
+   as the scaling sweep. *)
+
+let bench_kernels_file = "BENCH_kernels.json"
+
+(* (ns/iter, bytes allocated/iter) of [f], after warmup. *)
+let measure ?(warmup = 3) ~iters f =
+  for _ = 1 to warmup do f () done;
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do f () done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let da = Gc.allocated_bytes () -. a0 in
+  (dt /. float_of_int iters *. 1e9, da /. float_of_int iters)
+
+(* The pre-scratch Linear forward/backward: fresh arrays every call. *)
+let ref_linear_forward (l : Nn.Linear.t) ~batch (input : float array) =
+  let out = Array.make (batch * l.Nn.Linear.out_dim) 0.0 in
+  for n = 0 to batch - 1 do
+    let ib = n * l.Nn.Linear.in_dim and ob = n * l.Nn.Linear.out_dim in
+    for o = 0 to l.Nn.Linear.out_dim - 1 do
+      let acc = ref l.Nn.Linear.b.Nn.Param.data.(o) in
+      let wb = o * l.Nn.Linear.in_dim in
+      for i = 0 to l.Nn.Linear.in_dim - 1 do
+        acc := !acc +. (l.Nn.Linear.w.Nn.Param.data.(wb + i) *. input.(ib + i))
+      done;
+      out.(ob + o) <- !acc
+    done
+  done;
+  out
+
+let ref_linear_backward (l : Nn.Linear.t) ~batch ~(input : float array)
+    (dout : float array) =
+  let din = Array.make (batch * l.Nn.Linear.in_dim) 0.0 in
+  for n = 0 to batch - 1 do
+    let ib = n * l.Nn.Linear.in_dim and ob = n * l.Nn.Linear.out_dim in
+    for o = 0 to l.Nn.Linear.out_dim - 1 do
+      let g = dout.(ob + o) in
+      if g <> 0.0 then begin
+        let wb = o * l.Nn.Linear.in_dim in
+        l.Nn.Linear.b.Nn.Param.grad.(o) <- l.Nn.Linear.b.Nn.Param.grad.(o) +. g;
+        for i = 0 to l.Nn.Linear.in_dim - 1 do
+          l.Nn.Linear.w.Nn.Param.grad.(wb + i) <-
+            l.Nn.Linear.w.Nn.Param.grad.(wb + i) +. (g *. input.(ib + i));
+          din.(ib + i) <- din.(ib + i) +. (g *. l.Nn.Linear.w.Nn.Param.data.(wb + i))
+        done
+      end
+    done
+  done;
+  din
+
+(* The pre-scratch ReLU and pool: fresh arrays every call. *)
+let ref_relu (x : float array) = Array.map (fun v -> if v > 0.0 then v else 0.0) x
+
+let ref_pool ~nsites ~channels (feats : float array) =
+  let out = Array.make channels 0.0 in
+  if nsites > 0 then begin
+    for s = 0 to nsites - 1 do
+      for ch = 0 to channels - 1 do
+        out.(ch) <- out.(ch) +. feats.((s * channels) + ch)
+      done
+    done;
+    let scale = 1.0 /. float_of_int nsites in
+    Array.iteri (fun ch v -> out.(ch) <- v *. scale) out
+  end;
+  out
+
+let kernels ~force () =
+  let rng = Rng.create 20230325 in
+  let m = Gen.uniform rng ~nrows:512 ~ncols:512 ~nnz:6000 in
+  let smap = Nn.Smap.of_coo m in
+  let nsites = Nn.Smap.nsites smap in
+  let pairs = Nn.Smap.coords_pairs smap in
+  let h = smap.Nn.Smap.h and w = smap.Nn.Smap.w in
+  let ch = Waco.Config.channels in
+  Printf.printf "  pattern: %dx%d, %d sites; channels=%d\n%!" h w nsites ch;
+
+  (* -- kernel-map construction, stride-2 3x3 (the pyramid's dominant op) -- *)
+  let flat_map = Nn.Sparse_conv.build_map ~ksize:3 ~stride:2 smap.Nn.Smap.coords ~h ~w in
+  let ref_map = Nn.Sparse_conv_ref.build_map ~ksize:3 ~stride:2 pairs ~h ~w in
+  (* Parity guard: the comparison below is only meaningful if both builders
+     produce the same map. *)
+  assert (
+    Array.map (fun (r, c) -> (r * flat_map.Nn.Sparse_conv.out_w) + c)
+      ref_map.Nn.Sparse_conv_ref.out_coords
+    = flat_map.Nn.Sparse_conv.out_coords);
+  let map_build_ns, map_build_bytes =
+    measure ~iters:200 (fun () ->
+        ignore (Nn.Sparse_conv.build_map ~ksize:3 ~stride:2 smap.Nn.Smap.coords ~h ~w))
+  in
+  let map_build_ref_ns, map_build_ref_bytes =
+    measure ~iters:200 (fun () ->
+        ignore (Nn.Sparse_conv_ref.build_map ~ksize:3 ~stride:2 pairs ~h ~w))
+  in
+
+  (* -- conv forward+backward over a prebuilt map (the per-epoch hot loop) -- *)
+  let conv = Nn.Sparse_conv.create rng ~name:"bench.conv" ~in_ch:ch ~out_ch:ch ~ksize:3 ~stride:1 in
+  let feats = Array.init (nsites * ch) (fun i -> Float.of_int (i mod 7) /. 7.0 -. 0.4) in
+  let input = { smap with Nn.Smap.channels = ch; feats } in
+  let conv_map = Nn.Sparse_conv.build_map ~ksize:3 ~stride:1 smap.Nn.Smap.coords ~h ~w in
+  let ref_conv_map = Nn.Sparse_conv_ref.build_map ~ksize:3 ~stride:1 pairs ~h ~w in
+  let dout = Array.init (nsites * ch) (fun i -> Float.of_int (i mod 5) /. 5.0 -. 0.3) in
+  let conv_ns, conv_bytes =
+    measure ~iters:100 (fun () ->
+        ignore (Nn.Sparse_conv.forward_with_map conv conv_map input);
+        ignore (Nn.Sparse_conv.backward conv dout))
+  in
+  let wgrad = Array.make (Array.length conv.Nn.Sparse_conv.w.Nn.Param.grad) 0.0 in
+  let bgrad = Array.make ch 0.0 in
+  let conv_ref_ns, conv_ref_bytes =
+    measure ~iters:100 (fun () ->
+        let out =
+          Nn.Sparse_conv_ref.forward_feats ref_conv_map ~in_ch:ch ~out_ch:ch
+            ~w:conv.Nn.Sparse_conv.w.Nn.Param.data
+            ~b:conv.Nn.Sparse_conv.b.Nn.Param.data feats
+        in
+        ignore out;
+        ignore
+          (Nn.Sparse_conv_ref.backward_feats ref_conv_map ~in_ch:ch ~out_ch:ch
+             ~w:conv.Nn.Sparse_conv.w.Nn.Param.data ~wgrad ~bgrad
+             ~input_feats:(Array.copy feats) (* the old by-copy input cache *)
+             ~nsites_in:nsites dout))
+  in
+  let conv_alloc_reduction = conv_ref_bytes /. Float.max 1.0 conv_bytes in
+
+  (* -- linear forward+backward (predictor/embedder shape) -- *)
+  let batch = 64 in
+  let lin = Nn.Linear.create rng ~name:"bench.lin" ~in_dim:96 ~out_dim:64 in
+  let lin_in = Array.init (batch * 96) (fun i -> Float.of_int (i mod 11) /. 11.0 -. 0.5) in
+  let lin_dout = Array.init (batch * 64) (fun i -> Float.of_int (i mod 13) /. 13.0 -. 0.5) in
+  let linear_ns, linear_bytes =
+    measure ~iters:300 (fun () ->
+        ignore (Nn.Linear.forward lin ~batch lin_in);
+        ignore (Nn.Linear.backward lin lin_dout))
+  in
+  let linear_ref_ns, linear_ref_bytes =
+    measure ~iters:300 (fun () ->
+        ignore (ref_linear_forward lin ~batch lin_in);
+        ignore (ref_linear_backward lin ~batch ~input:lin_in lin_dout))
+  in
+
+  (* -- end-to-end WACONet feature extraction --
+
+     Cold = pyramid (kernel-map chain) rebuilt per call, the cost a fresh
+     matrix pays during tuning; warm = maps cached, the per-epoch cost.  The
+     reference path is the same arch through Sparse_conv_ref + allocating
+     relu/pool/linear — the pre-PR op sequence. *)
+  let arch = (5, 1) :: List.init Waco.Config.waconet_strided_layers (fun _ -> (3, 2)) in
+  let nconv = List.length arch in
+  let convs =
+    Array.of_list
+      (List.mapi
+         (fun i (ksize, stride) ->
+           Nn.Sparse_conv.create rng
+             ~name:(Printf.sprintf "bench.e2e%d" i)
+             ~in_ch:(if i = 0 then 1 else ch)
+             ~out_ch:ch ~ksize ~stride)
+         arch)
+  in
+  let relus = Array.init nconv (fun _ -> Nn.Act.relu_create ()) in
+  let pools = Array.init nconv (fun _ -> Nn.Pool.create ()) in
+  let head = Nn.Linear.create rng ~name:"bench.head" ~in_dim:(nconv * ch) ~out_dim:Waco.Config.feature_dim in
+  let flat_layers pyr =
+    let cur = ref pyr.Nn.Pyramid.base in
+    let pooled = ref [] in
+    for i = 0 to nconv - 1 do
+      let o = Nn.Sparse_conv.forward_with_map convs.(i) pyr.Nn.Pyramid.maps.(i) !cur in
+      let activated =
+        {
+          o with
+          Nn.Smap.feats =
+            Nn.Act.relu_forward
+              ~n:(Nn.Smap.nsites o * ch)
+              relus.(i) o.Nn.Smap.feats;
+        }
+      in
+      pooled := Nn.Pool.forward pools.(i) activated :: !pooled;
+      cur := activated
+    done;
+    let concat = Array.concat (List.rev !pooled) in
+    Array.sub (Nn.Linear.forward head ~batch:1 concat) 0 Waco.Config.feature_dim
+  in
+  let warm_pyr = Nn.Pyramid.build smap ~layers:arch in
+  let extractor_cold_ns, extractor_cold_bytes =
+    measure ~iters:30 (fun () ->
+        ignore (flat_layers (Nn.Pyramid.build smap ~layers:arch)))
+  in
+  let extractor_warm_ns, extractor_warm_bytes =
+    measure ~iters:30 (fun () -> ignore (flat_layers warm_pyr))
+  in
+  let ref_maps_of () =
+    let maps = Array.make nconv ref_map in
+    let coords = ref pairs and rh = ref h and rw = ref w in
+    List.iteri
+      (fun i (ksize, stride) ->
+        let m = Nn.Sparse_conv_ref.build_map ~ksize ~stride !coords ~h:!rh ~w:!rw in
+        maps.(i) <- m;
+        coords := m.Nn.Sparse_conv_ref.out_coords;
+        rh := m.Nn.Sparse_conv_ref.out_h;
+        rw := m.Nn.Sparse_conv_ref.out_w)
+      arch;
+    maps
+  in
+  let ref_layers maps =
+    let cur = ref (Array.make nsites 1.0) in
+    let cur_ch = ref 1 in
+    let pooled = ref [] in
+    for i = 0 to nconv - 1 do
+      let mp : Nn.Sparse_conv_ref.kernel_map = maps.(i) in
+      let out =
+        Nn.Sparse_conv_ref.forward_feats mp ~in_ch:!cur_ch ~out_ch:ch
+          ~w:convs.(i).Nn.Sparse_conv.w.Nn.Param.data
+          ~b:convs.(i).Nn.Sparse_conv.b.Nn.Param.data
+          (Array.copy !cur) (* the old by-copy input cache *)
+      in
+      let activated = ref_relu out in
+      let n_out = Array.length mp.Nn.Sparse_conv_ref.out_coords in
+      pooled := ref_pool ~nsites:n_out ~channels:ch activated :: !pooled;
+      cur := activated;
+      cur_ch := ch
+    done;
+    let concat = Array.concat (List.rev !pooled) in
+    Array.sub (ref_linear_forward head ~batch:1 concat) 0 Waco.Config.feature_dim
+  in
+  let warm_ref_maps = ref_maps_of () in
+  let extractor_cold_ref_ns, extractor_cold_ref_bytes =
+    measure ~iters:30 (fun () -> ignore (ref_layers (ref_maps_of ())))
+  in
+  let extractor_warm_ref_ns, extractor_warm_ref_bytes =
+    measure ~iters:30 (fun () -> ignore (ref_layers warm_ref_maps))
+  in
+  (* Parity guard for the e2e comparison. *)
+  let d_flat = flat_layers warm_pyr and d_ref = ref_layers warm_ref_maps in
+  let max_dev = ref 0.0 in
+  Array.iteri
+    (fun i v -> max_dev := Float.max !max_dev (Float.abs (v -. d_ref.(i))))
+    d_flat;
+  if !max_dev > 1e-9 then
+    failwith (Printf.sprintf "kernels: flat/ref extractor outputs diverge (%g)" !max_dev);
+  let extractor_speedup = extractor_cold_ref_ns /. extractor_cold_ns in
+
+  let row name ns bytes ref_ns ref_bytes =
+    Printf.printf
+      "  %-18s %12.0f ns %10.0f B   | ref %12.0f ns %10.0f B   (%.2fx time, %.1fx alloc)\n%!"
+      name ns bytes ref_ns ref_bytes (ref_ns /. ns)
+      (ref_bytes /. Float.max 1.0 bytes)
+  in
+  row "map-build" map_build_ns map_build_bytes map_build_ref_ns map_build_ref_bytes;
+  row "conv-fwd+bwd" conv_ns conv_bytes conv_ref_ns conv_ref_bytes;
+  row "linear-fwd+bwd" linear_ns linear_bytes linear_ref_ns linear_ref_bytes;
+  row "extractor-cold" extractor_cold_ns extractor_cold_bytes extractor_cold_ref_ns
+    extractor_cold_ref_bytes;
+  row "extractor-warm" extractor_warm_ns extractor_warm_bytes extractor_warm_ref_ns
+    extractor_warm_ref_bytes;
+  Printf.printf "  conv alloc reduction %.1fx, extractor speedup %.2fx\n%!"
+    conv_alloc_reduction extractor_speedup;
+
+  (* Regression guard: don't silently clobber better recorded ratios. *)
+  match
+    if Sys.file_exists bench_kernels_file && not force then begin
+      let ic = open_in_bin bench_kernels_file in
+      let len = in_channel_length ic in
+      let old = really_input_string ic len in
+      close_in ic;
+      match
+        ( json_float_field old "conv_alloc_reduction",
+          json_float_field old "extractor_speedup" )
+      with
+      | Some oa, Some os
+        when conv_alloc_reduction < 0.8 *. oa || extractor_speedup < 0.8 *. os ->
+          Some (oa, os)
+      | _ -> None
+    end
+    else None
+  with
+  | Some (oa, os) ->
+      Printf.printf
+        "  REGRESSION > 20%% vs recorded %s (alloc-reduction %.1fx -> %.1fx, \
+         speedup %.2fx -> %.2fx); keeping the old file (rerun with --force to \
+         overwrite)\n%!"
+        bench_kernels_file oa conv_alloc_reduction os extractor_speedup
+  | None ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Printf.bprintf buf "  \"nsites\": %d,\n" nsites;
+      List.iter
+        (fun (key, v) -> Printf.bprintf buf "  \"%s\": %.1f,\n" key v)
+        [
+          ("map_build_ns", map_build_ns);
+          ("map_build_bytes", map_build_bytes);
+          ("map_build_ref_ns", map_build_ref_ns);
+          ("map_build_ref_bytes", map_build_ref_bytes);
+          ("conv_fwdbwd_ns", conv_ns);
+          ("conv_fwdbwd_bytes", conv_bytes);
+          ("conv_fwdbwd_ref_ns", conv_ref_ns);
+          ("conv_fwdbwd_ref_bytes", conv_ref_bytes);
+          ("linear_fwdbwd_ns", linear_ns);
+          ("linear_fwdbwd_bytes", linear_bytes);
+          ("linear_fwdbwd_ref_ns", linear_ref_ns);
+          ("linear_fwdbwd_ref_bytes", linear_ref_bytes);
+          ("extractor_cold_ns", extractor_cold_ns);
+          ("extractor_cold_bytes", extractor_cold_bytes);
+          ("extractor_cold_ref_ns", extractor_cold_ref_ns);
+          ("extractor_cold_ref_bytes", extractor_cold_ref_bytes);
+          ("extractor_warm_ns", extractor_warm_ns);
+          ("extractor_warm_bytes", extractor_warm_bytes);
+          ("extractor_warm_ref_ns", extractor_warm_ref_ns);
+          ("extractor_warm_ref_bytes", extractor_warm_ref_bytes);
+        ];
+      Printf.bprintf buf "  \"conv_alloc_reduction\": %.2f,\n" conv_alloc_reduction;
+      Printf.bprintf buf "  \"extractor_speedup\": %.2f\n" extractor_speedup;
+      Buffer.add_string buf "}\n";
+      let oc = open_out_bin bench_kernels_file in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" bench_kernels_file
+
 let canonical_order selected =
   let ordered =
     List.filter_map
@@ -275,6 +597,7 @@ let canonical_order selected =
   in
   ordered
   @ (if List.mem "micro" selected then [ "micro" ] else [])
+  @ (if List.mem "kernels" selected then [ "kernels" ] else [])
   @ (if List.mem "scaling" selected then [ "scaling" ] else [])
 
 let () =
@@ -291,7 +614,7 @@ let () =
   in
   List.iter
     (fun a ->
-      if a <> "micro" && a <> "scaling"
+      if a <> "micro" && a <> "scaling" && a <> "kernels"
          && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
       then Printf.eprintf "unknown target: %s (ignored)\n%!" a)
     selected;
@@ -301,6 +624,12 @@ let () =
   List.iter
     (fun name ->
       if name = "micro" then micro ()
+      else if name = "kernels" then begin
+        Printf.printf "\n>>> kernels — NN hot-path time/allocation microbench\n%!";
+        let t = Unix.gettimeofday () in
+        kernels ~force ();
+        Printf.printf "<<< kernels done in %.1fs\n%!" (Unix.gettimeofday () -. t)
+      end
       else if name = "scaling" then begin
         Printf.printf "\n>>> scaling — domain-parallel speedup sweep\n%!";
         let t = Unix.gettimeofday () in

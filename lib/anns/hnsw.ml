@@ -102,13 +102,13 @@ let search_layer t ~distance ~entry_points ~ef ~level =
             (if level <= t.nodes.(c).level then t.nodes.(c).neighbors.(level) else [])
   done;
   Heap.to_list results |> List.map (fun (nd, id) -> (-.nd, id))
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
 
 (* Neighbour-selection heuristic from the HNSW paper: accept a candidate only
    if it is closer to the query than to every already-accepted neighbour,
    which keeps links spread across directions. *)
 let select_heuristic t ~candidates ~m =
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) candidates in
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) candidates in
   let chosen = ref [] and n = ref 0 in
   List.iter
     (fun (d, id) ->
@@ -168,16 +168,22 @@ let insert t vec payload =
   end
   else begin
     let distance i = dist t i vec in
-    (* Greedy descent through levels above the node's level. *)
+    (* Greedy descent through levels above the node's level.  The current
+       best's distance is cached and each neighbour evaluated once — the old
+       [distance nb < distance !ep] comparison re-evaluated both sides per
+       neighbour, doubling distance work on the descent. *)
     let ep = ref t.entry in
+    let ep_d = ref (distance !ep) in
     for l = t.max_level downto level + 1 do
       let improved = ref true in
       while !improved do
         improved := false;
         List.iter
           (fun nb ->
-            if distance nb < distance !ep then begin
+            let nd = distance nb in
+            if nd < !ep_d then begin
               ep := nb;
+              ep_d := nd;
               improved := true
             end)
           (if l <= t.nodes.(!ep).level then t.nodes.(!ep).neighbors.(l) else [])
@@ -209,15 +215,20 @@ let search t ~query ~k ?(ef = 50) () =
   if t.count = 0 then []
   else begin
     let distance i = dist t i query in
+    (* Greedy descent with the current best's distance cached (one distance
+       evaluation per neighbour instead of two). *)
     let ep = ref t.entry in
+    let ep_d = ref (distance !ep) in
     for l = t.max_level downto 1 do
       let improved = ref true in
       while !improved do
         improved := false;
         List.iter
           (fun nb ->
-            if distance nb < distance !ep then begin
+            let nd = distance nb in
+            if nd < !ep_d then begin
               ep := nb;
+              ep_d := nd;
               improved := true
             end)
           (if l <= t.nodes.(!ep).level then t.nodes.(!ep).neighbors.(l) else [])
@@ -247,14 +258,17 @@ let search_by t ~score ~k ?(ef = 50) () =
           d
     in
     let ep = ref t.entry in
+    let ep_d = ref (distance !ep) in
     for l = t.max_level downto 1 do
       let improved = ref true in
       while !improved do
         improved := false;
         List.iter
           (fun nb ->
-            if distance nb < distance !ep then begin
+            let nd = distance nb in
+            if nd < !ep_d then begin
               ep := nb;
+              ep_d := nd;
               improved := true
             end)
           (if l <= t.nodes.(!ep).level then t.nodes.(!ep).neighbors.(l) else [])
@@ -404,5 +418,5 @@ let restore rng ~payload text =
 (* Brute-force exact search, for recall measurements in tests. *)
 let brute_force t ~query ~k =
   let all = List.init t.count (fun i -> (dist t i query, i)) in
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) all in
   List.filteri (fun i _ -> i < k) sorted

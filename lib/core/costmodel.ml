@@ -66,7 +66,9 @@ let forward_train t (input : Extractor.input) (schedules : Superschedule.t array
   let feature = Extractor.forward t.extractor input in
   let embs = Embedder.forward t.embedder schedules in
   let rows = rows_of ~feature ~embs ~batch in
-  let pred = Nn.Mlp.forward t.predictor ~batch rows in
+  (* Fresh exact-size predictions: Loss.pairwise checks exact length, and
+     callers retain them past the next forward. *)
+  let pred = Array.sub (Nn.Mlp.forward t.predictor ~batch rows) 0 batch in
   let backward dpred =
     let drows = Nn.Mlp.backward t.predictor dpred in
     let fd = Config.feature_dim and ed = Config.embed_dim in
@@ -89,7 +91,8 @@ let feature t (input : Extractor.input) =
   match Hashtbl.find_opt t.feature_cache input.Extractor.id with
   | Some f -> f
   | None ->
-      let f = Array.copy (Extractor.forward t.extractor input) in
+      (* Extractor.forward returns a fresh exact-size array; safe to retain. *)
+      let f = Extractor.forward t.extractor input in
       Hashtbl.add t.feature_cache input.Extractor.id f;
       f
 
@@ -113,7 +116,7 @@ let predict t (input : Extractor.input) (schedules : Superschedule.t array) =
   let feature = feature t input in
   let embs = embed t schedules in
   let rows = rows_of ~feature ~embs ~batch in
-  Nn.Mlp.forward t.predictor ~batch rows
+  Array.sub (Nn.Mlp.forward t.predictor ~batch rows) 0 batch
 
 (* --- Persistence: flat text dump of all parameters, matched by name, inside
    the checksummed [Robust] artifact envelope and written atomically.  A crash

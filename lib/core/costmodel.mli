@@ -58,6 +58,11 @@ val predict_tail : t -> feature:float array -> embedding:float array -> float
 val predict : t -> Extractor.input -> Superschedule.t array -> float array
 (** Full prediction for a batch of schedules against one matrix. *)
 
+val dump_params : t -> string
+(** The flat text dump of all parameters that {!save} wraps in the artifact
+    envelope — exposed so tests can digest a trained model without file IO
+    (the byte-identity contract of test/test_perf.ml). *)
+
 val save : t -> string -> unit
 (** Flat text dump of all parameters inside the checksummed
     [Robust] artifact envelope, written atomically: a crash mid-save leaves

@@ -159,7 +159,10 @@ let forward t (schedules : Superschedule.t array) =
   copy_seg thr_emb threads_embed !off;
   off := !off + threads_embed;
   copy_seg chk_emb chunk_embed !off;
-  Nn.Mlp.forward t.mixer ~batch concat
+  (* Fresh exact-size result at the model boundary: callers (tuner index
+     build, tests) retain embeddings across calls, so the mixer's scratch
+     buffer must not leak out (DESIGN.md §9). *)
+  Array.sub (Nn.Mlp.forward t.mixer ~batch concat) 0 (batch * Config.embed_dim)
 
 (* Backward from d(embedding); one-hot inputs need no input gradient. *)
 let backward t (dout : float array) =

@@ -150,10 +150,15 @@ let pyramid_of (c : conv_stack) (input : input) =
       p
 
 (* Forward one pattern to its feature vector.  Layer caches are retained for
-   an immediately following [backward]. *)
+   an immediately following [backward].
+
+   Internally the layers hand each other grow-only scratch buffers (only the
+   valid prefix is meaningful — DESIGN.md §9); the result crossing the model
+   boundary is a fresh exact-size array, because callers retain features
+   across calls. *)
 let forward t (input : input) =
   match t.body with
-  | Mlp m -> Nn.Mlp.forward m ~batch:1 input.human
+  | Mlp m -> Array.sub (Nn.Mlp.forward m ~batch:1 input.human) 0 t.out_dim
   | Conv c ->
       let pyr = pyramid_of c input in
       let nconv = Array.length c.convs in
@@ -162,14 +167,23 @@ let forward t (input : input) =
       for i = 0 to nconv - 1 do
         let m = Nn.Sparse_conv.forward_with_map c.convs.(i) pyr.Nn.Pyramid.maps.(i) !cur in
         let activated =
-          { m with Nn.Smap.feats = Nn.Act.relu_forward c.relus.(i) m.Nn.Smap.feats }
+          {
+            m with
+            Nn.Smap.feats =
+              Nn.Act.relu_forward
+                ~n:(Nn.Smap.nsites m * m.Nn.Smap.channels)
+                c.relus.(i) m.Nn.Smap.feats;
+          }
         in
         if c.pool_all then pooled := Nn.Pool.forward c.pools.(i) activated :: !pooled
         else if i = nconv - 1 then pooled := [ Nn.Pool.forward c.pools.(0) activated ];
         cur := activated
       done;
+      (* Pool scratch buffers are exactly [Config.channels] long (the pooled
+         width never varies per instance), so concatenating them whole is the
+         valid data. *)
       let concat = Array.concat (List.rev !pooled) in
-      Nn.Linear.forward c.head ~batch:1 concat
+      Array.sub (Nn.Linear.forward c.head ~batch:1 concat) 0 t.out_dim
 
 (* Accumulate parameter gradients from d(feature). *)
 let backward t (dfeat : float array) =
@@ -181,25 +195,32 @@ let backward t (dfeat : float array) =
       let ch = Config.channels in
       let dpool i =
         if c.pool_all then Array.sub dconcat (i * ch) ch
-        else if i = nconv - 1 then Array.sub dconcat 0 ch
-        else Array.make ch 0.0
+        else Array.sub dconcat 0 ch
       in
       (* Walk layers deepest-first, merging pooled gradients with the gradient
-         arriving from the next conv. *)
+         arriving from the next conv in place.  Buffers may be longer than
+         their valid prefix; the valid extent at layer [i]'s output is what
+         its conv cached. *)
       let dnext = ref [||] in
       for i = nconv - 1 downto 0 do
-        let pool_idx = if c.pool_all then i else 0 in
-        let dpooled =
-          if c.pool_all || i = nconv - 1 then Nn.Pool.backward c.pools.(pool_idx) (dpool i)
-          else [||]
+        let conv = c.convs.(i) in
+        let n_valid =
+          conv.Nn.Sparse_conv.cache_nsites_out * conv.Nn.Sparse_conv.out_ch
         in
         let dact =
-          if Array.length !dnext = 0 then dpooled
-          else if Array.length dpooled = 0 then !dnext
-          else Array.mapi (fun k v -> v +. dpooled.(k)) !dnext
+          if i = nconv - 1 then Nn.Pool.backward c.pools.(if c.pool_all then i else 0) (dpool i)
+          else if c.pool_all then begin
+            let dpooled = Nn.Pool.backward c.pools.(i) (dpool i) in
+            let d = !dnext in
+            for k = 0 to n_valid - 1 do
+              d.(k) <- d.(k) +. dpooled.(k)
+            done;
+            d
+          end
+          else !dnext
         in
         let dpre = Nn.Act.relu_backward c.relus.(i) dact in
-        dnext := Nn.Sparse_conv.backward c.convs.(i) dpre
+        dnext := Nn.Sparse_conv.backward conv dpre
       done
 
 let clear_cache t =

@@ -60,7 +60,10 @@ let eval_sample model (sample : Dataset.sample) =
   let feature = Extractor.forward model.Costmodel.extractor sample.Dataset.input in
   let embs = Costmodel.embed model schedules in
   let rows = Costmodel.rows_of ~feature ~embs ~batch:(Array.length schedules) in
-  let pred = Nn.Mlp.forward model.Costmodel.predictor ~batch:(Array.length schedules) rows in
+  let batch = Array.length schedules in
+  (* Exact-size copy: the predictor returns its scratch buffer and
+     Loss.pairwise checks exact length. *)
+  let pred = Array.sub (Nn.Mlp.forward model.Costmodel.predictor ~batch rows) 0 batch in
   let loss, _ = Nn.Loss.pairwise ~min_gap:0.02 ~truth ~pred () in
   let acc = Nn.Loss.pair_accuracy ~truth ~pred in
   (loss, acc)

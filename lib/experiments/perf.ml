@@ -37,7 +37,7 @@ let speedups machine algo kind =
     cases
 
 let print_series name xs =
-  let sorted = List.sort compare xs in
+  let sorted = List.sort Float.compare xs in
   let arr = Array.of_list sorted in
   let n = Array.length arr in
   let pick q = arr.(min (n - 1) (int_of_float (q *. float_of_int (n - 1)))) in

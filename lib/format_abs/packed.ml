@@ -49,7 +49,7 @@ let pack ?(budget = default_budget) (spec : Spec.t) (entries : (int array * floa
       if lvl = nlv then 0
       else begin
         let ca = lvl_coords.(lvl).(a) and cb = lvl_coords.(lvl).(b) in
-        if ca <> cb then compare ca cb else go (lvl + 1)
+        if ca <> cb then Int.compare ca cb else go (lvl + 1)
       end
     in
     go 0

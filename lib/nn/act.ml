@@ -1,23 +1,44 @@
-(* Elementwise activations with cached masks. *)
+(* Elementwise activations with cached masks.
 
-type relu = { mutable mask : bool array }
+   Forward/backward write into grow-only per-instance scratch buffers: the
+   returned arrays are valid until the next call on the same instance and may
+   be longer than the valid length [n] (DESIGN.md §9). *)
 
-let relu_create () = { mask = [||] }
+type relu = {
+  mutable mask : bool array; (* grow-only; valid prefix = n *)
+  mutable n : int;
+  mutable out : float array; (* grow-only forward scratch *)
+  mutable din : float array; (* grow-only backward scratch *)
+}
 
-let relu_forward t (x : float array) =
-  let n = Array.length x in
-  let mask = Array.make n false in
-  let out = Array.make n 0.0 in
+let relu_create () = { mask = [||]; n = 0; out = [||]; din = [||] }
+
+let relu_forward ?n t (x : float array) =
+  let n = match n with Some n -> n | None -> Array.length x in
+  if Array.length x < n then invalid_arg "Act.relu_forward: input too short";
+  if Array.length t.mask < n then begin
+    t.mask <- Array.make n false;
+    t.out <- Array.make n 0.0
+  end;
+  let mask = t.mask and out = t.out in
   for i = 0 to n - 1 do
     if x.(i) > 0.0 then begin
       mask.(i) <- true;
       out.(i) <- x.(i)
     end
+    else begin
+      mask.(i) <- false;
+      out.(i) <- 0.0
+    end
   done;
-  t.mask <- mask;
+  t.n <- n;
   out
 
 let relu_backward t (dout : float array) =
-  if Array.length dout <> Array.length t.mask then
-    invalid_arg "Act.relu_backward: size mismatch";
-  Array.mapi (fun i g -> if t.mask.(i) then g else 0.0) dout
+  if Array.length dout < t.n then invalid_arg "Act.relu_backward: size mismatch";
+  if Array.length t.din < t.n then t.din <- Array.make t.n 0.0;
+  let din = t.din and mask = t.mask in
+  for i = 0 to t.n - 1 do
+    din.(i) <- (if mask.(i) then dout.(i) else 0.0)
+  done;
+  din

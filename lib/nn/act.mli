@@ -1,10 +1,17 @@
-(** Elementwise activations with cached masks. *)
+(** Elementwise activations with cached masks.
+
+    Results live in grow-only per-instance scratch buffers: valid until the
+    next call on the same instance, possibly longer than the valid length
+    (DESIGN.md §9). *)
 
 type relu
 
 val relu_create : unit -> relu
 
-val relu_forward : relu -> float array -> float array
+val relu_forward : ?n:int -> relu -> float array -> float array
+(** ReLU over the first [n] elements (default: the whole input).  The result
+    is this instance's scratch buffer. *)
 
 val relu_backward : relu -> float array -> float array
-(** Requires a preceding [relu_forward] of the same size. *)
+(** Requires a preceding [relu_forward]; masks [dout] by it.  The result is
+    this instance's scratch buffer (valid prefix = the forward's [n]). *)

@@ -1,0 +1,19 @@
+(** Open-addressing int -> int hash table over nonnegative keys (two flat int
+    arrays, linear probing): zero allocation on the lookup path and fully
+    deterministic — the coordinate table behind {!Sparse_conv.build_map}. *)
+
+type t
+
+val create : int -> t
+(** [create hint] sizes the table for about [hint] entries (it grows as
+    needed).  Keys must be [>= 0]; values may be any int, but [find]'s
+    conventional [-1] default is only unambiguous for nonnegative values. *)
+
+val find : t -> int -> default:int -> int
+(** The value bound to the key, or [default].  Allocates nothing. *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** Insert or replace: the newest binding wins (like [Hashtbl.add] followed by
+    [Hashtbl.find_opt]). *)

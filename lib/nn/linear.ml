@@ -1,7 +1,10 @@
 (* Fully-connected layer over a batch of row vectors, with a hand-written
    backward pass.  Forward caches its input; call backward at most once per
-   forward (the trainer's pattern). *)
+   forward (the trainer's pattern).
 
+   Forward/backward write into grow-only per-instance scratch buffers; the
+   returned arrays are valid until the next call on the same instance and may
+   be longer than the valid batch extent (DESIGN.md §9). *)
 
 type t = {
   in_dim : int;
@@ -10,6 +13,8 @@ type t = {
   b : Param.t; (* out_dim *)
   mutable cache_input : float array;
   mutable cache_batch : int;
+  mutable scratch_out : float array; (* grow-only forward output *)
+  mutable scratch_din : float array; (* grow-only backward d(input) *)
 }
 
 let create rng ~name ~in_dim ~out_dim =
@@ -22,20 +27,26 @@ let create rng ~name ~in_dim ~out_dim =
     b = Param.create ~name:(name ^ ".b") out_dim;
     cache_input = [||];
     cache_batch = 0;
+    scratch_out = [||];
+    scratch_din = [||];
   }
 
 let params t = [ t.w; t.b ]
 
 (* Forward-only copy for another domain: parameters are shared (reads only),
-   the per-forward caches are private. *)
-let replicate t = { t with cache_input = [||]; cache_batch = 0 }
+   the per-forward caches and scratch buffers are private. *)
+let replicate t =
+  { t with cache_input = [||]; cache_batch = 0; scratch_out = [||]; scratch_din = [||] }
+
+let[@inline] grown buf need = if Array.length buf < need then Array.make need 0.0 else buf
 
 let forward t ~batch (input : float array) =
-  if Array.length input <> batch * t.in_dim then
+  if Array.length input < batch * t.in_dim then
     invalid_arg "Linear.forward: input size mismatch";
   t.cache_input <- input;
   t.cache_batch <- batch;
-  let out = Array.make (batch * t.out_dim) 0.0 in
+  t.scratch_out <- grown t.scratch_out (batch * t.out_dim);
+  let out = t.scratch_out in
   for n = 0 to batch - 1 do
     let ib = n * t.in_dim and ob = n * t.out_dim in
     for o = 0 to t.out_dim - 1 do
@@ -49,13 +60,16 @@ let forward t ~batch (input : float array) =
   done;
   out
 
-(* Accumulates dW, db; returns d(input). *)
+(* Accumulates dW, db; returns d(input) in this instance's scratch buffer
+   (valid prefix = batch * in_dim, valid until the next backward). *)
 let backward t (dout : float array) =
   let batch = t.cache_batch in
-  if Array.length dout <> batch * t.out_dim then
+  if Array.length dout < batch * t.out_dim then
     invalid_arg "Linear.backward: dout size mismatch";
   let input = t.cache_input in
-  let din = Array.make (batch * t.in_dim) 0.0 in
+  t.scratch_din <- grown t.scratch_din (batch * t.in_dim);
+  let din = t.scratch_din in
+  Array.fill din 0 (batch * t.in_dim) 0.0;
   for n = 0 to batch - 1 do
     let ib = n * t.in_dim and ob = n * t.out_dim in
     for o = 0 to t.out_dim - 1 do

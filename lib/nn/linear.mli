@@ -1,6 +1,10 @@
 (** Fully-connected layer over a batch of row vectors, with a hand-written
     backward pass.  Forward caches its input; call [backward] at most once
-    per forward. *)
+    per forward.
+
+    Results live in grow-only per-instance scratch buffers: valid until the
+    next call on the same instance, possibly longer than the valid batch
+    extent (DESIGN.md §9). *)
 
 type t = {
   in_dim : int;
@@ -9,6 +13,8 @@ type t = {
   b : Param.t;
   mutable cache_input : float array;
   mutable cache_batch : int;
+  mutable scratch_out : float array;  (** grow-only forward output *)
+  mutable scratch_din : float array;  (** grow-only backward d(input) *)
 }
 
 val create : Sptensor.Rng.t -> name:string -> in_dim:int -> out_dim:int -> t
@@ -17,10 +23,13 @@ val params : t -> Param.t list
 
 val replicate : t -> t
 (** Forward-only copy for concurrent use on another domain: shares the
-    parameters (which must not be updated meanwhile), owns fresh caches. *)
+    parameters (which must not be updated meanwhile), owns fresh caches and
+    scratch buffers. *)
 
 val forward : t -> batch:int -> float array -> float array
-(** Input length must be [batch * in_dim]; output is [batch * out_dim]. *)
+(** Input length must be at least [batch * in_dim]; the result is this
+    instance's scratch buffer (valid prefix [batch * out_dim]). *)
 
 val backward : t -> float array -> float array
-(** Accumulates dW, db; returns d(input). *)
+(** Accumulates dW, db; returns d(input) in this instance's scratch buffer
+    (valid prefix [batch * in_dim]). *)

@@ -40,7 +40,11 @@ let forward t ~batch x =
   let cur = ref x in
   for l = 0 to n - 1 do
     cur := Linear.forward t.linears.(l) ~batch !cur;
-    if l < Array.length t.relus then cur := Act.relu_forward t.relus.(l) !cur
+    if l < Array.length t.relus then
+      (* Linear returns a grow-only scratch buffer; only the batch prefix is
+         meaningful. *)
+      cur :=
+        Act.relu_forward ~n:(batch * t.linears.(l).Linear.out_dim) t.relus.(l) !cur
   done;
   !cur
 

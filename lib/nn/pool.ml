@@ -1,16 +1,28 @@
 (* Global average pooling over a sparse feature map: mean per channel across
    sites.  WACONet pools after *every* layer and concatenates the results to
-   compensate for its narrow channel width (Fig. 9). *)
+   compensate for its narrow channel width (Fig. 9).
 
-type t = { mutable nsites : int; mutable channels : int }
+   Results live in grow-only per-instance scratch buffers, valid until the
+   next call on the same instance (DESIGN.md §9). *)
 
-let create () = { nsites = 0; channels = 0 }
+type t = {
+  mutable nsites : int;
+  mutable channels : int;
+  mutable out : float array; (* grow-only forward scratch *)
+  mutable din : float array; (* grow-only backward scratch *)
+}
+
+let create () = { nsites = 0; channels = 0; out = [||]; din = [||] }
+
+let[@inline] grown buf need = if Array.length buf < need then Array.make need 0.0 else buf
 
 let forward t (m : Smap.t) =
   let n = Smap.nsites m and c = m.Smap.channels in
   t.nsites <- n;
   t.channels <- c;
-  let out = Array.make c 0.0 in
+  t.out <- grown t.out c;
+  let out = t.out in
+  Array.fill out 0 c 0.0;
   if n > 0 then begin
     for s = 0 to n - 1 do
       for ch = 0 to c - 1 do
@@ -18,15 +30,19 @@ let forward t (m : Smap.t) =
       done
     done;
     let scale = 1.0 /. float_of_int n in
-    Array.iteri (fun ch v -> out.(ch) <- v *. scale) out
+    for ch = 0 to c - 1 do
+      out.(ch) <- out.(ch) *. scale
+    done
   end;
   out
 
-(* d(feats) from d(pooled). *)
+(* d(feats) from d(pooled); pure assignment over the valid prefix, so no
+   zero-fill of the scratch is needed. *)
 let backward t (dout : float array) =
-  if Array.length dout <> t.channels then invalid_arg "Pool.backward: size mismatch";
+  if Array.length dout < t.channels then invalid_arg "Pool.backward: size mismatch";
   let n = t.nsites and c = t.channels in
-  let din = Array.make (n * c) 0.0 in
+  t.din <- grown t.din (n * c);
+  let din = t.din in
   if n > 0 then begin
     let scale = 1.0 /. float_of_int n in
     for s = 0 to n - 1 do

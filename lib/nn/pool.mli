@@ -1,12 +1,16 @@
 (** Global average pooling over a sparse feature map: per-channel mean across
-    sites.  WACONet pools after every layer and concatenates (Fig. 9). *)
+    sites.  WACONet pools after every layer and concatenates (Fig. 9).
+
+    Results live in grow-only per-instance scratch buffers: valid until the
+    next call on the same instance (DESIGN.md §9). *)
 
 type t
 
 val create : unit -> t
 
 val forward : t -> Smap.t -> float array
-(** Length = channels. *)
+(** Valid prefix = channels; the result is this instance's scratch buffer. *)
 
 val backward : t -> float array -> float array
-(** d(feats) from d(pooled); requires a preceding forward. *)
+(** d(feats) from d(pooled); requires a preceding forward.  The result is
+    this instance's scratch buffer (valid prefix = nsites * channels). *)

@@ -1,16 +1,37 @@
 (* A sparse 2-D feature map: the activation type flowing through WACONet.
    Sites are the nonzero coordinates; each carries a [channels]-vector of
-   features stored site-major in [feats]. *)
+   features stored site-major in [feats].
+
+   Coordinates are stored flat: site [i] lives at row [coords.(i) / w],
+   column [coords.(i) mod w].  One unboxed int per site instead of a boxed
+   (int * int) pair keeps the conv kernel-map builder and every coordinate
+   walk cache-friendly and allocation-free (see DESIGN.md §9). *)
 
 type t = {
   h : int;
   w : int;
-  coords : (int * int) array;
+  coords : int array; (* encoded row * w + col *)
   channels : int;
-  feats : float array; (* length = nsites * channels *)
+  feats : float array; (* valid prefix = nsites * channels *)
 }
 
 let nsites t = Array.length t.coords
+
+let encode ~w r c = (r * w) + c
+
+let decode ~w k = (k / w, k mod w)
+
+let row t i = t.coords.(i) / t.w
+
+let col t i = t.coords.(i) mod t.w
+
+let coord t i = (row t i, col t i)
+
+(* Compat constructor for call sites (tests, mostly) that think in pairs. *)
+let of_pairs ~h ~w ~channels (pairs : (int * int) array) feats =
+  { h; w; coords = Array.map (fun (r, c) -> encode ~w r c) pairs; channels; feats }
+
+let coords_pairs t = Array.init (nsites t) (coord t)
 
 (* Build the single-channel input map of a sparsity pattern: one site per
    nonzero, feature 1.0 (the paper feeds the raw pattern; values don't affect
@@ -30,16 +51,19 @@ let of_coo ?(max_sites = default_max_sites) (m : Sptensor.Coo.t) =
       let rng = Sptensor.Rng.create (n lxor 0x5eed) in
       let idx = Sptensor.Rng.permutation rng n in
       let sub = Array.sub idx 0 max_sites in
-      Array.sort compare sub;
+      Array.sort Int.compare sub;
       sub
     end
   in
+  let w = m.Sptensor.Coo.ncols in
   let coords =
-    Array.map (fun k -> (m.Sptensor.Coo.rows.(k), m.Sptensor.Coo.cols.(k))) keep
+    Array.map
+      (fun k -> encode ~w m.Sptensor.Coo.rows.(k) m.Sptensor.Coo.cols.(k))
+      keep
   in
   {
     h = m.Sptensor.Coo.nrows;
-    w = m.Sptensor.Coo.ncols;
+    w;
     coords;
     channels = 1;
     feats = Array.make (Array.length coords) 1.0;
@@ -63,7 +87,8 @@ let downsample (m : Sptensor.Coo.t) ~target =
   {
     h = target;
     w = target;
-    coords = Array.init (target * target) (fun k -> (k / target, k mod target));
+    (* Cell (k / target, k mod target) encodes to exactly k. *)
+    coords = Array.init (target * target) (fun k -> k);
     channels = 1;
     feats = Array.map (fun c -> log (1.0 +. float_of_int c)) counts;
   }

@@ -1,16 +1,44 @@
 (** A sparse 2-D feature map: the activation type flowing through WACONet.
     Sites are nonzero coordinates, each carrying a [channels]-vector stored
-    site-major in [feats]. *)
+    site-major in [feats].
+
+    Coordinates are flat-encoded ints ([row * w + col]) — one unboxed word
+    per site instead of a boxed pair, so coordinate walks and kernel-map
+    construction stay cache-friendly and allocation-free (DESIGN.md §9).
+    [feats] may be longer than [nsites * channels] when it is a layer's
+    reused scratch buffer; only that prefix is meaningful. *)
 
 type t = {
   h : int;
   w : int;
-  coords : (int * int) array;
+  coords : int array;  (** encoded [row * w + col] *)
   channels : int;
-  feats : float array;  (** length = nsites * channels *)
+  feats : float array;  (** valid prefix = [nsites * channels] *)
 }
 
 val nsites : t -> int
+
+val encode : w:int -> int -> int -> int
+(** [encode ~w r c = r * w + c]. *)
+
+val decode : w:int -> int -> int * int
+(** Inverse of {!encode}; requires [w > 0]. *)
+
+val row : t -> int -> int
+(** Row of site [i]. *)
+
+val col : t -> int -> int
+(** Column of site [i]. *)
+
+val coord : t -> int -> int * int
+(** [(row, col)] of site [i] — compat accessor for pair-minded call sites. *)
+
+val of_pairs :
+  h:int -> w:int -> channels:int -> (int * int) array -> float array -> t
+(** Compat constructor from coordinate pairs (used by tests). *)
+
+val coords_pairs : t -> (int * int) array
+(** All coordinates, decoded — allocates; for tests and diagnostics only. *)
 
 val default_max_sites : int
 (** Site cap for the raw input map ([8192]): the CPU-budget stand-in for the

@@ -6,15 +6,26 @@
    For stride 1 the output sites equal the input sites (submanifold: the
    activation pattern never dilates); for stride 2 the output sites are the
    distinct halved coordinates, which is what lets stacked strided layers grow
-   the receptive field across distant nonzeros (Fig. 8). *)
+   the receptive field across distant nonzeros (Fig. 8).
+
+   Data layout (DESIGN.md §9): the kernel map is a flat structure-of-arrays —
+   CSR-style [off_start] offsets into two parallel int arrays [pairs_in] /
+   [pairs_out], one segment per kernel offset — replacing the old boxed
+   [(int * int) array array].  The per-offset pair order is exactly the order
+   the old list-consing builder produced (descending input-site index), so
+   float accumulation order, and therefore trained model artifacts, are
+   byte-identical to the pre-flat layout (pinned by test/test_perf.ml). *)
 
 type kernel_map = {
-  out_coords : (int * int) array;
+  out_coords : int array; (* encoded row * out_w + col *)
   out_h : int;
   out_w : int;
-  (* pairs.(offset_index) = [(in_site, out_site); ...] *)
-  pairs : (int * int) array array;
+  off_start : int array; (* length ksize^2 + 1: CSR segment bounds *)
+  pairs_in : int array; (* input site index per pair *)
+  pairs_out : int array; (* output site index per pair *)
 }
+
+let map_npairs map = Array.length map.pairs_in
 
 type t = {
   in_ch : int;
@@ -24,8 +35,11 @@ type t = {
   w : Param.t; (* [ksize*ksize] x out_ch x in_ch *)
   b : Param.t;
   mutable cache_map : kernel_map option;
-  mutable cache_in : float array;
+  mutable cache_in : float array; (* grow-only scratch; valid prefix below *)
+  mutable cache_in_valid : int;
   mutable cache_nsites_out : int;
+  mutable scratch_out : float array; (* grow-only forward output buffer *)
+  mutable scratch_din : float array; (* grow-only backward d(input) buffer *)
 }
 
 let create rng ~name ~in_ch ~out_ch ~ksize ~stride =
@@ -48,99 +62,165 @@ let create rng ~name ~in_ch ~out_ch ~ksize ~stride =
        p);
     cache_map = None;
     cache_in = [||];
+    cache_in_valid = 0;
     cache_nsites_out = 0;
+    scratch_out = [||];
+    scratch_din = [||];
   }
 
 let params t = [ t.w; t.b ]
 
 (* Forward-only replica for a worker domain: shares the weight/bias arrays,
-   owns private forward caches. *)
-let replicate t = { t with cache_map = None; cache_in = [||]; cache_nsites_out = 0 }
+   owns private forward caches and scratch buffers (replica-privacy: two
+   domains must never write through the same scratch). *)
+let replicate t =
+  {
+    t with
+    cache_map = None;
+    cache_in = [||];
+    cache_in_valid = 0;
+    cache_nsites_out = 0;
+    scratch_out = [||];
+    scratch_din = [||];
+  }
 
 (* Kernel maps depend only on the coordinate set; they are built once per
-   input pattern and reused across epochs via [Pyramid] caching. *)
-let build_map ~ksize ~stride (coords : (int * int) array) ~h ~w =
+   input pattern and reused across epochs via [Pyramid] caching.
+
+   Construction is two passes over an int-keyed coordinate table — no boxed
+   keys, no list consing.  The probe key width is [out_w + half + 1], not
+   [out_w]: a window cell just right of the grid ([tc in w .. w-1+half]) can
+   legitimately halve onto an existing output column, and a plain [out_w]
+   encoding would alias such probes onto the next row's cells. *)
+let build_map ~ksize ~stride (coords : int array) ~h ~w =
   let half = ksize / 2 in
   let nk = ksize * ksize in
+  let n = Array.length coords in
   let out_h = (h + stride - 1) / stride and out_w = (w + stride - 1) / stride in
-  (* Output site set. *)
-  let out_tbl : (int * int, int) Hashtbl.t = Hashtbl.create (Array.length coords) in
-  let out_list = ref [] and out_count = ref 0 in
-  if stride = 1 then
-    Array.iteri
-      (fun idx (r, c) ->
-        Hashtbl.add out_tbl (r, c) idx;
-        out_list := (r, c) :: !out_list;
-        incr out_count)
+  let tw = out_w + half + 1 in
+  let tbl = Int_tbl.create (2 * n) in
+  (* Output site set, in first-occurrence order (stride > 1) or input order
+     (stride 1, where output indices equal input indices). *)
+  let out_coords =
+    if stride = 1 then begin
+      for idx = 0 to n - 1 do
+        let k = coords.(idx) in
+        Int_tbl.set tbl (((k / w) * tw) + (k mod w)) idx
+      done;
+      (* out_w = w, so the encoded output coordinates are the inputs. *)
       coords
-  else
-    Array.iter
-      (fun (r, c) ->
-        let o = (r / stride, c / stride) in
-        if not (Hashtbl.mem out_tbl o) then begin
-          Hashtbl.add out_tbl o !out_count;
-          out_list := o :: !out_list;
-          incr out_count
-        end)
-      coords;
-  let out_coords = Array.of_list (List.rev !out_list) in
-  (* For every input site and offset, find the output site it feeds. *)
-  let pairs = Array.make nk [] in
-  Array.iteri
-    (fun in_idx (r, c) ->
-      for dy = -half to half do
-        for dx = -half to half do
-          let tr = r - dy and tc = c - dx in
-          if tr >= 0 && tc >= 0 && tr mod stride = 0 && tc mod stride = 0 then begin
-            match Hashtbl.find_opt out_tbl (tr / stride, tc / stride) with
-            | Some out_idx ->
-                let off = ((dy + half) * ksize) + dx + half in
-                pairs.(off) <- (in_idx, out_idx) :: pairs.(off)
-            | None -> ()
+    end
+    else begin
+      let out = Array.make n 0 in
+      let count = ref 0 in
+      for idx = 0 to n - 1 do
+        let k = coords.(idx) in
+        let orow = k / w / stride and ocol = k mod w / stride in
+        let key = (orow * tw) + ocol in
+        if not (Int_tbl.mem tbl key) then begin
+          Int_tbl.set tbl key !count;
+          out.(!count) <- (orow * out_w) + ocol;
+          incr count
+        end
+      done;
+      Array.sub out 0 !count
+    end
+  in
+  (* Pass 1: probe every window candidate once, remembering the matched
+     output index per (site, offset) so pass 2 is a pure array walk with no
+     re-probing; count pairs per kernel offset as we go. *)
+  let counts = Array.make nk 0 in
+  let hits = Array.make (n * nk) (-1) in
+  for i = 0 to n - 1 do
+    let k = coords.(i) in
+    let r = k / w and c = k mod w in
+    let hbase = i * nk in
+    for dy = -half to half do
+      for dx = -half to half do
+        let tr = r - dy and tc = c - dx in
+        if tr >= 0 && tc >= 0 && tr mod stride = 0 && tc mod stride = 0 then begin
+          let key = ((tr / stride) * tw) + (tc / stride) in
+          let out_idx = Int_tbl.find tbl key ~default:(-1) in
+          if out_idx >= 0 then begin
+            let off = ((dy + half) * ksize) + dx + half in
+            hits.(hbase + off) <- out_idx;
+            counts.(off) <- counts.(off) + 1
           end
-        done
-      done)
-    coords;
-  { out_coords; out_h; out_w; pairs = Array.map Array.of_list pairs }
+        end
+      done
+    done
+  done;
+  let off_start = Array.make (nk + 1) 0 in
+  for o = 0 to nk - 1 do
+    off_start.(o + 1) <- off_start.(o) + counts.(o)
+  done;
+  let total = off_start.(nk) in
+  let pairs_in = Array.make total 0 and pairs_out = Array.make total 0 in
+  (* Pass 2: fill each segment back to front while walking input sites in
+     ascending order, reproducing the old list-consing order (descending
+     input index) exactly.  [counts] is reused as the per-offset cursor. *)
+  Array.blit off_start 1 counts 0 nk;
+  for i = 0 to n - 1 do
+    let hbase = i * nk in
+    for off = 0 to nk - 1 do
+      let out_idx = hits.(hbase + off) in
+      if out_idx >= 0 then begin
+        let pos = counts.(off) - 1 in
+        counts.(off) <- pos;
+        pairs_in.(pos) <- i;
+        pairs_out.(pos) <- out_idx
+      end
+    done
+  done;
+  { out_coords; out_h; out_w; off_start; pairs_in; pairs_out }
 
-(* Forward over an explicit kernel map (the cached-pyramid path). *)
+let[@inline] grown buf need = if Array.length buf < need then Array.make need 0.0 else buf
+
+(* Forward over an explicit kernel map (the cached-pyramid path).  The
+   returned map's [feats] is this layer's scratch buffer: it is valid until
+   the next [forward] on the same instance, and callers that retain it must
+   copy (see DESIGN.md §9 for the ownership rules). *)
 let forward_with_map t (map : kernel_map) (input : Smap.t) : Smap.t =
   if input.Smap.channels <> t.in_ch then invalid_arg "Sparse_conv.forward: channel mismatch";
   let n_out = Array.length map.out_coords in
-  let out = Array.make (n_out * t.out_ch) 0.0 in
+  let ci = t.in_ch and co = t.out_ch in
+  t.scratch_out <- grown t.scratch_out (n_out * co);
+  let out = t.scratch_out in
+  let wdata = t.w.Param.data and input_feats = input.Smap.feats in
   (* bias *)
   for s = 0 to n_out - 1 do
-    for o = 0 to t.out_ch - 1 do
-      out.((s * t.out_ch) + o) <- t.b.Param.data.(o)
+    for o = 0 to co - 1 do
+      out.((s * co) + o) <- t.b.Param.data.(o)
     done
   done;
-  let ci = t.in_ch and co = t.out_ch in
-  Array.iteri
-    (fun off pair_list ->
-      let wbase = off * co * ci in
-      Array.iter
-        (fun (in_idx, out_idx) ->
-          let ib = in_idx * ci and ob = out_idx * co in
-          for o = 0 to co - 1 do
-            let wrow = wbase + (o * ci) in
-            let acc = ref 0.0 in
-            for i = 0 to ci - 1 do
-              acc := !acc +. (t.w.Param.data.(wrow + i) *. input.Smap.feats.(ib + i))
-            done;
-            out.(ob + o) <- out.(ob + o) +. !acc
-          done)
-        pair_list)
-    map.pairs;
+  let nk = Array.length map.off_start - 1 in
+  for off = 0 to nk - 1 do
+    let wbase = off * co * ci in
+    for p = map.off_start.(off) to map.off_start.(off + 1) - 1 do
+      let ib = map.pairs_in.(p) * ci and ob = map.pairs_out.(p) * co in
+      for o = 0 to co - 1 do
+        let wrow = wbase + (o * ci) in
+        let acc = ref 0.0 in
+        for i = 0 to ci - 1 do
+          acc := !acc +. (wdata.(wrow + i) *. input_feats.(ib + i))
+        done;
+        out.(ob + o) <- out.(ob + o) +. !acc
+      done
+    done
+  done;
   t.cache_map <- Some map;
-  (* Copy, don't alias: a caller mutating its feature buffer between forward
-     and backward must not corrupt dW. *)
-  t.cache_in <- Array.copy input.Smap.feats;
+  (* Copy into the reused input cache, don't alias: a caller mutating its
+     feature buffer between forward and backward must not corrupt dW. *)
+  let in_valid = Smap.nsites input * ci in
+  t.cache_in <- grown t.cache_in in_valid;
+  Array.blit input_feats 0 t.cache_in 0 in_valid;
+  t.cache_in_valid <- in_valid;
   t.cache_nsites_out <- n_out;
   {
     Smap.h = map.out_h;
     w = map.out_w;
     coords = map.out_coords;
-    channels = t.out_ch;
+    channels = co;
     feats = out;
   }
 
@@ -151,40 +231,43 @@ let forward t (input : Smap.t) : Smap.t =
   in
   forward_with_map t map input
 
-(* Returns d(input feats); accumulates dW and db. *)
+(* Returns d(input feats) in this layer's scratch buffer (valid prefix =
+   cached input size; valid until the next backward on this instance);
+   accumulates dW and db. *)
 let backward t (dout : float array) =
   let map =
     match t.cache_map with
     | Some m -> m
     | None -> invalid_arg "Sparse_conv.backward: no cached forward"
   in
-  if Array.length dout <> t.cache_nsites_out * t.out_ch then
+  if Array.length dout < t.cache_nsites_out * t.out_ch then
     invalid_arg "Sparse_conv.backward: dout size mismatch";
   let ci = t.in_ch and co = t.out_ch in
-  let din = Array.make (Array.length t.cache_in) 0.0 in
+  t.scratch_din <- grown t.scratch_din t.cache_in_valid;
+  let din = t.scratch_din in
+  Array.fill din 0 t.cache_in_valid 0.0;
   (* bias grads *)
   for s = 0 to t.cache_nsites_out - 1 do
     for o = 0 to co - 1 do
       t.b.Param.grad.(o) <- t.b.Param.grad.(o) +. dout.((s * co) + o)
     done
   done;
-  Array.iteri
-    (fun off pair_list ->
-      let wbase = off * co * ci in
-      Array.iter
-        (fun (in_idx, out_idx) ->
-          let ib = in_idx * ci and ob = out_idx * co in
-          for o = 0 to co - 1 do
-            let g = dout.(ob + o) in
-            if g <> 0.0 then begin
-              let wrow = wbase + (o * ci) in
-              for i = 0 to ci - 1 do
-                t.w.Param.grad.(wrow + i) <-
-                  t.w.Param.grad.(wrow + i) +. (g *. t.cache_in.(ib + i));
-                din.(ib + i) <- din.(ib + i) +. (g *. t.w.Param.data.(wrow + i))
-              done
-            end
-          done)
-        pair_list)
-    map.pairs;
+  let wdata = t.w.Param.data and wgrad = t.w.Param.grad and cache_in = t.cache_in in
+  let nk = Array.length map.off_start - 1 in
+  for off = 0 to nk - 1 do
+    let wbase = off * co * ci in
+    for p = map.off_start.(off) to map.off_start.(off + 1) - 1 do
+      let ib = map.pairs_in.(p) * ci and ob = map.pairs_out.(p) * co in
+      for o = 0 to co - 1 do
+        let g = dout.(ob + o) in
+        if g <> 0.0 then begin
+          let wrow = wbase + (o * ci) in
+          for i = 0 to ci - 1 do
+            wgrad.(wrow + i) <- wgrad.(wrow + i) +. (g *. cache_in.(ib + i));
+            din.(ib + i) <- din.(ib + i) +. (g *. wdata.(wrow + i))
+          done
+        end
+      done
+    done
+  done;
   din

@@ -3,15 +3,27 @@
     with only present sites contributing.  Stride 1 keeps the site set
     (submanifold — activations never dilate); stride 2 halves coordinates,
     which is what lets stacked strided layers bridge distant nonzeros
-    (Fig. 8). *)
+    (Fig. 8).
+
+    The kernel map is a flat structure-of-arrays: CSR-style [off_start]
+    segment bounds over two parallel int arrays, one segment per kernel
+    offset.  Per-offset pair order matches the historical boxed-pair builder
+    exactly (descending input index), so float accumulation order — and
+    trained model artifacts — are byte-identical (test/test_perf.ml). *)
 
 type kernel_map = {
-  out_coords : (int * int) array;
+  out_coords : int array;  (** encoded [row * out_w + col] *)
   out_h : int;
   out_w : int;
-  pairs : (int * int) array array;
-      (** per kernel offset: (input site, output site) pairs *)
+  off_start : int array;
+      (** length [ksize^2 + 1]: pairs of kernel offset [o] occupy
+          [off_start.(o) .. off_start.(o+1) - 1] of the pair arrays *)
+  pairs_in : int array;  (** input site index per pair *)
+  pairs_out : int array;  (** output site index per pair *)
 }
+
+val map_npairs : kernel_map -> int
+(** Total (input site, output site) pairs across all kernel offsets. *)
 
 type t = {
   in_ch : int;
@@ -21,8 +33,11 @@ type t = {
   w : Param.t;  (** [ksize^2] x out_ch x in_ch *)
   b : Param.t;
   mutable cache_map : kernel_map option;
-  mutable cache_in : float array;
+  mutable cache_in : float array;  (** grow-only; valid prefix below *)
+  mutable cache_in_valid : int;
   mutable cache_nsites_out : int;
+  mutable scratch_out : float array;  (** grow-only forward output *)
+  mutable scratch_din : float array;  (** grow-only backward d(input) *)
 }
 
 val create :
@@ -35,19 +50,22 @@ val params : t -> Param.t list
 
 val replicate : t -> t
 (** Forward-only copy for concurrent use on another domain: shares the
-    parameters (which must not be updated meanwhile), owns fresh caches. *)
+    parameters (which must not be updated meanwhile), owns fresh caches and
+    scratch buffers. *)
 
-val build_map :
-  ksize:int -> stride:int -> (int * int) array -> h:int -> w:int -> kernel_map
-(** Kernel maps depend only on coordinates; build once per pattern and reuse
-    across epochs (see {!Pyramid}). *)
+val build_map : ksize:int -> stride:int -> int array -> h:int -> w:int -> kernel_map
+(** Kernel maps depend only on coordinates (flat-encoded, {!Smap.encode});
+    build once per pattern and reuse across epochs (see {!Pyramid}). *)
 
 val forward_with_map : t -> kernel_map -> Smap.t -> Smap.t
-(** Forward over a prebuilt kernel map (the cached-pyramid fast path). *)
+(** Forward over a prebuilt kernel map (the cached-pyramid fast path).  The
+    result's [feats] is this instance's scratch buffer: valid until the next
+    forward on the same instance; copy to retain. *)
 
 val forward : t -> Smap.t -> Smap.t
 (** Convenience: builds the map, then [forward_with_map]. *)
 
 val backward : t -> float array -> float array
-(** Accumulates dW, db from d(output feats); returns d(input feats).
-    Requires a preceding forward. *)
+(** Accumulates dW, db from d(output feats); returns d(input feats) in this
+    instance's scratch buffer (valid prefix = cached input size, valid until
+    the next backward on the same instance).  Requires a preceding forward. *)

@@ -1,0 +1,116 @@
+(* Reference implementation of the sparse-conv kernel map and forward/backward
+   — the pre-flat-layout boxed-pair builder, retained verbatim as the oracle
+   for the parity tests (test/test_perf.ml) and the baseline side of
+   `bench kernels`.  Not used by the pipeline. *)
+
+type kernel_map = {
+  out_coords : (int * int) array;
+  out_h : int;
+  out_w : int;
+  pairs : (int * int) array array; (* per kernel offset: (in_idx, out_idx) *)
+}
+
+(* The historical builder: polymorphic-keyed Hashtbl, list consing per offset
+   (hence descending input-index order within each offset). *)
+let build_map ~ksize ~stride (coords : (int * int) array) ~h ~w =
+  let half = ksize / 2 in
+  let n = Array.length coords in
+  let out_h = (h + stride - 1) / stride and out_w = (w + stride - 1) / stride in
+  let tbl = Hashtbl.create (2 * n) in
+  let out_coords =
+    if stride = 1 then begin
+      Array.iteri (fun idx (r, c) -> Hashtbl.add tbl (r, c) idx) coords;
+      coords
+    end
+    else begin
+      let out = ref [] in
+      let count = ref 0 in
+      Array.iter
+        (fun (r, c) ->
+          let key = (r / stride, c / stride) in
+          if not (Hashtbl.mem tbl key) then begin
+            Hashtbl.add tbl key !count;
+            out := key :: !out;
+            incr count
+          end)
+        coords;
+      Array.of_list (List.rev !out)
+    end
+  in
+  let nk = ksize * ksize in
+  let buckets = Array.make nk [] in
+  Array.iteri
+    (fun i (r, c) ->
+      for dy = -half to half do
+        for dx = -half to half do
+          let tr = r - dy and tc = c - dx in
+          if tr >= 0 && tc >= 0 && tr mod stride = 0 && tc mod stride = 0 then
+            match Hashtbl.find_opt tbl (tr / stride, tc / stride) with
+            | Some out_idx ->
+                let off = ((dy + half) * ksize) + dx + half in
+                buckets.(off) <- (i, out_idx) :: buckets.(off)
+            | None -> ()
+        done
+      done)
+    coords;
+  { out_coords; out_h; out_w; pairs = Array.map Array.of_list buckets }
+
+(* Allocating forward over explicit weights: out[ob..] = b + sum W*in, fresh
+   output array per call — the pre-scratch behavior. *)
+let forward_feats (map : kernel_map) ~in_ch ~out_ch ~(w : float array)
+    ~(b : float array) (input_feats : float array) =
+  let n_out = Array.length map.out_coords in
+  let out = Array.make (n_out * out_ch) 0.0 in
+  for s = 0 to n_out - 1 do
+    for o = 0 to out_ch - 1 do
+      out.((s * out_ch) + o) <- b.(o)
+    done
+  done;
+  Array.iteri
+    (fun off bucket ->
+      let wbase = off * out_ch * in_ch in
+      Array.iter
+        (fun (in_idx, out_idx) ->
+          let ib = in_idx * in_ch and ob = out_idx * out_ch in
+          for o = 0 to out_ch - 1 do
+            let wrow = wbase + (o * in_ch) in
+            let acc = ref 0.0 in
+            for i = 0 to in_ch - 1 do
+              acc := !acc +. (w.(wrow + i) *. input_feats.(ib + i))
+            done;
+            out.(ob + o) <- out.(ob + o) +. !acc
+          done)
+        bucket)
+    map.pairs;
+  out
+
+(* Allocating backward: accumulates into wgrad/bgrad, returns fresh din. *)
+let backward_feats (map : kernel_map) ~in_ch ~out_ch ~(w : float array)
+    ~(wgrad : float array) ~(bgrad : float array) ~(input_feats : float array)
+    ~(nsites_in : int) (dout : float array) =
+  let n_out = Array.length map.out_coords in
+  let din = Array.make (nsites_in * in_ch) 0.0 in
+  for s = 0 to n_out - 1 do
+    for o = 0 to out_ch - 1 do
+      bgrad.(o) <- bgrad.(o) +. dout.((s * out_ch) + o)
+    done
+  done;
+  Array.iteri
+    (fun off bucket ->
+      let wbase = off * out_ch * in_ch in
+      Array.iter
+        (fun (in_idx, out_idx) ->
+          let ib = in_idx * in_ch and ob = out_idx * out_ch in
+          for o = 0 to out_ch - 1 do
+            let g = dout.(ob + o) in
+            if g <> 0.0 then begin
+              let wrow = wbase + (o * in_ch) in
+              for i = 0 to in_ch - 1 do
+                wgrad.(wrow + i) <- wgrad.(wrow + i) +. (g *. input_feats.(ib + i));
+                din.(ib + i) <- din.(ib + i) +. (g *. w.(wrow + i))
+              done
+            end
+          done)
+        bucket)
+    map.pairs;
+  din

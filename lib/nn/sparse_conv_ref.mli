@@ -1,0 +1,27 @@
+(** Reference (pre-flat-layout) sparse-conv kernel-map builder and allocating
+    forward/backward: boxed coordinate pairs, polymorphic-keyed [Hashtbl],
+    list consing.  Retained verbatim as the parity oracle for
+    [test/test_perf.ml] and the baseline side of [bench kernels]; the
+    pipeline itself uses {!Sparse_conv}. *)
+
+type kernel_map = {
+  out_coords : (int * int) array;
+  out_h : int;
+  out_w : int;
+  pairs : (int * int) array array;
+      (** per kernel offset: [(in_idx, out_idx)], descending [in_idx] *)
+}
+
+val build_map :
+  ksize:int -> stride:int -> (int * int) array -> h:int -> w:int -> kernel_map
+
+val forward_feats :
+  kernel_map -> in_ch:int -> out_ch:int -> w:float array -> b:float array ->
+  float array -> float array
+(** Fresh output array per call (the pre-scratch behavior). *)
+
+val backward_feats :
+  kernel_map -> in_ch:int -> out_ch:int -> w:float array -> wgrad:float array ->
+  bgrad:float array -> input_feats:float array -> nsites_in:int ->
+  float array -> float array
+(** Accumulates into [wgrad]/[bgrad]; returns fresh d(input feats). *)

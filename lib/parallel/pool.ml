@@ -135,7 +135,14 @@ let run_chunks t ~nchunks body =
     end
   end
 
-let default_chunk t n = max 1 (n / (t.domains * 8))
+(* Default chunking: 4 chunks per domain balances stealing granularity
+   against per-chunk handoff cost (a mutex round-trip each).  The previous
+   8-per-domain default doubled handoffs for no balance gain on the pool's
+   workloads, which hurts most when domains outnumber hardware threads and
+   every handoff is also a context switch (DESIGN.md §8).  Chunk size never
+   affects results: every item writes its own slot, reduction stays
+   sequential. *)
+let default_chunk t n = max 1 (n / (t.domains * 4))
 
 let parallel_for t ?chunk ~n body =
   if n > 0 then begin

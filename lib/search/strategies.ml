@@ -26,7 +26,7 @@ let random_search ?(lint = true) rng algo ~dims ~eval ~budget =
 (* --- TPE-like --- *)
 
 let quantile_split observations ~gamma =
-  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) observations in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) observations in
   let n = List.length sorted in
   let ngood = max 1 (int_of_float (gamma *. float_of_int n)) in
   List.filteri (fun i _ -> i < ngood) sorted |> List.map fst
@@ -102,7 +102,7 @@ let bandit ?(window = 50) ?(lint = true) rng algo ~dims ~eval ~budget =
     end
   in
   let apply_op o observations =
-    let sorted = List.sort (fun (_, a) (_, b) -> compare a b) observations in
+    let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) observations in
     match (o, sorted) with
     | 0, _ | _, [] -> Space.sample rng algo ~dims
     | 1, (s, _) :: _ -> Space.mutate rng ~dims s (* mutate best *)

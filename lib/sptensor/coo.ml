@@ -31,7 +31,7 @@ let of_triplets ~nrows ~ncols triplets =
     triplets;
   let arr = Array.of_list triplets in
   Array.sort
-    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then Int.compare i1 i2 else Int.compare j1 j2)
     arr;
   let n = Array.length arr in
   (* Count unique coordinates. *)

@@ -22,7 +22,9 @@ let of_quads ~dim_i ~dim_k ~dim_l quads =
   let arr = Array.of_list quads in
   Array.sort
     (fun (a, b, c, _) (d, e, f, _) ->
-      if a <> d then compare a d else if b <> e then compare b e else compare c f)
+      if a <> d then Int.compare a d
+      else if b <> e then Int.compare b e
+      else Int.compare c f)
     arr;
   (* Sum duplicates. *)
   let out = ref [] in

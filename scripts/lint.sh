@@ -28,6 +28,12 @@ dune build @lint || status=1
 # every artifact write point, assert previous-artifact-or-typed-error.
 dune build @faults || status=1
 
+# The @perf alias runs the perf-refactor safety net: flat kernel-map parity
+# against the reference builder, scratch-buffer gradchecks, the per-call
+# allocation budget on the conv hot path, and the golden-artifact
+# byte-identity check.
+dune build @perf || status=1
+
 # Exercise the multi-domain pool paths once per run: the parallel suite
 # (pool semantics, byte-identical artifacts, faults under parallel
 # measurement) with the shared pool forced to two worker domains.

@@ -1,0 +1,24 @@
+(* Prints the MD5 digest of the model artifact produced by a short, fully
+   seeded training run.  The value is pinned as [golden_digest] in
+   test/test_perf.ml: any change to the float-op order anywhere in the
+   extractor/embedder/predictor stack (layouts, scratch buffers, kernel-map
+   iteration order) shows up as a digest change there.  Rerun this program to
+   recompute the constant after an *intentional* numerics change. *)
+
+open Sptensor
+
+let () =
+  let machine = Machine_model.Machine.intel_like in
+  let algo = Schedule.Algorithm.Spmm 8 in
+  let rng = Rng.create 4242 in
+  let mats =
+    Gen.suite rng ~count:4 ~max_dim:96 ~max_nnz:2000
+    |> List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix))
+  in
+  let data =
+    Waco.Dataset.of_matrices rng machine algo mats ~schedules_per_matrix:6
+      ~valid_fraction:0.25
+  in
+  let model = Waco.Costmodel.create (Rng.create 77) algo in
+  let _curve = Waco.Trainer.train rng model data ~epochs:2 in
+  print_endline (Digest.to_hex (Digest.string (Waco.Costmodel.dump_params model)))

@@ -121,7 +121,7 @@ let test_adam_decreases_loss () =
 
 (* --- Sparse conv --- *)
 
-let smap_of coords h w channels feats = { Nn.Smap.h; w; coords; channels; feats }
+let smap_of coords h w channels feats = Nn.Smap.of_pairs ~h ~w ~channels coords feats
 
 let test_sparse_conv_identity_kernel () =
   let r = rng () in

@@ -1,0 +1,366 @@
+(* Perf-refactor safety net (the @perf alias): the flat kernel-map builder and
+   the scratch-buffer layers must be *exactly* the old allocating
+   implementations — same pair order, same float-op order, same bytes in a
+   trained artifact — while allocating (almost) nothing in steady state. *)
+
+open Sptensor
+
+(* MD5 of the model artifact from the seeded run below, captured on the
+   pre-flat-layout implementation.  Recompute with test/print_golden.exe
+   after an *intentional* numerics change. *)
+let golden_digest = "e379236281b09f23a16a8669d46ad9cb"
+
+let rng () = Rng.create 20230325
+
+(* --- kernel-map parity: flat builder vs the retained reference builder --- *)
+
+let encode_pairs ~out_w pairs =
+  Array.map (fun (r, c) -> (r * out_w) + c) pairs
+
+(* Flatten a reference map into the CSR shape and compare field by field. *)
+let check_map_parity ~what ~ksize ~stride (pairs : (int * int) array) ~h ~w =
+  let coords = Array.map (fun (r, c) -> Nn.Smap.encode ~w r c) pairs in
+  let flat = Nn.Sparse_conv.build_map ~ksize ~stride coords ~h ~w in
+  let refm = Nn.Sparse_conv_ref.build_map ~ksize ~stride pairs ~h ~w in
+  Alcotest.(check int) (what ^ ": out_h") refm.Nn.Sparse_conv_ref.out_h flat.Nn.Sparse_conv.out_h;
+  Alcotest.(check int) (what ^ ": out_w") refm.Nn.Sparse_conv_ref.out_w flat.Nn.Sparse_conv.out_w;
+  Alcotest.(check (array int))
+    (what ^ ": out_coords (incl. order)")
+    (encode_pairs ~out_w:refm.Nn.Sparse_conv_ref.out_w refm.Nn.Sparse_conv_ref.out_coords)
+    flat.Nn.Sparse_conv.out_coords;
+  let nk = ksize * ksize in
+  Alcotest.(check int)
+    (what ^ ": total pairs")
+    (Array.fold_left (fun a b -> a + Array.length b) 0 refm.Nn.Sparse_conv_ref.pairs)
+    (Nn.Sparse_conv.map_npairs flat);
+  for off = 0 to nk - 1 do
+    let seg_start = flat.Nn.Sparse_conv.off_start.(off) in
+    let seg_len = flat.Nn.Sparse_conv.off_start.(off + 1) - seg_start in
+    let ref_seg = refm.Nn.Sparse_conv_ref.pairs.(off) in
+    Alcotest.(check int)
+      (Printf.sprintf "%s: offset %d segment length" what off)
+      (Array.length ref_seg) seg_len;
+    for p = 0 to seg_len - 1 do
+      let ri, ro = ref_seg.(p) in
+      if
+        ri <> flat.Nn.Sparse_conv.pairs_in.(seg_start + p)
+        || ro <> flat.Nn.Sparse_conv.pairs_out.(seg_start + p)
+      then
+        Alcotest.failf "%s: offset %d pair %d: ref (%d,%d) vs flat (%d,%d)" what
+          off p ri ro
+          flat.Nn.Sparse_conv.pairs_in.(seg_start + p)
+          flat.Nn.Sparse_conv.pairs_out.(seg_start + p)
+    done
+  done
+
+let random_pattern r ~h ~w ~n =
+  (* Distinct random coordinates, insertion order preserved (the builder is
+     order-sensitive, so parity must hold for arbitrary site orderings). *)
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] and count = ref 0 in
+  let attempts = ref 0 in
+  while !count < n && !attempts < 50 * n do
+    incr attempts;
+    let p = (Rng.int r h, Rng.int r w) in
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      out := p :: !out;
+      incr count
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let test_map_parity_random () =
+  let r = rng () in
+  List.iter
+    (fun (h, w, n) ->
+      let pairs = random_pattern r ~h ~w ~n in
+      List.iter
+        (fun (ksize, stride) ->
+          check_map_parity
+            ~what:(Printf.sprintf "%dx%d n=%d k=%d s=%d" h w n ksize stride)
+            ~ksize ~stride pairs ~h ~w)
+        [ (3, 1); (3, 2); (5, 1); (5, 2) ])
+    [ (16, 16, 40); (64, 64, 300); (37, 53, 200); (128, 8, 150) ]
+
+let test_map_parity_edges () =
+  (* Edge rows/columns and odd widths under stride 2: window cells just past
+     the grid can halve onto in-grid output columns — the case that forces
+     the widened probe-key stride in the flat builder. *)
+  let full h w = Array.concat (List.init h (fun r -> Array.init w (fun c -> (r, c)))) in
+  check_map_parity ~what:"full 5x5 s2" ~ksize:3 ~stride:2 (full 5 5) ~h:5 ~w:5;
+  check_map_parity ~what:"full 5x5 k5 s2" ~ksize:5 ~stride:2 (full 5 5) ~h:5 ~w:5;
+  check_map_parity ~what:"full 7x3 s2" ~ksize:3 ~stride:2 (full 7 3) ~h:7 ~w:3;
+  check_map_parity ~what:"last col only" ~ksize:3 ~stride:2
+    (Array.init 6 (fun r -> (r, 4))) ~h:6 ~w:5;
+  check_map_parity ~what:"last row only" ~ksize:5 ~stride:2
+    (Array.init 5 (fun c -> (5, c))) ~h:6 ~w:5;
+  check_map_parity ~what:"single site" ~ksize:3 ~stride:2 [| (4, 4) |] ~h:5 ~w:5;
+  check_map_parity ~what:"1x1 grid" ~ksize:3 ~stride:1 [| (0, 0) |] ~h:1 ~w:1;
+  check_map_parity ~what:"empty" ~ksize:3 ~stride:2 [||] ~h:8 ~w:8
+
+(* --- forward/backward parity: scratch implementation vs reference --- *)
+
+let test_conv_numeric_parity () =
+  let r = rng () in
+  let h = 32 and w = 32 in
+  let pairs = random_pattern r ~h ~w ~n:120 in
+  let n = Array.length pairs in
+  let ch = 4 in
+  let conv = Nn.Sparse_conv.create r ~name:"p" ~in_ch:ch ~out_ch:ch ~ksize:3 ~stride:2 in
+  let feats = Array.init (n * ch) (fun _ -> Rng.float_in r (-1.0) 1.0) in
+  let input = Nn.Smap.of_pairs ~h ~w ~channels:ch pairs feats in
+  let out = Nn.Sparse_conv.forward conv input in
+  let refm = Nn.Sparse_conv_ref.build_map ~ksize:3 ~stride:2 pairs ~h ~w in
+  let ref_out =
+    Nn.Sparse_conv_ref.forward_feats refm ~in_ch:ch ~out_ch:ch
+      ~w:conv.Nn.Sparse_conv.w.Nn.Param.data ~b:conv.Nn.Sparse_conv.b.Nn.Param.data
+      feats
+  in
+  let n_out = Nn.Smap.nsites out in
+  Alcotest.(check int) "site count" (Array.length refm.Nn.Sparse_conv_ref.out_coords) n_out;
+  for i = 0 to (n_out * ch) - 1 do
+    if out.Nn.Smap.feats.(i) <> ref_out.(i) then
+      Alcotest.failf "forward feat %d: flat %.17g vs ref %.17g" i
+        out.Nn.Smap.feats.(i) ref_out.(i)
+  done;
+  (* backward: same dW/db/din bit for bit *)
+  let dout = Array.init (n_out * ch) (fun _ -> Rng.float_in r (-1.0) 1.0) in
+  let din = Nn.Sparse_conv.backward conv dout in
+  let wgrad = Array.make (Array.length conv.Nn.Sparse_conv.w.Nn.Param.data) 0.0 in
+  let bgrad = Array.make ch 0.0 in
+  let ref_din =
+    Nn.Sparse_conv_ref.backward_feats refm ~in_ch:ch ~out_ch:ch
+      ~w:conv.Nn.Sparse_conv.w.Nn.Param.data ~wgrad ~bgrad ~input_feats:feats
+      ~nsites_in:n dout
+  in
+  for i = 0 to (n * ch) - 1 do
+    if din.(i) <> ref_din.(i) then
+      Alcotest.failf "din %d: flat %.17g vs ref %.17g" i din.(i) ref_din.(i)
+  done;
+  Array.iteri
+    (fun i g ->
+      if g <> conv.Nn.Sparse_conv.w.Nn.Param.grad.(i) then
+        Alcotest.failf "wgrad %d diverges" i)
+    wgrad;
+  Array.iteri
+    (fun i g ->
+      if g <> conv.Nn.Sparse_conv.b.Nn.Param.grad.(i) then
+        Alcotest.failf "bgrad %d diverges" i)
+    bgrad
+
+(* --- gradchecks through reused scratch buffers --- *)
+
+let gradcheck ~loss_of ~params ~entries_per_param ~tolerance =
+  let eps = 1e-6 in
+  let bad = ref [] in
+  List.iter
+    (fun (p : Nn.Param.t) ->
+      let n = Nn.Param.size p in
+      for t = 0 to min (entries_per_param - 1) (n - 1) do
+        let idx = t * 7919 mod n in
+        let orig = p.Nn.Param.data.(idx) in
+        p.Nn.Param.data.(idx) <- orig +. eps;
+        let lp = loss_of () in
+        p.Nn.Param.data.(idx) <- orig -. eps;
+        let lm = loss_of () in
+        p.Nn.Param.data.(idx) <- orig;
+        let fd = (lp -. lm) /. (2.0 *. eps) in
+        let an = p.Nn.Param.grad.(idx) in
+        let rel =
+          Float.abs (fd -. an)
+          /. Float.max 1e-4 (Float.max (Float.abs fd) (Float.abs an))
+        in
+        if rel > tolerance then bad := (p.Nn.Param.name, idx, fd, an) :: !bad
+      done)
+    params;
+  !bad
+
+(* The scratch-shrink case: run a BIG input through the layer (growing its
+   buffers), then gradcheck on a SMALL input.  Stale slack beyond the valid
+   prefix must not leak into outputs or gradients. *)
+let test_conv_gradcheck_after_shrink () =
+  let r = rng () in
+  let conv = Nn.Sparse_conv.create r ~name:"c" ~in_ch:1 ~out_ch:3 ~ksize:3 ~stride:1 in
+  let big_pairs = random_pattern r ~h:24 ~w:24 ~n:200 in
+  let big =
+    Nn.Smap.of_pairs ~h:24 ~w:24 ~channels:1 big_pairs
+      (Array.init 200 (fun _ -> Rng.float_in r 0.5 2.0))
+  in
+  ignore (Nn.Sparse_conv.forward conv big);
+  ignore (Nn.Sparse_conv.backward conv (Array.make (200 * 3) 1.0));
+  Array.fill conv.Nn.Sparse_conv.w.Nn.Param.grad 0
+    (Array.length conv.Nn.Sparse_conv.w.Nn.Param.grad) 0.0;
+  Array.fill conv.Nn.Sparse_conv.b.Nn.Param.grad 0 3 0.0;
+  let small =
+    Nn.Smap.of_pairs ~h:4 ~w:4 ~channels:1
+      [| (0, 0); (1, 1); (2, 3); (3, 2) |]
+      [| 1.0; -0.5; 0.3; 0.8 |]
+  in
+  let loss_of () =
+    let out = Nn.Sparse_conv.forward conv small in
+    let acc = ref 0.0 in
+    for i = 0 to (Nn.Smap.nsites out * 3) - 1 do
+      acc := !acc +. (0.5 *. out.Nn.Smap.feats.(i) *. out.Nn.Smap.feats.(i))
+    done;
+    !acc
+  in
+  let out = Nn.Sparse_conv.forward conv small in
+  let dout = Array.sub out.Nn.Smap.feats 0 (Nn.Smap.nsites out * 3) in
+  ignore (Nn.Sparse_conv.backward conv dout);
+  let bad =
+    gradcheck ~loss_of ~params:(Nn.Sparse_conv.params conv) ~entries_per_param:8
+      ~tolerance:1e-3
+  in
+  Alcotest.(check int) "no bad grads after buffer shrink" 0 (List.length bad)
+
+let test_linear_gradcheck_after_shrink () =
+  let r = rng () in
+  let l = Nn.Linear.create r ~name:"l" ~in_dim:5 ~out_dim:4 in
+  let big = Array.init (12 * 5) (fun _ -> Rng.float_in r (-1.0) 1.0) in
+  ignore (Nn.Linear.forward l ~batch:12 big);
+  ignore (Nn.Linear.backward l (Array.make (12 * 4) 1.0));
+  Array.fill l.Nn.Linear.w.Nn.Param.grad 0 20 0.0;
+  Array.fill l.Nn.Linear.b.Nn.Param.grad 0 4 0.0;
+  let input = Array.init 15 (fun _ -> Rng.float_in r (-1.0) 1.0) in
+  let loss_of () =
+    let out = Nn.Linear.forward l ~batch:3 input in
+    let acc = ref 0.0 in
+    for i = 0 to (3 * 4) - 1 do
+      acc := !acc +. (0.5 *. out.(i) *. out.(i))
+    done;
+    !acc
+  in
+  let out = Nn.Linear.forward l ~batch:3 input in
+  ignore (Nn.Linear.backward l (Array.sub out 0 12));
+  let bad =
+    gradcheck ~loss_of ~params:(Nn.Linear.params l) ~entries_per_param:8
+      ~tolerance:1e-3
+  in
+  Alcotest.(check int) "no bad grads after buffer shrink" 0 (List.length bad)
+
+(* --- extractor determinism across alternating inputs ---
+
+   Scratch reuse must be invisible: interleaving forwards of two different
+   patterns on one extractor must reproduce each pattern's feature bit for
+   bit. *)
+let test_extractor_scratch_isolation () =
+  let r = rng () in
+  let e = Waco.Extractor.create r Waco.Extractor.Waconet in
+  let m1 = Gen.uniform r ~nrows:80 ~ncols:80 ~nnz:400 in
+  let m2 = Gen.rmat r ~nnz:700 ~nrows:128 ~ncols:128 in
+  let i1 = Waco.Extractor.input_of_coo ~id:"a" m1 in
+  let i2 = Waco.Extractor.input_of_coo ~id:"b" m2 in
+  let f1 = Waco.Extractor.forward e i1 in
+  let f2 = Waco.Extractor.forward e i2 in
+  let f1' = Waco.Extractor.forward e i1 in
+  let f2' = Waco.Extractor.forward e i2 in
+  Alcotest.(check bool) "pattern 1 reproducible" true (f1 = f1');
+  Alcotest.(check bool) "pattern 2 reproducible" true (f2 = f2');
+  Alcotest.(check bool) "patterns distinct" true (f1 <> f2)
+
+(* --- steady-state allocation budget ---
+
+   A conv forward over a cached kernel map must allocate only the result's
+   Smap record — no per-site or per-pair garbage.  The budget is generous
+   (the record itself is ~6 words); the old implementation allocated
+   ~850 KB on this shape. *)
+let alloc_budget_bytes = 2048.0
+
+let test_conv_forward_alloc_budget () =
+  let r = rng () in
+  let h = 64 and w = 64 in
+  let pairs = random_pattern r ~h ~w ~n:600 in
+  let ch = Waco.Config.channels in
+  let conv = Nn.Sparse_conv.create r ~name:"a" ~in_ch:ch ~out_ch:ch ~ksize:3 ~stride:1 in
+  let coords = Array.map (fun (rr, cc) -> Nn.Smap.encode ~w rr cc) pairs in
+  let map = Nn.Sparse_conv.build_map ~ksize:3 ~stride:1 coords ~h ~w in
+  let feats = Array.init (Array.length pairs * ch) (fun _ -> Rng.float_in r (-1.0) 1.0) in
+  let input = Nn.Smap.of_pairs ~h ~w ~channels:ch pairs feats in
+  for _ = 1 to 3 do
+    ignore (Nn.Sparse_conv.forward_with_map conv map input)
+  done;
+  let iters = 20 in
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to iters do
+    ignore (Nn.Sparse_conv.forward_with_map conv map input)
+  done;
+  let per_iter = (Gc.allocated_bytes () -. a0) /. float_of_int iters in
+  if per_iter > alloc_budget_bytes then
+    Alcotest.failf "conv forward allocates %.0f B/call (budget %.0f)" per_iter
+      alloc_budget_bytes
+
+let test_conv_backward_alloc_budget () =
+  let r = rng () in
+  let h = 64 and w = 64 in
+  let pairs = random_pattern r ~h ~w ~n:600 in
+  let ch = Waco.Config.channels in
+  let conv = Nn.Sparse_conv.create r ~name:"a" ~in_ch:ch ~out_ch:ch ~ksize:3 ~stride:1 in
+  let coords = Array.map (fun (rr, cc) -> Nn.Smap.encode ~w rr cc) pairs in
+  let map = Nn.Sparse_conv.build_map ~ksize:3 ~stride:1 coords ~h ~w in
+  let feats = Array.init (Array.length pairs * ch) (fun _ -> Rng.float_in r (-1.0) 1.0) in
+  let input = Nn.Smap.of_pairs ~h ~w ~channels:ch pairs feats in
+  let dout = Array.make (Array.length pairs * ch) 0.5 in
+  let step () =
+    ignore (Nn.Sparse_conv.forward_with_map conv map input);
+    ignore (Nn.Sparse_conv.backward conv dout)
+  in
+  for _ = 1 to 3 do step () done;
+  let iters = 20 in
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to iters do step () done;
+  let per_iter = (Gc.allocated_bytes () -. a0) /. float_of_int iters in
+  if per_iter > alloc_budget_bytes then
+    Alcotest.failf "conv forward+backward allocates %.0f B/call (budget %.0f)"
+      per_iter alloc_budget_bytes
+
+(* --- golden artifact byte-identity ---
+
+   A short fully-seeded training run must save exactly the same bytes as the
+   pre-refactor implementation: float accumulation order through flat maps,
+   scratch layers, Int/Float.compare sorts and the HNSW descent cache is
+   unchanged.  Recipe mirrors test/print_golden.ml. *)
+let test_golden_artifact_digest () =
+  let machine = Machine_model.Machine.intel_like in
+  let algo = Schedule.Algorithm.Spmm 8 in
+  let trng = Rng.create 4242 in
+  let mats =
+    Gen.suite trng ~count:4 ~max_dim:96 ~max_nnz:2000
+    |> List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix))
+  in
+  let data =
+    Waco.Dataset.of_matrices trng machine algo mats ~schedules_per_matrix:6
+      ~valid_fraction:0.25
+  in
+  let model = Waco.Costmodel.create (Rng.create 77) algo in
+  let _curve = Waco.Trainer.train trng model data ~epochs:2 in
+  let digest = Digest.to_hex (Digest.string (Waco.Costmodel.dump_params model)) in
+  Alcotest.(check string) "seeded artifact digest" golden_digest digest
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "kernel-map parity",
+        [
+          Alcotest.test_case "random patterns" `Quick test_map_parity_random;
+          Alcotest.test_case "edge cases" `Quick test_map_parity_edges;
+          Alcotest.test_case "conv numeric parity" `Quick test_conv_numeric_parity;
+        ] );
+      ( "scratch buffers",
+        [
+          Alcotest.test_case "conv gradcheck after shrink" `Quick
+            test_conv_gradcheck_after_shrink;
+          Alcotest.test_case "linear gradcheck after shrink" `Quick
+            test_linear_gradcheck_after_shrink;
+          Alcotest.test_case "extractor scratch isolation" `Quick
+            test_extractor_scratch_isolation;
+        ] );
+      ( "allocation budget",
+        [
+          Alcotest.test_case "conv forward" `Quick test_conv_forward_alloc_budget;
+          Alcotest.test_case "conv forward+backward" `Quick
+            test_conv_backward_alloc_budget;
+        ] );
+      ( "byte identity",
+        [ Alcotest.test_case "golden artifact" `Slow test_golden_artifact_digest ] );
+    ]
