@@ -589,6 +589,172 @@ let kernels ~force () =
       close_out oc;
       Printf.printf "  wrote %s\n%!" bench_kernels_file
 
+(* --- serve: daemon latency and throughput ------------------------------
+
+   The serving daemon runs in its own domain; this (client) domain drives
+   it over the Unix socket exactly like external clients would.  Reported:
+   cold latency (first sight of a pattern: extractor forward + traversal +
+   top-k measurement), warm latency (schedule-cache hit), and pipelined
+   throughput at 1/4/16 concurrent client connections over a pre-warmed
+   working set.  Results land in BENCH_serve.json; a run whose warm latency
+   or 16-client throughput regresses more than 20% against the recorded
+   numbers refuses to overwrite without --force. *)
+
+let bench_serve_file = "BENCH_serve.json"
+
+let serve_bench ~force () =
+  let algo = Algorithm.Spmm 256 in
+  let machine = Machine_model.Machine.intel_like in
+  let seed = Waco.Config.seed () in
+  let model = Waco.Costmodel.create (Rng.create seed) algo in
+  let srng = Rng.create (seed + 1) in
+  let corpus =
+    Array.init 128 (fun _ -> Space.sample srng algo ~dims:[| 64; 64 |])
+  in
+  let index = Waco.Tuner.build_index (Rng.create (seed + 2)) model corpus in
+  let dir = Filename.temp_file "waco-bench-serve" "" in
+  Sys.remove dir;
+  Robust.mkdir_p dir;
+  let socket = Filename.concat dir "waco.sock" in
+  let server =
+    Serve.Server.create ~k:4 ~ef:16 ~max_batch:32 ~model ~index
+      ~index_file:"<bench>" ~machine ~socket ()
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run server) in
+  let rec connect attempts =
+    match Serve.Client.connect socket with
+    | c -> c
+    | exception Unix.Unix_error _ when attempts > 0 ->
+        Unix.sleepf 0.02;
+        connect (attempts - 1)
+  in
+  (* A working set of distinct sparsity patterns, shipped inline so the
+     bench has no disk dependency. *)
+  let mrng = Rng.create (seed + 3) in
+  let matrices =
+    Array.init 32 (fun _ -> Gen.uniform mrng ~nrows:64 ~ncols:64 ~nnz:400)
+  in
+  let source_of (m : Coo.t) =
+    Serve.Protocol.Inline
+      {
+        nrows = m.Coo.nrows;
+        ncols = m.Coo.ncols;
+        entries =
+          Array.init (Coo.nnz m) (fun k ->
+              (m.Coo.rows.(k), m.Coo.cols.(k), m.Coo.vals.(k)));
+      }
+  in
+  let sources = Array.map source_of matrices in
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let c0 = connect 250 in
+  (* Cold: every pattern is new to the daemon. *)
+  let cold_ms =
+    Array.map
+      (fun src ->
+        let t = Unix.gettimeofday () in
+        (match Serve.Client.query c0 src with
+        | Ok _ -> ()
+        | Error e -> failwith ("serve bench: cold query: " ^ e));
+        (Unix.gettimeofday () -. t) *. 1e3)
+      sources
+  in
+  (* Warm: the same patterns again, answered from the schedule cache. *)
+  let warm_ms =
+    Array.map
+      (fun src ->
+        let t = Unix.gettimeofday () in
+        (match Serve.Client.query c0 src with
+        | Ok a when a.Serve.Protocol.cache_hit -> ()
+        | Ok _ -> failwith "serve bench: warm query missed the cache"
+        | Error e -> failwith ("serve bench: warm query: " ^ e));
+        (Unix.gettimeofday () -. t) *. 1e3)
+      sources
+  in
+  let cold = median cold_ms and warm = median warm_ms in
+  Printf.printf "  latency: cold %.2f ms, warm %.2f ms (median of %d)\n%!" cold
+    warm (Array.length sources);
+  (* Pipelined throughput over the warmed set at 1/4/16 connections: every
+     client writes its whole request train, then all responses are drained.
+     Deeper client fan-in gives the daemon bigger micro-batches. *)
+  let per_client = 64 in
+  let throughput nclients =
+    let clients = Array.init nclients (fun _ -> connect 250) in
+    let t = Unix.gettimeofday () in
+    Array.iteri
+      (fun ci c ->
+        for q = 0 to per_client - 1 do
+          Serve.Client.send c
+            (Serve.Protocol.Query
+               {
+                 qid = Printf.sprintf "b%d.%d" ci q;
+                 source = sources.((ci + q) mod Array.length sources);
+                 measure = true;
+               })
+        done)
+      clients;
+    Array.iter
+      (fun c ->
+        for _ = 1 to per_client do
+          match Serve.Client.recv c with
+          | Serve.Protocol.Answer _ -> ()
+          | _ -> failwith "serve bench: non-answer under load"
+        done)
+      clients;
+    let dt = Unix.gettimeofday () -. t in
+    Array.iter Serve.Client.close clients;
+    float_of_int (nclients * per_client) /. dt
+  in
+  let tp = List.map (fun c -> (c, throughput c)) [ 1; 4; 16 ] in
+  List.iter
+    (fun (c, qps) -> Printf.printf "  throughput: %2d client(s) %8.0f req/s\n%!" c qps)
+    tp;
+  let qps c = try List.assoc c tp with Not_found -> 0.0 in
+  ignore (Serve.Client.shutdown c0);
+  Serve.Client.close c0;
+  Domain.join daemon;
+  (try Sys.remove socket with Sys_error _ -> ());
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  (* Regression guard: don't silently clobber better recorded numbers. *)
+  match
+    if Sys.file_exists bench_serve_file && not force then begin
+      let ic = open_in_bin bench_serve_file in
+      let old = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match
+        (json_float_field old "warm_ms", json_float_field old "throughput_16")
+      with
+      | Some ow, Some ot when warm > 1.2 *. ow || qps 16 < 0.8 *. ot ->
+          Some (ow, ot)
+      | _ -> None
+    end
+    else None
+  with
+  | Some (ow, ot) ->
+      Printf.printf
+        "  REGRESSION > 20%% vs recorded %s (warm %.2fms -> %.2fms, 16-client \
+         %.0f -> %.0f req/s); keeping the old file (rerun with --force to \
+         overwrite)\n%!"
+        bench_serve_file ow warm ot (qps 16)
+  | None ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "{\n";
+      Printf.bprintf buf "  \"cold_ms\": %.4f,\n" cold;
+      Printf.bprintf buf "  \"warm_ms\": %.4f,\n" warm;
+      List.iter
+        (fun (c, v) -> Printf.bprintf buf "  \"throughput_%d\": %.1f,\n" c v)
+        tp;
+      Printf.bprintf buf "  \"working_set\": %d,\n" (Array.length sources);
+      Printf.bprintf buf "  \"requests_per_client\": %d\n" per_client;
+      Buffer.add_string buf "}\n";
+      let oc = open_out_bin bench_serve_file in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" bench_serve_file
+
 let canonical_order selected =
   let ordered =
     List.filter_map
@@ -599,6 +765,7 @@ let canonical_order selected =
   @ (if List.mem "micro" selected then [ "micro" ] else [])
   @ (if List.mem "kernels" selected then [ "kernels" ] else [])
   @ (if List.mem "scaling" selected then [ "scaling" ] else [])
+  @ (if List.mem "serve" selected then [ "serve" ] else [])
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -614,7 +781,7 @@ let () =
   in
   List.iter
     (fun a ->
-      if a <> "micro" && a <> "scaling" && a <> "kernels"
+      if a <> "micro" && a <> "scaling" && a <> "kernels" && a <> "serve"
          && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
       then Printf.eprintf "unknown target: %s (ignored)\n%!" a)
     selected;
@@ -635,6 +802,12 @@ let () =
         let t = Unix.gettimeofday () in
         scaling ~force ();
         Printf.printf "<<< scaling done in %.1fs\n%!" (Unix.gettimeofday () -. t)
+      end
+      else if name = "serve" then begin
+        Printf.printf "\n>>> serve — daemon latency/throughput bench\n%!";
+        let t = Unix.gettimeofday () in
+        serve_bench ~force ();
+        Printf.printf "<<< serve done in %.1fs\n%!" (Unix.gettimeofday () -. t)
       end
       else
         match List.find_opt (fun (n, _, _) -> n = name) experiment_targets with

@@ -110,6 +110,9 @@ let tune_cmd =
     let pool = pool_of domains in
     let wl = Machine_model.Workload.of_coo ~id:path m in
     let input = Waco.Extractor.input_of_coo ~id:path m in
+    (* Where the search index came from — a reloaded snapshot skips the
+       rebuild, and the user should be able to tell which path they got. *)
+    let provenance = ref "built fresh" in
     let r =
       match
         let model, corpus =
@@ -144,8 +147,18 @@ let tune_cmd =
         in
         let index =
           match index_file with
-          | Some file -> Waco.Tuner.load_index rng ~algo file
-          | None -> Waco.Tuner.build_index ?pool rng model corpus
+          | Some file ->
+              let index = Waco.Tuner.load_index rng ~algo file in
+              provenance :=
+                Printf.sprintf "snapshot %s (%d schedules)" file
+                  index.Waco.Tuner.corpus_size;
+              index
+          | None ->
+              let index = Waco.Tuner.build_index ?pool rng model corpus in
+              provenance :=
+                Printf.sprintf "built fresh (%d schedules, %.2fs)"
+                  index.Waco.Tuner.corpus_size index.Waco.Tuner.build_seconds;
+              index
         in
         (match save_index_file with
         | Some file ->
@@ -170,6 +183,8 @@ let tune_cmd =
       (csr.Baselines.kernel_time /. r.Waco.Tuner.best_measured);
     Printf.printf "overhead : feature %.3fs, search %.4fs (%d cost-model evals)\n"
       r.Waco.Tuner.feature_seconds r.Waco.Tuner.search_seconds r.Waco.Tuner.cost_evals;
+    Printf.printf "index    : %s\n"
+      (if r.Waco.Tuner.degraded then "unused (degraded run)" else !provenance);
     Printf.printf "degraded : %s\n"
       (match r.Waco.Tuner.degraded_reason with
       | Some why -> "yes (" ^ why ^ ")"
@@ -288,10 +303,200 @@ let train_cmd =
       const run $ algo_arg $ machine_arg $ out $ data_dir $ ckpt_dir $ ckpt_every
       $ resume $ seed_arg $ domains_arg)
 
+(* --- serve / query --- *)
+
+let socket_arg =
+  Arg.(value & opt string "waco.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path the daemon listens on")
+
+let serve_cmd =
+  let run socket algo_name machine_name model_file index_file cache_file
+      cache_capacity max_batch k ef seed domains =
+    let machine = machine_of machine_name in
+    let algo = Experiments.Lab.algo_of_name algo_name in
+    let rng = Rng.create seed in
+    let pool = pool_of domains in
+    let log msg = Printf.eprintf "waco serve: %s\n%!" msg in
+    match
+      let model, corpus =
+        match model_file with
+        | Some file ->
+            let model = Waco.Costmodel.create rng algo in
+            Waco.Costmodel.load model file;
+            (* No dataset on hand: sample an index corpus from the
+               SuperSchedule space at the default dimensions. *)
+            let dims = Array.make (Algorithm.sparse_rank algo) 1024 in
+            (model, Array.init 256 (fun _ -> Space.sample rng algo ~dims))
+        | None ->
+            log ("training a fresh " ^ algo_name
+                 ^ " cost model (pass --model to reuse one)...");
+            let corpus = Gen.suite rng ~count:16 ~max_dim:1024 ~max_nnz:60000 in
+            let mats =
+              List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus
+            in
+            let data =
+              Waco.Dataset.of_matrices ?pool rng machine algo mats
+                ~schedules_per_matrix:24 ~valid_fraction:0.2
+            in
+            let model = Waco.Costmodel.create rng algo in
+            ignore
+              (Waco.Trainer.train ?pool ~lr:2e-3 rng model data
+                 ~epochs:(Waco.Config.epochs ()));
+            (model, Waco.Dataset.all_schedules data)
+      in
+      let index, index_src =
+        match index_file with
+        | Some file -> (Waco.Tuner.load_index rng ~algo file, file)
+        | None ->
+            (Waco.Tuner.build_index ?pool rng model corpus, "<built fresh>")
+      in
+      log (Printf.sprintf "index: %s (%d schedules)" index_src
+             index.Waco.Tuner.corpus_size);
+      Serve.Server.create ?pool ~cache_capacity ?cache_file ~max_batch ~k ~ef
+        ~log ~model ~index ~index_file:index_src ~machine ~socket ()
+    with
+    | exception Robust.Load_error err ->
+        (* Unlike `waco tune`, a daemon has nothing to degrade to: without a
+           usable model/index pair there is no service to run. *)
+        Printf.eprintf "waco serve: %s\n%!" (Robust.load_error_to_string err);
+        exit 1
+    | server -> Serve.Server.run server
+  in
+  let model_file =
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
+           ~doc:"Serve a cost model saved by `waco train` instead of training")
+  in
+  let index_file =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"FILE"
+           ~doc:"Serve an index snapshot saved with `waco tune --save-index`")
+  in
+  let cache_file =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+           ~doc:"Persist the schedule cache to $(docv) (write-through) and \
+                 reload it on restart when its model/index/machine stamp \
+                 still matches")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 512 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Entries kept in the LRU schedule cache")
+  in
+  let max_batch =
+    Arg.(value & opt int 32 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Most queries answered in one micro-batch")
+  in
+  let k =
+    Arg.(value & opt int 10 & info [ "k" ] ~doc:"Top-k candidates measured per query")
+  in
+  let ef =
+    Arg.(value & opt int 40 & info [ "ef" ] ~doc:"HNSW traversal beam width")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the autotuning daemon (model + index loaded once, requests \
+             over a Unix socket)")
+    Term.(
+      const run $ socket_arg $ algo_arg $ machine_arg $ model_file $ index_file
+      $ cache_file $ cache_capacity $ max_batch $ k $ ef $ seed_arg
+      $ domains_arg)
+
+let query_cmd =
+  let run socket matrix no_measure qid stats ping shutdown =
+    if matrix = None && not (stats || ping || shutdown) then begin
+      prerr_endline
+        "waco query: nothing to do (pass MATRIX, --stats, --ping or --shutdown)";
+      exit 2
+    end;
+    let c =
+      try Serve.Client.connect socket
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "waco query: cannot reach daemon at %s: %s\n%!" socket
+          (Unix.error_message e);
+        exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        let failed = ref false in
+        (match matrix with
+        | None -> ()
+        | Some path -> (
+            match
+              Serve.Client.query ~measure:(not no_measure) ~qid c
+                (Serve.Protocol.Path path)
+            with
+            | Ok (a : Serve.Protocol.answer) ->
+                Printf.printf "schedule : %s\n" a.Serve.Protocol.schedule;
+                Printf.printf "predicted: %.3e (log-scale model output)\n"
+                  a.Serve.Protocol.predicted;
+                if Float.is_finite a.Serve.Protocol.measured then
+                  Printf.printf "measured : %.3e s\n" a.Serve.Protocol.measured;
+                Printf.printf "cache    : %s\n"
+                  (if a.Serve.Protocol.cache_hit then "hit" else "miss");
+                (match a.Serve.Protocol.degraded_reason with
+                | Some why -> Printf.printf "degraded : yes (%s)\n" why
+                | None ->
+                    if a.Serve.Protocol.degraded then
+                      Printf.printf "degraded : yes\n");
+                List.iter
+                  (fun (name, secs) ->
+                    Printf.printf "span     : %-8s %.4fs\n" name secs)
+                  a.Serve.Protocol.spans
+            | Error e ->
+                Printf.eprintf "waco query: %s\n%!" e;
+                failed := true));
+        (if stats then
+           match Serve.Client.stats c with
+           | Ok json -> print_endline json
+           | Error e ->
+               Printf.eprintf "waco query: stats: %s\n%!" e;
+               failed := true);
+        (if ping then
+           if Serve.Client.ping c then print_endline "pong"
+           else begin
+             Printf.eprintf "waco query: no pong\n%!";
+             failed := true
+           end);
+        (if shutdown then
+           if Serve.Client.shutdown c then print_endline "daemon stopping"
+           else begin
+             Printf.eprintf "waco query: daemon refused shutdown\n%!";
+             failed := true
+           end);
+        if !failed then exit 1)
+  in
+  let matrix =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"MATRIX"
+           ~doc:"MatrixMarket file to tune (a path the daemon can read)")
+  in
+  let no_measure =
+    Arg.(value & flag & info [ "no-measure" ]
+           ~doc:"Skip the top-k simulator measurements (fast, predict-only \
+                 answer)")
+  in
+  let qid =
+    Arg.(value & opt string "cli" & info [ "qid" ] ~docv:"ID"
+           ~doc:"Request label echoed in daemon traces")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's metrics as JSON")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check") in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the daemon to persist its cache and exit")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running `waco serve` daemon")
+    Term.(
+      const run $ socket_arg $ matrix $ no_measure $ qid $ stats $ ping
+      $ shutdown)
+
 (* --- lint --- *)
 
 let lint_cmd =
-  let run sched_text random_n matrix data_dir model algo_name dims_text json seed =
+  let run sched_text random_n matrix data_dir model index algo_name dims_text
+      json seed =
     let algo =
       match Algorithm.of_name algo_name with
       | Some a -> a
@@ -368,11 +573,19 @@ let lint_cmd =
           ]);
     (match data_dir with None -> () | Some dir -> emit (Analysis.Dataset_check.check dir));
     (match model with None -> () | Some path -> emit (Analysis.Model_check.check path));
+    (match index with
+    | None -> ()
+    | Some path -> emit (Analysis.Model_check.check_index path));
+    (* With both artifacts on hand, also vet them as a pair (WACO-A008). *)
+    (match (model, index) with
+    | Some m, Some i -> emit (Analysis.Model_check.check_index_compat ~model:m ~index:i)
+    | _ -> ());
     if sched_text = None && random_n = 0 && matrix = None && data_dir = None
-       && model = None
+       && model = None && index = None
     then begin
       prerr_endline
-        "waco lint: nothing to lint (pass --schedule, --random, --matrix, --data or --model)";
+        "waco lint: nothing to lint (pass --schedule, --random, --matrix, \
+         --data, --model or --index)";
       exit 2
     end;
     let ds = Diag.sort !acc in
@@ -400,6 +613,12 @@ let lint_cmd =
     Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
            ~doc:"Lint a trained cost model saved with `waco train`")
   in
+  let index =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"FILE"
+           ~doc:"Lint an index snapshot saved with `waco tune --save-index` \
+                 (with --model, also checks the pair's embedding-dimension \
+                 compatibility, WACO-A008)")
+  in
   let dims =
     Arg.(value & opt string "" & info [ "dims" ] ~docv:"RxC"
            ~doc:"Sparse operand dimensions for schedule linting (default 1024 per dim)")
@@ -418,11 +637,14 @@ let lint_cmd =
                2 with errors.";
          ])
     Term.(
-      const run $ sched $ random_n $ matrix $ data_dir $ model $ algo_arg $ dims
-      $ json $ seed_arg)
+      const run $ sched $ random_n $ matrix $ data_dir $ model $ index
+      $ algo_arg $ dims $ json $ seed_arg)
 
 let main =
   Cmd.group (Cmd.info "waco" ~version:"1.0" ~doc:"WACO reproduction toolkit")
-    [ gen_cmd; inspect_cmd; tune_cmd; collect_cmd; train_cmd; lint_cmd ]
+    [
+      gen_cmd; inspect_cmd; tune_cmd; collect_cmd; train_cmd; serve_cmd;
+      query_cmd; lint_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

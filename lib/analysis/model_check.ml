@@ -102,6 +102,111 @@ let check_lines ~path ~first_lineno (lines : string array) : Diag.t list =
    with End_of_file -> ());
   List.rev !ds
 
+(* --- WACO-A008: model/index embedding-dimension compatibility ---
+
+   A cost model and an HNSW index snapshot only work as a pair when the
+   model's embedding width equals the index's vector dimension; a mismatched
+   pair otherwise fails deep inside the traversal.  [Tuner.validate_compat]
+   enforces this on live values at load time; this pass makes the same
+   check from the artifacts alone, so `waco lint --model m --index i` can
+   vet a deployment pair before a daemon stakes its start-up on it. *)
+
+(* The model dump's embedding width: the bias length of the mixer MLP's
+   last layer (parameters are named "emb.mixer.<layer>.{w,b}").  [None] when
+   the dump is malformed or carries no mixer — other codes flag those. *)
+let model_embed_dim (lines : string array) : int option =
+  let best = ref None in
+  let n = Array.length lines in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       match String.split_on_char ' ' lines.(!pos) with
+       | [ name; size_s ] -> (
+           match int_of_string_opt size_s with
+           | Some size when size >= 0 ->
+               (match Scanf.sscanf_opt name "emb.mixer.%d.b%!" (fun l -> l) with
+               | Some layer -> (
+                   match !best with
+                   | Some (l0, _) when l0 >= layer -> ()
+                   | _ -> best := Some (layer, size))
+               | None -> ());
+               pos := !pos + 1 + size
+           | _ -> raise Exit)
+       | _ -> raise Exit
+     done
+   with Exit -> ());
+  Option.map snd !best
+
+(* The index snapshot's vector dimension, from its two header payload lines
+   ("INDEX <corpus> <rejected>" then "HNSW <dim> ..."). *)
+let index_dim (lines : string array) : int option =
+  if Array.length lines < 2 then None
+  else
+    match String.split_on_char ' ' lines.(1) with
+    | "HNSW" :: dim :: _ -> int_of_string_opt dim
+    | _ -> None
+
+(* Envelope-level mapping shared by the artifact passes. *)
+let envelope_diag (e : Robust.load_error) : Diag.t =
+  let path = Robust.load_error_file e in
+  let code =
+    match e with
+    | Robust.Bad_checksum _ -> "WACO-A006"
+    | Robust.Version_mismatch _ | Robust.Wrong_kind _ -> "WACO-A007"
+    | Robust.Truncated _ -> "WACO-A002"
+    | _ -> "WACO-A001"
+  in
+  Diag.error ~code ~loc:path "%s" (Robust.load_error_to_string e)
+
+let check_index (path : string) : Diag.t list =
+  match Robust.read_artifact ~expected_kind:Robust.Kind.index path with
+  | Error e -> [ envelope_diag e ]
+  | Ok payload -> (
+      let lines = Robust.lines payload in
+      match index_dim lines with
+      | Some d when d >= 1 -> []
+      | Some d ->
+          [
+            Diag.error ~code:"WACO-A002" ~loc:(path ^ ":3")
+              "index snapshot declares nonsensical vector dimension %d" d;
+          ]
+      | None ->
+          [
+            Diag.error ~code:"WACO-A001" ~loc:(path ^ ":2")
+              "index snapshot payload is missing its INDEX/HNSW header lines";
+          ])
+
+let check_index_compat ~model:(mpath : string) ~index:(ipath : string) :
+    Diag.t list =
+  let model_lines =
+    match Robust.read_artifact ~expected_kind:Robust.Kind.model mpath with
+    | Ok payload -> Some (Robust.lines payload)
+    | Error (Robust.Not_an_artifact _) -> (
+        match Robust.read_file mpath with
+        | Ok content -> Some (Robust.lines content)
+        | Error _ -> None)
+    | Error _ -> None
+  in
+  let idx_lines =
+    match Robust.read_artifact ~expected_kind:Robust.Kind.index ipath with
+    | Ok payload -> Some (Robust.lines payload)
+    | Error _ -> None
+  in
+  match (model_lines, idx_lines) with
+  | Some ml, Some il -> (
+      (* Unreadable artifacts are flagged by [check]/[check_index]; this
+         pass only speaks when both dimensions are determinable. *)
+      match (model_embed_dim ml, index_dim il) with
+      | Some md, Some id when md <> id ->
+          [
+            Diag.error ~code:"WACO-A008" ~loc:ipath
+              "index vector dimension %d does not match the embedding \
+               dimension %d of model %s (mismatched model/index pair?)"
+              id md mpath;
+          ]
+      | _ -> [])
+  | _ -> []
+
 let check (path : string) : Diag.t list =
   match Robust.read_artifact ~expected_kind:Robust.Kind.model path with
   | Ok payload ->

@@ -6,3 +6,15 @@
     model required. *)
 
 val check : string -> Diag.t list
+
+val check_index : string -> Diag.t list
+(** Envelope + header sanity of an HNSW index snapshot written by
+    [Tuner.save_index]: damaged envelopes map to the usual artifact codes
+    ([WACO-A006] checksum, [WACO-A007] version/kind, [WACO-A002] truncation,
+    [WACO-A001] otherwise). *)
+
+val check_index_compat : model:string -> index:string -> Diag.t list
+(** [WACO-A008]: the model's embedding width (the last [emb.mixer] layer's
+    bias length) must equal the index snapshot's vector dimension — a
+    mismatched pair otherwise fails deep inside the traversal.  Silent when
+    either artifact is unreadable (the per-artifact passes flag that). *)

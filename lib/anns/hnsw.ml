@@ -309,6 +309,23 @@ let dump t ~payload =
   done;
   Buffer.contents buf
 
+(* A short stable identity of the whole graph (structure + vectors +
+   payloads), so cached answers derived from one index are never served
+   against another.  FNV-1a over the dump text: [dump] is already the
+   canonical byte representation, and a 64-bit hash keeps the serving
+   layer's cache header free of megabyte-scale digest inputs. *)
+let fingerprint t ~payload =
+  let text = dump t ~payload in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code ch)))
+          0x100000001b3L)
+    text;
+  Printf.sprintf "%016Lx" !h
+
 exception Restore_error of string
 
 let restore rng ~payload text =

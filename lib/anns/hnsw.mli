@@ -60,6 +60,11 @@ val dump : 'a t -> payload:('a -> string) -> string
     built index can be reused across processes.  [payload] must be
     single-line; raises [Invalid_argument] otherwise. *)
 
+val fingerprint : 'a t -> payload:('a -> string) -> string
+(** A short stable identity of the graph (16 hex chars, FNV-1a over
+    {!dump}) — the serving layer stamps its persistent schedule cache with
+    it so cached answers are invalidated when the index changes. *)
+
 exception Restore_error of string
 
 val restore : Sptensor.Rng.t -> payload:(string -> 'a) -> string -> 'a t

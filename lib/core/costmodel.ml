@@ -128,6 +128,13 @@ let dump_params t =
   List.iter (fun p -> Nn.Param.dump p buf) (params t);
   Buffer.contents buf
 
+(* Identity of the current weights — the serving layer stamps its persistent
+   schedule cache with it so answers computed under one model are never
+   served under another. *)
+let digest t = Robust.crc32_hex (dump_params t)
+
+let embed_dim t = Embedder.out_dim t.embedder
+
 let save t path = Robust.write_artifact ~kind:Robust.Kind.model path (dump_params t)
 
 (* Restore parameters from dump lines.  [lineno_base] anchors error messages

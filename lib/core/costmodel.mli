@@ -63,6 +63,14 @@ val dump_params : t -> string
     envelope — exposed so tests can digest a trained model without file IO
     (the byte-identity contract of test/test_perf.ml). *)
 
+val digest : t -> string
+(** CRC32 of {!dump_params} — a short identity of the current weights, used
+    by the serving layer's cache-invalidation header. *)
+
+val embed_dim : t -> int
+(** The program-embedding width this model produces — must match the vector
+    dimension of any HNSW index it queries ({!Tuner.validate_compat}). *)
+
 val save : t -> string -> unit
 (** Flat text dump of all parameters inside the checksummed
     [Robust] artifact envelope, written atomically: a crash mid-save leaves

@@ -85,6 +85,7 @@ type result = {
   cost_evals : int; (* predictor evaluations during graph traversal *)
   measured_runs : int;
   measure_failures : int; (* candidates dropped after exhausting retries *)
+  measure_retries : int; (* transient measurement errors absorbed by retry *)
   degraded : bool;
   degraded_reason : string option;
 }
@@ -107,11 +108,12 @@ let degraded machine (wl : Workload.t) algo ~reason =
     cost_evals = 0;
     measured_runs = 1;
     measure_failures = 0;
+    measure_retries = 0;
     degraded = true;
     degraded_reason = Some reason;
   }
 
-let tune ?pool ?(k = 10) ?(ef = 40) ?(measure_retries = 3)
+let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
     ?(measure_backoff_s = 0.01) ?measure_budget_s model machine
     (wl : Workload.t) (input : Extractor.input) (index : index) =
   if Anns.Hnsw.size index.hnsw = 0 then
@@ -129,6 +131,38 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure_retries = 3)
     in
     let found, evals = Anns.Hnsw.search_by index.hnsw ~score ~k ~ef () in
     let t2 = Unix.gettimeofday () in
+    if not measure then begin
+      (* Predict-only mode (the serving daemon's cheap path): trust the
+         traversal's ranking and skip the simulator entirely.  [found] is
+         sorted ascending by predicted runtime, so the head is the answer;
+         [best_measured] is NaN to keep the honest "never measured" signal
+         distinct from a measured 0. *)
+      match found with
+      | [] ->
+          {
+            (degraded machine wl model.Costmodel.algo
+               ~reason:"traversal returned no candidates")
+            with
+            cost_evals = evals;
+          }
+      | (pred_cost, id) :: _ ->
+          {
+            best = Anns.Hnsw.get_payload index.hnsw id;
+            best_measured = Float.nan;
+            best_predicted = pred_cost;
+            topk = [];
+            feature_seconds = t1 -. t0;
+            search_seconds = t2 -. t1;
+            measure_seconds = 0.0;
+            cost_evals = evals;
+            measured_runs = 0;
+            measure_failures = 0;
+            measure_retries = 0;
+            degraded = false;
+            degraded_reason = None;
+          }
+    end
+    else begin
     (* Phase 3: measure the top-k on the "hardware" and keep the fastest.
        Each run goes through a bounded retry-with-backoff (transient
        measurement errors are absorbed, within the per-run budget); a
@@ -140,16 +174,20 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure_retries = 3)
        are mutex-serialized; see [Robust.Faults]). *)
     let measure_one (pred_cost, id) =
       let s = Anns.Hnsw.get_payload index.hnsw id in
+      (* Per-candidate retry count: summed in candidate order below, so the
+         total matches the sequential run whatever the domain count. *)
+      let retries = ref 0 in
       match
         Robust.with_retry ~attempts:(max 1 measure_retries)
           ~backoff_s:measure_backoff_s ?budget_s:measure_budget_s
+          ~on_retry:(fun _ _ -> incr retries)
           ~label:("measure " ^ Superschedule.key s)
           (fun () ->
             Robust.Faults.measure_tick ();
             Costsim.runtime machine wl s)
       with
-      | Ok m -> Some (s, m, pred_cost)
-      | Error _ -> None
+      | Ok m -> (Some (s, m, pred_cost), !retries)
+      | Error _ -> (None, !retries)
     in
     let found_arr = Array.of_list found in
     let outcomes =
@@ -158,13 +196,16 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure_retries = 3)
           Parallel.Pool.parallel_map_array p measure_one found_arr
       | _ -> Array.map measure_one found_arr
     in
+    let retries =
+      Array.fold_left (fun acc (_, r) -> acc + r) 0 outcomes
+    in
     let failures =
       ref
         (Array.fold_left
-           (fun acc o -> if o = None then acc + 1 else acc)
+           (fun acc (o, _) -> if o = None then acc + 1 else acc)
            0 outcomes)
     in
-    let measured = List.filter_map Fun.id (Array.to_list outcomes) in
+    let measured = List.filter_map (fun (o, _) -> o) (Array.to_list outcomes) in
     let t3 = Unix.gettimeofday () in
     match measured with
     | [] ->
@@ -175,6 +216,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure_retries = 3)
                   (List.length found)))
           with
           measure_failures = !failures;
+          measure_retries = retries;
           cost_evals = evals;
         }
     | first :: _ ->
@@ -194,10 +236,44 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure_retries = 3)
           cost_evals = evals;
           measured_runs = List.length measured;
           measure_failures = !failures;
+          measure_retries = retries;
           degraded = false;
           degraded_reason = None;
         }
+    end
   end
+
+(* The reusable "answer one matrix" entry point the serving daemon (and any
+   other embedder of the tuner) calls: builds the workload and extractor
+   input from a raw COO and runs the three-phase search.  [id] keys the
+   model's feature cache, so callers that identify matrices by content
+   fingerprint get cross-request feature reuse for free. *)
+let query ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
+    ?measure_budget_s model machine ~id (m : Sptensor.Coo.t) (index : index) =
+  let wl = Workload.of_coo ~id m in
+  let input = Extractor.input_of_coo ~id m in
+  tune ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
+    ?measure_budget_s model machine wl input index
+
+(* A model whose embedding width differs from the index's vector dimension
+   would fail deep inside the first traversal (predictor input-row mismatch)
+   with a message pointing nowhere near the cause.  Check the pair at load
+   time instead and fail with both numbers and the offending file. *)
+let validate_compat (model : Costmodel.t) ~index_file (index : index) =
+  let md = Costmodel.embed_dim model in
+  let id = index.hnsw.Anns.Hnsw.dim in
+  if md <> id then
+    raise
+      (Robust.Load_error
+         (Robust.Malformed
+            {
+              file = index_file;
+              reason =
+                Printf.sprintf
+                  "index vector dimension %d does not match the model's \
+                   embedding dimension %d (mismatched model/index pair?)"
+                  id md;
+            }))
 
 (* --- Index snapshots ---
 

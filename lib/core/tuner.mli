@@ -36,6 +36,8 @@ type result = {
   cost_evals : int;  (** predictor evaluations during traversal *)
   measured_runs : int;
   measure_failures : int;  (** candidates dropped after exhausting retries *)
+  measure_retries : int;
+      (** transient measurement errors absorbed by the retry loop *)
   degraded : bool;  (** [true] when the result is the fixed-CSR fallback *)
   degraded_reason : string option;
 }
@@ -48,10 +50,14 @@ val degraded :
     load). *)
 
 val tune :
-  ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int ->
+  ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int -> ?measure:bool ->
   ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
   Costmodel.t -> Machine.t -> Workload.t -> Extractor.input -> index -> result
 (** [k] defaults to the paper's 10 measured candidates.
+
+    With [measure = false] (the serving daemon's cheap path) phase 3 is
+    skipped entirely: the traversal's best-predicted candidate is returned
+    with [best_measured = NaN], [topk = []] and [measured_runs = 0].
 
     Each top-k measurement run goes through a bounded retry-with-backoff
     ([measure_retries] attempts, exponential from [measure_backoff_s],
@@ -62,6 +68,22 @@ val tune :
     [measure_failures] match the sequential run.  If the index is empty or
     every measurement fails, the result degrades to the fixed-CSR baseline
     with [degraded = true] instead of raising. *)
+
+val query :
+  ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int -> ?measure:bool ->
+  ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
+  Costmodel.t -> Machine.t -> id:string -> Sptensor.Coo.t -> index -> result
+(** The reusable "answer one matrix" entry point ({!tune} over a raw COO):
+    builds the workload and extractor input, then runs the three-phase
+    search.  [id] keys the model's feature cache — callers identifying
+    matrices by content fingerprint get cross-request feature reuse. *)
+
+val validate_compat : Costmodel.t -> index_file:string -> index -> unit
+(** Raises [Robust.Load_error (Malformed _)] (citing [index_file] and both
+    dimensions) when the model's embedding width differs from the index's
+    vector dimension — at load time, instead of the confusing traversal-time
+    failure a mismatched pair produces otherwise.  Lint code WACO-A008 makes
+    the same check from the artifacts alone. *)
 
 val save_index : index -> string -> unit
 (** Snapshots the built KNN graph (structure, embeddings, schedules) into a

@@ -146,6 +146,7 @@ module Kind = struct
   let model = "waco-model"
   let index = "waco-hnsw-index"
   let checkpoint = "waco-checkpoint"
+  let cache = "waco-serve-cache"
 end
 
 let write_artifact ~kind ?(version = artifact_version) path payload =
@@ -260,7 +261,7 @@ let lines payload =
 
 (* --- bounded retry with exponential backoff --- *)
 
-let with_retry ?(attempts = 3) ?(backoff_s = 0.01) ?budget_s ~label f =
+let with_retry ?(attempts = 3) ?(backoff_s = 0.01) ?budget_s ?on_retry ~label f =
   let attempts = max 1 attempts in
   let start = Unix.gettimeofday () in
   let over_budget () =
@@ -281,6 +282,7 @@ let with_retry ?(attempts = 3) ?(backoff_s = 0.01) ?budget_s ~label f =
             (Printf.sprintf "%s: retry budget exhausted after %d attempt(s): %s"
                label attempt msg)
         else begin
+          (match on_retry with Some f -> f attempt msg | None -> ());
           let delay = backoff_s *. (2.0 ** float_of_int (attempt - 1)) in
           if delay > 0.0 then Unix.sleepf delay;
           go (attempt + 1)

@@ -65,6 +65,9 @@ module Kind : sig
   val model : string
   val index : string
   val checkpoint : string
+
+  val cache : string
+  (** The serving daemon's persistent schedule cache ([lib/serve]). *)
 end
 
 val write_artifact : kind:string -> ?version:int -> string -> string -> unit
@@ -90,9 +93,12 @@ val lines : string -> string array
 (** {2 Retry} *)
 
 val with_retry :
-  ?attempts:int -> ?backoff_s:float -> ?budget_s:float -> label:string ->
+  ?attempts:int -> ?backoff_s:float -> ?budget_s:float ->
+  ?on_retry:(int -> string -> unit) -> label:string ->
   (unit -> 'a) -> ('a, string) result
 (** Run [f] up to [attempts] times (default 3) with exponential backoff
     starting at [backoff_s] (default 10 ms), stopping early once [budget_s]
-    wall seconds have elapsed.  {!Faults.Injected} (a simulated crash) is
+    wall seconds have elapsed.  [on_retry attempt msg] fires before each
+    retry sleep (so callers — e.g. the serving daemon's metrics — can count
+    absorbed transients).  {!Faults.Injected} (a simulated crash) is
     re-raised, never retried. *)

@@ -1,0 +1,216 @@
+(* The daemon's schedule cache: fingerprint key -> chosen schedule, LRU
+   bounded in memory, persisted through the [Robust] artifact envelope so a
+   restarted daemon is warm.
+
+   Consistency: a cached answer is only valid under the exact model weights,
+   search index and machine model it was computed with, so the artifact
+   header carries all three identities; a snapshot whose stamps disagree
+   with the loading daemon's is discarded wholesale (reported as
+   [`Invalidated]), never partially reused.
+
+   Recency is a monotonic tick per entry.  Persisted snapshots keep the
+   ticks, so a warm restart resumes with the same eviction order.  Eviction
+   scans for the minimum tick — O(capacity), which at the bounded capacities
+   the daemon uses (hundreds) is noise next to one model forward. *)
+
+type entry = {
+  schedule : string;  (* dataset-encoded SuperSchedule *)
+  predicted : float;
+  measured : float;
+  degraded : bool;
+}
+
+type slot = { entry : entry; mutable tick : int }
+
+type t = {
+  capacity : int;
+  model_digest : string;
+  index_digest : string;
+  machine : string;
+  table : (string, slot) Hashtbl.t;
+  mutable clock : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 512) ~model_digest ~index_digest ~machine () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  List.iter
+    (fun (what, s) ->
+      if String.exists (fun c -> c = ' ' || c = '\n') s then
+        invalid_arg ("Cache.create: " ^ what ^ " with whitespace"))
+    [ ("model_digest", model_digest); ("index_digest", index_digest);
+      ("machine", machine) ];
+  {
+    capacity;
+    model_digest;
+    index_digest;
+    machine;
+    table = Hashtbl.create (2 * capacity);
+    clock = 0;
+    evictions = 0;
+  }
+
+let size t = Hashtbl.length t.table
+let capacity t = t.capacity
+let evictions t = t.evictions
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+      slot.tick <- tick t;
+      Some slot.entry
+  | None -> None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k slot ->
+      match !victim with
+      | Some (_, best) when slot.tick >= best -> ()
+      | _ -> victim := Some (k, slot.tick))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key entry =
+  if String.exists (fun c -> c = ' ' || c = '\n' || c = '\t') key then
+    invalid_arg "Cache.add: key with whitespace";
+  if String.contains entry.schedule '\n' || String.contains entry.schedule ' '
+  then invalid_arg "Cache.add: schedule with whitespace";
+  (match Hashtbl.find_opt t.table key with
+  | Some _ -> Hashtbl.remove t.table key
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_lru t);
+  Hashtbl.add t.table key { entry; tick = tick t }
+
+(* Entries in ascending tick order: the canonical serialization (load+save
+   roundtrips bytes) and the replay order that rebuilds identical recency. *)
+let sorted_slots t =
+  let all = Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.table [] in
+  List.sort (fun (_, a) (_, b) -> Int.compare a.tick b.tick) all
+
+(* --- persistence --- *)
+
+let save t path =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "CACHE model=%s index=%s machine=%s entries=%d\n"
+    t.model_digest t.index_digest t.machine (Hashtbl.length t.table);
+  List.iter
+    (fun (k, slot) ->
+      Printf.bprintf buf "E %d %s %.17g %.17g %d %s\n" slot.tick k
+        slot.entry.predicted slot.entry.measured
+        (if slot.entry.degraded then 1 else 0)
+        slot.entry.schedule)
+    (sorted_slots t);
+  Robust.write_artifact ~kind:Robust.Kind.cache path (Buffer.contents buf)
+
+type loaded = { cache : t; status : [ `Warm of int | `Invalidated of string ] }
+
+let load ?(capacity = 512) ~model_digest ~index_digest ~machine path :
+    (loaded, Robust.load_error) result =
+  match Robust.read_artifact ~expected_kind:Robust.Kind.cache path with
+  | Error e -> Error e
+  | Ok payload -> (
+      let malformed reason = Error (Robust.Malformed { file = path; reason }) in
+      let lines = Robust.lines payload in
+      if Array.length lines = 0 then malformed "empty cache snapshot"
+      else
+        let fields = String.split_on_char ' ' lines.(0) in
+        match fields with
+        | "CACHE" :: kvs -> (
+            let get prefix =
+              List.find_map
+                (fun tok ->
+                  if String.starts_with ~prefix:(prefix ^ "=") tok then
+                    Some
+                      (String.sub tok
+                         (String.length prefix + 1)
+                         (String.length tok - String.length prefix - 1))
+                  else None)
+                kvs
+            in
+            match (get "model", get "index", get "machine", get "entries") with
+            | Some m, Some i, Some mc, Some n_s -> (
+                match int_of_string_opt n_s with
+                | None -> malformed ("bad entry count " ^ n_s)
+                | Some n when n < 0 || n <> Array.length lines - 1 ->
+                    malformed
+                      (Printf.sprintf "header declares %s entries, snapshot has %d"
+                         n_s
+                         (Array.length lines - 1))
+                | Some _ ->
+                    let fresh =
+                      create ~capacity ~model_digest ~index_digest ~machine ()
+                    in
+                    if m <> model_digest || i <> index_digest || mc <> machine
+                    then
+                      Ok
+                        {
+                          cache = fresh;
+                          status =
+                            `Invalidated
+                              (Printf.sprintf
+                                 "snapshot stamped model=%s index=%s machine=%s, \
+                                  daemon runs model=%s index=%s machine=%s"
+                                 m i mc model_digest index_digest machine);
+                        }
+                    else begin
+                      (* Replay entries in stored (tick) order so recency
+                         survives the restart; any structural damage aborts
+                         the whole load with a typed error — a half-trusted
+                         cache is worse than a cold one. *)
+                      let err = ref None in
+                      (try
+                         Array.iteri
+                           (fun li line ->
+                             if li > 0 then
+                               match String.split_on_char ' ' line with
+                               | [ "E"; tick_s; key; pred_s; meas_s; deg_s; sched ]
+                                 -> (
+                                   match
+                                     ( int_of_string_opt tick_s,
+                                       float_of_string_opt pred_s,
+                                       float_of_string_opt meas_s )
+                                   with
+                                   | Some tk, Some predicted, Some measured
+                                     when deg_s = "0" || deg_s = "1" ->
+                                       add fresh key
+                                         {
+                                           schedule = sched;
+                                           predicted;
+                                           measured;
+                                           degraded = deg_s = "1";
+                                         };
+                                       (* Preserve the stored recency exactly. *)
+                                       (Hashtbl.find fresh.table key).tick <- tk;
+                                       fresh.clock <- max fresh.clock tk
+                                   | _ ->
+                                       err :=
+                                         Some
+                                           (Printf.sprintf
+                                              "unparseable cache entry at payload \
+                                               line %d" (li + 1));
+                                       raise Exit)
+                               | _ ->
+                                   err :=
+                                     Some
+                                       (Printf.sprintf
+                                          "malformed cache record at payload line %d"
+                                          (li + 1));
+                                   raise Exit)
+                           lines
+                       with Exit -> ());
+                      match !err with
+                      | Some reason -> malformed reason
+                      | None ->
+                          fresh.evictions <- 0;
+                          Ok { cache = fresh; status = `Warm (size fresh) }
+                    end)
+            | _ -> malformed "cache header missing model/index/machine/entries")
+        | _ -> malformed ("missing CACHE header, got: " ^ lines.(0)))

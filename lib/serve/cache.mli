@@ -1,0 +1,53 @@
+(** The daemon's schedule cache: {!Fingerprint.key} -> chosen schedule, LRU
+    bounded in memory, persisted through the [Robust] artifact envelope
+    (kind [waco-serve-cache]) so a restarted daemon is warm.
+
+    Consistency: the snapshot header is stamped with the model-weight
+    digest, index fingerprint and machine name it was computed under; a
+    snapshot whose stamps disagree with the loading daemon's is discarded
+    wholesale ([`Invalidated]), never partially reused.  Structural damage
+    is a typed [Robust.load_error] — the crash-at-every-write sweep in
+    [test/test_serve.ml] proves a mid-save crash leaves the previous
+    snapshot or a clean error. *)
+
+type entry = {
+  schedule : string;  (** dataset-encoded SuperSchedule *)
+  predicted : float;
+  measured : float;
+  degraded : bool;
+}
+
+type t
+
+val create :
+  ?capacity:int -> model_digest:string -> index_digest:string ->
+  machine:string -> unit -> t
+(** [capacity] defaults to 512 entries.  Digests and machine name must be
+    whitespace-free (they live in the snapshot's header line). *)
+
+val size : t -> int
+
+val capacity : t -> int
+
+val evictions : t -> int
+(** Entries dropped by the LRU bound since creation (or since load). *)
+
+val find : t -> string -> entry option
+(** Bumps the entry's recency. *)
+
+val add : t -> string -> entry -> unit
+(** Inserts (or replaces) the entry as most-recent, evicting the
+    least-recently-used entry when the cache is full. *)
+
+val save : t -> string -> unit
+(** Atomic checksummed snapshot (entries in recency order). *)
+
+type loaded = { cache : t; status : [ `Warm of int | `Invalidated of string ] }
+
+val load :
+  ?capacity:int -> model_digest:string -> index_digest:string ->
+  machine:string -> string -> (loaded, Robust.load_error) result
+(** [`Warm n] restores [n] entries with their recency order intact;
+    [`Invalidated reason] returns an empty cache because the snapshot was
+    computed under different model/index/machine identities.  [Error] is
+    envelope or record damage — the caller starts cold. *)

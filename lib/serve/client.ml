@@ -1,0 +1,87 @@
+(* The `waco query` side of the wire: a blocking client over the same framed
+   protocol.  Deliberately dumb — frame out, frame in — so tests can also
+   drive it in pipelined mode ([send] N times, [recv] N times) to exercise
+   the daemon's micro-batching. *)
+
+type t = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable closed : bool;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; inbuf = Buffer.create 1024; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let send t (req : Protocol.request) =
+  if t.closed then failwith "Client.send: connection closed";
+  write_all t.fd (Protocol.request_to_frame req)
+
+(* Blocking read of exactly one response frame.  Raises [Failure] when the
+   server hangs up mid-frame or sends damaged framing — client code treats
+   either as a dead daemon. *)
+let recv t =
+  if t.closed then failwith "Client.recv: connection closed";
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let s = Buffer.contents t.inbuf in
+    match Protocol.decode_frame s with
+    | `Frame (msg, body, consumed) -> (
+        Buffer.clear t.inbuf;
+        Buffer.add_substring t.inbuf s consumed (String.length s - consumed);
+        match Protocol.response_of_frame ~msg body with
+        | Ok resp -> resp
+        | Error e -> failwith ("Client.recv: undecodable response: " ^ e))
+    | `Bad reason -> failwith ("Client.recv: damaged frame: " ^ reason)
+    | `Need _ -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "Client.recv: server closed the connection"
+        | n ->
+            Buffer.add_subbytes t.inbuf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let request t req =
+  send t req;
+  recv t
+
+let query ?(measure = true) ?(qid = "q") t source =
+  match request t (Protocol.Query { Protocol.qid; source; measure }) with
+  | Protocol.Answer a -> Ok a
+  | Protocol.Error_msg e -> Error e
+  | Protocol.Stats_json _ | Protocol.Pong | Protocol.Bye ->
+      Error "unexpected response type to query"
+
+let stats t =
+  match request t Protocol.Stats with
+  | Protocol.Stats_json j -> Ok j
+  | Protocol.Error_msg e -> Error e
+  | _ -> Error "unexpected response type to stats"
+
+let ping t =
+  match request t Protocol.Ping with Protocol.Pong -> true | _ -> false
+
+let shutdown t =
+  match request t Protocol.Shutdown with Protocol.Bye -> true | _ -> false

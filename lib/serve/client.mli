@@ -1,0 +1,42 @@
+(** Blocking client for the serving daemon's Unix-socket protocol.
+
+    One {!t} is one connection.  The convenience wrappers ({!query}, {!stats},
+    {!ping}, {!shutdown}) are strict request/response; the lower-level
+    {!send}/{!recv} pair lets tests pipeline many requests on one connection
+    before reading any responses — the shape that exercises the daemon's
+    micro-batching.  Not thread-safe; use one [t] per domain. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's socket path.  Raises [Unix.Unix_error] (e.g.
+    [ENOENT]/[ECONNREFUSED]) when no daemon is listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send : t -> Protocol.request -> unit
+(** Write one request frame.  Does not wait for the response. *)
+
+val recv : t -> Protocol.response
+(** Block until one complete response frame arrives.  Responses come back in
+    request order (the daemon preserves FIFO order per connection).  Raises
+    [Failure] if the daemon hangs up mid-frame or sends damaged framing. *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** [send] then [recv]. *)
+
+val query :
+  ?measure:bool -> ?qid:string -> t -> Protocol.source ->
+  (Protocol.answer, string) result
+(** One tuning request.  [measure] (default [true]) [false] asks for the
+    predict-only fast path.  [Error _] carries the daemon's error message for
+    this request (the connection stays usable). *)
+
+val stats : t -> (string, string) result
+(** The daemon's metrics as a JSON object string. *)
+
+val ping : t -> bool
+
+val shutdown : t -> bool
+(** Ask the daemon to exit after persisting its cache.  [true] on [Bye]. *)

@@ -1,0 +1,30 @@
+(** The sparsity-pattern fingerprint the serving cache is keyed by: shape +
+    nonzero count + a fixed-size pooled density sketch (nonzeros pooled onto
+    a {!cells} x {!cells} grid, normalized and quantized to bytes).  Pure
+    integer arithmetic from the COO coordinates, so the key is exactly
+    reproducible across processes and restarts. *)
+
+open Sptensor
+
+val cells : int
+(** Sketch grid side (8: 64 cells). *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  nnz : int;
+  sketch : int array;  (** [cells * cells] bytes, row-major, each 0..255 *)
+}
+
+val of_coo : Coo.t -> t
+
+val key : t -> string
+(** The cache key: ["fp1:<rows>x<cols>:<nnz>:<128 hex chars>"] — single
+    line, no spaces, safe inside the cache artifact's record lines. *)
+
+val of_key : string -> t option
+(** Inverse of {!key}; [None] on any structural damage. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

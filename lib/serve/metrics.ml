@@ -1,0 +1,181 @@
+(* The daemon's observability surface: monotonic counters plus cumulative
+   per-phase seconds, mutex-serialized because the request scheduler updates
+   them from pool workers.  A [stats] request dumps everything as JSON
+   (hand-rolled like the bench files — no JSON dependency in the image).
+
+   Per-request trace spans are collected in a [span] record owned by one
+   request (no locking) and folded into the cumulative counters once the
+   request completes. *)
+
+type span = {
+  mutable parse_s : float;
+  mutable extract_s : float;
+  mutable traverse_s : float;
+  mutable measure_s : float;
+}
+
+let span_create () =
+  { parse_s = 0.0; extract_s = 0.0; traverse_s = 0.0; measure_s = 0.0 }
+
+let span_fields s =
+  [
+    ("parse", s.parse_s);
+    ("extract", s.extract_s);
+    ("traverse", s.traverse_s);
+    ("measure", s.measure_s);
+  ]
+
+type t = {
+  mu : Mutex.t;
+  started : float;
+  mutable requests : int;  (* frames decoded into a well-formed request *)
+  mutable answers : int;
+  mutable protocol_errors : int;  (* bad frames / undecodable bodies *)
+  mutable request_errors : int;  (* well-formed requests that failed *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable degraded : int;  (* answers served by the fixed-CSR fallback *)
+  mutable retries_absorbed : int;  (* measurement retries that recovered *)
+  mutable measure_failures : int;
+  mutable extractor_forwards : int;  (* feature extractions actually run *)
+  mutable traversals : int;  (* HNSW searches actually run *)
+  mutable measured_runs : int;
+  mutable batches : int;  (* micro-batches dispatched *)
+  mutable batched_requests : int;  (* queries carried by those batches *)
+  mutable max_batch : int;
+  mutable cache_persist_failures : int;
+  mutable parse_s : float;
+  mutable extract_s : float;
+  mutable traverse_s : float;
+  mutable measure_s : float;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    started = Unix.gettimeofday ();
+    requests = 0;
+    answers = 0;
+    protocol_errors = 0;
+    request_errors = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    degraded = 0;
+    retries_absorbed = 0;
+    measure_failures = 0;
+    extractor_forwards = 0;
+    traversals = 0;
+    measured_runs = 0;
+    batches = 0;
+    batched_requests = 0;
+    max_batch = 0;
+    cache_persist_failures = 0;
+    parse_s = 0.0;
+    extract_s = 0.0;
+    traverse_s = 0.0;
+    measure_s = 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let bump t field = locked t (fun () -> field t)
+
+let record_batch t n =
+  locked t (fun () ->
+      t.batches <- t.batches + 1;
+      t.batched_requests <- t.batched_requests + n;
+      t.max_batch <- max t.max_batch n)
+
+let record_span t (s : span) =
+  locked t (fun () ->
+      t.parse_s <- t.parse_s +. s.parse_s;
+      t.extract_s <- t.extract_s +. s.extract_s;
+      t.traverse_s <- t.traverse_s +. s.traverse_s;
+      t.measure_s <- t.measure_s +. s.measure_s)
+
+(* Counter snapshot for assertions and JSON: name -> value, fixed order. *)
+let counters t =
+  locked t (fun () ->
+      [
+        ("requests", t.requests);
+        ("answers", t.answers);
+        ("protocol_errors", t.protocol_errors);
+        ("request_errors", t.request_errors);
+        ("cache_hits", t.cache_hits);
+        ("cache_misses", t.cache_misses);
+        ("degraded", t.degraded);
+        ("retries_absorbed", t.retries_absorbed);
+        ("measure_failures", t.measure_failures);
+        ("extractor_forwards", t.extractor_forwards);
+        ("traversals", t.traversals);
+        ("measured_runs", t.measured_runs);
+        ("batches", t.batches);
+        ("batched_requests", t.batched_requests);
+        ("max_batch", t.max_batch);
+        ("cache_persist_failures", t.cache_persist_failures);
+      ])
+
+let counter t name = List.assoc_opt name (counters t)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?(extra_ints = []) ?(extra = []) t =
+  let ints = counters t @ extra_ints in
+  let floats =
+    locked t (fun () ->
+        [
+          ("uptime_s", Unix.gettimeofday () -. t.started);
+          ("parse_s", t.parse_s);
+          ("extract_s", t.extract_s);
+          ("traverse_s", t.traverse_s);
+          ("measure_s", t.measure_s);
+        ])
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  List.iter (fun (k, v) -> Printf.bprintf buf "  \"%s\": %d,\n" k v) ints;
+  List.iter (fun (k, v) -> Printf.bprintf buf "  \"%s\": %.6f,\n" k v) floats;
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf buf "  \"%s\": \"%s\",\n" (json_escape k) (json_escape v))
+    extra;
+  Printf.bprintf buf "  \"protocol_version\": %d\n" Protocol.version;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Pull an integer counter back out of a stats JSON dump — the client-side
+   half of the observability loop (tests and `waco query --stats`). *)
+let json_counter text name =
+  let needle = "\"" ^ name ^ "\":" in
+  let tlen = String.length text and nlen = String.length needle in
+  let rec find i =
+    if i + nlen > tlen then None
+    else if String.sub text i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while !j < tlen && text.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < tlen
+        && (match text.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr k
+      done;
+      int_of_string_opt (String.sub text !j (!k - !j))
+    end
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,71 @@
+(** The daemon's observability surface: monotonic counters plus cumulative
+    per-phase seconds, mutex-serialized (the request scheduler updates them
+    from pool workers); per-request trace spans; a JSON dump answering the
+    [stats] request. *)
+
+(** One request's trace, owned by that request (no locking); folded into
+    the cumulative phase counters via {!record_span} on completion. *)
+type span = {
+  mutable parse_s : float;
+  mutable extract_s : float;
+  mutable traverse_s : float;
+  mutable measure_s : float;
+}
+
+val span_create : unit -> span
+
+val span_fields : span -> (string * float) list
+(** Phase name -> seconds, in phase order (the wire format of an answer's
+    trace). *)
+
+type t = {
+  mu : Mutex.t;
+  started : float;
+  mutable requests : int;
+  mutable answers : int;
+  mutable protocol_errors : int;
+  mutable request_errors : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable degraded : int;
+  mutable retries_absorbed : int;
+  mutable measure_failures : int;
+  mutable extractor_forwards : int;
+  mutable traversals : int;
+  mutable measured_runs : int;
+  mutable batches : int;
+  mutable batched_requests : int;
+  mutable max_batch : int;
+  mutable cache_persist_failures : int;
+  mutable parse_s : float;
+  mutable extract_s : float;
+  mutable traverse_s : float;
+  mutable measure_s : float;
+}
+
+val create : unit -> t
+
+val bump : t -> (t -> unit) -> unit
+(** Run a counter update under the mutex:
+    [bump m (fun m -> m.cache_hits <- m.cache_hits + 1)]. *)
+
+val record_batch : t -> int -> unit
+(** Note a dispatched micro-batch of [n] queries. *)
+
+val record_span : t -> span -> unit
+
+val counters : t -> (string * int) list
+(** Snapshot of every integer counter, fixed order. *)
+
+val counter : t -> string -> int option
+
+val to_json :
+  ?extra_ints:(string * int) list -> ?extra:(string * string) list -> t -> string
+(** The [stats] response body: counters plus any [extra_ints] gauges
+    (cache size, index size...), cumulative phase seconds, uptime, any
+    [extra] string fields (cache identity, socket path...), and the
+    protocol version. *)
+
+val json_counter : string -> string -> int option
+(** [json_counter json name] pulls an integer counter back out of a
+    {!to_json} dump — the client-side half of the loop. *)

@@ -1,0 +1,310 @@
+(* The `waco serve` wire protocol: length-prefixed, versioned frames over a
+   Unix-domain socket.
+
+   Every frame is a 10-byte header followed by the payload:
+
+     offset 0..3   magic "WSRV"
+     offset 4      protocol version (this build speaks 1)
+     offset 5      message type
+     offset 6..9   payload length, big-endian unsigned 32-bit
+
+   The decoder is total: any byte sequence yields [`Frame]/[`Need]/[`Bad],
+   never an exception, so a malicious or truncated client can at worst get
+   its own connection dropped.  Payload bodies are line-oriented key=value
+   text (the repo's house style for artifacts), parsed with the same
+   no-exceptions discipline. *)
+
+let magic = "WSRV"
+let version = 1
+
+(* Largest payload a peer may send: bounds a hostile length field before any
+   allocation happens.  16 MiB fits an inline matrix of ~500k nonzeros. *)
+let max_payload = 16 * 1024 * 1024
+
+let header_bytes = 10
+
+(* --- message types (one byte on the wire) --- *)
+
+let msg_query = 1
+let msg_stats = 2
+let msg_ping = 3
+let msg_shutdown = 4
+let msg_answer = 129
+let msg_stats_json = 130
+let msg_pong = 131
+let msg_bye = 132
+let msg_error = 192
+
+(* --- framing --- *)
+
+let encode_frame ~msg body =
+  let n = String.length body in
+  if n > max_payload then invalid_arg "Protocol.encode_frame: payload too large";
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set b 5 (Char.chr (msg land 0xFF));
+  Bytes.set b 6 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 7 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 8 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 9 (Char.chr (n land 0xFF));
+  Bytes.blit_string body 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+type progress =
+  [ `Frame of int * string * int  (** (msg type, body, bytes consumed) *)
+  | `Need of int  (** incomplete; at least this many more bytes *)
+  | `Bad of string  (** unrecoverable framing damage; drop the connection *)
+  ]
+
+let decode_frame (buf : string) : progress =
+  let have = String.length buf in
+  if have < header_bytes then
+    (* Reject a wrong magic as soon as the prefix can't match, so garbage
+       connections die on their first bytes rather than stalling forever. *)
+    if have > 0 && not (String.starts_with ~prefix:(String.sub buf 0 (min have 4)) magic)
+    then `Bad "bad magic"
+    else `Need (header_bytes - have)
+  else if String.sub buf 0 4 <> magic then `Bad "bad magic"
+  else
+    let v = Char.code buf.[4] in
+    if v <> version then `Bad (Printf.sprintf "protocol version %d (this build speaks %d)" v version)
+    else
+      let msg = Char.code buf.[5] in
+      let len =
+        (Char.code buf.[6] lsl 24)
+        lor (Char.code buf.[7] lsl 16)
+        lor (Char.code buf.[8] lsl 8)
+        lor Char.code buf.[9]
+      in
+      if len > max_payload then
+        `Bad (Printf.sprintf "declared payload of %d bytes exceeds the %d limit" len max_payload)
+      else if have < header_bytes + len then `Need (header_bytes + len - have)
+      else `Frame (msg, String.sub buf header_bytes len, header_bytes + len)
+
+(* --- request bodies --- *)
+
+type source =
+  | Path of string  (** a MatrixMarket file the daemon can read *)
+  | Inline of { nrows : int; ncols : int; entries : (int * int * float) array }
+
+type query = { qid : string; source : source; measure : bool }
+
+type request = Query of query | Stats | Ping | Shutdown
+
+(* Bound on inline entries independent of byte size, so a tiny frame cannot
+   declare a huge entry count and stall the parser. *)
+let max_inline_nnz = 1_000_000
+
+let encode_query (q : query) =
+  let buf = Buffer.create 256 in
+  if String.contains q.qid '\n' then invalid_arg "Protocol.encode_query: id with newline";
+  Printf.bprintf buf "id=%s\n" q.qid;
+  Printf.bprintf buf "measure=%d\n" (if q.measure then 1 else 0);
+  (match q.source with
+  | Path p ->
+      if String.contains p '\n' then invalid_arg "Protocol.encode_query: path with newline";
+      Printf.bprintf buf "source=path\npath=%s\n" p
+  | Inline { nrows; ncols; entries } ->
+      Printf.bprintf buf "source=inline\ndims=%d %d\nnnz=%d\n" nrows ncols
+        (Array.length entries);
+      Array.iter
+        (fun (r, c, v) -> Printf.bprintf buf "%d %d %.17g\n" r c v)
+        entries);
+  Buffer.contents buf
+
+let request_to_frame = function
+  | Query q -> encode_frame ~msg:msg_query (encode_query q)
+  | Stats -> encode_frame ~msg:msg_stats ""
+  | Ping -> encode_frame ~msg:msg_ping ""
+  | Shutdown -> encode_frame ~msg:msg_shutdown ""
+
+(* key=value line split; Error for a line without '='. *)
+let kv line =
+  match String.index_opt line '=' with
+  | Some i ->
+      Ok (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  | None -> Error (Printf.sprintf "malformed line %S (expected key=value)" line)
+
+let ( let* ) r f = Result.bind r f
+
+let decode_query body : (query, string) result =
+  let lines = String.split_on_char '\n' body in
+  let lines = List.filter (fun l -> l <> "") lines in
+  let rec header acc = function
+    | [] -> Ok (acc, [])
+    | line :: rest -> (
+        (* Entry lines ("r c v") start once the header keys end. *)
+        match String.index_opt line '=' with
+        | None -> Ok (acc, line :: rest)
+        | Some _ ->
+            let* k, v = kv line in
+            header ((k, v) :: acc) rest)
+  in
+  let* fields, entry_lines = header [] lines in
+  let field k = List.assoc_opt k fields in
+  let qid = Option.value ~default:"" (field "id") in
+  let* measure =
+    match field "measure" with
+    | None | Some "1" -> Ok true
+    | Some "0" -> Ok false
+    | Some other -> Error (Printf.sprintf "measure=%s (expected 0 or 1)" other)
+  in
+  let* source =
+    match field "source" with
+    | Some "path" -> (
+        match field "path" with
+        | Some p when p <> "" -> Ok (Path p)
+        | _ -> Error "source=path without a path field")
+    | Some "inline" -> (
+        match (field "dims", field "nnz") with
+        | Some dims, Some nnz_s -> (
+            let* nrows, ncols =
+              match String.split_on_char ' ' dims with
+              | [ r; c ] -> (
+                  match (int_of_string_opt r, int_of_string_opt c) with
+                  | Some r, Some c when r >= 1 && c >= 1 -> Ok (r, c)
+                  | _ -> Error (Printf.sprintf "bad dims %S" dims))
+              | _ -> Error (Printf.sprintf "bad dims %S" dims)
+            in
+            match int_of_string_opt nnz_s with
+            | Some nnz when nnz >= 0 && nnz <= max_inline_nnz ->
+                if List.length entry_lines <> nnz then
+                  Error
+                    (Printf.sprintf "nnz=%d but %d entry lines" nnz
+                       (List.length entry_lines))
+                else
+                  let* entries =
+                    List.fold_left
+                      (fun acc line ->
+                        let* acc = acc in
+                        match String.split_on_char ' ' line with
+                        | [ r; c; v ] -> (
+                            match
+                              ( int_of_string_opt r,
+                                int_of_string_opt c,
+                                float_of_string_opt v )
+                            with
+                            | Some r, Some c, Some v
+                              when r >= 0 && r < nrows && c >= 0 && c < ncols
+                                   && Float.is_finite v ->
+                                Ok ((r, c, v) :: acc)
+                            | _ -> Error (Printf.sprintf "bad entry %S" line))
+                        | _ -> Error (Printf.sprintf "bad entry %S" line))
+                      (Ok []) entry_lines
+                  in
+                  Ok
+                    (Inline
+                       {
+                         nrows;
+                         ncols;
+                         entries = Array.of_list (List.rev entries);
+                       })
+            | _ -> Error (Printf.sprintf "bad nnz %S" nnz_s))
+        | _ -> Error "source=inline needs dims and nnz fields")
+    | Some other -> Error (Printf.sprintf "unknown source %S" other)
+    | None -> Error "missing source field"
+  in
+  Ok { qid; source; measure }
+
+let request_of_frame ~msg body : (request, string) result =
+  if msg = msg_query then
+    let* q = decode_query body in
+    Ok (Query q)
+  else if msg = msg_stats then Ok Stats
+  else if msg = msg_ping then Ok Ping
+  else if msg = msg_shutdown then Ok Shutdown
+  else Error (Printf.sprintf "unknown request type %d" msg)
+
+(* --- response bodies --- *)
+
+type answer = {
+  schedule : string;  (** dataset-encoded SuperSchedule ([Sched_io]) *)
+  predicted : float;
+  measured : float;  (** simulator seconds; NaN when measurement was off *)
+  cache_hit : bool;
+  degraded : bool;
+  degraded_reason : string option;
+  spans : (string * float) list;
+      (** per-request trace: phase name -> seconds, in phase order *)
+}
+
+type response =
+  | Answer of answer
+  | Stats_json of string
+  | Pong
+  | Bye
+  | Error_msg of string
+
+let encode_answer (a : answer) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "schedule=%s\n" a.schedule;
+  Printf.bprintf buf "predicted=%.17g\n" a.predicted;
+  Printf.bprintf buf "measured=%.17g\n" a.measured;
+  Printf.bprintf buf "cache=%s\n" (if a.cache_hit then "hit" else "miss");
+  Printf.bprintf buf "degraded=%d\n" (if a.degraded then 1 else 0);
+  (match a.degraded_reason with
+  | Some r -> Printf.bprintf buf "reason=%s\n" (String.map (fun c -> if c = '\n' then ' ' else c) r)
+  | None -> ());
+  List.iter (fun (k, s) -> Printf.bprintf buf "span.%s=%.17g\n" k s) a.spans;
+  Buffer.contents buf
+
+let response_to_frame = function
+  | Answer a -> encode_frame ~msg:msg_answer (encode_answer a)
+  | Stats_json j -> encode_frame ~msg:msg_stats_json j
+  | Pong -> encode_frame ~msg:msg_pong ""
+  | Bye -> encode_frame ~msg:msg_bye ""
+  | Error_msg m -> encode_frame ~msg:msg_error m
+
+let decode_answer body : (answer, string) result =
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' body) in
+  let* fields =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let* p = kv line in
+        Ok (p :: acc))
+      (Ok []) lines
+  in
+  let fields = List.rev fields in
+  let field k = List.assoc_opt k fields in
+  let* schedule =
+    match field "schedule" with
+    | Some s -> Ok s
+    | None -> Error "answer without a schedule"
+  in
+  let fget k default =
+    match field k with
+    | Some s -> ( match float_of_string_opt s with Some v -> v | None -> default)
+    | None -> default
+  in
+  let spans =
+    List.filter_map
+      (fun (k, v) ->
+        if String.starts_with ~prefix:"span." k then
+          Option.map
+            (fun s -> (String.sub k 5 (String.length k - 5), s))
+            (float_of_string_opt v)
+        else None)
+      fields
+  in
+  Ok
+    {
+      schedule;
+      predicted = fget "predicted" Float.nan;
+      measured = fget "measured" Float.nan;
+      cache_hit = field "cache" = Some "hit";
+      degraded = field "degraded" = Some "1";
+      degraded_reason = field "reason";
+      spans;
+    }
+
+let response_of_frame ~msg body : (response, string) result =
+  if msg = msg_answer then
+    let* a = decode_answer body in
+    Ok (Answer a)
+  else if msg = msg_stats_json then Ok (Stats_json body)
+  else if msg = msg_pong then Ok Pong
+  else if msg = msg_bye then Ok Bye
+  else if msg = msg_error then Ok (Error_msg body)
+  else Error (Printf.sprintf "unknown response type %d" msg)

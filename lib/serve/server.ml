@@ -1,0 +1,467 @@
+(* The `waco serve` daemon: loads a model + HNSW index once, then answers
+   tuning requests over a Unix-domain socket for as long as it lives.
+
+   One thread of control owns all IO: a [select] loop accepts connections,
+   accumulates bytes per connection and peels complete frames off with the
+   total [Protocol] decoder.  Decoded queries land on a FIFO; between IO
+   rounds the request scheduler drains it in micro-batches:
+
+   - queries are parsed and fingerprinted, then deduplicated per batch —
+     N clients asking about the same pattern cost one computation;
+   - cache hits are answered immediately;
+   - the distinct misses run [Tuner.query] concurrently on the worker pool,
+     one forward-only [Costmodel.replicate] per domain (the same replica
+     discipline as the index build), so independent requests overlap;
+   - fresh non-degraded answers enter the LRU cache, which is persisted
+     write-through inside the [Robust] envelope so a restarted daemon is
+     warm.
+
+   Degradation over failure, everywhere: a damaged request body answers
+   [Error_msg] on its own connection; a failing measurement degrades to the
+   fixed-CSR fallback inside [Tuner.tune]; a failing cache persist bumps a
+   counter and keeps serving. *)
+
+open Machine_model
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable alive : bool;
+}
+
+type t = {
+  socket_path : string;
+  machine : Machine.t;
+  replicas : Waco.Costmodel.t array;  (* slot 0 is the loaded model itself *)
+  index : Waco.Tuner.index;
+  pool : Parallel.Pool.t option;
+  cache : Cache.t;
+  cache_file : string option;
+  cache_status : string;
+  metrics : Metrics.t;
+  max_batch : int;
+  k : int;
+  ef : int;
+  log : string -> unit;
+  mutable stopping : bool;
+}
+
+let metrics t = t.metrics
+let cache t = t.cache
+let cache_status t = t.cache_status
+
+let index_digest (index : Waco.Tuner.index) =
+  Anns.Hnsw.fingerprint index.Waco.Tuner.hnsw ~payload:Schedule.Sched_io.serialize
+
+let create ?pool ?(cache_capacity = 512) ?cache_file ?(max_batch = 32) ?(k = 10)
+    ?(ef = 40) ?(log = ignore) ~model ~index ~index_file ~machine ~socket () =
+  Waco.Tuner.validate_compat model ~index_file index;
+  let domains = match pool with Some p -> Parallel.Pool.domains p | None -> 1 in
+  let replicas =
+    Array.init (max 1 domains) (fun i ->
+        if i = 0 then model else Waco.Costmodel.replicate model)
+  in
+  let model_digest = Waco.Costmodel.digest model in
+  let idx_digest = index_digest index in
+  let machine_name = machine.Machine.name in
+  let cache, cache_status =
+    match cache_file with
+    | Some file when Sys.file_exists file -> (
+        match
+          Cache.load ~capacity:cache_capacity ~model_digest
+            ~index_digest:idx_digest ~machine:machine_name file
+        with
+        | Ok { cache; status = `Warm n } ->
+            log (Printf.sprintf "cache: warm with %d entries from %s" n file);
+            (cache, Printf.sprintf "warm(%d)" n)
+        | Ok { cache; status = `Invalidated reason } ->
+            log ("cache: snapshot invalidated: " ^ reason);
+            (cache, "invalidated")
+        | Error e ->
+            log
+              ("cache: snapshot unusable, starting cold: "
+              ^ Robust.load_error_to_string e);
+            ( Cache.create ~capacity:cache_capacity ~model_digest
+                ~index_digest:idx_digest ~machine:machine_name (),
+              "damaged" ))
+    | _ ->
+        ( Cache.create ~capacity:cache_capacity ~model_digest
+            ~index_digest:idx_digest ~machine:machine_name (),
+          "cold" )
+  in
+  {
+    socket_path = socket;
+    machine;
+    replicas;
+    index;
+    pool;
+    cache;
+    cache_file;
+    cache_status;
+    metrics = Metrics.create ();
+    max_batch = max 1 max_batch;
+    k;
+    ef;
+    log;
+    stopping = false;
+  }
+
+(* --- query processing ------------------------------------------------- *)
+
+let coo_of_source = function
+  | Protocol.Path p -> (
+      match Sptensor.Mmio.read_coo p with
+      | m -> Ok m
+      | exception Sptensor.Mmio.Parse_error e ->
+          Error (Printf.sprintf "%s: %s" p e)
+      | exception Sys_error e -> Error e)
+  | Protocol.Inline { nrows; ncols; entries } -> (
+      match
+        Sptensor.Coo.of_triplets ~nrows ~ncols
+          (Array.to_list (Array.map (fun (r, c, v) -> (r, c, v)) entries))
+      with
+      | m -> Ok m
+      | exception Invalid_argument e -> Error e)
+
+(* Cache keys separate the measured and predict-only answer spaces: the two
+   modes legitimately choose different schedules for the same pattern. *)
+let cache_key_of ~measure fp =
+  Fingerprint.key fp ^ if measure then "" else "#p"
+
+let answer_of_result ~cache_hit ~span (r : Waco.Tuner.result) : Protocol.answer =
+  {
+    Protocol.schedule = Schedule.Sched_io.serialize r.Waco.Tuner.best;
+    predicted = r.Waco.Tuner.best_predicted;
+    measured = r.Waco.Tuner.best_measured;
+    cache_hit;
+    degraded = r.Waco.Tuner.degraded;
+    degraded_reason = r.Waco.Tuner.degraded_reason;
+    spans = Metrics.span_fields span;
+  }
+
+let answer_of_entry ~span (e : Cache.entry) : Protocol.answer =
+  {
+    Protocol.schedule = e.Cache.schedule;
+    predicted = e.Cache.predicted;
+    measured = e.Cache.measured;
+    cache_hit = true;
+    degraded = e.Cache.degraded;
+    degraded_reason = None;
+    spans = Metrics.span_fields span;
+  }
+
+(* One computed miss: run the factored tuner entry point on this worker's
+   replica and record what it spent. *)
+let compute_one t replica ~key ~measure m =
+  let mt = t.metrics in
+  Metrics.bump mt (fun m -> m.extractor_forwards <- m.extractor_forwards + 1);
+  Metrics.bump mt (fun m -> m.traversals <- m.traversals + 1);
+  let r =
+    Waco.Tuner.query replica t.machine ~k:t.k ~ef:t.ef ~measure ~id:key m
+      t.index
+  in
+  Metrics.bump mt (fun m ->
+      m.measured_runs <- m.measured_runs + r.Waco.Tuner.measured_runs;
+      m.measure_failures <- m.measure_failures + r.Waco.Tuner.measure_failures;
+      m.retries_absorbed <- m.retries_absorbed + r.Waco.Tuner.measure_retries);
+  if r.Waco.Tuner.degraded then
+    Metrics.bump mt (fun m -> m.degraded <- m.degraded + 1);
+  r
+
+(* Process one micro-batch of decoded queries.  Returns each query's
+   response in input order. *)
+let process_batch t (batch : Protocol.query list) : Protocol.response list =
+  Metrics.record_batch t.metrics (List.length batch);
+  (* Phase A (sequential, cheap): parse + fingerprint + cache probe. *)
+  let parsed =
+    List.map
+      (fun (q : Protocol.query) ->
+        let span = Metrics.span_create () in
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          match coo_of_source q.Protocol.source with
+          | Error e -> `Err e
+          | Ok m -> `Parsed (cache_key_of ~measure:q.Protocol.measure (Fingerprint.of_coo m), m)
+        in
+        span.Metrics.parse_s <- Unix.gettimeofday () -. t0;
+        (q, span, outcome))
+      batch
+  in
+  (* Distinct cache misses, in first-appearance order (kept stable so pool
+     and sequential runs compute the same work list). *)
+  let miss_order = ref [] in
+  let misses = Hashtbl.create 8 in
+  List.iter
+    (fun (q, _, outcome) ->
+      match outcome with
+      | `Err _ -> ()
+      | `Parsed (key, m) ->
+          if Cache.find t.cache key = None && not (Hashtbl.mem misses key)
+          then begin
+            Hashtbl.add misses key (m, q.Protocol.measure);
+            miss_order := key :: !miss_order
+          end)
+    parsed;
+  let miss_keys = Array.of_list (List.rev !miss_order) in
+  (* Phase B: compute the distinct misses, concurrently when the pool and
+     the batch depth allow it. *)
+  let computed = Hashtbl.create 8 in
+  let work key ~worker =
+    let m, measure = Hashtbl.find misses key in
+    let t0 = Unix.gettimeofday () in
+    let r = compute_one t t.replicas.(worker) ~key ~measure m in
+    (key, r, Unix.gettimeofday () -. t0)
+  in
+  let results =
+    match t.pool with
+    | Some p when Parallel.Pool.domains p > 1 && Array.length miss_keys > 1 ->
+        Parallel.Pool.map_workers p (fun ~worker key -> work key ~worker) miss_keys
+    | _ -> Array.map (fun key -> work key ~worker:0) miss_keys
+  in
+  Array.iter (fun (key, r, secs) -> Hashtbl.replace computed key (r, secs)) results;
+  (* Phase C (sequential): cache insertion in deterministic order, one
+     write-through persist per batch, answers in input order. *)
+  let fresh = ref false in
+  Array.iter
+    (fun key ->
+      let r, _ = Hashtbl.find computed key in
+      if not r.Waco.Tuner.degraded then begin
+        Cache.add t.cache key
+          {
+            Cache.schedule = Schedule.Sched_io.serialize r.Waco.Tuner.best;
+            predicted = r.Waco.Tuner.best_predicted;
+            measured = r.Waco.Tuner.best_measured;
+            degraded = false;
+          };
+        fresh := true
+      end)
+    miss_keys;
+  (if !fresh then
+     match t.cache_file with
+     | Some file -> (
+         try Cache.save t.cache file
+         with e ->
+           Metrics.bump t.metrics (fun m ->
+               m.cache_persist_failures <- m.cache_persist_failures + 1);
+           t.log
+             (Printf.sprintf "cache: persist to %s failed: %s" file
+                (Printexc.to_string e)))
+     | None -> ());
+  List.map
+    (fun ((_q : Protocol.query), span, outcome) ->
+      match outcome with
+      | `Err e ->
+          Metrics.bump t.metrics (fun m ->
+              m.request_errors <- m.request_errors + 1);
+          Metrics.record_span t.metrics span;
+          Protocol.Error_msg e
+      | `Parsed (key, _) -> (
+          match Hashtbl.find_opt computed key with
+          | Some (r, _secs) ->
+              span.Metrics.extract_s <- r.Waco.Tuner.feature_seconds;
+              span.Metrics.traverse_s <- r.Waco.Tuner.search_seconds;
+              span.Metrics.measure_s <- r.Waco.Tuner.measure_seconds;
+              Metrics.bump t.metrics (fun m ->
+                  m.cache_misses <- m.cache_misses + 1;
+                  m.answers <- m.answers + 1);
+              Metrics.record_span t.metrics span;
+              Protocol.Answer (answer_of_result ~cache_hit:false ~span r)
+          | None -> (
+              (* Not computed this batch: it was a cache hit at probe time. *)
+              match Cache.find t.cache key with
+              | Some entry ->
+                  Metrics.bump t.metrics (fun m ->
+                      m.cache_hits <- m.cache_hits + 1;
+                      m.answers <- m.answers + 1);
+                  Metrics.record_span t.metrics span;
+                  Protocol.Answer (answer_of_entry ~span entry)
+              | None ->
+                  (* Computed but degraded and uncached: replay the compute
+                     result is gone — answer degraded honestly. *)
+                  Metrics.bump t.metrics (fun m ->
+                      m.request_errors <- m.request_errors + 1);
+                  Protocol.Error_msg "internal: answer neither cached nor computed")))
+    parsed
+
+(* --- the IO loop ------------------------------------------------------- *)
+
+let stats_json t =
+  Metrics.to_json
+    ~extra_ints:
+      [
+        ("cache_size", Cache.size t.cache);
+        ("cache_capacity", Cache.capacity t.cache);
+        ("cache_evictions", Cache.evictions t.cache);
+        ("index_size", Anns.Hnsw.size t.index.Waco.Tuner.hnsw);
+        ("domains", Array.length t.replicas);
+      ]
+    ~extra:
+      [
+        ("socket", t.socket_path);
+        ("machine", t.machine.Machine.name);
+        ("cache_status", t.cache_status);
+      ]
+    t.metrics
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let send t conn (resp : Protocol.response) =
+  if conn.alive then
+    try write_all conn.fd (Protocol.response_to_frame resp)
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      conn.alive <- false;
+      t.log "client went away mid-response"
+
+let close_conn conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Drain complete frames out of a connection's buffer; enqueue well-formed
+   requests, answer undecodable bodies, kill the connection on framing
+   damage. *)
+let drain_frames t conn queue =
+  let rec go () =
+    let s = Buffer.contents conn.inbuf in
+    match Protocol.decode_frame s with
+    | `Need _ -> ()
+    | `Bad reason ->
+        Metrics.bump t.metrics (fun m ->
+            m.protocol_errors <- m.protocol_errors + 1);
+        send t conn (Protocol.Error_msg ("protocol: " ^ reason));
+        close_conn conn
+    | `Frame (msg, body, consumed) -> (
+        Buffer.clear conn.inbuf;
+        Buffer.add_substring conn.inbuf s consumed (String.length s - consumed);
+        match Protocol.request_of_frame ~msg body with
+        | Ok req ->
+            Metrics.bump t.metrics (fun m -> m.requests <- m.requests + 1);
+            Queue.add (conn, req) queue;
+            go ()
+        | Error e ->
+            Metrics.bump t.metrics (fun m ->
+                m.protocol_errors <- m.protocol_errors + 1);
+            send t conn (Protocol.Error_msg ("request: " ^ e));
+            go ())
+  in
+  go ()
+
+(* Drain the request FIFO: control requests answer inline, runs of queries
+   dispatch as micro-batches of at most [max_batch].  FIFO order per
+   connection is preserved — a client that pipelines query;stats sees the
+   stats taken after its query. *)
+let drain_queue t queue =
+  while not (Queue.is_empty queue) do
+    match Queue.peek queue with
+    | _, Protocol.Stats ->
+        let conn, _ = Queue.pop queue in
+        send t conn (Protocol.Stats_json (stats_json t))
+    | _, Protocol.Ping ->
+        let conn, _ = Queue.pop queue in
+        send t conn Protocol.Pong
+    | _, Protocol.Shutdown ->
+        let conn, _ = Queue.pop queue in
+        t.stopping <- true;
+        send t conn Protocol.Bye
+    | _, Protocol.Query _ ->
+        (* Collect the contiguous run of queries at the head. *)
+        let conns = ref [] and queries = ref [] in
+        let continue = ref true in
+        while
+          !continue
+          && (not (Queue.is_empty queue))
+          && List.length !queries < t.max_batch
+        do
+          match Queue.peek queue with
+          | conn, Protocol.Query q ->
+              ignore (Queue.pop queue);
+              conns := conn :: !conns;
+              queries := q :: !queries
+          | _ -> continue := false
+        done;
+        let conns = List.rev !conns and queries = List.rev !queries in
+        let responses = process_batch t queries in
+        List.iter2 (fun conn resp -> send t conn resp) conns responses
+  done
+
+let run ?(on_ready = ignore) t =
+  (* A dying client must not kill the daemon with SIGPIPE; writes surface
+     EPIPE instead, handled per connection. *)
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  (try if Sys.file_exists t.socket_path then Sys.remove t.socket_path
+   with Sys_error _ -> ());
+  Robust.mkdir_p (Filename.dirname t.socket_path);
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX t.socket_path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  t.log (Printf.sprintf "listening on %s" t.socket_path);
+  on_ready ();
+  let conns : conn list ref = ref [] in
+  let queue : (conn * Protocol.request) Queue.t = Queue.create () in
+  let finally () =
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    (try Sys.remove t.socket_path with Sys_error _ -> ());
+    List.iter close_conn !conns;
+    (match t.cache_file with
+    | Some file -> (
+        try Cache.save t.cache file
+        with e ->
+          t.log
+            (Printf.sprintf "cache: final persist failed: %s"
+               (Printexc.to_string e)))
+    | None -> ());
+    match prev_sigpipe with
+    | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let chunk = Bytes.create 65536 in
+      while not t.stopping do
+        conns := List.filter (fun c -> c.alive) !conns;
+        let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+        match Unix.select fds [] [] 1.0 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, _, _ ->
+            (* New connections. *)
+            if List.mem listen_fd readable then begin
+              let accepting = ref true in
+              while !accepting do
+                match Unix.accept listen_fd with
+                | fd, _ ->
+                    Unix.clear_nonblock fd;
+                    conns :=
+                      { fd; inbuf = Buffer.create 1024; alive = true } :: !conns
+                | exception
+                    Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                    accepting := false
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              done
+            end;
+            (* Bytes from existing connections. *)
+            List.iter
+              (fun conn ->
+                if conn.alive && List.mem conn.fd readable then
+                  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+                  | 0 -> close_conn conn
+                  | n ->
+                      Buffer.add_subbytes conn.inbuf chunk 0 n;
+                      drain_frames t conn queue
+                  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                      close_conn conn
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+              !conns;
+            (* The request scheduler. *)
+            drain_queue t queue
+      done)

@@ -1,0 +1,62 @@
+(** The `waco serve` daemon: model + index loaded once, tuning requests
+    answered over a Unix-domain socket until shutdown.
+
+    A single [select] loop owns all IO; between IO rounds the request
+    scheduler drains decoded queries in micro-batches — per-batch the
+    distinct cache misses (deduplicated by sparsity fingerprint) run
+    concurrently on the worker pool's per-domain model replicas, then fresh
+    answers enter the LRU cache and are persisted write-through inside the
+    {!Robust} envelope.  FIFO order is preserved per connection. *)
+
+type t
+
+val create :
+  ?pool:Parallel.Pool.t ->
+  ?cache_capacity:int ->
+  ?cache_file:string ->
+  ?max_batch:int ->
+  ?k:int ->
+  ?ef:int ->
+  ?log:(string -> unit) ->
+  model:Waco.Costmodel.t ->
+  index:Waco.Tuner.index ->
+  index_file:string ->
+  machine:Machine_model.Machine.t ->
+  socket:string ->
+  unit ->
+  t
+(** Validates model/index compatibility ({!Waco.Tuner.validate_compat} —
+    raises [Robust.Load_error] on an embedding-dimension mismatch, citing
+    [index_file]), builds one forward-only model replica per pool domain,
+    and loads [cache_file] when it exists: a snapshot whose model digest,
+    index fingerprint and machine name all match comes back warm; anything
+    else (stale stamp, damaged envelope) starts cold — never garbage.
+
+    [max_batch] (default 32) bounds one micro-batch; [k]/[ef] are the
+    tuner's search knobs, fixed at daemon start so cached and fresh answers
+    are comparable. *)
+
+val process_batch : t -> Protocol.query list -> Protocol.response list
+(** One micro-batch through the request scheduler, bypassing the socket —
+    exactly what {!run} does for a contiguous run of queued queries
+    (parse, fingerprint, dedup, cache probe, concurrent compute of the
+    distinct misses, write-through persist).  Responses come back in input
+    order.  Exposed so tests and the bench harness can drive batches
+    deterministically. *)
+
+val run : ?on_ready:(unit -> unit) -> t -> unit
+(** Bind the socket (removing a stale file first), call [on_ready], and
+    serve until a [Shutdown] request arrives.  On exit: cache persisted,
+    connections closed, socket unlinked — also on exceptional exit.
+    SIGPIPE is ignored for the duration (dying clients surface as [EPIPE]
+    on their own connection, not a daemon kill). *)
+
+val metrics : t -> Metrics.t
+val cache : t -> Cache.t
+
+val cache_status : t -> string
+(** ["cold"], ["warm(<n>)"], ["invalidated"] or ["damaged"] — how the
+    persistent cache came up at daemon start. *)
+
+val stats_json : t -> string
+(** The same JSON object a [Stats] request returns. *)

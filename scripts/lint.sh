@@ -39,4 +39,9 @@ dune build @perf || status=1
 # measurement) with the shared pool forced to two worker domains.
 WACO_DOMAINS=2 dune exec -- test/test_parallel.exe || status=1
 
+# The @serve alias runs the serving-daemon suite (protocol fuzz, cache
+# crash sweeps, scheduler dedup, forked end-to-end daemon with kill and
+# warm restart) with a bounded two-domain pool.
+dune build @serve || status=1
+
 exit $status

@@ -1,0 +1,887 @@
+(* Serving-daemon tests: the wire protocol's total decoder (fuzzed), the
+   sparsity fingerprint, the LRU schedule cache and its crash-safe
+   persistence, the request scheduler's dedup/batching, model/index
+   compatibility validation (load-time and lint-time, WACO-A008), and a
+   forked end-to-end daemon: concurrent clients get identical schedules, a
+   second round answers from cache, and a SIGKILLed daemon restarts warm
+   from the persisted snapshot without a single index traversal. *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+let algo = Algorithm.Spmm 256
+let machine = Machine.intel_like
+
+(* --- tmp-dir helpers -------------------------------------------------- *)
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Robust.mkdir_p d;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* --- shared fixture: an untrained (but deterministic) model + index ---- *)
+
+let fixture =
+  lazy
+    (let model = Waco.Costmodel.create (Rng.create 11) algo in
+     let rng = Rng.create 3 in
+     let corpus =
+       Array.init 64 (fun _ -> Space.sample rng algo ~dims:[| 48; 48 |])
+     in
+     let index = Waco.Tuner.build_index (Rng.create 7) model corpus in
+     (model, index))
+
+let small_matrix seed = Gen.uniform (Rng.create seed) ~nrows:48 ~ncols:48 ~nnz:220
+
+let mk_server ?pool ?cache_capacity ?cache_file ?(socket = "unused.sock") () =
+  let model, index = Lazy.force fixture in
+  Serve.Server.create ?pool ?cache_capacity ?cache_file ~k:4 ~ef:16 ~model
+    ~index ~index_file:"<fixture>" ~machine ~socket ()
+
+(* Daemon trampoline: OCaml 5 forbids [Unix.fork] once any domain has ever
+   been spawned (and the pool tests spawn some), so the e2e daemons are
+   fresh processes of this same executable, selected by env var before
+   Alcotest takes over.  The fixture is rebuilt from fixed seeds, so every
+   incarnation carries identical model/index identity stamps. *)
+let () =
+  match Sys.getenv_opt "WACO_TEST_SERVE_SOCKET" with
+  | None -> ()
+  | Some socket ->
+      (try
+         let cache_file = Sys.getenv_opt "WACO_TEST_SERVE_CACHE" in
+         let server = mk_server ?cache_file ~socket () in
+         Serve.Server.run server
+       with _ -> exit 1);
+      exit 0
+
+(* ====================================================================== *)
+(* Protocol                                                               *)
+(* ====================================================================== *)
+
+let decode_request frame =
+  match Serve.Protocol.decode_frame frame with
+  | `Frame (msg, body, consumed) ->
+      Alcotest.(check int) "whole frame consumed" (String.length frame) consumed;
+      Serve.Protocol.request_of_frame ~msg body
+  | `Need _ | `Bad _ -> Alcotest.fail "complete frame did not decode"
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      Serve.Protocol.Query
+        { qid = "q1"; source = Serve.Protocol.Path "/tmp/m.mtx"; measure = true };
+      Serve.Protocol.Query
+        {
+          qid = "";
+          source =
+            Serve.Protocol.Inline
+              {
+                nrows = 3;
+                ncols = 4;
+                entries = [| (0, 0, 1.5); (2, 3, -2.25); (1, 1, 1e-30) |];
+              };
+          measure = false;
+        };
+      Serve.Protocol.Stats;
+      Serve.Protocol.Ping;
+      Serve.Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match decode_request (Serve.Protocol.request_to_frame req) with
+      | Ok req' ->
+          Alcotest.(check bool) "request roundtrips" true (req = req')
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    reqs
+
+let test_response_roundtrip () =
+  let a =
+    {
+      Serve.Protocol.schedule = "algo=SpMM;splits=1,8";
+      predicted = -1.25;
+      measured = 3.5e-5;
+      cache_hit = true;
+      degraded = true;
+      degraded_reason = Some "index was empty";
+      spans = [ ("parse", 0.25); ("extract", 0.5) ];
+    }
+  in
+  (match
+     Serve.Protocol.decode_frame
+       (Serve.Protocol.response_to_frame (Serve.Protocol.Answer a))
+   with
+  | `Frame (msg, body, _) -> (
+      match Serve.Protocol.response_of_frame ~msg body with
+      | Ok (Serve.Protocol.Answer a') ->
+          Alcotest.(check bool) "answer roundtrips" true (a = a')
+      | _ -> Alcotest.fail "answer did not decode")
+  | _ -> Alcotest.fail "answer frame did not decode");
+  (* NaN measured (the predict-only path) survives the wire. *)
+  let a_nan = { a with Serve.Protocol.measured = Float.nan } in
+  (match
+     Serve.Protocol.decode_frame
+       (Serve.Protocol.response_to_frame (Serve.Protocol.Answer a_nan))
+   with
+  | `Frame (msg, body, _) -> (
+      match Serve.Protocol.response_of_frame ~msg body with
+      | Ok (Serve.Protocol.Answer a') ->
+          Alcotest.(check bool) "NaN measured" true
+            (Float.is_nan a'.Serve.Protocol.measured)
+      | _ -> Alcotest.fail "NaN answer did not decode")
+  | _ -> Alcotest.fail "NaN answer frame did not decode");
+  List.iter
+    (fun resp ->
+      match
+        Serve.Protocol.decode_frame (Serve.Protocol.response_to_frame resp)
+      with
+      | `Frame (msg, body, _) -> (
+          match Serve.Protocol.response_of_frame ~msg body with
+          | Ok resp' ->
+              Alcotest.(check bool) "response roundtrips" true (resp = resp')
+          | Error e -> Alcotest.failf "response decode: %s" e)
+      | _ -> Alcotest.fail "response frame did not decode")
+    [
+      Serve.Protocol.Stats_json "{}";
+      Serve.Protocol.Pong;
+      Serve.Protocol.Bye;
+      Serve.Protocol.Error_msg "nope";
+    ]
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.to_string b
+
+let raw_header ?(magic = "WSRV") ?(version = Serve.Protocol.version) ~msg len =
+  magic ^ String.make 1 (Char.chr version) ^ String.make 1 (Char.chr msg) ^ be32 len
+
+let test_framing_damage () =
+  let frame =
+    Serve.Protocol.request_to_frame
+      (Serve.Protocol.Query
+         { qid = "t"; source = Serve.Protocol.Path "m.mtx"; measure = true })
+  in
+  (* Every strict prefix of a valid frame is [`Need], never [`Bad] or a
+     bogus [`Frame]. *)
+  for i = 0 to String.length frame - 1 do
+    match Serve.Protocol.decode_frame (String.sub frame 0 i) with
+    | `Need n -> Alcotest.(check bool) "positive need" true (n > 0)
+    | `Bad e -> Alcotest.failf "prefix %d rejected: %s" i e
+    | `Frame _ -> Alcotest.failf "prefix %d produced a frame" i
+  done;
+  (* Wrong magic dies on the very first byte. *)
+  (match Serve.Protocol.decode_frame "X" with
+  | `Bad _ -> ()
+  | _ -> Alcotest.fail "bad magic byte 0 not rejected");
+  (match Serve.Protocol.decode_frame (raw_header ~magic:"WSRX" ~msg:1 0) with
+  | `Bad _ -> ()
+  | _ -> Alcotest.fail "bad magic not rejected");
+  (* Wrong version. *)
+  (match
+     Serve.Protocol.decode_frame
+       (raw_header ~version:(Serve.Protocol.version + 1) ~msg:1 0)
+   with
+  | `Bad _ -> ()
+  | _ -> Alcotest.fail "wrong version not rejected");
+  (* A hostile length field is rejected before any allocation. *)
+  (match
+     Serve.Protocol.decode_frame
+       (raw_header ~msg:1 (Serve.Protocol.max_payload + 1))
+   with
+  | `Bad _ -> ()
+  | _ -> Alcotest.fail "oversized payload not rejected");
+  (* Unknown message type in a well-formed frame: a body-level error, not a
+     crash. *)
+  (match Serve.Protocol.request_of_frame ~msg:99 "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown request type accepted");
+  (* The encoder refuses to build an over-limit frame. *)
+  match
+    Serve.Protocol.encode_frame ~msg:1
+      (String.make (Serve.Protocol.max_payload + 1) 'x')
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized encode accepted"
+
+let test_inline_validation () =
+  let decode_body body = Serve.Protocol.request_of_frame ~msg:Serve.Protocol.msg_query body in
+  let expect_error label body =
+    match decode_body body with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_error "out-of-range coordinate"
+    "source=inline\ndims=2 2\nnnz=1\n5 0 1.0\n";
+  expect_error "non-finite value" "source=inline\ndims=2 2\nnnz=1\n0 0 nan\n";
+  expect_error "entry count mismatch"
+    "source=inline\ndims=2 2\nnnz=2\n0 0 1.0\n";
+  expect_error "nonsense dims" "source=inline\ndims=0 2\nnnz=0\n";
+  expect_error "huge nnz declaration"
+    (Printf.sprintf "source=inline\ndims=2 2\nnnz=%d\n"
+       (Serve.Protocol.max_inline_nnz + 1));
+  expect_error "missing source" "id=x\n";
+  match decode_body "source=inline\ndims=2 2\nnnz=1\n1 1 2.5\n" with
+  | Ok (Serve.Protocol.Query { source = Serve.Protocol.Inline { entries; _ }; _ })
+    ->
+      Alcotest.(check int) "entries parsed" 1 (Array.length entries)
+  | _ -> Alcotest.fail "valid inline body rejected"
+
+(* The decoder and body parsers must be total: random bytes can produce any
+   verdict but never an exception. *)
+let test_fuzz_total () =
+  let rng = Rng.create 1234 in
+  for _ = 1 to 4000 do
+    let len = Rng.int rng 80 in
+    let s = String.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    (match Serve.Protocol.decode_frame s with
+    | `Frame _ | `Need _ | `Bad _ -> ());
+    ignore (Serve.Protocol.request_of_frame ~msg:(Rng.int rng 256) s);
+    ignore (Serve.Protocol.response_of_frame ~msg:(Rng.int rng 256) s)
+  done;
+  (* Mutated valid frames, too: flip one byte anywhere in a real frame. *)
+  let frame =
+    Serve.Protocol.request_to_frame
+      (Serve.Protocol.Query
+         {
+           qid = "fuzz";
+           source =
+             Serve.Protocol.Inline
+               { nrows = 4; ncols = 4; entries = [| (1, 2, 0.5) |] };
+           measure = true;
+         })
+  in
+  for _ = 1 to 2000 do
+    let b = Bytes.of_string frame in
+    let i = Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Rng.int rng 256));
+    match Serve.Protocol.decode_frame (Bytes.to_string b) with
+    | `Frame (msg, body, _) -> ignore (Serve.Protocol.request_of_frame ~msg body)
+    | `Need _ | `Bad _ -> ()
+  done
+
+(* ====================================================================== *)
+(* Fingerprint                                                            *)
+(* ====================================================================== *)
+
+let test_fingerprint () =
+  let m = small_matrix 1 in
+  let fp = Serve.Fingerprint.of_coo m in
+  let fp2 = Serve.Fingerprint.of_coo m in
+  Alcotest.(check bool) "deterministic" true (Serve.Fingerprint.equal fp fp2);
+  Alcotest.(check string) "key deterministic" (Serve.Fingerprint.key fp)
+    (Serve.Fingerprint.key fp2);
+  let key = Serve.Fingerprint.key fp in
+  Alcotest.(check bool) "single line, no spaces" false
+    (String.contains key '\n' || String.contains key ' ');
+  (* key <-> fingerprint roundtrip *)
+  (match Serve.Fingerprint.of_key key with
+  | Some fp' -> Alcotest.(check bool) "of_key inverts key" true (fp = fp')
+  | None -> Alcotest.fail "of_key rejected its own key");
+  Alcotest.(check (option reject)) "damaged key rejected" None
+    (Serve.Fingerprint.of_key (key ^ "zz"));
+  Alcotest.(check (option reject)) "garbage key rejected" None
+    (Serve.Fingerprint.of_key "fp1:whatever");
+  (* Different patterns at identical shape/nnz must separate via the
+     sketch: a band matrix vs a uniform one. *)
+  let banded =
+    Coo.of_triplets ~nrows:48 ~ncols:48
+      (List.init 220 (fun i -> (i mod 48, (i * 7) mod 3, 1.0)))
+  in
+  let uniform = small_matrix 9 in
+  Alcotest.(check bool) "distinct patterns -> distinct keys" false
+    (Serve.Fingerprint.key (Serve.Fingerprint.of_coo banded)
+    = Serve.Fingerprint.key (Serve.Fingerprint.of_coo uniform))
+
+(* ====================================================================== *)
+(* Cache                                                                  *)
+(* ====================================================================== *)
+
+let entry i =
+  {
+    Serve.Cache.schedule = Printf.sprintf "sched-%d" i;
+    predicted = float_of_int i;
+    measured = float_of_int i *. 1e-6;
+    degraded = false;
+  }
+
+let mk_cache ?(capacity = 3) () =
+  Serve.Cache.create ~capacity ~model_digest:"mdig" ~index_digest:"idig"
+    ~machine:"intel-like" ()
+
+let test_cache_lru () =
+  let c = mk_cache () in
+  Serve.Cache.add c "a" (entry 1);
+  Serve.Cache.add c "b" (entry 2);
+  Serve.Cache.add c "c" (entry 3);
+  (* Touch "a" so "b" is now the least recently used... *)
+  ignore (Serve.Cache.find c "a");
+  Serve.Cache.add c "d" (entry 4);
+  Alcotest.(check int) "bounded" 3 (Serve.Cache.size c);
+  Alcotest.(check int) "one eviction" 1 (Serve.Cache.evictions c);
+  Alcotest.(check bool) "LRU victim evicted" true (Serve.Cache.find c "b" = None);
+  Alcotest.(check bool) "recently-used survivor" true
+    (Serve.Cache.find c "a" <> None);
+  (* Replacement of an existing key does not evict. *)
+  Serve.Cache.add c "a" (entry 9);
+  Alcotest.(check int) "replace keeps size" 3 (Serve.Cache.size c);
+  match Serve.Cache.find c "a" with
+  | Some e -> Alcotest.(check string) "replaced" "sched-9" e.Serve.Cache.schedule
+  | None -> Alcotest.fail "replaced entry missing"
+
+let test_cache_persistence () =
+  let dir = tmpdir "waco-serve-cache" in
+  let path = Filename.concat dir "cache.waco" in
+  let c = mk_cache ~capacity:8 () in
+  Serve.Cache.add c "k1" (entry 1);
+  Serve.Cache.add c "k2" (entry 2);
+  Serve.Cache.add c "k3" (entry 3);
+  ignore (Serve.Cache.find c "k1");
+  Serve.Cache.save c path;
+  (* Warm reload with matching identity, recency order intact: adding one
+     entry to a full cache must evict k2 (the LRU after k1's touch). *)
+  (match
+     Serve.Cache.load ~capacity:3 ~model_digest:"mdig" ~index_digest:"idig"
+       ~machine:"intel-like" path
+   with
+  | Ok { cache; status = `Warm n } ->
+      Alcotest.(check int) "entries restored" 3 n;
+      (* This probe bumps k2, so the LRU entry is now k3 (restored order
+         was k2 < k3 < k1 after k1's pre-save touch). *)
+      (match Serve.Cache.find cache "k2" with
+      | Some e -> Alcotest.(check string) "payload" "sched-2" e.Serve.Cache.schedule
+      | None -> Alcotest.fail "restored entry missing");
+      Serve.Cache.add cache "k4" (entry 4);
+      (* Had the load come back in plain insertion order (k1 < k2 < k3),
+         the victim here would be k1, not k3. *)
+      Alcotest.(check bool) "recency survived the roundtrip" true
+        (Serve.Cache.find cache "k3" = None && Serve.Cache.find cache "k1" <> None)
+  | Ok { status = `Invalidated why; _ } -> Alcotest.failf "invalidated: %s" why
+  | Error e -> Alcotest.failf "load: %s" (Robust.load_error_to_string e));
+  (* A different model digest invalidates wholesale. *)
+  (match
+     Serve.Cache.load ~model_digest:"OTHER" ~index_digest:"idig"
+       ~machine:"intel-like" path
+   with
+  | Ok { cache; status = `Invalidated _ } ->
+      Alcotest.(check int) "invalidated cache is empty" 0 (Serve.Cache.size cache)
+  | Ok { status = `Warm _; _ } -> Alcotest.fail "stale snapshot reused"
+  | Error e -> Alcotest.failf "load: %s" (Robust.load_error_to_string e));
+  (* Flipping a payload byte is a typed checksum error. *)
+  let raw =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let pos = String.length raw - 3 in
+  let mangled =
+    String.mapi (fun i c -> if i = pos then (if c = 'x' then 'y' else 'x') else c) raw
+  in
+  let oc = open_out_bin path in
+  output_string oc mangled;
+  close_out oc;
+  (match
+     Serve.Cache.load ~model_digest:"mdig" ~index_digest:"idig"
+       ~machine:"intel-like" path
+   with
+  | Error (Robust.Bad_checksum _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Robust.load_error_to_string e)
+  | Ok _ -> Alcotest.fail "corrupt snapshot loaded");
+  rm_rf dir
+
+(* Crash at every write point during a cache save: loading must yield the
+   previous complete snapshot or a clean typed error — never garbage. *)
+let test_cache_crash_sweep () =
+  let dir = tmpdir "waco-serve-sweep" in
+  let path = Filename.concat dir "cache.waco" in
+  let load () =
+    Serve.Cache.load ~model_digest:"mdig" ~index_digest:"idig"
+      ~machine:"intel-like" path
+  in
+  let crash_sweep ~save ~check =
+    Robust.Faults.reset ();
+    let n = ref 1 in
+    let finished = ref false in
+    while not !finished do
+      Robust.Faults.arm_fail_nth_write !n;
+      (match save () with
+      | () -> finished := true
+      | exception Robust.Faults.Injected _ -> ());
+      Robust.Faults.reset ();
+      if not !finished then begin
+        check !n;
+        incr n;
+        if !n > 16 then Alcotest.fail "sweep did not terminate"
+      end
+    done;
+    !n - 1
+  in
+  let c1 = mk_cache ~capacity:8 () in
+  Serve.Cache.add c1 "k1" (entry 1);
+  (* Phase 1: no previous snapshot — a crash must never leave a loadable
+     partial file. *)
+  let points =
+    crash_sweep
+      ~save:(fun () -> Serve.Cache.save c1 path)
+      ~check:(fun n ->
+        match load () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "crash %d left a loadable partial cache" n)
+  in
+  Alcotest.(check int) "three write points per atomic save" 3 points;
+  (* Phase 2: snapshot with 1 entry on disk; crashes while saving 2 entries
+     must preserve the 1-entry snapshot exactly. *)
+  Serve.Cache.add c1 "k2" (entry 2);
+  ignore
+    (crash_sweep
+       ~save:(fun () -> Serve.Cache.save c1 path)
+       ~check:(fun n ->
+         match load () with
+         | Ok { status = `Warm 1; _ } -> ()
+         | Ok { status = `Warm k; _ } ->
+             Alcotest.failf "crash %d: %d entries (want previous snapshot's 1)" n k
+         | Ok { status = `Invalidated why; _ } ->
+             Alcotest.failf "crash %d invalidated: %s" n why
+         | Error e ->
+             Alcotest.failf "crash %d lost the previous snapshot: %s" n
+               (Robust.load_error_to_string e)));
+  (* The sweep's final iteration completed cleanly. *)
+  (match load () with
+  | Ok { status = `Warm 2; _ } -> ()
+  | _ -> Alcotest.fail "clean save did not land");
+  rm_rf dir
+
+(* ====================================================================== *)
+(* Request scheduler (batch level, no socket)                             *)
+(* ====================================================================== *)
+
+let query_of ?(measure = true) ?(qid = "q") m =
+  let entries =
+    Array.init (Coo.nnz m) (fun k ->
+        (m.Coo.rows.(k), m.Coo.cols.(k), m.Coo.vals.(k)))
+  in
+  {
+    Serve.Protocol.qid;
+    source =
+      Serve.Protocol.Inline
+        { nrows = m.Coo.nrows; ncols = m.Coo.ncols; entries };
+    measure;
+  }
+
+let schedule_of = function
+  | Serve.Protocol.Answer a -> a.Serve.Protocol.schedule
+  | Serve.Protocol.Error_msg e -> Alcotest.failf "query failed: %s" e
+  | _ -> Alcotest.fail "non-answer response"
+
+let test_batch_dedup_and_hits () =
+  let server = mk_server () in
+  let m = small_matrix 1 in
+  let metrics = Serve.Server.metrics server in
+  (* Four identical queries in one micro-batch: one extractor forward, one
+     traversal, four identical answers. *)
+  let responses =
+    Serve.Server.process_batch server (List.init 4 (fun i -> query_of ~qid:(string_of_int i) m))
+  in
+  Alcotest.(check int) "four answers" 4 (List.length responses);
+  let scheds = List.map schedule_of responses in
+  List.iter
+    (fun s -> Alcotest.(check string) "identical schedules" (List.hd scheds) s)
+    scheds;
+  Alcotest.(check (option int)) "one forward for four queries" (Some 1)
+    (Serve.Metrics.counter metrics "extractor_forwards");
+  Alcotest.(check (option int)) "one traversal" (Some 1)
+    (Serve.Metrics.counter metrics "traversals");
+  Alcotest.(check (option int)) "four misses" (Some 4)
+    (Serve.Metrics.counter metrics "cache_misses");
+  List.iter
+    (function
+      | Serve.Protocol.Answer a ->
+          Alcotest.(check bool) "first round: miss" false a.Serve.Protocol.cache_hit
+      | _ -> Alcotest.fail "non-answer")
+    responses;
+  (* Second round: all hits, no new forwards. *)
+  let responses2 = Serve.Server.process_batch server [ query_of m; query_of m ] in
+  List.iter
+    (function
+      | Serve.Protocol.Answer a ->
+          Alcotest.(check bool) "second round: hit" true a.Serve.Protocol.cache_hit;
+          Alcotest.(check string) "same schedule from cache" (List.hd scheds)
+            a.Serve.Protocol.schedule
+      | _ -> Alcotest.fail "non-answer")
+    responses2;
+  Alcotest.(check (option int)) "still one forward" (Some 1)
+    (Serve.Metrics.counter metrics "extractor_forwards");
+  Alcotest.(check (option int)) "two hits" (Some 2)
+    (Serve.Metrics.counter metrics "cache_hits");
+  (* Distinct matrices in one batch compute separately. *)
+  let m2 = small_matrix 2 in
+  ignore (Serve.Server.process_batch server [ query_of m; query_of m2 ]);
+  Alcotest.(check (option int)) "new pattern -> one more forward" (Some 2)
+    (Serve.Metrics.counter metrics "extractor_forwards")
+
+let test_batch_measure_modes_and_errors () =
+  let server = mk_server () in
+  let m = small_matrix 1 in
+  (* measure=false returns NaN measured and caches under a separate key. *)
+  (match Serve.Server.process_batch server [ query_of ~measure:false m ] with
+  | [ Serve.Protocol.Answer a ] ->
+      Alcotest.(check bool) "predict-only: NaN measured" true
+        (Float.is_nan a.Serve.Protocol.measured);
+      Alcotest.(check bool) "predict-only: miss" false a.Serve.Protocol.cache_hit
+  | _ -> Alcotest.fail "predict-only query failed");
+  (match Serve.Server.process_batch server [ query_of ~measure:true m ] with
+  | [ Serve.Protocol.Answer a ] ->
+      Alcotest.(check bool) "measured run is a separate cache key" false
+        a.Serve.Protocol.cache_hit;
+      Alcotest.(check bool) "measured is finite" true
+        (Float.is_finite a.Serve.Protocol.measured)
+  | _ -> Alcotest.fail "measured query failed");
+  (* A request with an unreadable path errors on its own; the rest of the
+     batch still answers. *)
+  let bad =
+    {
+      Serve.Protocol.qid = "bad";
+      source = Serve.Protocol.Path "/nonexistent/missing.mtx";
+      measure = true;
+    }
+  in
+  (match Serve.Server.process_batch server [ bad; query_of m ] with
+  | [ Serve.Protocol.Error_msg _; Serve.Protocol.Answer a ] ->
+      Alcotest.(check bool) "good request unaffected" true
+        a.Serve.Protocol.cache_hit
+  | _ -> Alcotest.fail "mixed batch misbehaved");
+  Alcotest.(check (option int)) "request error counted" (Some 1)
+    (Serve.Metrics.counter (Serve.Server.metrics server) "request_errors")
+
+(* Worker-pool answers must be byte-identical to the sequential ones. *)
+let test_batch_pool_determinism () =
+  let seq = mk_server () in
+  let pool = Parallel.Pool.create ~domains:2 in
+  let par = mk_server ~pool () in
+  let batch = List.init 3 (fun i -> query_of (small_matrix (40 + i))) in
+  let s1 = List.map schedule_of (Serve.Server.process_batch seq batch) in
+  let s2 = List.map schedule_of (Serve.Server.process_batch par batch) in
+  Parallel.Pool.shutdown pool;
+  List.iter2 (Alcotest.(check string) "pool-invariant schedule") s1 s2
+
+(* ====================================================================== *)
+(* Model/index compatibility (load-time + lint A008)                      *)
+(* ====================================================================== *)
+
+let test_validate_compat () =
+  let model, index = Lazy.force fixture in
+  (* The matched pair passes. *)
+  Waco.Tuner.validate_compat model ~index_file:"<fixture>" index;
+  (* A mismatched index raises a clear typed error at load time. *)
+  let wrong_dim = Waco.Costmodel.embed_dim model + 1 in
+  let hnsw = Anns.Hnsw.create ~dim:wrong_dim (Rng.create 5) in
+  Anns.Hnsw.insert hnsw (Array.make wrong_dim 0.0)
+    (Space.sample (Rng.create 6) algo ~dims:[| 48; 48 |]);
+  let bad =
+    { index with Waco.Tuner.hnsw; corpus_size = 1; lint_rejected = 0 }
+  in
+  (match Waco.Tuner.validate_compat model ~index_file:"pair.idx" bad with
+  | () -> Alcotest.fail "mismatched pair accepted"
+  | exception Robust.Load_error (Robust.Malformed { file; reason }) ->
+      Alcotest.(check string) "cites the index file" "pair.idx" file;
+      Alcotest.(check bool) "names both dimensions" true
+        (let has s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has reason (string_of_int wrong_dim)
+         && has reason (string_of_int (Waco.Costmodel.embed_dim model))));
+  (* Server.create runs the same validation before binding anything. *)
+  match
+    Serve.Server.create ~model ~index:bad ~index_file:"pair.idx" ~machine
+      ~socket:"unused.sock" ()
+  with
+  | _ -> Alcotest.fail "server accepted a mismatched pair"
+  | exception Robust.Load_error _ -> ()
+
+let test_lint_a008 () =
+  let model, index = Lazy.force fixture in
+  let dir = tmpdir "waco-a008" in
+  let mpath = Filename.concat dir "model.waco" in
+  let ipath = Filename.concat dir "index.waco" in
+  Waco.Costmodel.save model mpath;
+  Waco.Tuner.save_index index ipath;
+  (* The matched pair lints clean. *)
+  Alcotest.(check int) "A008 silent on a matched pair" 0
+    (List.length (Analysis.Model_check.check_index_compat ~model:mpath ~index:ipath));
+  Alcotest.(check int) "index artifact lints clean" 0
+    (List.length (Analysis.Model_check.check_index ipath));
+  (* A doctored index dimension trips A008. *)
+  let wrong = Waco.Costmodel.embed_dim model + 3 in
+  Robust.write_artifact ~kind:Robust.Kind.index ipath
+    (Printf.sprintf "INDEX 1 0\nHNSW %d 8 32 0 -1 0\n" wrong);
+  (match Analysis.Model_check.check_index_compat ~model:mpath ~index:ipath with
+  | [ d ] ->
+      Alcotest.(check string) "code" "WACO-A008" (Diag.code d);
+      Alcotest.(check bool) "severity error" true (Diag.severity d = Diag.Error)
+  | ds -> Alcotest.failf "expected one A008, got %d diagnostics" (List.length ds));
+  (* An unreadable artifact stays silent here (per-artifact passes own it). *)
+  Sys.remove mpath;
+  Alcotest.(check int) "silent when the model is missing" 0
+    (List.length (Analysis.Model_check.check_index_compat ~model:mpath ~index:ipath));
+  (* check_index maps envelope damage to the artifact codes. *)
+  Robust.write_artifact ~kind:Robust.Kind.model ipath "not an index\n";
+  (match Analysis.Model_check.check_index ipath with
+  | [ d ] -> Alcotest.(check string) "wrong kind -> A007" "WACO-A007" (Diag.code d)
+  | _ -> Alcotest.fail "wrong-kind index artifact not flagged");
+  rm_rf dir
+
+(* ====================================================================== *)
+(* End-to-end: forked daemon, concurrent clients, kill + warm restart     *)
+(* ====================================================================== *)
+
+let wait_connect path =
+  let rec go attempts =
+    match Serve.Client.connect path with
+    | c -> c
+    | exception Unix.Unix_error _ when attempts > 0 ->
+        Unix.sleepf 0.05;
+        go (attempts - 1)
+  in
+  go 200
+
+let spawn_daemon ~socket ~cache_file () =
+  let env =
+    Array.append (Unix.environment ())
+      [|
+        "WACO_TEST_SERVE_SOCKET=" ^ socket; "WACO_TEST_SERVE_CACHE=" ^ cache_file;
+      |]
+  in
+  Unix.create_process_env Sys.executable_name
+    [| Sys.executable_name |]
+    env Unix.stdin Unix.stdout Unix.stderr
+
+let json_has json fragment =
+  let n = String.length json and m = String.length fragment in
+  let rec go i = i + m <= n && (String.sub json i m = fragment || go (i + 1)) in
+  go 0
+
+let test_e2e_daemon () =
+  let dir = tmpdir "waco-serve-e2e" in
+  let socket = Filename.concat dir "waco.sock" in
+  let cache_file = Filename.concat dir "cache.waco" in
+  let mtx = Filename.concat dir "m.mtx" in
+  Mmio.write_coo mtx (small_matrix 1);
+  let pid1 = spawn_daemon ~socket ~cache_file () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid1) with Unix.Unix_error _ -> ());
+      rm_rf dir)
+    (fun () ->
+      (* Round 1: four concurrent clients, all asking about the same
+         matrix, must get identical schedules. *)
+      let clients = Array.init 4 (fun _ -> wait_connect socket) in
+      Array.iteri
+        (fun i c ->
+          Serve.Client.send c
+            (Serve.Protocol.Query
+               {
+                 qid = Printf.sprintf "c%d" i;
+                 source = Serve.Protocol.Path mtx;
+                 measure = true;
+               }))
+        clients;
+      let answers =
+        Array.map
+          (fun c ->
+            match Serve.Client.recv c with
+            | Serve.Protocol.Answer a -> a
+            | Serve.Protocol.Error_msg e -> Alcotest.failf "query failed: %s" e
+            | _ -> Alcotest.fail "non-answer response")
+          clients
+      in
+      let sched = answers.(0).Serve.Protocol.schedule in
+      Array.iter
+        (fun (a : Serve.Protocol.answer) ->
+          Alcotest.(check string) "identical schedules across clients" sched
+            a.Serve.Protocol.schedule)
+        answers;
+      Alcotest.(check bool) "schedule is non-empty" true (String.length sched > 0);
+      let stats1 =
+        match Serve.Client.stats clients.(0) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "stats: %s" e
+      in
+      let forwards1 =
+        Option.value ~default:(-1)
+          (Serve.Metrics.json_counter stats1 "extractor_forwards")
+      in
+      Alcotest.(check bool) "at least one forward, at most one per client" true
+        (forwards1 >= 1 && forwards1 <= 4);
+      (* Round 2: same queries again — all cache hits, not one new
+         extractor forward. *)
+      Array.iter
+        (fun c ->
+          match
+            Serve.Client.query ~qid:"round2" c (Serve.Protocol.Path mtx)
+          with
+          | Ok a ->
+              Alcotest.(check bool) "round 2 hits the cache" true
+                a.Serve.Protocol.cache_hit;
+              Alcotest.(check string) "round 2 schedule unchanged" sched
+                a.Serve.Protocol.schedule
+          | Error e -> Alcotest.failf "round 2: %s" e)
+        clients;
+      let stats2 =
+        match Serve.Client.stats clients.(0) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "stats: %s" e
+      in
+      Alcotest.(check (option int)) "no new forwards in round 2"
+        (Some forwards1)
+        (Serve.Metrics.json_counter stats2 "extractor_forwards");
+      Alcotest.(check bool) "hits counted" true
+        (match Serve.Metrics.json_counter stats2 "cache_hits" with
+        | Some h -> h >= 4
+        | None -> false);
+      Array.iter Serve.Client.close clients;
+      (* Kill the daemon outright: no graceful persist — the write-through
+         cache file on disk is all the next incarnation gets. *)
+      Unix.kill pid1 Sys.sigkill;
+      ignore (Unix.waitpid [] pid1);
+      Alcotest.(check bool) "write-through snapshot exists" true
+        (Sys.file_exists cache_file);
+      (* Restart: answers must come from the persisted cache without a
+         single extractor forward or index traversal. *)
+      let pid2 = spawn_daemon ~socket ~cache_file () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid2) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let c = wait_connect socket in
+          (match Serve.Client.query ~qid:"warm" c (Serve.Protocol.Path mtx) with
+          | Ok a ->
+              Alcotest.(check bool) "warm restart answers from cache" true
+                a.Serve.Protocol.cache_hit;
+              Alcotest.(check string) "schedule survived the restart" sched
+                a.Serve.Protocol.schedule
+          | Error e -> Alcotest.failf "warm query: %s" e);
+          let stats3 =
+            match Serve.Client.stats c with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "stats: %s" e
+          in
+          Alcotest.(check (option int)) "zero forwards after restart" (Some 0)
+            (Serve.Metrics.json_counter stats3 "extractor_forwards");
+          Alcotest.(check (option int)) "zero traversals after restart" (Some 0)
+            (Serve.Metrics.json_counter stats3 "traversals");
+          Alcotest.(check bool) "stats report a warm cache" true
+            (json_has stats3 "\"cache_status\": \"warm(");
+          (* Graceful shutdown persists and unbinds. *)
+          Alcotest.(check bool) "clean shutdown" true (Serve.Client.shutdown c);
+          Serve.Client.close c;
+          ignore (Unix.waitpid [] pid2);
+          Alcotest.(check bool) "socket unlinked on shutdown" false
+            (Sys.file_exists socket)))
+
+(* A client speaking garbage gets an error (or a dropped connection) while
+   the daemon keeps serving everyone else. *)
+let test_e2e_hostile_client () =
+  let dir = tmpdir "waco-serve-hostile" in
+  let socket = Filename.concat dir "waco.sock" in
+  let pid = spawn_daemon ~socket ~cache_file:(Filename.concat dir "c.waco") () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      rm_rf dir)
+    (fun () ->
+      let good = wait_connect socket in
+      (* Damaged framing: the daemon answers with an error frame and drops
+         the connection. *)
+      let hostile = wait_connect socket in
+      Serve.Client.send hostile Serve.Protocol.Ping;
+      (match Serve.Client.recv hostile with
+      | Serve.Protocol.Pong -> ()
+      | _ -> Alcotest.fail "hostile client's ping failed");
+      let fd_writer = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd_writer (Unix.ADDR_UNIX socket);
+      let garbage = Bytes.of_string "XXXXGARBAGEGARBAGE" in
+      ignore (Unix.write fd_writer garbage 0 (Bytes.length garbage));
+      (* Undecodable body in a valid frame: error response, connection
+         stays up. *)
+      Serve.Client.send hostile
+        (Serve.Protocol.Query
+           { qid = "x"; source = Serve.Protocol.Path ""; measure = true });
+      (* An empty path field is a body-level decode error. *)
+      (match Serve.Client.recv hostile with
+      | Serve.Protocol.Error_msg _ -> ()
+      | _ -> Alcotest.fail "undecodable body not answered with an error");
+      Alcotest.(check bool) "connection survives a body error" true
+        (Serve.Client.ping hostile);
+      (* The well-behaved client is unaffected throughout. *)
+      Alcotest.(check bool) "good client still served" true
+        (Serve.Client.ping good);
+      (match Serve.Client.stats good with
+      | Ok json ->
+          Alcotest.(check bool) "protocol errors counted" true
+            (match Serve.Metrics.json_counter json "protocol_errors" with
+            | Some n -> n >= 1
+            | None -> false)
+      | Error e -> Alcotest.failf "stats: %s" e);
+      Unix.close fd_writer;
+      Serve.Client.close hostile;
+      Alcotest.(check bool) "shutdown" true (Serve.Client.shutdown good);
+      Serve.Client.close good;
+      ignore (Unix.waitpid [] pid))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "framing damage" `Quick test_framing_damage;
+          Alcotest.test_case "inline validation" `Quick test_inline_validation;
+          Alcotest.test_case "fuzz: decoder is total" `Quick test_fuzz_total;
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "sketch + key" `Quick test_fingerprint ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru;
+          Alcotest.test_case "persistence + invalidation" `Quick
+            test_cache_persistence;
+          Alcotest.test_case "crash sweep" `Slow test_cache_crash_sweep;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "dedup + cache hits" `Slow test_batch_dedup_and_hits;
+          Alcotest.test_case "measure modes + request errors" `Slow
+            test_batch_measure_modes_and_errors;
+          Alcotest.test_case "pool determinism" `Slow test_batch_pool_determinism;
+        ] );
+      ( "compat",
+        [
+          Alcotest.test_case "validate_compat" `Slow test_validate_compat;
+          Alcotest.test_case "lint A008" `Slow test_lint_a008;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "daemon: batch, cache, kill, warm restart" `Slow
+            test_e2e_daemon;
+          Alcotest.test_case "hostile client" `Slow test_e2e_hostile_client;
+        ] );
+    ]
