@@ -755,6 +755,176 @@ let serve_bench ~force () =
       close_out oc;
       Printf.printf "  wrote %s\n%!" bench_serve_file
 
+(* --- asym: static pre-filter effect on the search ----------------------
+
+   The symbolic pre-filter prunes the schedule space before the expensive
+   stages; this bench measures what that buys: index-build latency with the
+   corpus filter on vs off (rejected points skip the NN embedding forward),
+   cold-query latency with the top-k filter on vs off (pruned candidates
+   skip the simulator), the fraction of random candidates the analyzer
+   prunes, and — the safety property — that the final chosen schedule on
+   the seed corpus is identical either way (both tunes run on the shared
+   unfiltered index; the filter only drops ranked candidates it proves can
+   never win).  Results land in BENCH_asym.json; a run whose prune rate or
+   filtered query latency regresses more than 20% against the recorded
+   numbers refuses to overwrite without --force. *)
+
+let bench_asym_file = "BENCH_asym.json"
+
+let asym_bench ~force () =
+  let algo = Algorithm.Spmm 256 in
+  let machine = Machine_model.Machine.intel_like in
+  let seed = Waco.Config.seed () in
+  let model = Waco.Costmodel.create (Rng.create seed) algo in
+  let srng = Rng.create (seed + 1) in
+  let dims = [| 512; 512 |] in
+  let corpus = Array.init 256 (fun _ -> Space.sample srng algo ~dims) in
+  (* Seed matrices the queries run against: one per structure family, all in
+     the hypersparse regime the pre-filter targets — the dense-product / nnz
+     gap (>= 512^2 / 4096 = 64x) clears the analyzer's pruning margin with
+     room to spare.  (Near-dense workloads legitimately switch the filter
+     off: no schedule is asymptotically worse there.) *)
+  let mats =
+    let grng = Rng.create (seed + 2) in
+    List.map
+      (fun (family, nnz) ->
+        {
+          Gen.name = Printf.sprintf "%s_%d" (Gen.family_name family) nnz;
+          Gen.matrix =
+            Gen.generate grng family ~nrows:512 ~ncols:512 ~nnz;
+        })
+      [
+        (Gen.Uniform, 4096);
+        (Gen.Power_law 1.6, 2048);
+        (Gen.Banded 64, 4096);
+        (Gen.Block_dense 8, 2048);
+        (Gen.Rmat, 4096);
+        (Gen.Clustered 16, 1024);
+      ]
+  in
+  (* Prune rate: workload-aware analyzers over fresh random candidates. *)
+  let prune_rate =
+    let total = ref 0 and pruned = ref 0 in
+    List.iter
+      (fun (g : Gen.named) ->
+        let m = g.Gen.matrix in
+        let wl = Machine_model.Workload.of_coo ~id:g.Gen.name m in
+        let az = Asym.Analyzer.of_workload ~algo wl in
+        let cdims = [| m.Coo.nrows; m.Coo.ncols |] in
+        let crng = Rng.create (seed + 3) in
+        for _ = 1 to 128 do
+          incr total;
+          if Asym.Analyzer.prunes az (Space.sample crng algo ~dims:cdims) then
+            incr pruned
+        done)
+      mats;
+    float_of_int !pruned /. float_of_int !total
+  in
+  (* Index build latency, filter off vs on. *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let az_default =
+    Asym.Analyzer.create ~algo (Asym.Analyzer.default_stats ~algo ~dims ())
+  in
+  let index_off, build_off =
+    time (fun () -> Waco.Tuner.build_index (Rng.create (seed + 4)) model corpus)
+  in
+  let index_on, build_on =
+    time (fun () ->
+        Waco.Tuner.build_index ~asym:az_default (Rng.create (seed + 4)) model
+          corpus)
+  in
+  (* Cold queries against the shared unfiltered index, top-k pre-filter off
+     vs on; the chosen schedule must be identical (the zero-change check). *)
+  let query_off = ref 0.0 and query_on = ref 0.0 in
+  let pruned_total = ref 0 and changed = ref 0 in
+  List.iter
+    (fun (g : Gen.named) ->
+      let m = g.Gen.matrix in
+      let wl = Machine_model.Workload.of_coo ~id:g.Gen.name m in
+      let input = Waco.Extractor.input_of_coo ~id:g.Gen.name m in
+      Waco.Costmodel.clear_feature_cache model;
+      let off, t_off =
+        time (fun () ->
+            Waco.Tuner.tune ~k:10 ~asym:false model machine wl input index_off)
+      in
+      Waco.Costmodel.clear_feature_cache model;
+      let on, t_on =
+        time (fun () ->
+            Waco.Tuner.tune ~k:10 model machine wl input index_off)
+      in
+      query_off := !query_off +. t_off;
+      query_on := !query_on +. t_on;
+      pruned_total := !pruned_total + on.Waco.Tuner.asym_pruned;
+      if
+        Superschedule.key on.Waco.Tuner.best
+        <> Superschedule.key off.Waco.Tuner.best
+      then begin
+        incr changed;
+        Printf.printf "  CHANGED answer on %s: %s vs %s\n%!" g.Gen.name
+          (Superschedule.key on.Waco.Tuner.best)
+          (Superschedule.key off.Waco.Tuner.best)
+      end)
+    mats;
+  let n = float_of_int (List.length mats) in
+  let q_off = 1000.0 *. !query_off /. n and q_on = 1000.0 *. !query_on /. n in
+  Printf.printf "  index build : %.2fs off, %.2fs on (%d dropped: %d lint + %d asym)\n"
+    build_off build_on
+    (index_on.Waco.Tuner.lint_rejected + index_on.Waco.Tuner.asym_rejected)
+    index_on.Waco.Tuner.lint_rejected index_on.Waco.Tuner.asym_rejected;
+  Printf.printf "  cold query  : %.2fms off, %.2fms on (avg over %.0f matrices)\n"
+    q_off q_on n;
+  Printf.printf "  prune rate  : %.0f%% of random candidates (%d top-k prunes)\n"
+    (100.0 *. prune_rate) !pruned_total;
+  Printf.printf "  chosen schedule changed on %d/%.0f matrices%s\n" !changed n
+    (if !changed = 0 then " (zero-change holds)" else " — FILTER IS UNSAFE");
+  if prune_rate < 0.3 then
+    Printf.printf "  WARNING: prune rate %.0f%% below the 30%% target\n%!"
+      (100.0 *. prune_rate);
+  (* Regression guard: don't silently clobber better recorded numbers. *)
+  match
+    if Sys.file_exists bench_asym_file && not force then begin
+      let ic = open_in_bin bench_asym_file in
+      let old = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match
+        (json_float_field old "prune_rate", json_float_field old "query_on_ms")
+      with
+      | Some op, Some oq when prune_rate < 0.8 *. op || q_on > 1.2 *. oq ->
+          Some (op, oq)
+      | _ -> None
+    end
+    else None
+  with
+  | Some (op, oq) ->
+      Printf.printf
+        "  REGRESSION > 20%% vs recorded %s (prune rate %.2f -> %.2f, query \
+         %.2fms -> %.2fms); keeping the old file (rerun with --force to \
+         overwrite)\n%!"
+        bench_asym_file op prune_rate oq q_on
+  | None ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "{\n";
+      Printf.bprintf buf "  \"build_off_s\": %.4f,\n" build_off;
+      Printf.bprintf buf "  \"build_on_s\": %.4f,\n" build_on;
+      Printf.bprintf buf "  \"query_off_ms\": %.4f,\n" q_off;
+      Printf.bprintf buf "  \"query_on_ms\": %.4f,\n" q_on;
+      Printf.bprintf buf "  \"prune_rate\": %.4f,\n" prune_rate;
+      Printf.bprintf buf "  \"index_lint_rejected\": %d,\n"
+        index_on.Waco.Tuner.lint_rejected;
+      Printf.bprintf buf "  \"index_asym_rejected\": %d,\n"
+        index_on.Waco.Tuner.asym_rejected;
+      Printf.bprintf buf "  \"topk_pruned\": %d,\n" !pruned_total;
+      Printf.bprintf buf "  \"chosen_changed\": %d\n" !changed;
+      Buffer.add_string buf "}\n";
+      let oc = open_out_bin bench_asym_file in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" bench_asym_file
+
 let canonical_order selected =
   let ordered =
     List.filter_map
@@ -766,6 +936,7 @@ let canonical_order selected =
   @ (if List.mem "kernels" selected then [ "kernels" ] else [])
   @ (if List.mem "scaling" selected then [ "scaling" ] else [])
   @ (if List.mem "serve" selected then [ "serve" ] else [])
+  @ (if List.mem "asym" selected then [ "asym" ] else [])
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -782,6 +953,7 @@ let () =
   List.iter
     (fun a ->
       if a <> "micro" && a <> "scaling" && a <> "kernels" && a <> "serve"
+         && a <> "asym"
          && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
       then Printf.eprintf "unknown target: %s (ignored)\n%!" a)
     selected;
@@ -808,6 +980,12 @@ let () =
         let t = Unix.gettimeofday () in
         serve_bench ~force ();
         Printf.printf "<<< serve done in %.1fs\n%!" (Unix.gettimeofday () -. t)
+      end
+      else if name = "asym" then begin
+        Printf.printf "\n>>> asym — static pre-filter prune rate and latency\n%!";
+        let t = Unix.gettimeofday () in
+        asym_bench ~force ();
+        Printf.printf "<<< asym done in %.1fs\n%!" (Unix.gettimeofday () -. t)
       end
       else
         match List.find_opt (fun (n, _, _) -> n = name) experiment_targets with

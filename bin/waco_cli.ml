@@ -113,6 +113,14 @@ let tune_cmd =
     (* Where the search index came from — a reloaded snapshot skips the
        rebuild, and the user should be able to tell which path they got. *)
     let provenance = ref "built fresh" in
+    (* Per-reason pre-filter tallies for the summary line: what the index
+       build dropped, per Asym.Prefilter reason. *)
+    let idx_lint = ref 0 and idx_asym = ref 0 in
+    let note_counts (index : Waco.Tuner.index) =
+      idx_lint := index.Waco.Tuner.lint_rejected;
+      idx_asym := index.Waco.Tuner.asym_rejected;
+      index
+    in
     let r =
       match
         let model, corpus =
@@ -152,13 +160,16 @@ let tune_cmd =
               provenance :=
                 Printf.sprintf "snapshot %s (%d schedules)" file
                   index.Waco.Tuner.corpus_size;
-              index
+              note_counts index
           | None ->
-              let index = Waco.Tuner.build_index ?pool rng model corpus in
+              let az = Asym.Analyzer.of_workload ~algo wl in
+              let index =
+                Waco.Tuner.build_index ?pool ~asym:az rng model corpus
+              in
               provenance :=
                 Printf.sprintf "built fresh (%d schedules, %.2fs)"
                   index.Waco.Tuner.corpus_size index.Waco.Tuner.build_seconds;
-              index
+              note_counts index
         in
         (match save_index_file with
         | Some file ->
@@ -185,6 +196,9 @@ let tune_cmd =
       r.Waco.Tuner.feature_seconds r.Waco.Tuner.search_seconds r.Waco.Tuner.cost_evals;
     Printf.printf "index    : %s\n"
       (if r.Waco.Tuner.degraded then "unused (degraded run)" else !provenance);
+    Printf.printf "prefilter: index dropped %d (lint) + %d (asym); query pruned \
+                   %d candidates (asym)\n"
+      !idx_lint !idx_asym r.Waco.Tuner.asym_pruned;
     Printf.printf "degraded : %s\n"
       (match r.Waco.Tuner.degraded_reason with
       | Some why -> "yes (" ^ why ^ ")"
@@ -492,38 +506,57 @@ let query_cmd =
       const run $ socket_arg $ matrix $ no_measure $ qid $ stats $ ping
       $ shutdown)
 
-(* --- lint --- *)
+(* --- lint / explain --- *)
+
+let algo_of_cli algo_name =
+  match Algorithm.of_name algo_name with
+  | Some a -> a
+  | None -> invalid_arg ("unknown algorithm: " ^ algo_name)
+
+(* "RxC"-style operand dimensions; empty means 1024 per sparse dim. *)
+let dims_of_cli ~algo ~algo_name dims_text =
+  let rank = Algorithm.sparse_rank algo in
+  if dims_text = "" then Array.make rank 1024
+  else begin
+    let parts = String.split_on_char 'x' dims_text in
+    let parsed =
+      List.map
+        (fun p ->
+          match int_of_string_opt p with
+          | Some v when v >= 1 -> v
+          | _ -> invalid_arg ("bad --dims: " ^ dims_text))
+        parts
+    in
+    if List.length parsed <> rank then
+      invalid_arg
+        (Printf.sprintf "--dims has %d components, %s needs %d"
+           (List.length parsed) algo_name rank);
+    Array.of_list parsed
+  end
+
+(* The asymptotic analyzer for a lint/explain invocation: workload-aware
+   when a matrix is on hand, synthetic default statistics otherwise. *)
+let analyzer_of_cli ~algo ~dims matrix =
+  match matrix with
+  | Some path ->
+      let m = Mmio.read_coo path in
+      Asym.Analyzer.of_workload ~algo (Machine_model.Workload.of_coo ~id:path m)
+  | None -> Asym.Analyzer.create ~algo (Asym.Analyzer.default_stats ~algo ~dims ())
 
 let lint_cmd =
   let run sched_text random_n matrix data_dir model index algo_name dims_text
-      json seed =
-    let algo =
-      match Algorithm.of_name algo_name with
-      | Some a -> a
-      | None -> invalid_arg ("unknown algorithm: " ^ algo_name)
-    in
-    let rank = Algorithm.sparse_rank algo in
-    let dims =
-      if dims_text = "" then Array.make rank 1024
-      else begin
-        let parts = String.split_on_char 'x' dims_text in
-        let parsed =
-          List.map
-            (fun p ->
-              match int_of_string_opt p with
-              | Some v when v >= 1 -> v
-              | _ -> invalid_arg ("bad --dims: " ^ dims_text))
-            parts
-        in
-        if List.length parsed <> rank then
-          invalid_arg
-            (Printf.sprintf "--dims has %d components, %s needs %d"
-               (List.length parsed) algo_name rank);
-        Array.of_list parsed
-      end
-    in
+      asymptotic json seed =
+    let algo = algo_of_cli algo_name in
+    let dims = dims_of_cli ~algo ~algo_name dims_text in
     let acc = ref [] in
     let emit ds = acc := !acc @ ds in
+    (* The asymptotic pass rides along on schedule lints when requested;
+       built lazily so `waco lint --matrix` alone doesn't pay for it. *)
+    let analyzer = lazy (analyzer_of_cli ~algo ~dims matrix) in
+    let check_schedule s =
+      Analysis.Lint.check_schedule ~dims s
+      @ if asymptotic then Asym.Analyzer.check (Lazy.force analyzer) s else []
+    in
     (* One explicit schedule, parsed leniently so structural problems surface
        as diagnostics rather than aborting the whole run. *)
     (match sched_text with
@@ -532,7 +565,7 @@ let lint_cmd =
         match Sched_io.parse ~algo text with
         | Error e ->
             emit [ Diag.error ~code:"WACO-D006" ~loc:"--schedule" "unparseable schedule: %s" e ]
-        | Ok s -> emit (Analysis.Lint.check_schedule ~dims s)));
+        | Ok s -> emit (check_schedule s)));
     (* Random samples from the SuperSchedule space (a smoke test of the
        sampler: legality findings here are generator bugs). *)
     (if random_n > 0 then begin
@@ -542,7 +575,7 @@ let lint_cmd =
          emit
            (List.map
               (Diag.relocate ~prefix:(Printf.sprintf "sample[%d]" i))
-              (Analysis.Lint.check_schedule ~dims s))
+              (check_schedule s))
        done
      end);
     (* Pack a matrix into the canonical formats and verify the physical
@@ -623,6 +656,12 @@ let lint_cmd =
     Arg.(value & opt string "" & info [ "dims" ] ~docv:"RxC"
            ~doc:"Sparse operand dimensions for schedule linting (default 1024 per dim)")
   in
+  let asymptotic =
+    Arg.(value & flag & info [ "asymptotic" ]
+           ~doc:"Also run the symbolic asymptotic-cost pass on the linted \
+                 schedules (WACO-S02x smells); workload-aware when --matrix \
+                 is given, synthetic statistics otherwise")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON")
   in
@@ -632,19 +671,106 @@ let lint_cmd =
        ~man:
          [
            `S Manpage.s_description;
-           `P "Runs the WACO-* diagnostic passes and prints every finding. \
-               Exit status: 0 when clean (hints allowed), 1 with warnings, \
-               2 with errors.";
+           `P "Runs the WACO-* diagnostic passes and prints every finding.";
+           `P "Diagnostic code ranges:";
+           `Pre
+             "  WACO-S00x  format-spec structural legality\n\
+             \  WACO-S01x  schedule legality (split bounds, order, threads)\n\
+             \  WACO-S02x  asymptotic smells (with --asymptotic)\n\
+             \  WACO-P00x  performance smells (heuristic, never errors)\n\
+             \  WACO-F0xx  packed-storage invariants and round-trips\n\
+             \  WACO-D00x  dataset directories and encodings\n\
+             \  WACO-A00x  saved artifacts (model, index, compatibility)";
+           `P "Exit status: 0 when clean (hints allowed), 1 with warnings \
+               (WACO-P00x and warning-level WACO-S02x included), 2 with \
+               errors.";
          ])
     Term.(
       const run $ sched $ random_n $ matrix $ data_dir $ model $ index
-      $ algo_arg $ dims $ json $ seed_arg)
+      $ algo_arg $ dims $ asymptotic $ json $ seed_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run algo_name sched_text matrix dims_text =
+    let algo = algo_of_cli algo_name in
+    let dims = dims_of_cli ~algo ~algo_name dims_text in
+    let az = analyzer_of_cli ~algo ~dims matrix in
+    let s =
+      match sched_text with
+      | None -> Superschedule.fixed_default algo
+      | Some text -> (
+          match Sched_io.parse ~algo text with
+          | Ok s -> s
+          | Error e -> invalid_arg ("unparseable --schedule: " ^ e))
+    in
+    Printf.printf "schedule : %s\n" (Superschedule.describe s);
+    Printf.printf "stats    : %s\n"
+      (if matrix = None then "synthetic (pass --matrix for workload-aware)"
+       else "workload of " ^ Option.get matrix);
+    match Asym.Analyzer.explain az s with
+    | exception Invalid_argument e ->
+        Printf.printf "cost     : (structurally illegal: %s)\n" e;
+        exit 2
+    | cost_text ->
+        Printf.printf "cost     : %s\n" cost_text;
+        Printf.printf "baseline : %s (fixed CSR)\n"
+          (Asym.Analyzer.explain az (Superschedule.fixed_default algo));
+        let reading =
+          match Asym.Analyzer.verdict az s with
+          | Asym.Expr.Equal -> "same asymptotic class as the baseline"
+          | Asym.Expr.Dominates -> "asymptotically worse than the baseline"
+          | Asym.Expr.Dominated -> "asymptotically better than the baseline"
+          | Asym.Expr.Incomparable -> "incomparable with the baseline"
+        in
+        Printf.printf "verdict  : %s (%s)\n"
+          (Asym.Expr.verdict_name (Asym.Analyzer.verdict az s))
+          reading;
+        Printf.printf "prefilter: %s\n"
+          (if Asym.Analyzer.prunes az s then
+             "would prune this schedule before any model forward"
+           else "keeps this schedule in the search");
+        match Asym.Analyzer.check az s with
+        | [] -> ()
+        | smells -> print_string (Diag.render_text (Diag.sort smells))
+  in
+  let sched =
+    Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"SCHED"
+           ~doc:"Schedule to explain, in the dataset encoding (default: the \
+                 fixed-CSR baseline schedule)")
+  in
+  let matrix =
+    Arg.(value & opt (some string) None & info [ "matrix" ] ~docv:"FILE"
+           ~doc:"Derive the workload statistics (dimension sizes, nnz, fill \
+                 fractions) from this MatrixMarket file")
+  in
+  let dims =
+    Arg.(value & opt string "" & info [ "dims" ] ~docv:"RxC"
+           ~doc:"Operand dimensions for the synthetic statistics (default \
+                 1024 per dim; ignored with --matrix)")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Print a schedule's symbolic asymptotic cost and its verdict \
+             against the fixed-CSR baseline"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Renders the normalized asymptotic cost expression the static \
+               pre-filter assigns to a schedule — e.g. $(b,nnz*J + Ni) for \
+               the CSR SpMM baseline — compares it with the fixed-CSR \
+               baseline under the dominance order, and lists any WACO-S02x \
+               asymptotic smells.";
+           `P "Exit status: 0 on success, 2 for a structurally illegal \
+               schedule (lint it first).";
+         ])
+    Term.(const run $ algo_arg $ sched $ matrix $ dims)
 
 let main =
   Cmd.group (Cmd.info "waco" ~version:"1.0" ~doc:"WACO reproduction toolkit")
     [
       gen_cmd; inspect_cmd; tune_cmd; collect_cmd; train_cmd; serve_cmd;
-      query_cmd; lint_cmd;
+      query_cmd; lint_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval main)

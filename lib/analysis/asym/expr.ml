@@ -1,0 +1,229 @@
+(* Symbolic asymptotic cost expressions: normalized sums of monomials over
+   dimension sizes N_d, per-dimension fill fractions F_d (<= 1), nnz, the
+   dense inner trip count J, and the discordance log factor.
+
+   The dominance order treats expressions as complexity classes.  Soundness
+   rests on five relations that hold for every workload:
+
+     nnz <= prod_d N_d     nnz >= 1     F_d <= 1     J >= 1     log >= 1
+
+   so a monomial's excess nnz powers may be promoted to prod_d N_d before
+   the pointwise exponent comparison, excess nnz powers on the dominating
+   side cost nothing, and F_d exponents compare reversed (more fill factors
+   mean a *smaller* term).  Coefficients are ignored — big-O — which is why
+   the pre-filter pairs the symbolic verdict with a numeric margin. *)
+
+type mono = {
+  coeff : float;
+  ns : int array;
+  fs : int array;
+  nnz : int;
+  j : int;
+  logn : int;
+}
+
+type t = { rank : int; terms : mono list }
+
+let mono_one rank =
+  {
+    coeff = 1.0;
+    ns = Array.make rank 0;
+    fs = Array.make rank 0;
+    nnz = 0;
+    j = 0;
+    logn = 0;
+  }
+
+let total_degree m =
+  Array.fold_left ( + ) 0 m.ns + m.nnz + m.j + m.logn
+
+(* Canonical term order: descending total degree, then descending exponent
+   vectors — deterministic, so rendered golden strings are stable. *)
+let mono_compare a b =
+  let c = Stdlib.compare (total_degree b) (total_degree a) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare b.ns a.ns in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare b.nnz a.nnz in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare b.j a.j in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare b.logn a.logn in
+          if c <> 0 then c
+          else
+            let c = Stdlib.compare a.fs b.fs in
+            if c <> 0 then c else Stdlib.compare a.coeff b.coeff
+
+let same_exponents a b =
+  a.ns = b.ns && a.fs = b.fs && a.nnz = b.nnz && a.j = b.j && a.logn = b.logn
+
+let mono_le rank a b =
+  (* Promote a's excess nnz powers to prod_d N_d (nnz <= prod N_d). *)
+  let d = max 0 (a.nnz - b.nnz) in
+  let ok = ref (a.j <= b.j && a.logn <= b.logn) in
+  for i = 0 to rank - 1 do
+    if a.ns.(i) + d > b.ns.(i) then ok := false;
+    (* F_i <= 1: the smaller term needs at least as many fill factors. *)
+    if a.fs.(i) < b.fs.(i) then ok := false
+  done;
+  !ok
+
+let normalize (e : t) =
+  (* 1. Merge terms with identical exponent vectors. *)
+  let merged =
+    List.fold_left
+      (fun acc m ->
+        let rec go = function
+          | [] -> [ m ]
+          | h :: tl when same_exponents h m ->
+              { h with coeff = h.coeff +. m.coeff } :: tl
+          | h :: tl -> h :: go tl
+        in
+        go acc)
+      [] e.terms
+  in
+  let merged = List.filter (fun m -> m.coeff > 0.0) merged in
+  (* 2. Absorb terms strictly dominated by another term of the sum (big-O);
+     strictness keeps mutually-dominating pairs from annihilating. *)
+  let absorbed =
+    List.filter
+      (fun m ->
+        not
+          (List.exists
+             (fun m' ->
+               (not (same_exponents m m'))
+               && mono_le e.rank m m'
+               && not (mono_le e.rank m' m))
+             merged))
+      merged
+  in
+  { e with terms = List.sort mono_compare absorbed }
+
+let const rank c =
+  if c <= 0.0 then invalid_arg "Expr.const: coefficient must be > 0";
+  { rank; terms = [ { (mono_one rank) with coeff = c } ] }
+
+let dim ?(coeff = 1.0) rank d =
+  let m = mono_one rank in
+  m.ns.(d) <- 1;
+  { rank; terms = [ { m with coeff } ] }
+
+let fill_dim rank d =
+  let m = mono_one rank in
+  m.ns.(d) <- 1;
+  m.fs.(d) <- 1;
+  { rank; terms = [ m ] }
+
+let nnz_sym rank = { rank; terms = [ { (mono_one rank) with nnz = 1 } ] }
+
+let j_sym rank = { rank; terms = [ { (mono_one rank) with j = 1 } ] }
+
+let log_sym rank = { rank; terms = [ { (mono_one rank) with logn = 1 } ] }
+
+let add e1 e2 =
+  if e1.rank <> e2.rank then invalid_arg "Expr.add: rank mismatch";
+  normalize { rank = e1.rank; terms = e1.terms @ e2.terms }
+
+let mul_mono a b =
+  {
+    coeff = a.coeff *. b.coeff;
+    ns = Array.map2 ( + ) a.ns b.ns;
+    fs = Array.map2 ( + ) a.fs b.fs;
+    nnz = a.nnz + b.nnz;
+    j = a.j + b.j;
+    logn = a.logn + b.logn;
+  }
+
+let mul e1 e2 =
+  if e1.rank <> e2.rank then invalid_arg "Expr.mul: rank mismatch";
+  normalize
+    {
+      rank = e1.rank;
+      terms =
+        List.concat_map (fun a -> List.map (mul_mono a) e2.terms) e1.terms;
+    }
+
+let scale c e =
+  if c <= 0.0 then invalid_arg "Expr.scale: factor must be > 0";
+  { e with terms = List.map (fun m -> { m with coeff = c *. m.coeff }) e.terms }
+
+let le e1 e2 =
+  List.for_all
+    (fun m -> List.exists (mono_le e1.rank m) e2.terms)
+    e1.terms
+
+type verdict = Equal | Dominates | Dominated | Incomparable
+
+let compare e1 e2 =
+  match (le e1 e2, le e2 e1) with
+  | true, true -> Equal
+  | true, false -> Dominated
+  | false, true -> Dominates
+  | false, false -> Incomparable
+
+let verdict_name = function
+  | Equal -> "equal"
+  | Dominates -> "dominates"
+  | Dominated -> "dominated"
+  | Incomparable -> "incomparable"
+
+type env = {
+  sizes : float array;
+  fills : float array;
+  nnz_v : float;
+  j_v : float;
+  logn_v : float;
+}
+
+let powi x n =
+  let rec go acc n = if n <= 0 then acc else go (acc *. x) (n - 1) in
+  go 1.0 n
+
+let eval_mono env m =
+  let acc = ref m.coeff in
+  Array.iteri (fun d e -> acc := !acc *. powi env.sizes.(d) e) m.ns;
+  Array.iteri (fun d e -> acc := !acc *. powi env.fills.(d) e) m.fs;
+  !acc *. powi env.nnz_v m.nnz *. powi env.j_v m.j *. powi env.logn_v m.logn
+
+let eval env e = List.fold_left (fun acc m -> acc +. eval_mono env m) 0.0 e.terms
+
+(* --- rendering --- *)
+
+let sym_name prefix dim_names d =
+  match dim_names with
+  | Some names when d < Array.length names -> prefix ^ names.(d)
+  | _ -> Printf.sprintf "%s%d" prefix d
+
+let mono_to_string ?dim_names m =
+  let parts = ref [] in
+  let push s = parts := s :: !parts in
+  let pow s n = if n = 1 then s else Printf.sprintf "%s^%d" s n in
+  if m.nnz > 0 then push (pow "nnz" m.nnz);
+  Array.iteri
+    (fun d e -> if e > 0 then push (pow (sym_name "N" dim_names d) e))
+    m.ns;
+  Array.iteri
+    (fun d e -> if e > 0 then push (pow (sym_name "F" dim_names d) e))
+    m.fs;
+  if m.j > 0 then push (pow "J" m.j);
+  if m.logn > 0 then push (pow "log" m.logn);
+  let syms = String.concat "*" (List.rev !parts) in
+  if syms = "" then Printf.sprintf "%g" m.coeff
+  else if Float.abs (m.coeff -. 1.0) < 1e-9 then syms
+  else if
+    (* Split reciprocals read better as divisions: Ni/16, not 0.0625*Ni. *)
+    m.coeff < 1.0
+    && Float.abs (Float.rem (1.0 /. m.coeff) 1.0) < 1e-6
+  then Printf.sprintf "%s/%g" syms (Float.round (1.0 /. m.coeff))
+  else Printf.sprintf "%g*%s" m.coeff syms
+
+let to_string ?dim_names e =
+  match e.terms with
+  | [] -> "0"
+  | terms -> String.concat " + " (List.map (mono_to_string ?dim_names) terms)
+
+let pp ppf e = Fmt.string ppf (to_string e)

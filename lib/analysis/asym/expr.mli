@@ -1,0 +1,105 @@
+(** Symbolic asymptotic cost expressions (after Ahrens & Kjolstad's
+    asymptotic cost model for sparse tensor programs): normalized sums of
+    monomials over
+
+    - [N_d] — the size of logical dimension [d];
+    - [F_d] — the nonempty fraction of dimension [d] (fill statistic from
+      the workload's per-dimension histograms, always <= 1);
+    - [nnz] — the sparse operand's nonzero count;
+    - [J]   — the algorithm's dense inner trip count;
+    - [log] — the log(nnz/row) search factor discordant traversal pays.
+
+    The partial dominance order compares two expressions as asymptotic
+    complexity classes using the sound relations [nnz <= prod N_d],
+    [nnz >= 1], [F_d <= 1], [J >= 1] and [log >= 1]; coefficients are
+    ignored (callers combine the symbolic verdict with a numeric
+    magnitude margin from {!eval}). *)
+
+type mono = {
+  coeff : float;  (** > 0 *)
+  ns : int array;  (** exponent of [N_d] per logical dim *)
+  fs : int array;  (** exponent of [F_d] per logical dim *)
+  nnz : int;
+  j : int;
+  logn : int;
+}
+
+type t = {
+  rank : int;
+  terms : mono list;  (** normalized: merged, absorbed, canonically sorted *)
+}
+
+(** {2 Construction} *)
+
+val const : int -> float -> t
+(** [const rank c]: the constant monomial [c] (must be > 0). *)
+
+val dim : ?coeff:float -> int -> int -> t
+(** [dim rank d]: [coeff * N_d]. *)
+
+val fill_dim : int -> int -> t
+(** [fill_dim rank d]: [F_d * N_d] — the nonempty-coordinate count of
+    dimension [d]. *)
+
+val nnz_sym : int -> t
+
+val j_sym : int -> t
+
+val log_sym : int -> t
+
+val add : t -> t -> t
+
+val mul : t -> t -> t
+
+val scale : float -> t -> t
+
+val normalize : t -> t
+(** Merge monomials with identical exponent vectors, absorb terms
+    asymptotically dominated by another term of the same sum, and sort
+    canonically (descending total degree, then exponents).  All public
+    constructors and operators return normalized expressions already;
+    [normalize] is idempotent. *)
+
+(** {2 Dominance} *)
+
+val mono_le : int -> mono -> mono -> bool
+(** [mono_le rank a b]: [a] is in [O(b)].  Excess [nnz] powers of [a] are
+    converted to [prod_d N_d] (sound: [nnz <= prod N_d]) before the
+    pointwise exponent comparison; excess [nnz] powers of [b] are free
+    ([nnz >= 1]), and [F_d] exponents compare reversed ([F_d <= 1]). *)
+
+val le : t -> t -> bool
+(** [le e1 e2]: every monomial of [e1] is dominated by some monomial of
+    [e2], i.e. [e1] is in [O(e2)]. *)
+
+type verdict =
+  | Equal  (** same asymptotic class *)
+  | Dominates  (** the left cost grows strictly faster (worse) *)
+  | Dominated  (** the left cost grows strictly slower (better) *)
+  | Incomparable
+
+val compare : t -> t -> verdict
+(** [compare e1 e2] reads from [e1]'s perspective as a cost: [Dominates]
+    means [e1] is asymptotically worse than [e2]. *)
+
+val verdict_name : verdict -> string
+
+(** {2 Evaluation and rendering} *)
+
+type env = {
+  sizes : float array;  (** value of [N_d] *)
+  fills : float array;  (** value of [F_d], in (0, 1] *)
+  nnz_v : float;
+  j_v : float;  (** >= 1 *)
+  logn_v : float;  (** >= 1 *)
+}
+
+val eval : env -> t -> float
+
+val eval_mono : env -> mono -> float
+
+val to_string : ?dim_names:string array -> t -> string
+(** Deterministic rendering of the normalized sum, e.g. ["nnz*J + Ni"];
+    [dim_names] (e.g. [[|"i";"k"|]]) names the [N]/[F] symbols. *)
+
+val pp : Format.formatter -> t -> unit

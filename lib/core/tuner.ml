@@ -13,27 +13,37 @@ type index = {
   build_seconds : float;
   corpus_size : int;
   lint_rejected : int; (* corpus points dropped by the legality pre-filter *)
+  asym_rejected : int; (* ... and by the asymptotic-dominance pre-filter *)
 }
 
 (* Embed every corpus schedule and insert it into the HNSW graph.  With
    [lint] (the default), corpus points carrying error-level legality
    diagnostics are dropped before any embedding forward pass: an illegal
    schedule can never be the search's answer, so indexing it only wastes
-   embedder time and pollutes the graph's neighborhoods.
+   embedder time and pollutes the graph's neighborhoods.  With [asym], the
+   same treatment extends to points the symbolic analyzer proves
+   asymptotically dominated by the fixed-CSR baseline — both filters run
+   through the unified [Asym.Prefilter] plumbing and report per-reason
+   counts.
 
    With [pool], the embedding forwards — the dominant cost — run batch-wise
    on per-domain model replicas; insertion stays sequential and in corpus
    order, and replica forwards are bit-identical to the original's, so the
    resulting graph is the same whatever the domain count. *)
-let build_index ?pool ?(m = 12) ?(ef_construction = 60) ?(lint = true) rng model
-    (corpus : Superschedule.t array) =
+let build_index ?pool ?(m = 12) ?(ef_construction = 60) ?(lint = true) ?asym
+    rng model (corpus : Superschedule.t array) =
   let t0 = Unix.gettimeofday () in
-  let kept =
-    if lint then
-      Array.of_list (List.filter Analysis.Lint.accepts (Array.to_list corpus))
-    else corpus
+  let filters =
+    (if lint then [ Asym.Prefilter.lint ] else [])
+    @ match asym with Some a -> [ Asym.Prefilter.asym a ] | None -> []
   in
-  let rejected = Array.length corpus - Array.length kept in
+  let counts = Asym.Prefilter.zero_counts () in
+  let kept =
+    Array.of_list
+      (List.filter
+         (fun s -> Asym.Prefilter.reject filters counts s = None)
+         (Array.to_list corpus))
+  in
   let hnsw = Anns.Hnsw.create ~m ~ef_construction ~dim:Config.embed_dim rng in
   let ed = Config.embed_dim in
   (* Embed in batches to amortize the batched forward. *)
@@ -71,7 +81,8 @@ let build_index ?pool ?(m = 12) ?(ef_construction = 60) ?(lint = true) rng model
     hnsw;
     build_seconds = Unix.gettimeofday () -. t0;
     corpus_size = n;
-    lint_rejected = rejected;
+    lint_rejected = counts.Asym.Prefilter.lint;
+    asym_rejected = counts.Asym.Prefilter.asym;
   }
 
 type result = {
@@ -86,16 +97,20 @@ type result = {
   measured_runs : int;
   measure_failures : int; (* candidates dropped after exhausting retries *)
   measure_retries : int; (* transient measurement errors absorbed by retry *)
+  asym_pruned : int; (* top-k candidates rejected symbolically, unmeasured *)
   degraded : bool;
   degraded_reason : string option;
 }
 
 (* The honest fallback when the learned pipeline is unusable (corrupt model
-   artifact, empty/damaged index, every measurement failing): the fixed-CSR
-   baseline schedule, measured once, flagged so callers never mistake it for
-   a tuned answer. *)
+   artifact, empty/damaged index, every measurement failing): the asymptotic
+   analyzer's guaranteed-not-terrible pick — the fixed-CSR baseline unless a
+   canonical variant is both strictly asymptotically better and numerically
+   better by the analyzer's margin on this workload — measured once and
+   flagged so callers never mistake it for a tuned answer. *)
 let degraded machine (wl : Workload.t) algo ~reason =
-  let s = Superschedule.fixed_default algo in
+  let az = Asym.Analyzer.of_workload ~algo wl in
+  let s = Asym.Analyzer.fallback az in
   let m = Costsim.runtime machine wl s in
   {
     best = s;
@@ -109,12 +124,13 @@ let degraded machine (wl : Workload.t) algo ~reason =
     measured_runs = 1;
     measure_failures = 0;
     measure_retries = 0;
+    asym_pruned = 0;
     degraded = true;
     degraded_reason = Some reason;
   }
 
 let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
-    ?(measure_backoff_s = 0.01) ?measure_budget_s model machine
+    ?(measure_backoff_s = 0.01) ?measure_budget_s ?(asym = true) model machine
     (wl : Workload.t) (input : Extractor.input) (index : index) =
   if Anns.Hnsw.size index.hnsw = 0 then
     degraded machine wl model.Costmodel.algo ~reason:"empty search index"
@@ -130,6 +146,31 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
         ~embedding:(index.hnsw.Anns.Hnsw.nodes.(i)).Anns.Hnsw.vec
     in
     let found, evals = Anns.Hnsw.search_by index.hnsw ~score ~k ~ef () in
+    (* Symbolic pre-filter over the ranked candidates, ahead of the
+       expensive phase: with [asym] (the default), top-k points the analyzer
+       proves asymptotically dominated by the fixed-CSR baseline on this
+       workload are dropped before any "hardware" measurement.  Running the
+       filter after the traversal keeps the graph walk byte-identical to the
+       unfiltered one, so enabling it can only remove measurements of
+       guaranteed-terrible candidates — the surviving ranking, and hence the
+       chosen schedule, never shifts under it. *)
+    let analyzer =
+      if asym then
+        Some (Asym.Analyzer.of_workload ~algo:model.Costmodel.algo wl)
+      else None
+    in
+    let pruned_count = ref 0 in
+    let found =
+      match analyzer with
+      | None -> found
+      | Some az ->
+          List.filter
+            (fun (_, i) ->
+              let p = Asym.Analyzer.prunes az (Anns.Hnsw.get_payload index.hnsw i) in
+              if p then incr pruned_count;
+              not p)
+            found
+    in
     let t2 = Unix.gettimeofday () in
     if not measure then begin
       (* Predict-only mode (the serving daemon's cheap path): trust the
@@ -144,6 +185,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
                ~reason:"traversal returned no candidates")
             with
             cost_evals = evals;
+            asym_pruned = !pruned_count;
           }
       | (pred_cost, id) :: _ ->
           {
@@ -158,6 +200,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
             measured_runs = 0;
             measure_failures = 0;
             measure_retries = 0;
+            asym_pruned = !pruned_count;
             degraded = false;
             degraded_reason = None;
           }
@@ -218,6 +261,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
           measure_failures = !failures;
           measure_retries = retries;
           cost_evals = evals;
+          asym_pruned = !pruned_count;
         }
     | first :: _ ->
         let best_s, best_m, best_p =
@@ -237,6 +281,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
           measured_runs = List.length measured;
           measure_failures = !failures;
           measure_retries = retries;
+          asym_pruned = !pruned_count;
           degraded = false;
           degraded_reason = None;
         }
@@ -249,11 +294,12 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
    model's feature cache, so callers that identify matrices by content
    fingerprint get cross-request feature reuse for free. *)
 let query ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
-    ?measure_budget_s model machine ~id (m : Sptensor.Coo.t) (index : index) =
+    ?measure_budget_s ?asym model machine ~id (m : Sptensor.Coo.t)
+    (index : index) =
   let wl = Workload.of_coo ~id m in
   let input = Extractor.input_of_coo ~id m in
   tune ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
-    ?measure_budget_s model machine wl input index
+    ?measure_budget_s ?asym model machine wl input index
 
 (* A model whose embedding width differs from the index's vector dimension
    would fail deep inside the first traversal (predictor input-row mismatch)
@@ -284,7 +330,8 @@ let validate_compat (model : Costmodel.t) ~index_file (index : index) =
 
 let save_index (index : index) path =
   let buf = Buffer.create 4096 in
-  Printf.bprintf buf "INDEX %d %d\n" index.corpus_size index.lint_rejected;
+  Printf.bprintf buf "INDEX %d %d %d\n" index.corpus_size index.lint_rejected
+    index.asym_rejected;
   Buffer.add_string buf (Anns.Hnsw.dump index.hnsw ~payload:Sched_io.serialize);
   Robust.write_artifact ~kind:Robust.Kind.index path (Buffer.contents buf)
 
@@ -298,27 +345,42 @@ let load_index rng ~(algo : Algorithm.t) path =
   | Some nl -> (
       let first = String.sub payload 0 nl in
       let rest = String.sub payload (nl + 1) (String.length payload - nl - 1) in
-      match String.split_on_char ' ' first with
-      | [ "INDEX"; cs; lr ] -> (
-          match (int_of_string_opt cs, int_of_string_opt lr) with
-          | Some corpus_size, Some lint_rejected -> (
-              let parse_payload text =
-                match Sched_io.parse ~algo text with
-                | Ok s -> s
-                | Error e ->
-                    raise (Anns.Hnsw.Restore_error ("stored schedule: " ^ e))
-              in
-              match Anns.Hnsw.restore rng ~payload:parse_payload rest with
-              | hnsw ->
-                  if hnsw.Anns.Hnsw.dim <> Config.embed_dim then
-                    malformed
-                      (Printf.sprintf
-                         "index embedding dim %d does not match this build's %d"
-                         hnsw.Anns.Hnsw.dim Config.embed_dim)
-                  else { hnsw; build_seconds = 0.0; corpus_size; lint_rejected }
-              | exception Anns.Hnsw.Restore_error reason -> malformed reason)
-          | _ -> malformed ("malformed INDEX line: " ^ first))
-      | _ -> malformed ("missing INDEX line, got: " ^ first))
+      (* Pre-asym snapshots have a two-field INDEX line; read them with an
+         asym count of zero rather than invalidating every existing index. *)
+      let counts =
+        match String.split_on_char ' ' first with
+        | [ "INDEX"; cs; lr ] ->
+            Some (int_of_string_opt cs, int_of_string_opt lr, Some 0)
+        | [ "INDEX"; cs; lr; ar ] ->
+            Some (int_of_string_opt cs, int_of_string_opt lr, int_of_string_opt ar)
+        | _ -> None
+      in
+      match counts with
+      | Some (Some corpus_size, Some lint_rejected, Some asym_rejected) -> (
+          let parse_payload text =
+            match Sched_io.parse ~algo text with
+            | Ok s -> s
+            | Error e ->
+                raise (Anns.Hnsw.Restore_error ("stored schedule: " ^ e))
+          in
+          match Anns.Hnsw.restore rng ~payload:parse_payload rest with
+          | hnsw ->
+              if hnsw.Anns.Hnsw.dim <> Config.embed_dim then
+                malformed
+                  (Printf.sprintf
+                     "index embedding dim %d does not match this build's %d"
+                     hnsw.Anns.Hnsw.dim Config.embed_dim)
+              else
+                {
+                  hnsw;
+                  build_seconds = 0.0;
+                  corpus_size;
+                  lint_rejected;
+                  asym_rejected;
+                }
+          | exception Anns.Hnsw.Restore_error reason -> malformed reason)
+      | Some _ -> malformed ("malformed INDEX line: " ^ first)
+      | None -> malformed ("missing INDEX line, got: " ^ first))
 
 (* The tuner's one-off cost charged in end-to-end comparisons (Fig. 17,
    Table 8): feature extraction + graph search in real seconds, plus the

@@ -10,16 +10,22 @@ open Machine_model
 type index = {
   hnsw : Superschedule.t Anns.Hnsw.t;
   build_seconds : float;
-  corpus_size : int;  (** points actually indexed (after the pre-filter) *)
+  corpus_size : int;  (** points actually indexed (after the pre-filters) *)
   lint_rejected : int;  (** corpus points dropped by the legality pre-filter *)
+  asym_rejected : int;
+      (** ... and by the asymptotic-dominance pre-filter *)
 }
 
 val build_index :
   ?pool:Parallel.Pool.t -> ?m:int -> ?ef_construction:int -> ?lint:bool ->
+  ?asym:Asym.Analyzer.t ->
   Sptensor.Rng.t -> Costmodel.t -> Superschedule.t array -> index
 (** With [lint] (default [true]), corpus schedules carrying error-level
     legality diagnostics ([Analysis.Lint.accepts]) are dropped before any
-    embedding forward pass.
+    embedding forward pass.  With [asym], schedules the symbolic analyzer
+    proves asymptotically dominated by the fixed-CSR baseline are likewise
+    dropped; both filters run through {!Asym.Prefilter} and report
+    per-reason counts in [lint_rejected] / [asym_rejected].
 
     With [pool], the embedding forwards run batch-wise on per-domain model
     replicas; HNSW insertion stays sequential in corpus order, so the graph
@@ -38,22 +44,36 @@ type result = {
   measure_failures : int;  (** candidates dropped after exhausting retries *)
   measure_retries : int;
       (** transient measurement errors absorbed by the retry loop *)
-  degraded : bool;  (** [true] when the result is the fixed-CSR fallback *)
+  asym_pruned : int;
+      (** top-k candidates the symbolic pre-filter dropped unmeasured *)
+  degraded : bool;  (** [true] when the result is the degraded fallback *)
   degraded_reason : string option;
 }
 
 val degraded :
   Machine.t -> Workload.t -> Schedule.Algorithm.t -> reason:string -> result
-(** The graceful-degradation fallback: the fixed-CSR baseline schedule,
-    measured once, with [degraded = true].  Callers reach for this when the
-    learned pipeline is unusable (e.g. the model or index artifact fails to
-    load). *)
+(** The graceful-degradation fallback: the asymptotic analyzer's
+    guaranteed-not-terrible pick ({!Asym.Analyzer.fallback} — the fixed-CSR
+    baseline unless a canonical variant is strictly asymptotically better on
+    this workload), measured once, with [degraded = true].  Callers reach
+    for this when the learned pipeline is unusable (e.g. the model or index
+    artifact fails to load). *)
 
 val tune :
   ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int -> ?measure:bool ->
   ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
+  ?asym:bool ->
   Costmodel.t -> Machine.t -> Workload.t -> Extractor.input -> index -> result
 (** [k] defaults to the paper's 10 measured candidates.
+
+    With [asym] (default [true]), the ranked top-k passes the symbolic
+    pre-filter before phase 3: schedules {!Asym.Analyzer.prunes} proves
+    asymptotically dominated by the fixed-CSR baseline on this workload are
+    dropped without a measurement run, counted in [asym_pruned].  The filter
+    runs after the graph walk, so the traversal — and with it the surviving
+    candidates' ranking and the chosen schedule — is identical to the
+    unfiltered search; pruning only removes simulator runs spent on
+    guaranteed-terrible candidates.
 
     With [measure = false] (the serving daemon's cheap path) phase 3 is
     skipped entirely: the traversal's best-predicted candidate is returned
@@ -72,6 +92,7 @@ val tune :
 val query :
   ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int -> ?measure:bool ->
   ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
+  ?asym:bool ->
   Costmodel.t -> Machine.t -> id:string -> Sptensor.Coo.t -> index -> result
 (** The reusable "answer one matrix" entry point ({!tune} over a raw COO):
     builds the workload and extractor input, then runs the three-phase

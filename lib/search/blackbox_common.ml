@@ -12,29 +12,39 @@ type result = {
   eval_seconds : float; (* time spent inside the cost evaluations *)
   total_seconds : float; (* wall time of the whole search *)
   history : (int * float) array; (* (trial, best-so-far cost) *)
-  rejected : int; (* proposals the lint pre-filter refused to evaluate *)
+  rejected : int; (* proposals a pre-filter refused to evaluate *)
+  rejected_lint : int; (* ... because of an error-level legality finding *)
+  rejected_asym : int; (* ... because of asymptotic dominance *)
 }
 
 type budgeted_eval = {
   eval : Superschedule.t -> float;
   prefilter : (Superschedule.t -> bool) option;
+      (* legacy single legality filter; counted as a lint rejection *)
+  filters : Asym.Prefilter.t list;
+  counts : Asym.Prefilter.counts;
   mutable eval_time : float;
   mutable eval_count : int;
   mutable rejected : int;
   cache : (string, float) Hashtbl.t;
 }
 
-let make_eval ?prefilter eval =
-  { eval; prefilter; eval_time = 0.0; eval_count = 0; rejected = 0;
+let make_eval ?prefilter ?(filters = []) eval =
+  { eval; prefilter; filters; counts = Asym.Prefilter.zero_counts ();
+    eval_time = 0.0; eval_count = 0; rejected = 0;
     cache = Hashtbl.create 256 }
 
 (* Cached + timed evaluation; repeated queries of the same schedule are free
-   (all strategies benefit equally).  Proposals the pre-filter rejects cost
+   (all strategies benefit equally).  Proposals a pre-filter rejects cost
    no evaluation at all: they score [infinity], so best-tracking and the
    estimator refits push away from them for free. *)
 let run_eval be s =
   let rejected =
-    match be.prefilter with Some ok -> not (ok s) | None -> false
+    match be.prefilter with
+    | Some ok when not (ok s) ->
+        Asym.Prefilter.tally be.counts Asym.Prefilter.Lint;
+        true
+    | _ -> Asym.Prefilter.reject be.filters be.counts s <> None
   in
   if rejected then begin
     be.rejected <- be.rejected + 1;
@@ -79,4 +89,6 @@ let drive ~name ~budget be ~propose =
     total_seconds = Unix.gettimeofday () -. t_start;
     history = Array.of_list (List.rev !history);
     rejected = be.rejected;
+    rejected_lint = be.counts.Asym.Prefilter.lint;
+    rejected_asym = be.counts.Asym.Prefilter.asym;
   }

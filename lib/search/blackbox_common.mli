@@ -12,12 +12,17 @@ type result = {
   eval_seconds : float;  (** time spent inside cost evaluations *)
   total_seconds : float;  (** wall time of the whole search *)
   history : (int * float) array;  (** (trial, best-so-far cost) *)
-  rejected : int;  (** proposals the lint pre-filter refused to evaluate *)
+  rejected : int;  (** proposals a pre-filter refused to evaluate *)
+  rejected_lint : int;  (** ... because of an error-level legality finding *)
+  rejected_asym : int;  (** ... because of asymptotic dominance *)
 }
 
 type budgeted_eval = {
   eval : Superschedule.t -> float;
   prefilter : (Superschedule.t -> bool) option;
+      (** legacy single legality filter; rejections count as lint *)
+  filters : Asym.Prefilter.t list;
+  counts : Asym.Prefilter.counts;
   mutable eval_time : float;
   mutable eval_count : int;
   mutable rejected : int;
@@ -25,11 +30,18 @@ type budgeted_eval = {
 }
 
 val make_eval :
-  ?prefilter:(Superschedule.t -> bool) -> (Superschedule.t -> float) -> budgeted_eval
+  ?prefilter:(Superschedule.t -> bool) ->
+  ?filters:Asym.Prefilter.t list ->
+  (Superschedule.t -> float) ->
+  budgeted_eval
+(** [filters] run in order through the unified pre-filter plumbing
+    ({!Asym.Prefilter}); the first rejection wins and is tallied per
+    reason.  [prefilter] is the legacy single-predicate form, counted as a
+    lint rejection. *)
 
 val run_eval : budgeted_eval -> Superschedule.t -> float
 (** Cached and timed; repeated queries of the same schedule are free.
-    Schedules the pre-filter rejects score [infinity] without any call to
+    Schedules a pre-filter rejects score [infinity] without any call to
     the underlying evaluation. *)
 
 val drive :

@@ -13,13 +13,18 @@
 open Sptensor
 open Schedule
 
-(* All strategies share the lint pre-filter (on by default): error-level
-   legality diagnostics mean the schedule can never execute, so it scores
-   [infinity] without touching the cost evaluation. *)
-let filter_of lint = if lint then Some Analysis.Lint.accepts else None
+(* All strategies share the same pre-filter stack (unified plumbing in
+   [Asym.Prefilter]): the lint filter (on by default) rejects schedules
+   whose error-level legality diagnostics mean they can never execute, and
+   an optional asymptotic analyzer rejects schedules symbolically dominated
+   by the fixed-CSR baseline — either way the proposal scores [infinity]
+   without touching the cost evaluation. *)
+let filters_of lint asym =
+  (if lint then [ Asym.Prefilter.lint ] else [])
+  @ match asym with Some a -> [ Asym.Prefilter.asym a ] | None -> []
 
-let random_search ?(lint = true) rng algo ~dims ~eval ~budget =
-  let be = Blackbox_common.make_eval ?prefilter:(filter_of lint) eval in
+let random_search ?(lint = true) ?asym rng algo ~dims ~eval ~budget =
+  let be = Blackbox_common.make_eval ~filters:(filters_of lint asym) eval in
   Blackbox_common.drive ~name:"Random" ~budget be ~propose:(fun _ ->
       Space.sample rng algo ~dims)
 
@@ -31,8 +36,9 @@ let quantile_split observations ~gamma =
   let ngood = max 1 (int_of_float (gamma *. float_of_int n)) in
   List.filteri (fun i _ -> i < ngood) sorted |> List.map fst
 
-let tpe ?(gamma = 0.25) ?(explore = 0.15) ?(lint = true) rng algo ~dims ~eval ~budget =
-  let be = Blackbox_common.make_eval ?prefilter:(filter_of lint) eval in
+let tpe ?(gamma = 0.25) ?(explore = 0.15) ?(lint = true) ?asym rng algo ~dims
+    ~eval ~budget =
+  let be = Blackbox_common.make_eval ~filters:(filters_of lint asym) eval in
   let propose observations =
     if List.length observations < 8 || Rng.float rng < explore then
       Space.sample rng algo ~dims
@@ -76,8 +82,8 @@ let tpe ?(gamma = 0.25) ?(explore = 0.15) ?(lint = true) rng algo ~dims ~eval ~b
 
 (* --- OpenTuner-like bandit ensemble --- *)
 
-let bandit ?(window = 50) ?(lint = true) rng algo ~dims ~eval ~budget =
-  let be = Blackbox_common.make_eval ?prefilter:(filter_of lint) eval in
+let bandit ?(window = 50) ?(lint = true) ?asym rng algo ~dims ~eval ~budget =
+  let be = Blackbox_common.make_eval ~filters:(filters_of lint asym) eval in
   let n_ops = 4 in
   let uses = Array.make n_ops 0 and wins = Array.make n_ops 0 in
   let recent : (int * bool) Queue.t = Queue.create () in

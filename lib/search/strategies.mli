@@ -6,12 +6,12 @@ open Sptensor
 open Schedule
 
 val random_search :
-  ?lint:bool ->
+  ?lint:bool -> ?asym:Asym.Analyzer.t ->
   Rng.t -> Algorithm.t -> dims:int array ->
   eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
 
 val tpe :
-  ?gamma:float -> ?explore:float -> ?lint:bool ->
+  ?gamma:float -> ?explore:float -> ?lint:bool -> ?asym:Asym.Analyzer.t ->
   Rng.t -> Algorithm.t -> dims:int array ->
   eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
 (** HyperOpt-style estimator of distributions: each parameter is resampled
@@ -19,7 +19,7 @@ val tpe :
     uniform restarts). *)
 
 val bandit :
-  ?window:int -> ?lint:bool ->
+  ?window:int -> ?lint:bool -> ?asym:Asym.Analyzer.t ->
   Rng.t -> Algorithm.t -> dims:int array ->
   eval:(Superschedule.t -> float) -> budget:int -> Blackbox_common.result
 (** OpenTuner-style ensemble: random / mutate-best / mutate-good / crossover
@@ -27,4 +27,7 @@ val bandit :
 
     All strategies take [?lint] (default [true]): schedules with error-level
     legality diagnostics ([Analysis.Lint.accepts]) score [infinity] without
-    a cost evaluation, and the count is reported in [result.rejected]. *)
+    a cost evaluation.  With [?asym], schedules the analyzer proves
+    asymptotically dominated by the fixed-CSR baseline are likewise rejected
+    before evaluation.  Totals land in [result.rejected], per-reason counts
+    in [result.rejected_lint] / [result.rejected_asym]. *)

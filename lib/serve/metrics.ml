@@ -40,6 +40,7 @@ type t = {
   mutable extractor_forwards : int;  (* feature extractions actually run *)
   mutable traversals : int;  (* HNSW searches actually run *)
   mutable measured_runs : int;
+  mutable asym_pruned : int;  (* traversal candidates rejected symbolically *)
   mutable batches : int;  (* micro-batches dispatched *)
   mutable batched_requests : int;  (* queries carried by those batches *)
   mutable max_batch : int;
@@ -66,6 +67,7 @@ let create () =
     extractor_forwards = 0;
     traversals = 0;
     measured_runs = 0;
+    asym_pruned = 0;
     batches = 0;
     batched_requests = 0;
     max_batch = 0;
@@ -111,6 +113,7 @@ let counters t =
         ("extractor_forwards", t.extractor_forwards);
         ("traversals", t.traversals);
         ("measured_runs", t.measured_runs);
+        ("asym_pruned", t.asym_pruned);
         ("batches", t.batches);
         ("batched_requests", t.batched_requests);
         ("max_batch", t.max_batch);

@@ -33,6 +33,7 @@ type t = {
   mutable extractor_forwards : int;
   mutable traversals : int;
   mutable measured_runs : int;
+  mutable asym_pruned : int;
   mutable batches : int;
   mutable batched_requests : int;
   mutable max_batch : int;

@@ -163,7 +163,8 @@ let compute_one t replica ~key ~measure m =
   Metrics.bump mt (fun m ->
       m.measured_runs <- m.measured_runs + r.Waco.Tuner.measured_runs;
       m.measure_failures <- m.measure_failures + r.Waco.Tuner.measure_failures;
-      m.retries_absorbed <- m.retries_absorbed + r.Waco.Tuner.measure_retries);
+      m.retries_absorbed <- m.retries_absorbed + r.Waco.Tuner.measure_retries;
+      m.asym_pruned <- m.asym_pruned + r.Waco.Tuner.asym_pruned);
   if r.Waco.Tuner.degraded then
     Metrics.bump mt (fun m -> m.degraded <- m.degraded + 1);
   r
@@ -293,6 +294,8 @@ let stats_json t =
         ("cache_capacity", Cache.capacity t.cache);
         ("cache_evictions", Cache.evictions t.cache);
         ("index_size", Anns.Hnsw.size t.index.Waco.Tuner.hnsw);
+        ("index_lint_rejected", t.index.Waco.Tuner.lint_rejected);
+        ("index_asym_rejected", t.index.Waco.Tuner.asym_rejected);
         ("domains", Array.length t.replicas);
       ]
     ~extra:

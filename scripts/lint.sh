@@ -44,4 +44,9 @@ WACO_DOMAINS=2 dune exec -- test/test_parallel.exe || status=1
 # warm restart) with a bounded two-domain pool.
 dune build @serve || status=1
 
+# The @asym alias runs the asymptotic-analyzer suite: dominance-order
+# properties, golden cost expressions, pre-filter/Costsim agreement and the
+# tuner prune counters.
+dune build @asym || status=1
+
 exit $status

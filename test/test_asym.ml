@@ -1,0 +1,351 @@
+(* Tests for the symbolic asymptotic-cost analyzer: order-theoretic
+   properties of the dominance relation on randomized expressions, numeric
+   soundness of the monomial order, golden cost expressions for the four
+   kernels, agreement between the pre-filter and the cost simulator, and
+   the tuner wiring (prune counters, snapshot compatibility, unchanged
+   answers). *)
+
+open Sptensor
+open Schedule
+open Machine_model
+
+let algo_named name =
+  match Algorithm.of_name name with
+  | Some a -> a
+  | None -> Alcotest.failf "unknown algorithm %s" name
+
+let spmm = algo_named "SpMM"
+
+(* --- randomized expressions ------------------------------------------- *)
+
+let rank = 2
+
+let rand_mono rng =
+  {
+    Asym.Expr.coeff = float_of_int (1 + Rng.int rng 8);
+    ns = Array.init rank (fun _ -> Rng.int rng 3);
+    fs = Array.init rank (fun _ -> Rng.int rng 2);
+    nnz = Rng.int rng 3;
+    j = Rng.int rng 2;
+    logn = Rng.int rng 2;
+  }
+
+let rand_expr rng =
+  let n = 1 + Rng.int rng 3 in
+  Asym.Expr.normalize
+    { Asym.Expr.rank; terms = List.init n (fun _ -> rand_mono rng) }
+
+(* An evaluation environment consistent with the order's soundness
+   relations at scale [s]: nnz grows linearly with the dimension sizes
+   (nnz <= prod N_d), fills fixed in (0, 1], J and log >= 1. *)
+let env_at s =
+  {
+    Asym.Expr.sizes = [| s; s |];
+    fills = [| 0.5; 0.25 |];
+    nnz_v = 4.0 *. s;
+    j_v = 4.0;
+    logn_v = 3.0;
+  }
+
+let test_order_properties () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 500 do
+    let a = rand_expr rng and b = rand_expr rng and c = rand_expr rng in
+    Alcotest.(check bool) "le reflexive" true (Asym.Expr.le a a);
+    (* the verdict is antisymmetric by construction *)
+    let v_ab = Asym.Expr.compare a b and v_ba = Asym.Expr.compare b a in
+    let expected =
+      match v_ab with
+      | Asym.Expr.Equal -> Asym.Expr.Equal
+      | Asym.Expr.Dominates -> Asym.Expr.Dominated
+      | Asym.Expr.Dominated -> Asym.Expr.Dominates
+      | Asym.Expr.Incomparable -> Asym.Expr.Incomparable
+    in
+    Alcotest.(check string) "verdict antisymmetric"
+      (Asym.Expr.verdict_name expected)
+      (Asym.Expr.verdict_name v_ba);
+    (* transitivity *)
+    if Asym.Expr.le a b && Asym.Expr.le b c then
+      Alcotest.(check bool) "le transitive" true (Asym.Expr.le a c);
+    (* normalize is idempotent: the public constructors already normalize *)
+    Alcotest.(check string) "normalize idempotent"
+      (Asym.Expr.to_string a)
+      (Asym.Expr.to_string (Asym.Expr.normalize a))
+  done
+
+(* mono_le a b claims a is O(b): evaluating both at growing scales, the
+   ratio a/b must not grow (the constraints nnz <= prod N, F <= 1, J >= 1
+   hold in [env_at], so a sound verdict means a bounded ratio). *)
+let test_mono_le_sound () =
+  let rng = Rng.create 11 in
+  let checked = ref 0 in
+  for _ = 1 to 2000 do
+    let a = rand_mono rng and b = rand_mono rng in
+    if Asym.Expr.mono_le rank a b then begin
+      incr checked;
+      let r_small =
+        Asym.Expr.eval_mono (env_at 256.0) a
+        /. Asym.Expr.eval_mono (env_at 256.0) b
+      and r_large =
+        Asym.Expr.eval_mono (env_at 65536.0) a
+        /. Asym.Expr.eval_mono (env_at 65536.0) b
+      in
+      if r_large > r_small *. (1.0 +. 1e-9) then
+        Alcotest.failf "unsound mono_le: ratio grew %.3g -> %.3g" r_small
+          r_large
+    end
+  done;
+  Alcotest.(check bool) "exercised some pairs" true (!checked > 100)
+
+let test_expr_algebra () =
+  let n0 = Asym.Expr.dim rank 0 in
+  let nnz = Asym.Expr.nnz_sym rank in
+  let prod = Asym.Expr.mul n0 (Asym.Expr.dim rank 1) in
+  (* nnz <= prod N_d: nnz is dominated by the dense product *)
+  Alcotest.(check string) "nnz O(N0*N1)" "dominated"
+    (Asym.Expr.verdict_name (Asym.Expr.compare nnz prod));
+  (* ... but not by a single dimension *)
+  Alcotest.(check string) "nnz vs N0" "incomparable"
+    (Asym.Expr.verdict_name (Asym.Expr.compare nnz n0));
+  (* fill factors only shrink: F0*N0 is dominated by N0 *)
+  Alcotest.(check string) "F0*N0 O(N0)" "dominated"
+    (Asym.Expr.verdict_name (Asym.Expr.compare (Asym.Expr.fill_dim rank 0) n0));
+  (* coefficients are asymptotically invisible *)
+  Alcotest.(check string) "coeff ignored" "equal"
+    (Asym.Expr.verdict_name (Asym.Expr.compare (Asym.Expr.scale 64.0 n0) n0));
+  (* absorption: N0*N1 + nnz normalizes to the dominating term alone *)
+  Alcotest.(check string) "absorbed" "N0*N1"
+    (Asym.Expr.to_string (Asym.Expr.add prod nnz))
+
+(* --- analyzer: golden expressions ------------------------------------- *)
+
+let default_analyzer name =
+  let algo = algo_named name in
+  Asym.Analyzer.create ~algo (Asym.Analyzer.default_stats ~algo ())
+
+let test_golden_costs () =
+  List.iter
+    (fun (name, expected) ->
+      let az = default_analyzer name in
+      let s = Superschedule.fixed_default (algo_named name) in
+      Alcotest.(check string) (name ^ " baseline cost") expected
+        (Asym.Analyzer.explain az s))
+    [
+      ("SpMV", "Ni + 4*nnz");
+      ("SpMM", "nnz*J + Ni");
+      ("SDDMM", "nnz*J + Ni");
+      ("MTTKRP", "nnz*J + Ni");
+    ]
+
+let test_baseline_verdicts () =
+  List.iter
+    (fun name ->
+      let az = default_analyzer name in
+      let s = Superschedule.fixed_default (algo_named name) in
+      Alcotest.(check string) (name ^ " baseline equal") "equal"
+        (Asym.Expr.verdict_name (Asym.Analyzer.verdict az s));
+      Alcotest.(check bool) (name ^ " baseline kept") false
+        (Asym.Analyzer.prunes az s);
+      Alcotest.(check bool) (name ^ " baseline clean") true
+        (Asym.Analyzer.check az s = []))
+    [ "SpMV"; "SpMM"; "SDDMM"; "MTTKRP" ]
+
+let test_illegal_schedules () =
+  let az = default_analyzer "SpMM" in
+  let s = Superschedule.fixed_default spmm in
+  let bad = { s with Superschedule.compute_order = [| 0; 0; 2; 3 |] } in
+  (match Asym.Analyzer.cost az bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on an illegal schedule");
+  Alcotest.(check bool) "never pruned" false (Asym.Analyzer.prunes az bad);
+  Alcotest.(check bool) "no smells (lint's job)" true
+    (Asym.Analyzer.check az bad = [])
+
+(* --- analyzer vs the cost simulator ----------------------------------- *)
+
+let test_prunes_vs_costsim () =
+  let rng = Rng.create 23 in
+  let machine = Machine.intel_like in
+  let m = Gen.uniform rng ~nrows:512 ~ncols:512 ~nnz:4096 in
+  let wl = Workload.of_coo ~id:"asym-sim" m in
+  let az = Asym.Analyzer.of_workload ~algo:spmm wl in
+  let base = Costsim.runtime machine wl (Superschedule.fixed_default spmm) in
+  let dims = [| m.Coo.nrows; m.Coo.ncols |] in
+  let pruned = ref 0 and total = 200 in
+  for _ = 1 to total do
+    let s = Space.sample rng spmm ~dims in
+    if Asym.Analyzer.prunes az s then begin
+      incr pruned;
+      (* A pruned schedule can never be the search's answer: the simulator
+         must agree it is no better than the baseline (generous slack for
+         the simulator's constant factors the symbolic model ignores). *)
+      let t = Costsim.runtime machine wl s in
+      if t < base *. 0.5 then
+        Alcotest.failf "pruned schedule simulates faster than baseline: %s"
+          (Superschedule.describe s)
+    end
+  done;
+  let rate = float_of_int !pruned /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "prunes >= 30%% of random candidates (got %.0f%%)"
+       (100.0 *. rate))
+    true (rate >= 0.3)
+
+let test_fallback () =
+  List.iter
+    (fun name ->
+      let az = default_analyzer name in
+      let algo = algo_named name in
+      let fb = Asym.Analyzer.fallback az in
+      (* with the synthetic full-fill statistics nothing beats fixed CSR *)
+      Alcotest.(check string) (name ^ " fallback = fixed default")
+        (Superschedule.key (Superschedule.fixed_default algo))
+        (Superschedule.key fb);
+      Alcotest.(check bool) (name ^ " fallback legal") true
+        (Diag.first_error (Superschedule.check fb) = None))
+    [ "SpMV"; "SpMM"; "SDDMM"; "MTTKRP" ]
+
+(* --- unified pre-filter plumbing --------------------------------------- *)
+
+let test_prefilter_counts () =
+  let az = default_analyzer "SpMM" in
+  let filters = [ Asym.Prefilter.lint; Asym.Prefilter.asym az ] in
+  let counts = Asym.Prefilter.zero_counts () in
+  let good = Superschedule.fixed_default spmm in
+  let illegal = { good with Superschedule.chunk = 0 } in
+  (* asymptotically terrible but structurally legal: all-uncompressed *)
+  let dense =
+    {
+      good with
+      Superschedule.a_formats =
+        Array.map (fun _ -> Format_abs.Levelfmt.U) good.Superschedule.a_formats;
+    }
+  in
+  Alcotest.(check bool) "good accepted" true
+    (Asym.Prefilter.reject filters counts good = None);
+  Alcotest.(check bool) "illegal -> lint" true
+    (Asym.Prefilter.reject filters counts illegal = Some Asym.Prefilter.Lint);
+  Alcotest.(check bool) "dense -> asym" true
+    (Asym.Prefilter.reject filters counts dense = Some Asym.Prefilter.Asym);
+  Alcotest.(check int) "lint tally" 1 counts.Asym.Prefilter.lint;
+  Alcotest.(check int) "asym tally" 1 counts.Asym.Prefilter.asym;
+  Alcotest.(check int) "total" 2 (Asym.Prefilter.total counts)
+
+(* --- tuner wiring ------------------------------------------------------ *)
+
+let tiny_model_and_corpus rng =
+  let model = Waco.Costmodel.create rng spmm in
+  let dims = [| 256; 256 |] in
+  let corpus = Array.init 64 (fun _ -> Space.sample rng spmm ~dims) in
+  (model, corpus)
+
+let test_build_index_counts () =
+  let rng = Rng.create 31 in
+  let model, corpus = tiny_model_and_corpus rng in
+  let az = default_analyzer "SpMM" in
+  let plain = Waco.Tuner.build_index (Rng.create 5) model corpus in
+  let filtered = Waco.Tuner.build_index ~asym:az (Rng.create 5) model corpus in
+  Alcotest.(check int) "no asym drops without the filter" 0
+    plain.Waco.Tuner.asym_rejected;
+  Alcotest.(check bool) "asym filter drops corpus points" true
+    (filtered.Waco.Tuner.asym_rejected > 0);
+  Alcotest.(check int) "every point accounted for"
+    (Array.length corpus)
+    (filtered.Waco.Tuner.corpus_size + filtered.Waco.Tuner.lint_rejected
+   + filtered.Waco.Tuner.asym_rejected)
+
+let test_index_snapshot_compat () =
+  let rng = Rng.create 37 in
+  let model, corpus = tiny_model_and_corpus rng in
+  let az = default_analyzer "SpMM" in
+  let index = Waco.Tuner.build_index ~asym:az (Rng.create 5) model corpus in
+  let dir = Filename.temp_file "waco_asym" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      (* round trip preserves both per-reason counts *)
+      let path = Filename.concat dir "index.bin" in
+      Waco.Tuner.save_index index path;
+      let back = Waco.Tuner.load_index (Rng.create 9) ~algo:spmm path in
+      Alcotest.(check int) "corpus_size" index.Waco.Tuner.corpus_size
+        back.Waco.Tuner.corpus_size;
+      Alcotest.(check int) "lint_rejected" index.Waco.Tuner.lint_rejected
+        back.Waco.Tuner.lint_rejected;
+      Alcotest.(check int) "asym_rejected" index.Waco.Tuner.asym_rejected
+        back.Waco.Tuner.asym_rejected;
+      (* a pre-asym two-field INDEX line still loads, with a zero count *)
+      let legacy = Filename.concat dir "legacy.bin" in
+      let buf = Buffer.create 4096 in
+      Printf.bprintf buf "INDEX %d %d\n" index.Waco.Tuner.corpus_size
+        index.Waco.Tuner.lint_rejected;
+      Buffer.add_string buf
+        (Anns.Hnsw.dump index.Waco.Tuner.hnsw ~payload:Sched_io.serialize);
+      Robust.write_artifact ~kind:Robust.Kind.index legacy (Buffer.contents buf);
+      let old = Waco.Tuner.load_index (Rng.create 9) ~algo:spmm legacy in
+      Alcotest.(check int) "legacy corpus_size" index.Waco.Tuner.corpus_size
+        old.Waco.Tuner.corpus_size;
+      Alcotest.(check int) "legacy asym_rejected" 0 old.Waco.Tuner.asym_rejected)
+
+let test_tune_prune_counter () =
+  let rng = Rng.create 41 in
+  let model, corpus = tiny_model_and_corpus rng in
+  let index = Waco.Tuner.build_index (Rng.create 5) model corpus in
+  let machine = Machine.intel_like in
+  (* Sparse enough that the dense-product gap (256^2 / 1024 = 64x) clears
+     the analyzer's pruning margin. *)
+  let m = Gen.uniform rng ~nrows:256 ~ncols:256 ~nnz:1024 in
+  let wl = Workload.of_coo ~id:"asym-tune" m in
+  let input = Waco.Extractor.input_of_coo ~id:"asym-tune" m in
+  (* k covers the whole corpus so the ranked candidate list — and with it
+     the pruned count — is independent of the untrained model's ordering. *)
+  let k = Array.length corpus in
+  let off =
+    Waco.Tuner.tune ~k ~ef:k ~asym:false model machine wl input index
+  in
+  let on = Waco.Tuner.tune ~k ~ef:k model machine wl input index in
+  Alcotest.(check int) "no pruning when off" 0 off.Waco.Tuner.asym_pruned;
+  Alcotest.(check bool) "top-k candidates pruned" true
+    (on.Waco.Tuner.asym_pruned > 0);
+  Alcotest.(check int) "pruned candidates skip measurement"
+    off.Waco.Tuner.measured_runs
+    (on.Waco.Tuner.measured_runs + on.Waco.Tuner.asym_pruned);
+  (* the filter runs after the graph walk and only drops points it proves
+     can never win, so the chosen schedule is identical either way *)
+  Alcotest.(check string) "zero change to the chosen schedule"
+    (Superschedule.key off.Waco.Tuner.best)
+    (Superschedule.key on.Waco.Tuner.best);
+  Alcotest.(check (float 1e-9)) "identical measured optimum"
+    off.Waco.Tuner.best_measured on.Waco.Tuner.best_measured
+
+let () =
+  Alcotest.run "asym"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "order properties" `Quick test_order_properties;
+          Alcotest.test_case "mono_le sound" `Quick test_mono_le_sound;
+          Alcotest.test_case "algebra" `Quick test_expr_algebra;
+        ] );
+      ( "analyzer",
+        [
+          Alcotest.test_case "golden costs" `Quick test_golden_costs;
+          Alcotest.test_case "baseline verdicts" `Quick test_baseline_verdicts;
+          Alcotest.test_case "illegal schedules" `Quick test_illegal_schedules;
+          Alcotest.test_case "prunes vs costsim" `Quick test_prunes_vs_costsim;
+          Alcotest.test_case "fallback" `Quick test_fallback;
+        ] );
+      ( "prefilter",
+        [
+          Alcotest.test_case "reason counts" `Quick test_prefilter_counts;
+        ] );
+      ( "tuner",
+        [
+          Alcotest.test_case "index counts" `Quick test_build_index_counts;
+          Alcotest.test_case "snapshot compat" `Quick test_index_snapshot_compat;
+          Alcotest.test_case "prune counter" `Quick test_tune_prune_counter;
+        ] );
+    ]
