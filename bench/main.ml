@@ -693,6 +693,7 @@ let serve_bench ~force () =
                  qid = Printf.sprintf "b%d.%d" ci q;
                  source = sources.((ci + q) mod Array.length sources);
                  measure = true;
+                 deadline_ms = 0;
                })
         done)
       clients;
@@ -716,7 +717,70 @@ let serve_bench ~force () =
   ignore (Serve.Client.shutdown c0);
   Serve.Client.close c0;
   Domain.join daemon;
+  (* Overload: a second daemon with a low high-water mark, hammered with
+     pipelined deadline-bearing queries on cold patterns.  Reported: how
+     much was shed ([Busy]), how many answers blew their deadline (degraded,
+     never cached), and the p99 time-to-answer from the start of the burst —
+     the tail a client actually experiences when the daemon is saturated. *)
+  let ov_socket = Filename.concat dir "waco-ov.sock" in
+  let ov_server =
+    Serve.Server.create ~k:4 ~ef:16 ~max_batch:8 ~max_pending:8 ~model ~index
+      ~index_file:"<bench>" ~machine ~socket:ov_socket ()
+  in
+  let ov_daemon = Domain.spawn (fun () -> Serve.Server.run ov_server) in
+  let rec ov_connect attempts =
+    match Serve.Client.connect ov_socket with
+    | c -> c
+    | exception Unix.Unix_error _ when attempts > 0 ->
+        Unix.sleepf 0.02;
+        ov_connect (attempts - 1)
+  in
+  let ov_clients = 8 and ov_per = 32 in
+  let clients = Array.init ov_clients (fun _ -> ov_connect 250) in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun ci c ->
+      for q = 0 to ov_per - 1 do
+        Serve.Client.send c
+          (Serve.Protocol.Query
+             {
+               qid = Printf.sprintf "ov%d.%d" ci q;
+               source = sources.((ci + q) mod Array.length sources);
+               measure = true;
+               deadline_ms = 50;
+             })
+      done)
+    clients;
+  let lat = ref [] in
+  Array.iter
+    (fun c ->
+      for _ = 1 to ov_per do
+        (match Serve.Client.recv c with
+        | Serve.Protocol.Answer _ | Serve.Protocol.Busy _ -> ()
+        | _ -> failwith "serve bench: unexpected response under overload");
+        lat := ((Unix.gettimeofday () -. t0) *. 1e3) :: !lat
+      done)
+    clients;
+  Array.iter Serve.Client.close clients;
+  let ov_stats = Serve.Server.stats_json ov_server in
+  let ov_counter name =
+    Option.value ~default:0 (Serve.Metrics.json_counter ov_stats name)
+  in
+  let shed = ov_counter "shed" and misses = ov_counter "deadline_misses" in
+  let p99 =
+    let a = Array.of_list !lat in
+    Array.sort compare a;
+    a.(min (Array.length a - 1) (Array.length a * 99 / 100))
+  in
+  Printf.printf
+    "  overload: %d requests -> shed %d, deadline misses %d, p99 %.2f ms\n%!"
+    (ov_clients * ov_per) shed misses p99;
+  let stop = ov_connect 250 in
+  ignore (Serve.Client.shutdown stop);
+  Serve.Client.close stop;
+  Domain.join ov_daemon;
   (try Sys.remove socket with Sys_error _ -> ());
+  (try Sys.remove ov_socket with Sys_error _ -> ());
   (try Sys.rmdir dir with Sys_error _ -> ());
   (* Regression guard: don't silently clobber better recorded numbers. *)
   match
@@ -748,7 +812,10 @@ let serve_bench ~force () =
         (fun (c, v) -> Printf.bprintf buf "  \"throughput_%d\": %.1f,\n" c v)
         tp;
       Printf.bprintf buf "  \"working_set\": %d,\n" (Array.length sources);
-      Printf.bprintf buf "  \"requests_per_client\": %d\n" per_client;
+      Printf.bprintf buf "  \"requests_per_client\": %d,\n" per_client;
+      Printf.bprintf buf "  \"overload_shed\": %d,\n" shed;
+      Printf.bprintf buf "  \"overload_deadline_misses\": %d,\n" misses;
+      Printf.bprintf buf "  \"overload_p99_ms\": %.4f\n" p99;
       Buffer.add_string buf "}\n";
       let oc = open_out_bin bench_serve_file in
       output_string oc (Buffer.contents buf);

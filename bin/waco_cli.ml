@@ -325,12 +325,19 @@ let socket_arg =
 
 let serve_cmd =
   let run socket algo_name machine_name model_file index_file cache_file
-      cache_capacity max_batch k ef seed domains =
+      cache_capacity max_batch k ef max_pending supervise max_restarts pidfile
+      seed domains =
+    let log msg = Printf.eprintf "waco serve: %s\n%!" msg in
+    (* Everything heavy — training, index build, the worker pool's domains —
+       happens inside [worker], so under --supervise it runs in the forked
+       child.  The supervisor parent stays domain-free (OCaml 5 forbids
+       fork after any domain spawn) and owns nothing the worker could
+       corrupt. *)
+    let worker () =
     let machine = machine_of machine_name in
     let algo = Experiments.Lab.algo_of_name algo_name in
     let rng = Rng.create seed in
     let pool = pool_of domains in
-    let log msg = Printf.eprintf "waco serve: %s\n%!" msg in
     match
       let model, corpus =
         match model_file with
@@ -367,7 +374,8 @@ let serve_cmd =
       log (Printf.sprintf "index: %s (%d schedules)" index_src
              index.Waco.Tuner.corpus_size);
       Serve.Server.create ?pool ~cache_capacity ?cache_file ~max_batch ~k ~ef
-        ~log ~model ~index ~index_file:index_src ~machine ~socket ()
+        ~max_pending ~log ~model ~index ~index_file:index_src ~machine ~socket
+        ()
     with
     | exception Robust.Load_error err ->
         (* Unlike `waco tune`, a daemon has nothing to degrade to: without a
@@ -375,6 +383,27 @@ let serve_cmd =
         Printf.eprintf "waco serve: %s\n%!" (Robust.load_error_to_string err);
         exit 1
     | server -> Serve.Server.run server
+    in
+    if supervise then begin
+      let on_spawn pid =
+        match pidfile with
+        | Some file -> (
+            try Robust.write_atomic_string file (string_of_int pid ^ "\n")
+            with _ -> log "could not write pidfile")
+        | None -> ()
+      in
+      match
+        Serve.Supervisor.run ~max_restarts ~seed ~on_spawn
+          ~log:(fun m -> Printf.eprintf "waco serve[supervisor]: %s\n%!" m)
+          worker
+      with
+      | Serve.Supervisor.Clean | Serve.Supervisor.Stopped -> ()
+      | Serve.Supervisor.Gave_up n ->
+          Printf.eprintf
+            "waco serve: worker crashed %d times in a row; giving up\n%!" n;
+          exit 1
+    end
+    else worker ()
   in
   let model_file =
     Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
@@ -404,17 +433,38 @@ let serve_cmd =
   let ef =
     Arg.(value & opt int 40 & info [ "ef" ] ~doc:"HNSW traversal beam width")
   in
+  let max_pending =
+    Arg.(value & opt int 256 & info [ "max-pending" ] ~docv:"N"
+           ~doc:"Queued-query high-water mark; past it new queries answer \
+                 busy with a retry hint instead of queueing")
+  in
+  let supervise =
+    Arg.(value & flag & info [ "supervise" ]
+           ~doc:"Fork the daemon as a supervised worker and restart it on \
+                 crash with exponential backoff (the persistent --cache \
+                 makes restarts warm)")
+  in
+  let max_restarts =
+    Arg.(value & opt int 10 & info [ "max-restarts" ] ~docv:"N"
+           ~doc:"With --supervise: give up after $(docv) consecutive crashes")
+  in
+  let pidfile =
+    Arg.(value & opt (some string) None & info [ "pidfile" ] ~docv:"FILE"
+           ~doc:"With --supervise: write the current worker's pid to $(docv) \
+                 after every (re)start")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the autotuning daemon (model + index loaded once, requests \
              over a Unix socket)")
     Term.(
       const run $ socket_arg $ algo_arg $ machine_arg $ model_file $ index_file
-      $ cache_file $ cache_capacity $ max_batch $ k $ ef $ seed_arg
-      $ domains_arg)
+      $ cache_file $ cache_capacity $ max_batch $ k $ ef $ max_pending
+      $ supervise $ max_restarts $ pidfile $ seed_arg $ domains_arg)
 
 let query_cmd =
-  let run socket matrix no_measure qid stats ping shutdown =
+  let run socket matrix no_measure qid deadline_ms timeout_s retries stats ping
+      shutdown =
     if matrix = None && not (stats || ping || shutdown) then begin
       prerr_endline
         "waco query: nothing to do (pass MATRIX, --stats, --ping or --shutdown)";
@@ -422,10 +472,14 @@ let query_cmd =
     end;
     let c =
       try Serve.Client.connect socket
-      with Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "waco query: cannot reach daemon at %s: %s\n%!" socket
-          (Unix.error_message e);
-        exit 1
+      with
+      | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "waco query: cannot reach daemon at %s: %s\n%!" socket
+            (Unix.error_message e);
+          exit 1
+      | Failure e ->
+          Printf.eprintf "waco query: %s\n%!" e;
+          exit 1
     in
     Fun.protect
       ~finally:(fun () -> Serve.Client.close c)
@@ -435,8 +489,15 @@ let query_cmd =
         | None -> ()
         | Some path -> (
             match
-              Serve.Client.query ~measure:(not no_measure) ~qid c
-                (Serve.Protocol.Path path)
+              if retries > 1 then
+                (* Fresh connections per attempt, qid-seeded backoff, busy
+                   sheds honored — the resilient path. *)
+                Serve.Client.query_with_retry ~attempts:retries ?timeout_s
+                  ~measure:(not no_measure) ~deadline_ms ~qid ~socket
+                  (Serve.Protocol.Path path)
+              else
+                Serve.Client.query ~measure:(not no_measure) ~deadline_ms ~qid
+                  ?timeout_s c (Serve.Protocol.Path path)
             with
             | Ok (a : Serve.Protocol.answer) ->
                 Printf.printf "schedule : %s\n" a.Serve.Protocol.schedule;
@@ -456,6 +517,9 @@ let query_cmd =
                     Printf.printf "span     : %-8s %.4fs\n" name secs)
                   a.Serve.Protocol.spans
             | Error e ->
+                Printf.eprintf "waco query: %s\n%!" e;
+                failed := true
+            | exception Failure e ->
                 Printf.eprintf "waco query: %s\n%!" e;
                 failed := true));
         (if stats then
@@ -491,6 +555,22 @@ let query_cmd =
     Arg.(value & opt string "cli" & info [ "qid" ] ~docv:"ID"
            ~doc:"Request label echoed in daemon traces")
   in
+  let deadline_ms =
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Answer budget in milliseconds; on expiry the daemon answers \
+                 from its cache or the asymptotic fallback, marked degraded \
+                 (0 = no deadline)")
+  in
+  let timeout_s =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Give up waiting for a response after $(docv) seconds")
+  in
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Attempt the query up to $(docv) times with capped \
+                 exponential backoff on transport failure or a busy shed \
+                 (fresh connection per attempt)")
+  in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's metrics as JSON")
   in
@@ -503,8 +583,8 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Send one request to a running `waco serve` daemon")
     Term.(
-      const run $ socket_arg $ matrix $ no_measure $ qid $ stats $ ping
-      $ shutdown)
+      const run $ socket_arg $ matrix $ no_measure $ qid $ deadline_ms
+      $ timeout_s $ retries $ stats $ ping $ shutdown)
 
 (* --- lint / explain --- *)
 

@@ -108,20 +108,23 @@ type result = {
    canonical variant is both strictly asymptotically better and numerically
    better by the analyzer's margin on this workload — measured once and
    flagged so callers never mistake it for a tuned answer. *)
-let degraded machine (wl : Workload.t) algo ~reason =
+let degraded ?(measure = true) machine (wl : Workload.t) algo ~reason =
   let az = Asym.Analyzer.of_workload ~algo wl in
   let s = Asym.Analyzer.fallback az in
-  let m = Costsim.runtime machine wl s in
+  (* With [measure = false] (a deadline already blown) even the single
+     fallback measurement is skipped: the caller wants an answer *now*, and
+     NaN is the honest "never measured" value. *)
+  let m = if measure then Costsim.runtime machine wl s else Float.nan in
   {
     best = s;
     best_measured = m;
     best_predicted = m;
-    topk = [ (s, m) ];
+    topk = (if measure then [ (s, m) ] else []);
     feature_seconds = 0.0;
     search_seconds = 0.0;
     measure_seconds = 0.0;
     cost_evals = 0;
-    measured_runs = 1;
+    measured_runs = (if measure then 1 else 0);
     measure_failures = 0;
     measure_retries = 0;
     asym_pruned = 0;
@@ -129,11 +132,30 @@ let degraded machine (wl : Workload.t) algo ~reason =
     degraded_reason = Some reason;
   }
 
+(* Deadline support: [deadline_at] is an absolute [Unix.gettimeofday]
+   instant.  The tuner checks it at every phase boundary and — the watchdog —
+   in front of every top-k measurement run, so one stuck measurement can
+   overshoot the budget by at most its own duration, never by the whole
+   phase.  A deadline-truncated result is marked [degraded] with reason
+   ["deadline"] even when it carries real measurements: the serving layer
+   must never cache an answer the full pipeline did not stand behind. *)
+let deadline_reason = "deadline"
+
+let past deadline_at =
+  match deadline_at with
+  | None -> false
+  | Some d -> Unix.gettimeofday () >= d
+
 let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
-    ?(measure_backoff_s = 0.01) ?measure_budget_s ?(asym = true) model machine
-    (wl : Workload.t) (input : Extractor.input) (index : index) =
+    ?(measure_backoff_s = 0.01) ?measure_budget_s ?(asym = true) ?deadline_at
+    model machine (wl : Workload.t) (input : Extractor.input) (index : index) =
   if Anns.Hnsw.size index.hnsw = 0 then
     degraded machine wl model.Costmodel.algo ~reason:"empty search index"
+  else if past deadline_at then
+    (* Expired before any work: the guaranteed-not-terrible pick, unmeasured
+       (even one simulator run is budget we no longer have). *)
+    degraded ~measure:false machine wl model.Costmodel.algo
+      ~reason:deadline_reason
   else begin
     (* Phase 1: extract the sparsity-pattern feature once. *)
     let t0 = Unix.gettimeofday () in
@@ -172,17 +194,20 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
             found
     in
     let t2 = Unix.gettimeofday () in
-    if not measure then begin
-      (* Predict-only mode (the serving daemon's cheap path): trust the
-         traversal's ranking and skip the simulator entirely.  [found] is
-         sorted ascending by predicted runtime, so the head is the answer;
-         [best_measured] is NaN to keep the honest "never measured" signal
-         distinct from a measured 0. *)
+    (* Predict-only answers: the serving daemon's cheap path ([measure =
+       false]), and the deadline path when the budget ran out during the
+       feature/traversal phases — the ranking is real, the simulator never
+       ran.  [found] is sorted ascending by predicted runtime, so the head
+       is the answer; [best_measured] is NaN to keep the honest "never
+       measured" signal distinct from a measured 0. *)
+    let predict_only ~mark_deadline =
       match found with
       | [] ->
           {
             (degraded machine wl model.Costmodel.algo
-               ~reason:"traversal returned no candidates")
+               ~reason:
+                 (if mark_deadline then deadline_reason
+                  else "traversal returned no candidates"))
             with
             cost_evals = evals;
             asym_pruned = !pruned_count;
@@ -201,10 +226,12 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
             measure_failures = 0;
             measure_retries = 0;
             asym_pruned = !pruned_count;
-            degraded = false;
-            degraded_reason = None;
+            degraded = mark_deadline;
+            degraded_reason = (if mark_deadline then Some deadline_reason else None);
           }
-    end
+    in
+    if not measure then predict_only ~mark_deadline:false
+    else if past deadline_at then predict_only ~mark_deadline:true
     else begin
     (* Phase 3: measure the top-k on the "hardware" and keep the fastest.
        Each run goes through a bounded retry-with-backoff (transient
@@ -217,20 +244,39 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
        are mutex-serialized; see [Robust.Faults]). *)
     let measure_one (pred_cost, id) =
       let s = Anns.Hnsw.get_payload index.hnsw id in
-      (* Per-candidate retry count: summed in candidate order below, so the
-         total matches the sequential run whatever the domain count. *)
-      let retries = ref 0 in
-      match
-        Robust.with_retry ~attempts:(max 1 measure_retries)
-          ~backoff_s:measure_backoff_s ?budget_s:measure_budget_s
-          ~on_retry:(fun _ _ -> incr retries)
-          ~label:("measure " ^ Superschedule.key s)
-          (fun () ->
-            Robust.Faults.measure_tick ();
-            Costsim.runtime machine wl s)
-      with
-      | Ok m -> (Some (s, m, pred_cost), !retries)
-      | Error _ -> (None, !retries)
+      (* The watchdog: every candidate run re-checks the deadline first, so
+         a stuck measurement overshoots the budget by at most its own
+         duration — the phase never runs to completion on borrowed time.
+         Skipped candidates are not failures; they mark the result as
+         deadline-truncated below. *)
+      if past deadline_at then (None, 0, true)
+      else begin
+        (* Per-candidate retry count: summed in candidate order below, so
+           the total matches the sequential run whatever the domain count. *)
+        let retries = ref 0 in
+        let budget_s =
+          (* The per-run retry budget never exceeds the time the deadline
+             has left. *)
+          let remaining =
+            Option.map (fun d -> Float.max 0.0 (d -. Unix.gettimeofday ())) deadline_at
+          in
+          match (measure_budget_s, remaining) with
+          | Some b, Some r -> Some (Float.min b r)
+          | Some b, None -> Some b
+          | None, r -> r
+        in
+        match
+          Robust.with_retry ~attempts:(max 1 measure_retries)
+            ~backoff_s:measure_backoff_s ?budget_s
+            ~on_retry:(fun _ _ -> incr retries)
+            ~label:("measure " ^ Superschedule.key s)
+            (fun () ->
+              Robust.Faults.measure_tick ();
+              Costsim.runtime machine wl s)
+        with
+        | Ok m -> (Some (s, m, pred_cost), !retries, false)
+        | Error _ -> (None, !retries, false)
+      end
     in
     let found_arr = Array.of_list found in
     let outcomes =
@@ -240,17 +286,24 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
       | _ -> Array.map measure_one found_arr
     in
     let retries =
-      Array.fold_left (fun acc (_, r) -> acc + r) 0 outcomes
+      Array.fold_left (fun acc (_, r, _) -> acc + r) 0 outcomes
+    in
+    let skipped =
+      Array.fold_left (fun acc (_, _, sk) -> acc || sk) false outcomes
     in
     let failures =
       ref
         (Array.fold_left
-           (fun acc (o, _) -> if o = None then acc + 1 else acc)
+           (fun acc (o, _, sk) -> if o = None && not sk then acc + 1 else acc)
            0 outcomes)
     in
-    let measured = List.filter_map (fun (o, _) -> o) (Array.to_list outcomes) in
+    let measured = List.filter_map (fun (o, _, _) -> o) (Array.to_list outcomes) in
     let t3 = Unix.gettimeofday () in
     match measured with
+    | [] when skipped ->
+        (* The deadline fired before a single candidate was measured: the
+           traversal ranking is still real, so answer its head unmeasured. *)
+        predict_only ~mark_deadline:true
     | [] ->
         {
           (degraded machine wl model.Costmodel.algo
@@ -282,8 +335,10 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
           measure_failures = !failures;
           measure_retries = retries;
           asym_pruned = !pruned_count;
-          degraded = false;
-          degraded_reason = None;
+          (* A deadline-truncated top-k is a real-but-partial answer: marked
+             degraded so the serving layer never caches it as authoritative. *)
+          degraded = skipped;
+          degraded_reason = (if skipped then Some deadline_reason else None);
         }
     end
   end
@@ -294,12 +349,12 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
    model's feature cache, so callers that identify matrices by content
    fingerprint get cross-request feature reuse for free. *)
 let query ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
-    ?measure_budget_s ?asym model machine ~id (m : Sptensor.Coo.t)
+    ?measure_budget_s ?asym ?deadline_at model machine ~id (m : Sptensor.Coo.t)
     (index : index) =
   let wl = Workload.of_coo ~id m in
   let input = Extractor.input_of_coo ~id m in
   tune ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
-    ?measure_budget_s ?asym model machine wl input index
+    ?measure_budget_s ?asym ?deadline_at model machine wl input index
 
 (* A model whose embedding width differs from the index's vector dimension
    would fail deep inside the first traversal (predictor input-row mismatch)

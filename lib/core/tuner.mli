@@ -51,18 +51,21 @@ type result = {
 }
 
 val degraded :
+  ?measure:bool ->
   Machine.t -> Workload.t -> Schedule.Algorithm.t -> reason:string -> result
 (** The graceful-degradation fallback: the asymptotic analyzer's
     guaranteed-not-terrible pick ({!Asym.Analyzer.fallback} — the fixed-CSR
     baseline unless a canonical variant is strictly asymptotically better on
     this workload), measured once, with [degraded = true].  Callers reach
     for this when the learned pipeline is unusable (e.g. the model or index
-    artifact fails to load). *)
+    artifact fails to load).  With [measure = false] (a blown deadline —
+    there is no time left for even one simulator run) the pick is returned
+    unmeasured ([best_measured = NaN], [measured_runs = 0]). *)
 
 val tune :
   ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int -> ?measure:bool ->
   ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
-  ?asym:bool ->
+  ?asym:bool -> ?deadline_at:float ->
   Costmodel.t -> Machine.t -> Workload.t -> Extractor.input -> index -> result
 (** [k] defaults to the paper's 10 measured candidates.
 
@@ -87,12 +90,23 @@ val tune :
     parallel; outcomes are folded in candidate order, so [topk] and
     [measure_failures] match the sequential run.  If the index is empty or
     every measurement fails, the result degrades to the fixed-CSR baseline
-    with [degraded = true] instead of raising. *)
+    with [degraded = true] instead of raising.
+
+    [deadline_at] (an absolute [Unix.gettimeofday] instant) arms a
+    best-effort watchdog: the deadline is re-checked at every phase boundary
+    and before every individual candidate measurement.  Expired before the
+    traversal → the unmeasured asymptotic fallback; expired after it → the
+    traversal's best-predicted candidate unmeasured; expired mid-phase-3 →
+    the best of the candidates already measured.  Every deadline-truncated
+    result carries [degraded = true] and [degraded_reason = Some "deadline"]
+    so callers (the serving cache in particular) never treat it as
+    authoritative.  A single in-flight measurement is never interrupted, so
+    expiry can overshoot by at most one run. *)
 
 val query :
   ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int -> ?measure:bool ->
   ?measure_retries:int -> ?measure_backoff_s:float -> ?measure_budget_s:float ->
-  ?asym:bool ->
+  ?asym:bool -> ?deadline_at:float ->
   Costmodel.t -> Machine.t -> id:string -> Sptensor.Coo.t -> index -> result
 (** The reusable "answer one matrix" entry point ({!tune} over a raw COO):
     builds the workload and extractor input, then runs the three-phase

@@ -23,6 +23,13 @@ type state = {
   mutable truncate_at : int; (* truncate the next written blob here; -1 = off *)
   mutable corrupt_at : int; (* flip a byte of the next written blob; -1 = off *)
   mutable transient_measures : int; (* next n measure ticks raise [Transient] *)
+  (* Serving-layer fault points (counter-driven, like everything above). *)
+  mutable stuck_measures : int; (* next n measure ticks stall... *)
+  mutable stuck_seconds : float; (* ...for this long each *)
+  mutable net_cap : int; (* byte cap applied to the next net ops; -1 = off *)
+  mutable net_cap_ops : int; (* how many more net ops the cap covers *)
+  mutable net_drop_at : int; (* nth net op from now signals peer death; 0 = off *)
+  mutable net_ops_seen : int;
 }
 
 let st =
@@ -33,6 +40,12 @@ let st =
     truncate_at = -1;
     corrupt_at = -1;
     transient_measures = 0;
+    stuck_measures = 0;
+    stuck_seconds = 0.0;
+    net_cap = -1;
+    net_cap_ops = 0;
+    net_drop_at = 0;
+    net_ops_seen = 0;
   }
 
 (* Counter updates are serialized so armed faults stay exactly counter-driven
@@ -48,7 +61,9 @@ let with_lock f =
 let refresh () =
   st.active <-
     st.fail_nth > 0 || st.truncate_at >= 0 || st.corrupt_at >= 0
-    || st.transient_measures > 0
+    || st.transient_measures > 0 || st.stuck_measures > 0
+    || (st.net_cap >= 0 && st.net_cap_ops > 0)
+    || st.net_drop_at > 0
 
 let enabled () = st.active
 
@@ -59,6 +74,12 @@ let reset () =
       st.truncate_at <- -1;
       st.corrupt_at <- -1;
       st.transient_measures <- 0;
+      st.stuck_measures <- 0;
+      st.stuck_seconds <- 0.0;
+      st.net_cap <- -1;
+      st.net_cap_ops <- 0;
+      st.net_drop_at <- 0;
+      st.net_ops_seen <- 0;
       refresh ())
 
 let arm_fail_nth_write n =
@@ -84,6 +105,29 @@ let arm_transient_measures n =
   if n < 0 then invalid_arg "Faults.arm_transient_measures: negative count";
   with_lock (fun () ->
       st.transient_measures <- n;
+      refresh ())
+
+let arm_stuck_measures ~seconds n =
+  if n < 0 then invalid_arg "Faults.arm_stuck_measures: negative count";
+  if seconds < 0.0 then invalid_arg "Faults.arm_stuck_measures: negative stall";
+  with_lock (fun () ->
+      st.stuck_measures <- n;
+      st.stuck_seconds <- seconds;
+      refresh ())
+
+let arm_partial_net ~cap n =
+  if cap < 1 then invalid_arg "Faults.arm_partial_net: cap must be >= 1";
+  if n < 0 then invalid_arg "Faults.arm_partial_net: negative op count";
+  with_lock (fun () ->
+      st.net_cap <- cap;
+      st.net_cap_ops <- n;
+      refresh ())
+
+let arm_net_drop_at n =
+  if n < 1 then invalid_arg "Faults.arm_net_drop_at: n must be >= 1";
+  with_lock (fun () ->
+      st.net_drop_at <- n;
+      st.net_ops_seen <- 0;
       refresh ())
 
 let writes_seen () = with_lock (fun () -> st.writes_seen)
@@ -131,10 +175,57 @@ let mangle blob =
         blob)
 
 let measure_tick () =
-  if st.active then
+  if st.active then begin
+    (* The stall happens outside the lock so a stuck measurement on one
+       domain cannot wedge the other fault hooks. *)
+    let stall =
+      with_lock (fun () ->
+          if st.stuck_measures > 0 then begin
+            st.stuck_measures <- st.stuck_measures - 1;
+            let s = st.stuck_seconds in
+            refresh ();
+            s
+          end
+          else 0.0)
+    in
+    if stall > 0.0 then Unix.sleepf stall;
     with_lock (fun () ->
         if st.transient_measures > 0 then begin
           st.transient_measures <- st.transient_measures - 1;
           refresh ();
           raise (Transient "injected transient measurement failure")
         end)
+  end
+
+(* Both serving-IO hooks below answer from one counter sequence: reads and
+   writes alike are "net ops", so a sweep armed with [arm_net_drop_at n] for
+   n = 1, 2, ... walks the simulated peer death through every socket
+   operation a scenario has. *)
+
+let net_io_cap () =
+  if not st.active then None
+  else
+    with_lock (fun () ->
+        if st.net_cap >= 0 && st.net_cap_ops > 0 then begin
+          st.net_cap_ops <- st.net_cap_ops - 1;
+          let cap = st.net_cap in
+          if st.net_cap_ops = 0 then st.net_cap <- -1;
+          refresh ();
+          Some cap
+        end
+        else None)
+
+let net_drop_tick () =
+  if not st.active then false
+  else
+    with_lock (fun () ->
+        if st.net_drop_at > 0 then begin
+          st.net_ops_seen <- st.net_ops_seen + 1;
+          if st.net_ops_seen >= st.net_drop_at then begin
+            st.net_drop_at <- 0;
+            refresh ();
+            true
+          end
+          else false
+        end
+        else false)

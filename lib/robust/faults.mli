@@ -35,6 +35,20 @@ val arm_corrupt_byte : int -> unit
 val arm_transient_measures : int -> unit
 (** Make the next [n] measurement ticks raise {!Transient}. *)
 
+val arm_stuck_measures : seconds:float -> int -> unit
+(** Make the next [n] measurement ticks stall for [seconds] each before
+    proceeding — the deterministic "stuck measurement" the serving layer's
+    deadline watchdog must survive. *)
+
+val arm_partial_net : cap:int -> int -> unit
+(** Cap the next [n] serving-layer socket reads/writes at [cap] bytes each,
+    forcing the partial-IO paths a slow or trickling peer produces. *)
+
+val arm_net_drop_at : int -> unit
+(** Make the [n]th (1-based) serving-layer socket operation from now report
+    the peer as dead ({!net_drop_tick} returns [true]), simulating a
+    connection dropped mid-frame. *)
+
 val writes_seen : unit -> int
 (** Write points counted since {!arm_fail_nth_write} (for sweep bounds). *)
 
@@ -48,4 +62,13 @@ val mangle : string -> string
     disk; identity when disarmed. *)
 
 val measure_tick : unit -> unit
-(** Transient-failure point in front of each measurement run. *)
+(** Transient-failure (and stuck-measurement stall) point in front of each
+    measurement run. *)
+
+val net_io_cap : unit -> int option
+(** Byte cap for the next socket read/write when {!arm_partial_net} is armed
+    (consumes one armed op); [None] when disarmed. *)
+
+val net_drop_tick : unit -> bool
+(** [true] exactly once, at the socket operation {!arm_net_drop_at} armed:
+    the caller must treat the connection as reset by the peer. *)

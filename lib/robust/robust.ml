@@ -259,9 +259,30 @@ let lines payload =
       let n = Array.length arr in
       if n > 0 && arr.(n - 1) = "" then Array.sub arr 0 (n - 1) else arr
 
-(* --- bounded retry with exponential backoff --- *)
+(* --- bounded retry with capped exponential backoff and jitter --- *)
 
-let with_retry ?(attempts = 3) ?(backoff_s = 0.01) ?budget_s ?on_retry ~label f =
+(* Deterministic jitter: a seed+attempt hash mapped to [0, 1).  Seedable and
+   clock-free, so armed [Faults] sweeps replay exactly, yet two retry loops
+   with different seeds desynchronize instead of hammering in lockstep. *)
+let jitter_unit ~seed ~attempt =
+  (* One round of splitmix-style integer mixing over (seed, attempt). *)
+  let z = (seed * 0x9E3779B9) lxor (attempt * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 15)) * 0x2545F491 in
+  let z = z lxor (z lsr 13) in
+  float_of_int (z land 0xFFFFFF) /. float_of_int 0x1000000
+
+let backoff_delay ?(base_s = 0.01) ?(max_s = 2.0) ?(jitter = 0.5) ?(seed = 0)
+    ~attempt () =
+  if attempt < 1 then invalid_arg "Robust.backoff_delay: attempt must be >= 1";
+  let exp = base_s *. (2.0 ** float_of_int (attempt - 1)) in
+  let capped = Float.min max_s exp in
+  let jitter = Float.max 0.0 (Float.min 1.0 jitter) in
+  (* Jitter shrinks the delay (never extends it), so a capped schedule still
+     respects its cap and a budgeted loop never over-sleeps. *)
+  capped *. (1.0 -. (jitter *. jitter_unit ~seed ~attempt))
+
+let with_retry_backoff ?(attempts = 3) ?(base_s = 0.01) ?(max_s = 2.0)
+    ?(jitter = 0.5) ?(seed = 0) ?budget_s ?on_retry ~label f =
   let attempts = max 1 attempts in
   let start = Unix.gettimeofday () in
   let over_budget () =
@@ -283,9 +304,17 @@ let with_retry ?(attempts = 3) ?(backoff_s = 0.01) ?budget_s ?on_retry ~label f 
                label attempt msg)
         else begin
           (match on_retry with Some f -> f attempt msg | None -> ());
-          let delay = backoff_s *. (2.0 ** float_of_int (attempt - 1)) in
+          let delay = backoff_delay ~base_s ~max_s ~jitter ~seed ~attempt () in
           if delay > 0.0 then Unix.sleepf delay;
           go (attempt + 1)
         end
   in
   go 1
+
+(* The original entry point, now a wrapper: same signature and semantics,
+   with the cap and a label-derived jitter seed on top — deterministic for a
+   given label (the fault sweeps replay exactly), desynchronized across
+   different call sites. *)
+let with_retry ?attempts ?(backoff_s = 0.01) ?budget_s ?on_retry ~label f =
+  with_retry_backoff ?attempts ~base_s:backoff_s ~seed:(Hashtbl.hash label)
+    ?budget_s ?on_retry ~label f

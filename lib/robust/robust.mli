@@ -92,13 +92,32 @@ val lines : string -> string array
 
 (** {2 Retry} *)
 
+val backoff_delay :
+  ?base_s:float -> ?max_s:float -> ?jitter:float -> ?seed:int ->
+  attempt:int -> unit -> float
+(** The delay before retry [attempt] (1-based): exponential from [base_s]
+    (default 10 ms), capped at [max_s] (default 2 s), then shrunk by up to
+    [jitter] (a fraction in [0,1], default 0.5) of itself using a
+    deterministic hash of [(seed, attempt)] — seedable, clock-free jitter,
+    so retry schedules are exactly reproducible yet different seeds never
+    hammer a shared resource in lockstep.  Jitter only shortens the delay,
+    so the cap and any wall-clock budget still hold. *)
+
+val with_retry_backoff :
+  ?attempts:int -> ?base_s:float -> ?max_s:float -> ?jitter:float ->
+  ?seed:int -> ?budget_s:float -> ?on_retry:(int -> string -> unit) ->
+  label:string -> (unit -> 'a) -> ('a, string) result
+(** Run [f] up to [attempts] times (default 3), sleeping
+    {!backoff_delay} between attempts, stopping early once [budget_s] wall
+    seconds have elapsed.  [on_retry attempt msg] fires before each retry
+    sleep (so callers — e.g. the serving daemon's metrics — can count
+    absorbed transients).  {!Faults.Injected} (a simulated crash) is
+    re-raised, never retried. *)
+
 val with_retry :
   ?attempts:int -> ?backoff_s:float -> ?budget_s:float ->
   ?on_retry:(int -> string -> unit) -> label:string ->
   (unit -> 'a) -> ('a, string) result
-(** Run [f] up to [attempts] times (default 3) with exponential backoff
-    starting at [backoff_s] (default 10 ms), stopping early once [budget_s]
-    wall seconds have elapsed.  [on_retry attempt msg] fires before each
-    retry sleep (so callers — e.g. the serving daemon's metrics — can count
-    absorbed transients).  {!Faults.Injected} (a simulated crash) is
-    re-raised, never retried. *)
+(** {!with_retry_backoff} with its original signature: exponential from
+    [backoff_s], the default 2 s cap, and a jitter seed derived from
+    [label] — per-label deterministic, desynchronized across call sites. *)

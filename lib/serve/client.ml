@@ -1,7 +1,16 @@
 (* The `waco query` side of the wire: a blocking client over the same framed
    protocol.  Deliberately dumb — frame out, frame in — so tests can also
    drive it in pipelined mode ([send] N times, [recv] N times) to exercise
-   the daemon's micro-batching. *)
+   the daemon's micro-batching.
+
+   The failure surface is bounded: [connect] is a non-blocking connect with
+   a select wait instead of an unbounded hang, [recv] takes an optional
+   wall-clock timeout, and [query_with_retry] wraps the whole
+   connect/query/close round trip in capped exponential backoff with
+   deterministic jitter seeded by the request's [qid] — the same qid on
+   every attempt, so a retried request that lands after a half-processed
+   first attempt re-answers from the daemon's fingerprint cache instead of
+   recomputing (idempotent by construction). *)
 
 type t = {
   fd : Unix.file_descr;
@@ -9,13 +18,31 @@ type t = {
   mutable closed : bool;
 }
 
-let connect path =
+let connect ?(timeout_s = 5.0) path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  { fd; inbuf = Buffer.create 1024; closed = false }
+  try
+    Unix.set_nonblock fd;
+    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception
+        Unix.Unix_error
+          ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        (* In-flight: wait for writability with a bound, then read the
+           socket's error slot for the verdict. *)
+        match Unix.select [] [ fd ] [] (Float.max 0.0 timeout_s) with
+        | _, [ _ ], _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> ()
+            | Some err -> raise (Unix.Unix_error (err, "connect", path)))
+        | _ ->
+            failwith
+              (Printf.sprintf "Client.connect: %s: no daemon answer in %.1fs"
+                 path timeout_s)));
+    Unix.clear_nonblock fd;
+    { fd; inbuf = Buffer.create 1024; closed = false }
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
 
 let close t =
   if not t.closed then begin
@@ -37,11 +64,13 @@ let send t (req : Protocol.request) =
   if t.closed then failwith "Client.send: connection closed";
   write_all t.fd (Protocol.request_to_frame req)
 
-(* Blocking read of exactly one response frame.  Raises [Failure] when the
-   server hangs up mid-frame or sends damaged framing — client code treats
-   either as a dead daemon. *)
-let recv t =
+(* Blocking read of exactly one response frame, optionally bounded by
+   [timeout_s] of total wall clock.  Raises [Failure] when the server hangs
+   up mid-frame, sends damaged framing, or the timeout expires — client
+   code treats any of these as a dead daemon. *)
+let recv ?timeout_s t =
   if t.closed then failwith "Client.recv: connection closed";
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
   let chunk = Bytes.create 65536 in
   let rec go () =
     let s = Buffer.contents t.inbuf in
@@ -53,23 +82,38 @@ let recv t =
         | Ok resp -> resp
         | Error e -> failwith ("Client.recv: undecodable response: " ^ e))
     | `Bad reason -> failwith ("Client.recv: damaged frame: " ^ reason)
-    | `Need _ -> (
-        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+    | `Need _ ->
+        (match deadline with
+        | Some d -> (
+            let remaining = d -. Unix.gettimeofday () in
+            if remaining <= 0.0 then
+              failwith "Client.recv: timed out waiting for response";
+            match Unix.select [ t.fd ] [] [] remaining with
+            | [], _, _ -> failwith "Client.recv: timed out waiting for response"
+            | _ -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        | None -> ());
+        (match Unix.read t.fd chunk 0 (Bytes.length chunk) with
         | 0 -> failwith "Client.recv: server closed the connection"
-        | n ->
-            Buffer.add_subbytes t.inbuf chunk 0 n;
-            go ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+        | n -> Buffer.add_subbytes t.inbuf chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
   in
   go ()
 
-let request t req =
+let request ?timeout_s t req =
   send t req;
-  recv t
+  recv ?timeout_s t
 
-let query ?(measure = true) ?(qid = "q") t source =
-  match request t (Protocol.Query { Protocol.qid; source; measure }) with
+let query ?(measure = true) ?(deadline_ms = 0) ?(qid = "q") ?timeout_s t source
+    =
+  match
+    request ?timeout_s t
+      (Protocol.Query { Protocol.qid; source; measure; deadline_ms })
+  with
   | Protocol.Answer a -> Ok a
+  | Protocol.Busy { retry_after_ms } ->
+      Error (Printf.sprintf "busy: retry after %d ms" retry_after_ms)
   | Protocol.Error_msg e -> Error e
   | Protocol.Stats_json _ | Protocol.Pong | Protocol.Bye ->
       Error "unexpected response type to query"
@@ -85,3 +129,57 @@ let ping t =
 
 let shutdown t =
   match request t Protocol.Shutdown with Protocol.Bye -> true | _ -> false
+
+(* One fresh connection per attempt: a connection that saw a timeout or a
+   torn frame is in an unknown state and is never reused.  [Busy] answers
+   honor the daemon's retry hint (still capped by [max_s]); transport
+   failures back off on the qid-seeded deterministic schedule.  A daemon
+   [Error_msg] is a real answer about this request (damaged matrix, bad
+   path) — retrying cannot fix it, so it returns immediately. *)
+let query_with_retry ?(attempts = 3) ?(base_s = 0.05) ?(max_s = 1.0)
+    ?(connect_timeout_s = 5.0) ?timeout_s ?(measure = true) ?(deadline_ms = 0)
+    ?(qid = "q") ~socket source =
+  let seed = Hashtbl.hash qid in
+  let attempts = max 1 attempts in
+  let rec go attempt =
+    let outcome =
+      match connect ~timeout_s:connect_timeout_s socket with
+      | exception e -> `Transport (Printexc.to_string e)
+      | c -> (
+          Fun.protect
+            ~finally:(fun () -> close c)
+            (fun () ->
+              match
+                request ?timeout_s c
+                  (Protocol.Query { Protocol.qid; source; measure; deadline_ms })
+              with
+              | Protocol.Answer a -> `Done (Ok a)
+              | Protocol.Busy { retry_after_ms } -> `Busy retry_after_ms
+              | Protocol.Error_msg e -> `Done (Error e)
+              | Protocol.Stats_json _ | Protocol.Pong | Protocol.Bye ->
+                  `Done (Error "unexpected response type to query")
+              | exception Failure msg -> `Transport msg
+              | exception Unix.Unix_error (err, fn, _) ->
+                  `Transport (fn ^ ": " ^ Unix.error_message err)))
+    in
+    match outcome with
+    | `Done r -> r
+    | `Busy hint_ms when attempt < attempts ->
+        let backoff =
+          Robust.backoff_delay ~base_s ~max_s ~seed ~attempt ()
+        in
+        Unix.sleepf
+          (Float.min max_s
+             (Float.max backoff (float_of_int hint_ms /. 1000.0)));
+        go (attempt + 1)
+    | `Busy hint_ms ->
+        Error
+          (Printf.sprintf "%s: still busy after %d attempt(s) (retry hint %d ms)"
+             qid attempts hint_ms)
+    | `Transport _ when attempt < attempts ->
+        Unix.sleepf (Robust.backoff_delay ~base_s ~max_s ~seed ~attempt ());
+        go (attempt + 1)
+    | `Transport msg ->
+        Error (Printf.sprintf "%s: gave up after %d attempt(s): %s" qid attempts msg)
+  in
+  go 1

@@ -4,13 +4,19 @@
     {!ping}, {!shutdown}) are strict request/response; the lower-level
     {!send}/{!recv} pair lets tests pipeline many requests on one connection
     before reading any responses — the shape that exercises the daemon's
-    micro-batching.  Not thread-safe; use one [t] per domain. *)
+    micro-batching.  Not thread-safe; use one [t] per domain.
+
+    Failure is bounded everywhere: {!connect} waits at most its timeout,
+    {!recv} can take one, and {!query_with_retry} adds capped exponential
+    backoff with deterministic qid-seeded jitter over fresh connections. *)
 
 type t
 
-val connect : string -> t
-(** Connect to the daemon's socket path.  Raises [Unix.Unix_error] (e.g.
-    [ENOENT]/[ECONNREFUSED]) when no daemon is listening. *)
+val connect : ?timeout_s:float -> string -> t
+(** Connect to the daemon's socket path, waiting at most [timeout_s]
+    (default 5 s) via a non-blocking connect + select — never an unbounded
+    hang.  Raises [Unix.Unix_error] (e.g. [ENOENT]/[ECONNREFUSED]) when no
+    daemon is listening, [Failure] on timeout. *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -18,20 +24,44 @@ val close : t -> unit
 val send : t -> Protocol.request -> unit
 (** Write one request frame.  Does not wait for the response. *)
 
-val recv : t -> Protocol.response
-(** Block until one complete response frame arrives.  Responses come back in
-    request order (the daemon preserves FIFO order per connection).  Raises
-    [Failure] if the daemon hangs up mid-frame or sends damaged framing. *)
+val recv : ?timeout_s:float -> t -> Protocol.response
+(** Block until one complete response frame arrives, or [timeout_s] of wall
+    clock passes (no timeout by default).  Responses come back in request
+    order (the daemon preserves FIFO order per connection).  Raises
+    [Failure] if the daemon hangs up mid-frame, sends damaged framing, or
+    the timeout expires — after a timeout the connection is in an unknown
+    state and must not be reused. *)
 
-val request : t -> Protocol.request -> Protocol.response
+val request : ?timeout_s:float -> t -> Protocol.request -> Protocol.response
 (** [send] then [recv]. *)
 
 val query :
-  ?measure:bool -> ?qid:string -> t -> Protocol.source ->
+  ?measure:bool -> ?deadline_ms:int -> ?qid:string -> ?timeout_s:float ->
+  t -> Protocol.source ->
   (Protocol.answer, string) result
 (** One tuning request.  [measure] (default [true]) [false] asks for the
-    predict-only fast path.  [Error _] carries the daemon's error message for
-    this request (the connection stays usable). *)
+    predict-only fast path.  [deadline_ms] > 0 gives the daemon an answer
+    budget; a blown budget comes back as a degraded answer with reason
+    ["deadline"], not an error.  [Error _] carries the daemon's error
+    message for this request — including a [Busy] shed, rendered as
+    ["busy: retry after <n> ms"] (the connection stays usable). *)
+
+val query_with_retry :
+  ?attempts:int -> ?base_s:float -> ?max_s:float -> ?connect_timeout_s:float ->
+  ?timeout_s:float -> ?measure:bool -> ?deadline_ms:int -> ?qid:string ->
+  socket:string -> Protocol.source ->
+  (Protocol.answer, string) result
+(** The resilient round trip: connect, query, close — retried up to
+    [attempts] (default 3) times on transport failure (connect/receive
+    timeout, torn frame, daemon restart mid-request) or a [Busy] shed,
+    sleeping {!Robust.backoff_delay} between attempts (exponential from
+    [base_s] = 50 ms, capped at [max_s] = 1 s) with jitter seeded by [qid];
+    a [Busy] retry honors the daemon's hint when it is larger.  Each
+    attempt uses a fresh connection (a torn one is never reused) and the
+    same [qid]: answers are keyed by sparsity fingerprint in the daemon's
+    cache, so a retry after a half-processed attempt re-answers idempotently
+    instead of recomputing.  A daemon [Error_msg] is a definitive answer
+    about the request and returns immediately, never retried. *)
 
 val stats : t -> (string, string) result
 (** The daemon's metrics as a JSON object string. *)

@@ -45,6 +45,11 @@ type t = {
   mutable batched_requests : int;  (* queries carried by those batches *)
   mutable max_batch : int;
   mutable cache_persist_failures : int;
+  mutable shed : int;  (* queries answered [Busy] past the high-water mark *)
+  mutable deadline_misses : int;  (* answers marked degraded_reason=deadline *)
+  mutable reaped_idle : int;  (* connections closed for total silence *)
+  mutable reaped_trickle : int;  (* connections closed mid-frame for stalling *)
+  mutable write_stalls : int;  (* connections dropped for not draining writes *)
   mutable parse_s : float;
   mutable extract_s : float;
   mutable traverse_s : float;
@@ -72,6 +77,11 @@ let create () =
     batched_requests = 0;
     max_batch = 0;
     cache_persist_failures = 0;
+    shed = 0;
+    deadline_misses = 0;
+    reaped_idle = 0;
+    reaped_trickle = 0;
+    write_stalls = 0;
     parse_s = 0.0;
     extract_s = 0.0;
     traverse_s = 0.0;
@@ -118,6 +128,11 @@ let counters t =
         ("batched_requests", t.batched_requests);
         ("max_batch", t.max_batch);
         ("cache_persist_failures", t.cache_persist_failures);
+        ("shed", t.shed);
+        ("deadline_misses", t.deadline_misses);
+        ("reaped_idle", t.reaped_idle);
+        ("reaped_trickle", t.reaped_trickle);
+        ("write_stalls", t.write_stalls);
       ])
 
 let counter t name = List.assoc_opt name (counters t)

@@ -38,6 +38,14 @@ type t = {
   mutable batched_requests : int;
   mutable max_batch : int;
   mutable cache_persist_failures : int;
+  mutable shed : int;  (** queries answered [Busy] past the high-water mark *)
+  mutable deadline_misses : int;
+      (** answers that blew their [deadline_ms] (degraded reason "deadline") *)
+  mutable reaped_idle : int;  (** connections closed for total silence *)
+  mutable reaped_trickle : int;
+      (** connections closed for stalling mid-frame (trickle/byte-at-a-time) *)
+  mutable write_stalls : int;
+      (** connections dropped because the client never drained its responses *)
   mutable parse_s : float;
   mutable extract_s : float;
   mutable traverse_s : float;

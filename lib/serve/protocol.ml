@@ -33,6 +33,7 @@ let msg_answer = 129
 let msg_stats_json = 130
 let msg_pong = 131
 let msg_bye = 132
+let msg_busy = 133
 let msg_error = 192
 
 (* --- framing --- *)
@@ -88,7 +89,12 @@ type source =
   | Path of string  (** a MatrixMarket file the daemon can read *)
   | Inline of { nrows : int; ncols : int; entries : (int * int * float) array }
 
-type query = { qid : string; source : source; measure : bool }
+type query = {
+  qid : string;
+  source : source;
+  measure : bool;
+  deadline_ms : int;  (* 0 = no deadline; omitted on the wire when 0 *)
+}
 
 type request = Query of query | Stats | Ping | Shutdown
 
@@ -96,11 +102,16 @@ type request = Query of query | Stats | Ping | Shutdown
    declare a huge entry count and stall the parser. *)
 let max_inline_nnz = 1_000_000
 
+(* Bound on a declared deadline so arithmetic on arrival + deadline can
+   never overflow or go absurd: one hour. *)
+let max_deadline_ms = 3_600_000
+
 let encode_query (q : query) =
   let buf = Buffer.create 256 in
   if String.contains q.qid '\n' then invalid_arg "Protocol.encode_query: id with newline";
   Printf.bprintf buf "id=%s\n" q.qid;
   Printf.bprintf buf "measure=%d\n" (if q.measure then 1 else 0);
+  if q.deadline_ms > 0 then Printf.bprintf buf "deadline_ms=%d\n" q.deadline_ms;
   (match q.source with
   | Path p ->
       if String.contains p '\n' then invalid_arg "Protocol.encode_query: path with newline";
@@ -149,6 +160,16 @@ let decode_query body : (query, string) result =
     | None | Some "1" -> Ok true
     | Some "0" -> Ok false
     | Some other -> Error (Printf.sprintf "measure=%s (expected 0 or 1)" other)
+  in
+  let* deadline_ms =
+    match field "deadline_ms" with
+    | None -> Ok 0
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some d when d >= 0 && d <= max_deadline_ms -> Ok d
+        | _ ->
+            Error
+              (Printf.sprintf "deadline_ms=%s (expected 0..%d)" s max_deadline_ms))
   in
   let* source =
     match field "source" with
@@ -205,7 +226,7 @@ let decode_query body : (query, string) result =
     | Some other -> Error (Printf.sprintf "unknown source %S" other)
     | None -> Error "missing source field"
   in
-  Ok { qid; source; measure }
+  Ok { qid; source; measure; deadline_ms }
 
 let request_of_frame ~msg body : (request, string) result =
   if msg = msg_query then
@@ -234,6 +255,9 @@ type response =
   | Stats_json of string
   | Pong
   | Bye
+  | Busy of { retry_after_ms : int }
+      (** load shed: the daemon's pending queue is past its high-water mark;
+          retry after the hinted delay instead of hanging *)
   | Error_msg of string
 
 let encode_answer (a : answer) =
@@ -254,6 +278,9 @@ let response_to_frame = function
   | Stats_json j -> encode_frame ~msg:msg_stats_json j
   | Pong -> encode_frame ~msg:msg_pong ""
   | Bye -> encode_frame ~msg:msg_bye ""
+  | Busy { retry_after_ms } ->
+      encode_frame ~msg:msg_busy
+        (Printf.sprintf "retry_after_ms=%d\n" retry_after_ms)
   | Error_msg m -> encode_frame ~msg:msg_error m
 
 let decode_answer body : (answer, string) result =
@@ -299,6 +326,23 @@ let decode_answer body : (answer, string) result =
       spans;
     }
 
+let decode_busy body : (response, string) result =
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' body) in
+  let* fields =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let* p = kv line in
+        Ok (p :: acc))
+      (Ok []) lines
+  in
+  match List.assoc_opt "retry_after_ms" fields with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some r when r >= 0 -> Ok (Busy { retry_after_ms = r })
+      | _ -> Error (Printf.sprintf "bad retry_after_ms %S" s))
+  | None -> Error "busy response without retry_after_ms"
+
 let response_of_frame ~msg body : (response, string) result =
   if msg = msg_answer then
     let* a = decode_answer body in
@@ -306,5 +350,6 @@ let response_of_frame ~msg body : (response, string) result =
   else if msg = msg_stats_json then Ok (Stats_json body)
   else if msg = msg_pong then Ok Pong
   else if msg = msg_bye then Ok Bye
+  else if msg = msg_busy then decode_busy body
   else if msg = msg_error then Ok (Error_msg body)
   else Error (Printf.sprintf "unknown response type %d" msg)

@@ -28,6 +28,7 @@ val msg_answer : int
 val msg_stats_json : int
 val msg_pong : int
 val msg_bye : int
+val msg_busy : int
 val msg_error : int
 
 (** {2 Framing} *)
@@ -56,11 +57,19 @@ type query = {
   qid : string;  (** client-chosen label, echoed in traces; not a cache key *)
   source : source;
   measure : bool;  (** run the top-k simulator measurements (default) *)
+  deadline_ms : int;
+      (** answer budget in milliseconds from the daemon's first sight of the
+          request; 0 (the default, omitted on the wire) means no deadline.
+          On expiry the daemon answers immediately from the cache or the
+          asymptotic fallback, marked [degraded_reason = "deadline"]. *)
 }
 
 type request = Query of query | Stats | Ping | Shutdown
 
 val max_inline_nnz : int
+
+val max_deadline_ms : int
+(** Hard bound on a declared [deadline_ms] (one hour). *)
 
 val request_to_frame : request -> string
 
@@ -87,6 +96,9 @@ type response =
   | Stats_json of string
   | Pong
   | Bye
+  | Busy of { retry_after_ms : int }
+      (** load shed: the daemon's pending queue is past its high-water mark;
+          retry after the hinted delay instead of hanging *)
   | Error_msg of string
 
 val response_to_frame : response -> string

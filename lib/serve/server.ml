@@ -19,7 +19,17 @@
    Degradation over failure, everywhere: a damaged request body answers
    [Error_msg] on its own connection; a failing measurement degrades to the
    fixed-CSR fallback inside [Tuner.tune]; a failing cache persist bumps a
-   counter and keeps serving. *)
+   counter and keeps serving.
+
+   Overload and hostile clients degrade the same way.  Each query's
+   [deadline_ms] becomes an absolute instant at frame-decode time and rides
+   through the scheduler: an expired query answers from the cache or the
+   unmeasured asymptotic fallback (degraded, never cached) instead of
+   computing.  Past the pending-queue high-water mark new queries answer
+   [Busy] with a retry hint instead of queueing without bound.  A client
+   that stalls mid-frame (trickle) or goes silent is reaped on a timeout;
+   one that never drains its responses is dropped when the bounded
+   non-blocking write gives up.  Every such event is a [Metrics] counter. *)
 
 open Machine_model
 
@@ -27,6 +37,10 @@ type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;
   mutable alive : bool;
+  mutable last_byte : float;  (* when the last byte arrived (or accept time) *)
+  mutable partial_since : float;
+      (* when the current incomplete frame started accumulating; 0.0 at a
+         frame boundary (empty input buffer) *)
 }
 
 type t = {
@@ -42,7 +56,13 @@ type t = {
   max_batch : int;
   k : int;
   ef : int;
+  max_pending : int;  (* queued-query high-water mark; past it, shed *)
+  idle_timeout_s : float;
+  frame_timeout_s : float;
+  write_timeout_s : float;
   log : string -> unit;
+  queue : (conn * Protocol.request * float) Queue.t;  (* req + arrival time *)
+  mutable pending_queries : int;  (* queries currently in [queue] *)
   mutable stopping : bool;
 }
 
@@ -54,7 +74,9 @@ let index_digest (index : Waco.Tuner.index) =
   Anns.Hnsw.fingerprint index.Waco.Tuner.hnsw ~payload:Schedule.Sched_io.serialize
 
 let create ?pool ?(cache_capacity = 512) ?cache_file ?(max_batch = 32) ?(k = 10)
-    ?(ef = 40) ?(log = ignore) ~model ~index ~index_file ~machine ~socket () =
+    ?(ef = 40) ?(max_pending = 256) ?(idle_timeout_s = 60.0)
+    ?(frame_timeout_s = 10.0) ?(write_timeout_s = 5.0) ?(log = ignore) ~model
+    ~index ~index_file ~machine ~socket () =
   Waco.Tuner.validate_compat model ~index_file index;
   let domains = match pool with Some p -> Parallel.Pool.domains p | None -> 1 in
   let replicas =
@@ -102,7 +124,13 @@ let create ?pool ?(cache_capacity = 512) ?cache_file ?(max_batch = 32) ?(k = 10)
     max_batch = max 1 max_batch;
     k;
     ef;
+    max_pending = max 1 max_pending;
+    idle_timeout_s;
+    frame_timeout_s;
+    write_timeout_s;
     log;
+    queue = Queue.create ();
+    pending_queries = 0;
     stopping = false;
   }
 
@@ -150,15 +178,33 @@ let answer_of_entry ~span (e : Cache.entry) : Protocol.answer =
     spans = Metrics.span_fields span;
   }
 
+(* [deadline_ms] on the wire -> an absolute expiry instant, from the moment
+   the daemon first saw the request (frame decode), not batch dispatch — the
+   budget covers queue wait too. *)
+let deadline_at_of (q : Protocol.query) ~arrival =
+  if q.Protocol.deadline_ms > 0 then
+    Some (arrival +. (float_of_int q.Protocol.deadline_ms /. 1000.0))
+  else None
+
+let expired = function
+  | None -> false
+  | Some d -> Unix.gettimeofday () >= d
+
+(* Merge two members' deadlines for one deduplicated computation: the group
+   runs under the laxest member (None = no deadline at all), so a tight
+   straggler can never degrade a relaxed client's answer. *)
+let merge_deadline a b =
+  match (a, b) with Some x, Some y -> Some (Float.max x y) | _ -> None
+
 (* One computed miss: run the factored tuner entry point on this worker's
    replica and record what it spent. *)
-let compute_one t replica ~key ~measure m =
+let compute_one t replica ~key ~measure ?deadline_at m =
   let mt = t.metrics in
   Metrics.bump mt (fun m -> m.extractor_forwards <- m.extractor_forwards + 1);
   Metrics.bump mt (fun m -> m.traversals <- m.traversals + 1);
   let r =
-    Waco.Tuner.query replica t.machine ~k:t.k ~ef:t.ef ~measure ~id:key m
-      t.index
+    Waco.Tuner.query replica t.machine ~k:t.k ~ef:t.ef ~measure ?deadline_at
+      ~id:key m t.index
   in
   Metrics.bump mt (fun m ->
       m.measured_runs <- m.measured_runs + r.Waco.Tuner.measured_runs;
@@ -169,14 +215,31 @@ let compute_one t replica ~key ~measure m =
     Metrics.bump mt (fun m -> m.degraded <- m.degraded + 1);
   r
 
-(* Process one micro-batch of decoded queries.  Returns each query's
+(* The expired-before-compute answer: the asymptotic analyzer's
+   guaranteed-not-terrible pick, unmeasured — there is no time left for a
+   traversal, let alone a simulator run.  Degraded, so never cached. *)
+let deadline_fallback t ~key ~span m =
+  let wl = Workload.of_coo ~id:key m in
+  let algo = t.replicas.(0).Waco.Costmodel.algo in
+  let r =
+    Waco.Tuner.degraded ~measure:false t.machine wl algo ~reason:"deadline"
+  in
+  Metrics.bump t.metrics (fun m ->
+      m.cache_misses <- m.cache_misses + 1;
+      m.degraded <- m.degraded + 1;
+      m.answers <- m.answers + 1);
+  Metrics.record_span t.metrics span;
+  Protocol.Answer (answer_of_result ~cache_hit:false ~span r)
+
+(* Process one micro-batch of arrival-stamped queries.  Returns each query's
    response in input order. *)
-let process_batch t (batch : Protocol.query list) : Protocol.response list =
+let process_stamped t (batch : (Protocol.query * float) list) :
+    Protocol.response list =
   Metrics.record_batch t.metrics (List.length batch);
   (* Phase A (sequential, cheap): parse + fingerprint + cache probe. *)
   let parsed =
     List.map
-      (fun (q : Protocol.query) ->
+      (fun ((q : Protocol.query), arrival) ->
         let span = Metrics.span_create () in
         let t0 = Unix.gettimeofday () in
         let outcome =
@@ -185,22 +248,31 @@ let process_batch t (batch : Protocol.query list) : Protocol.response list =
           | Ok m -> `Parsed (cache_key_of ~measure:q.Protocol.measure (Fingerprint.of_coo m), m)
         in
         span.Metrics.parse_s <- Unix.gettimeofday () -. t0;
-        (q, span, outcome))
+        (q, deadline_at_of q ~arrival, span, outcome))
       batch
   in
   (* Distinct cache misses, in first-appearance order (kept stable so pool
-     and sequential runs compute the same work list). *)
+     and sequential runs compute the same work list).  A miss whose deadline
+     has already expired is not computed at all — it answers from the
+     fallback below. *)
   let miss_order = ref [] in
   let misses = Hashtbl.create 8 in
   List.iter
-    (fun (q, _, outcome) ->
+    (fun (q, dl, _, outcome) ->
       match outcome with
       | `Err _ -> ()
       | `Parsed (key, m) ->
-          if Cache.find t.cache key = None && not (Hashtbl.mem misses key)
-          then begin
-            Hashtbl.add misses key (m, q.Protocol.measure);
-            miss_order := key :: !miss_order
+          if Cache.find t.cache key = None then begin
+            match Hashtbl.find_opt misses key with
+            | Some (m0, measure0, dl0) ->
+                (* Another member already claims this key: relax the group
+                   deadline to the laxest member. *)
+                Hashtbl.replace misses key (m0, measure0, merge_deadline dl0 dl)
+            | None ->
+                if not (expired dl) then begin
+                  Hashtbl.add misses key (m, q.Protocol.measure, dl);
+                  miss_order := key :: !miss_order
+                end
           end)
     parsed;
   let miss_keys = Array.of_list (List.rev !miss_order) in
@@ -208,9 +280,9 @@ let process_batch t (batch : Protocol.query list) : Protocol.response list =
      the batch depth allow it. *)
   let computed = Hashtbl.create 8 in
   let work key ~worker =
-    let m, measure = Hashtbl.find misses key in
+    let m, measure, deadline_at = Hashtbl.find misses key in
     let t0 = Unix.gettimeofday () in
-    let r = compute_one t t.replicas.(worker) ~key ~measure m in
+    let r = compute_one t t.replicas.(worker) ~key ~measure ?deadline_at m in
     (key, r, Unix.gettimeofday () -. t0)
   in
   let results =
@@ -221,7 +293,9 @@ let process_batch t (batch : Protocol.query list) : Protocol.response list =
   in
   Array.iter (fun (key, r, secs) -> Hashtbl.replace computed key (r, secs)) results;
   (* Phase C (sequential): cache insertion in deterministic order, one
-     write-through persist per batch, answers in input order. *)
+     write-through persist per batch, answers in input order.  Degraded
+     answers — including every deadline-truncated one — never enter the
+     cache. *)
   let fresh = ref false in
   Array.iter
     (fun key ->
@@ -248,15 +322,26 @@ let process_batch t (batch : Protocol.query list) : Protocol.response list =
              (Printf.sprintf "cache: persist to %s failed: %s" file
                 (Printexc.to_string e)))
      | None -> ());
+  let note_deadline_miss dl (resp : Protocol.response) =
+    let reason_is_deadline =
+      match resp with
+      | Protocol.Answer a -> a.Protocol.degraded_reason = Some "deadline"
+      | _ -> false
+    in
+    if reason_is_deadline || expired dl then
+      Metrics.bump t.metrics (fun m ->
+          m.deadline_misses <- m.deadline_misses + 1);
+    resp
+  in
   List.map
-    (fun ((_q : Protocol.query), span, outcome) ->
+    (fun ((_q : Protocol.query), dl, span, outcome) ->
       match outcome with
       | `Err e ->
           Metrics.bump t.metrics (fun m ->
               m.request_errors <- m.request_errors + 1);
           Metrics.record_span t.metrics span;
           Protocol.Error_msg e
-      | `Parsed (key, _) -> (
+      | `Parsed (key, m) -> (
           match Hashtbl.find_opt computed key with
           | Some (r, _secs) ->
               span.Metrics.extract_s <- r.Waco.Tuner.feature_seconds;
@@ -266,23 +351,36 @@ let process_batch t (batch : Protocol.query list) : Protocol.response list =
                   m.cache_misses <- m.cache_misses + 1;
                   m.answers <- m.answers + 1);
               Metrics.record_span t.metrics span;
-              Protocol.Answer (answer_of_result ~cache_hit:false ~span r)
+              note_deadline_miss dl
+                (Protocol.Answer (answer_of_result ~cache_hit:false ~span r))
           | None -> (
-              (* Not computed this batch: it was a cache hit at probe time. *)
+              (* Not computed this batch: a cache hit at probe time, or a
+                 miss whose deadline expired before compute. *)
               match Cache.find t.cache key with
               | Some entry ->
                   Metrics.bump t.metrics (fun m ->
                       m.cache_hits <- m.cache_hits + 1;
                       m.answers <- m.answers + 1);
                   Metrics.record_span t.metrics span;
-                  Protocol.Answer (answer_of_entry ~span entry)
+                  note_deadline_miss dl
+                    (Protocol.Answer (answer_of_entry ~span entry))
               | None ->
-                  (* Computed but degraded and uncached: replay the compute
-                     result is gone — answer degraded honestly. *)
-                  Metrics.bump t.metrics (fun m ->
-                      m.request_errors <- m.request_errors + 1);
-                  Protocol.Error_msg "internal: answer neither cached nor computed")))
+                  if expired dl then
+                    note_deadline_miss dl (deadline_fallback t ~key ~span m)
+                  else begin
+                    Metrics.bump t.metrics (fun m ->
+                        m.request_errors <- m.request_errors + 1);
+                    Protocol.Error_msg
+                      "internal: answer neither cached nor computed"
+                  end)))
     parsed
+
+(* Process one micro-batch of decoded queries, all stamped as arriving now.
+   The socket path stamps arrival at frame decode instead, so a queued
+   query's deadline budget includes its queue wait. *)
+let process_batch t (batch : Protocol.query list) : Protocol.response list =
+  let now = Unix.gettimeofday () in
+  process_stamped t (List.map (fun q -> (q, now)) batch)
 
 (* --- the IO loop ------------------------------------------------------- *)
 
@@ -297,6 +395,8 @@ let stats_json t =
         ("index_lint_rejected", t.index.Waco.Tuner.lint_rejected);
         ("index_asym_rejected", t.index.Waco.Tuner.asym_rejected);
         ("domains", Array.length t.replicas);
+        ("pending", t.pending_queries);
+        ("max_pending", t.max_pending);
       ]
     ~extra:
       [
@@ -306,33 +406,72 @@ let stats_json t =
       ]
     t.metrics
 
-let write_all fd s =
-  let n = String.length s in
-  let b = Bytes.unsafe_of_string s in
-  let rec go off =
-    if off < n then
-      let w = Unix.write fd b off (n - off) in
-      go (off + w)
-  in
-  go 0
-
-let send t conn (resp : Protocol.response) =
-  if conn.alive then
-    try write_all conn.fd (Protocol.response_to_frame resp)
-    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-      conn.alive <- false;
-      t.log "client went away mid-response"
-
 let close_conn conn =
   if conn.alive then begin
     conn.alive <- false;
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
 
+exception Write_stall
+
+(* Bounded non-blocking write: the whole frame goes out, or the connection
+   is declared stalled after [write_timeout_s] of the client not draining.
+   Connection fds are permanently non-blocking, so a full socket buffer
+   surfaces as EAGAIN and we wait for writability with the remaining
+   budget — never for longer.  The [Faults] hooks simulate a hostile
+   network here: capped partial writes and a drop mid-frame. *)
+let write_bounded t conn s =
+  let fd = conn.fd in
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let deadline = Unix.gettimeofday () +. t.write_timeout_s in
+  let rec go off =
+    if off < n then begin
+      if Robust.Faults.net_drop_tick () then
+        raise (Unix.Unix_error (Unix.EPIPE, "write", "injected drop"));
+      let len = n - off in
+      let len =
+        match Robust.Faults.net_io_cap () with
+        | Some cap -> min cap len
+        | None -> len
+      in
+      match Unix.write fd b off len with
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then raise Write_stall;
+          (match Unix.select [] [ fd ] [] remaining with
+          | _, [], _ -> raise Write_stall
+          | _ -> ());
+          go off
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let send t conn (resp : Protocol.response) =
+  if conn.alive then
+    match write_bounded t conn (Protocol.response_to_frame resp) with
+    | () -> ()
+    | exception Write_stall ->
+        Metrics.bump t.metrics (fun m -> m.write_stalls <- m.write_stalls + 1);
+        t.log "client not draining responses; dropping connection";
+        close_conn conn
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        t.log "client went away mid-response";
+        close_conn conn
+
+(* The [Busy] hint scales with how deep the backlog already is: a client
+   told to come back later should not come back into the same wall. *)
+let retry_hint t =
+  min 2000 (50 * (1 + (t.pending_queries / t.max_batch)))
+
 (* Drain complete frames out of a connection's buffer; enqueue well-formed
    requests, answer undecodable bodies, kill the connection on framing
-   damage. *)
-let drain_frames t conn queue =
+   damage.  Past the pending high-water mark a new query answers [Busy]
+   instead of queueing — control requests (stats/ping/shutdown) always get
+   through, so an overloaded daemon stays observable and stoppable. *)
+let drain_frames t conn =
   let rec go () =
     let s = Buffer.contents conn.inbuf in
     match Protocol.decode_frame s with
@@ -348,7 +487,14 @@ let drain_frames t conn queue =
         match Protocol.request_of_frame ~msg body with
         | Ok req ->
             Metrics.bump t.metrics (fun m -> m.requests <- m.requests + 1);
-            Queue.add (conn, req) queue;
+            (match req with
+            | Protocol.Query _ when t.pending_queries >= t.max_pending ->
+                Metrics.bump t.metrics (fun m -> m.shed <- m.shed + 1);
+                send t conn (Protocol.Busy { retry_after_ms = retry_hint t })
+            | Protocol.Query _ ->
+                t.pending_queries <- t.pending_queries + 1;
+                Queue.add (conn, req, Unix.gettimeofday ()) t.queue
+            | _ -> Queue.add (conn, req, Unix.gettimeofday ()) t.queue);
             go ()
         | Error e ->
             Metrics.bump t.metrics (fun m ->
@@ -362,39 +508,66 @@ let drain_frames t conn queue =
    dispatch as micro-batches of at most [max_batch].  FIFO order per
    connection is preserved — a client that pipelines query;stats sees the
    stats taken after its query. *)
-let drain_queue t queue =
-  while not (Queue.is_empty queue) do
-    match Queue.peek queue with
-    | _, Protocol.Stats ->
-        let conn, _ = Queue.pop queue in
+let drain_queue t =
+  while not (Queue.is_empty t.queue) do
+    match Queue.peek t.queue with
+    | _, Protocol.Stats, _ ->
+        let conn, _, _ = Queue.pop t.queue in
         send t conn (Protocol.Stats_json (stats_json t))
-    | _, Protocol.Ping ->
-        let conn, _ = Queue.pop queue in
+    | _, Protocol.Ping, _ ->
+        let conn, _, _ = Queue.pop t.queue in
         send t conn Protocol.Pong
-    | _, Protocol.Shutdown ->
-        let conn, _ = Queue.pop queue in
+    | _, Protocol.Shutdown, _ ->
+        let conn, _, _ = Queue.pop t.queue in
         t.stopping <- true;
         send t conn Protocol.Bye
-    | _, Protocol.Query _ ->
+    | _, Protocol.Query _, _ ->
         (* Collect the contiguous run of queries at the head. *)
         let conns = ref [] and queries = ref [] in
         let continue = ref true in
         while
           !continue
-          && (not (Queue.is_empty queue))
+          && (not (Queue.is_empty t.queue))
           && List.length !queries < t.max_batch
         do
-          match Queue.peek queue with
-          | conn, Protocol.Query q ->
-              ignore (Queue.pop queue);
+          match Queue.peek t.queue with
+          | conn, Protocol.Query q, arrival ->
+              ignore (Queue.pop t.queue);
+              t.pending_queries <- t.pending_queries - 1;
               conns := conn :: !conns;
-              queries := q :: !queries
+              queries := (q, arrival) :: !queries
           | _ -> continue := false
         done;
         let conns = List.rev !conns and queries = List.rev !queries in
-        let responses = process_batch t queries in
+        let responses = process_stamped t queries in
         List.iter2 (fun conn resp -> send t conn resp) conns responses
   done
+
+(* Connection reaper: a connection stalled mid-frame (a trickler feeding a
+   byte per tick, or a drop that left half a header) dies after
+   [frame_timeout_s]; one that has sent nothing at all for [idle_timeout_s]
+   dies too.  Both free their fd — neither can pin the select loop's fd set
+   forever. *)
+let reap t conns =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun conn ->
+      if conn.alive then
+        if
+          conn.partial_since > 0.0
+          && now -. conn.partial_since > t.frame_timeout_s
+        then begin
+          Metrics.bump t.metrics (fun m ->
+              m.reaped_trickle <- m.reaped_trickle + 1);
+          t.log "reaped connection stalled mid-frame";
+          close_conn conn
+        end
+        else if now -. conn.last_byte > t.idle_timeout_s then begin
+          Metrics.bump t.metrics (fun m -> m.reaped_idle <- m.reaped_idle + 1);
+          t.log "reaped idle connection";
+          close_conn conn
+        end)
+    conns
 
 let run ?(on_ready = ignore) t =
   (* A dying client must not kill the daemon with SIGPIPE; writes surface
@@ -412,7 +585,6 @@ let run ?(on_ready = ignore) t =
   t.log (Printf.sprintf "listening on %s" t.socket_path);
   on_ready ();
   let conns : conn list ref = ref [] in
-  let queue : (conn * Protocol.request) Queue.t = Queue.create () in
   let finally () =
     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
     (try Sys.remove t.socket_path with Sys_error _ -> ());
@@ -429,12 +601,18 @@ let run ?(on_ready = ignore) t =
     | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
     | None -> ()
   in
+  (* The select timeout doubles as the reaper tick: fine-grained enough to
+     honor short test timeouts, never busier than once per 20 ms. *)
+  let tick =
+    Float.max 0.02
+      (Float.min 1.0 (Float.min t.idle_timeout_s t.frame_timeout_s /. 4.0))
+  in
   Fun.protect ~finally (fun () ->
       let chunk = Bytes.create 65536 in
       while not t.stopping do
         conns := List.filter (fun c -> c.alive) !conns;
         let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
-        match Unix.select fds [] [] 1.0 with
+        match Unix.select fds [] [] tick with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | readable, _, _ ->
             (* New connections. *)
@@ -443,9 +621,19 @@ let run ?(on_ready = ignore) t =
               while !accepting do
                 match Unix.accept listen_fd with
                 | fd, _ ->
-                    Unix.clear_nonblock fd;
+                    (* Connection fds stay non-blocking for their whole
+                       life: reads can spuriously EAGAIN (handled below)
+                       and writes go through the bounded writer. *)
+                    Unix.set_nonblock fd;
                     conns :=
-                      { fd; inbuf = Buffer.create 1024; alive = true } :: !conns
+                      {
+                        fd;
+                        inbuf = Buffer.create 1024;
+                        alive = true;
+                        last_byte = Unix.gettimeofday ();
+                        partial_since = 0.0;
+                      }
+                      :: !conns
                 | exception
                     Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
                     accepting := false
@@ -455,16 +643,39 @@ let run ?(on_ready = ignore) t =
             (* Bytes from existing connections. *)
             List.iter
               (fun conn ->
-                if conn.alive && List.mem conn.fd readable then
-                  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-                  | 0 -> close_conn conn
-                  | n ->
-                      Buffer.add_subbytes conn.inbuf chunk 0 n;
-                      drain_frames t conn queue
-                  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
-                      close_conn conn
-                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+                if conn.alive && List.mem conn.fd readable then begin
+                  if Robust.Faults.net_drop_tick () then close_conn conn
+                  else
+                    let len = Bytes.length chunk in
+                    let len =
+                      (* Injected partial read: a hostile peer (or kernel)
+                         handing over a few bytes at a time. *)
+                      match Robust.Faults.net_io_cap () with
+                      | Some cap -> min cap len
+                      | None -> len
+                    in
+                    match Unix.read conn.fd chunk 0 len with
+                    | 0 -> close_conn conn
+                    | n ->
+                        conn.last_byte <- Unix.gettimeofday ();
+                        Buffer.add_subbytes conn.inbuf chunk 0 n;
+                        drain_frames t conn;
+                        (* Track how long the current partial frame (if
+                           any) has been accumulating, for the reaper. *)
+                        if Buffer.length conn.inbuf = 0 then
+                          conn.partial_since <- 0.0
+                        else if conn.partial_since = 0.0 then
+                          conn.partial_since <- Unix.gettimeofday ()
+                    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                        close_conn conn
+                    | exception
+                        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                      ->
+                        ()
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                end)
               !conns;
-            (* The request scheduler. *)
-            drain_queue t queue
+            (* The request scheduler, then the reaper. *)
+            drain_queue t;
+            reap t !conns
       done)

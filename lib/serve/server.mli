@@ -6,7 +6,16 @@
     distinct cache misses (deduplicated by sparsity fingerprint) run
     concurrently on the worker pool's per-domain model replicas, then fresh
     answers enter the LRU cache and are persisted write-through inside the
-    {!Robust} envelope.  FIFO order is preserved per connection. *)
+    {!Robust} envelope.  FIFO order is preserved per connection.
+
+    The daemon degrades under overload and hostile clients instead of
+    hanging: per-query [deadline_ms] budgets (expired queries answer from
+    the cache or the unmeasured asymptotic fallback, marked degraded and
+    never cached), a pending-queue high-water mark past which new queries
+    answer [Busy] with a retry hint, timeouts that reap silent and
+    mid-frame-stalled (trickle) connections, and a bounded non-blocking
+    writer that drops clients who never drain their responses.  Every shed,
+    deadline miss, reap and write stall is a {!Metrics} counter. *)
 
 type t
 
@@ -17,6 +26,10 @@ val create :
   ?max_batch:int ->
   ?k:int ->
   ?ef:int ->
+  ?max_pending:int ->
+  ?idle_timeout_s:float ->
+  ?frame_timeout_s:float ->
+  ?write_timeout_s:float ->
   ?log:(string -> unit) ->
   model:Waco.Costmodel.t ->
   index:Waco.Tuner.index ->
@@ -34,7 +47,17 @@ val create :
 
     [max_batch] (default 32) bounds one micro-batch; [k]/[ef] are the
     tuner's search knobs, fixed at daemon start so cached and fresh answers
-    are comparable. *)
+    are comparable.
+
+    [max_pending] (default 256) is the queued-query high-water mark: past
+    it, new queries answer [Busy {retry_after_ms}] instead of queueing
+    (control requests always get through, so an overloaded daemon stays
+    observable and stoppable).  [idle_timeout_s] (default 60) reaps a
+    connection that has sent nothing at all; [frame_timeout_s] (default 10)
+    reaps one stalled in the middle of a frame — a trickler feeding a byte
+    per tick never completes a frame and dies here; [write_timeout_s]
+    (default 5) bounds how long one response write may wait for the client
+    to drain before the connection is dropped. *)
 
 val process_batch : t -> Protocol.query list -> Protocol.response list
 (** One micro-batch through the request scheduler, bypassing the socket —
@@ -42,7 +65,9 @@ val process_batch : t -> Protocol.query list -> Protocol.response list
     (parse, fingerprint, dedup, cache probe, concurrent compute of the
     distinct misses, write-through persist).  Responses come back in input
     order.  Exposed so tests and the bench harness can drive batches
-    deterministically. *)
+    deterministically.  Every query is stamped as arriving now, so a
+    [deadline_ms] budget starts at this call; the socket path stamps
+    arrival at frame decode instead, charging queue wait to the budget. *)
 
 val run : ?on_ready:(unit -> unit) -> t -> unit
 (** Bind the socket (removing a stale file first), call [on_ready], and

@@ -1,0 +1,127 @@
+(* The `waco serve --supervise` crash supervisor: a small parent process
+   that forks the serving worker and restarts it when it dies abnormally.
+
+   The division of labor is deliberate: the parent does nothing but fork,
+   wait and sleep — it loads no model, spawns no domains (OCaml 5 forbids
+   [Unix.fork] once any domain has ever run, so the worker builds its pool
+   only after the fork) and holds no state the worker could corrupt.  All
+   durable state lives in the worker's digest-stamped cache artifact, which
+   the envelope checksum re-verifies on every load — a worker killed at any
+   instant leaves either the previous complete snapshot or none, so the
+   next incarnation comes up warm or cold, never wrong.
+
+   Restart policy: crashes back off exponentially with deterministic
+   seeded jitter ([Robust.backoff_delay] — reproducible in tests, no
+   thundering herd across supervised fleets), a worker that survived
+   [healthy_s] resets the consecutive-crash counter, and [max_restarts]
+   consecutive crashes make the supervisor give up rather than flap
+   forever.  SIGTERM/SIGINT forward to the worker and stop the loop. *)
+
+type exit_reason =
+  | Clean  (* the worker exited 0 on its own (Shutdown request) *)
+  | Stopped  (* the supervisor was told to stop and took the worker down *)
+  | Gave_up of int  (* consecutive-crash budget exhausted *)
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+
+let run ?(max_restarts = 10) ?(base_s = 0.1) ?(max_s = 5.0) ?(seed = 0)
+    ?(healthy_s = 5.0) ?(on_spawn = ignore) ?(log = ignore) worker =
+  let stopping = ref false in
+  let child = ref (-1) in
+  let forward signal =
+    stopping := true;
+    if !child > 0 then
+      try Unix.kill !child signal with Unix.Unix_error _ -> ()
+  in
+  let install s =
+    try Some (Sys.signal s (Sys.Signal_handle (fun _ -> forward Sys.sigterm)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let prev_term = install Sys.sigterm in
+  let prev_int = install Sys.sigint in
+  let restore s prev =
+    match prev with
+    | Some h -> ( try Sys.set_signal s h with Invalid_argument _ -> ())
+    | None -> ()
+  in
+  let rec wait pid =
+    match Unix.waitpid [] pid with
+    | _, status -> status
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait pid
+  in
+  let rec loop consecutive =
+    if !stopping then Stopped
+    else begin
+      match Unix.fork () with
+      | 0 ->
+          (* Worker: inherit nothing from the supervision machinery. *)
+          (try Sys.set_signal Sys.sigterm Sys.Signal_default
+           with Invalid_argument _ -> ());
+          (try Sys.set_signal Sys.sigint Sys.Signal_default
+           with Invalid_argument _ -> ());
+          let code =
+            try
+              worker ();
+              0
+            with e ->
+              prerr_endline ("waco serve worker: " ^ Printexc.to_string e);
+              1
+          in
+          (* _exit, not exit: the parent's at_exit handlers and channel
+             buffers are not this process's to run or flush. *)
+          Unix._exit code
+      | pid -> (
+          child := pid;
+          on_spawn pid;
+          log (Printf.sprintf "worker started (pid %d)" pid);
+          let born = Unix.gettimeofday () in
+          let status = wait pid in
+          child := -1;
+          let lived = Unix.gettimeofday () -. born in
+          if !stopping then begin
+            log
+              (Printf.sprintf "worker stopped on request (%s)"
+                 (status_to_string status));
+            Stopped
+          end
+          else
+            match status with
+            | Unix.WEXITED 0 ->
+                log "worker exited cleanly";
+                Clean
+            | status ->
+                (* A worker that ran healthy for a while earns a fresh
+                   crash budget; a crash loop burns through it. *)
+                let consecutive =
+                  if lived >= healthy_s then 1 else consecutive + 1
+                in
+                if consecutive > max_restarts then begin
+                  log
+                    (Printf.sprintf
+                       "worker died (%s) after %.1fs; giving up after %d \
+                        consecutive crashes"
+                       (status_to_string status) lived max_restarts);
+                  Gave_up consecutive
+                end
+                else begin
+                  let delay =
+                    Robust.backoff_delay ~base_s ~max_s ~seed
+                      ~attempt:consecutive ()
+                  in
+                  log
+                    (Printf.sprintf
+                       "worker died (%s) after %.1fs; restart %d in %.2fs"
+                       (status_to_string status) lived consecutive delay);
+                  if delay > 0.0 then Unix.sleepf delay;
+                  loop consecutive
+                end)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      restore Sys.sigterm prev_term;
+      restore Sys.sigint prev_int)
+    (fun () -> loop 0)

@@ -1,0 +1,42 @@
+(** Crash supervision for the serving daemon (`waco serve --supervise`).
+
+    {!run} forks a worker process, runs [worker] inside it, and restarts it
+    whenever it dies abnormally — with capped exponential backoff and
+    deterministic seeded jitter ({!Robust.backoff_delay}), a consecutive-
+    crash budget, and a health window that forgives crashes separated by
+    long uptime.  Durable state (the digest-stamped schedule cache) lives
+    in {!Robust}-enveloped artifacts the worker re-verifies on load, so a
+    restarted worker comes up warm or cold, never corrupted.
+
+    OCaml 5 constraint: [Unix.fork] is only legal while no domain has ever
+    been spawned in the process.  Call {!run} {e before} creating any
+    worker pool — the worker builds its pool after the fork. *)
+
+type exit_reason =
+  | Clean  (** the worker exited 0 on its own (e.g. a [Shutdown] request) *)
+  | Stopped  (** SIGTERM/SIGINT: the worker was taken down deliberately *)
+  | Gave_up of int
+      (** the consecutive-crash budget was exhausted; carries the crash
+          count *)
+
+val run :
+  ?max_restarts:int ->
+  ?base_s:float ->
+  ?max_s:float ->
+  ?seed:int ->
+  ?healthy_s:float ->
+  ?on_spawn:(int -> unit) ->
+  ?log:(string -> unit) ->
+  (unit -> unit) ->
+  exit_reason
+(** [run worker] supervises [worker] until it exits cleanly, the
+    supervisor is signalled, or [max_restarts] (default 10) {e consecutive}
+    crashes accumulate — a worker that lived at least [healthy_s] (default
+    5 s) resets the counter.  Crash [n] restarts after
+    [backoff_delay ~base_s ~max_s ~seed ~attempt:n] (defaults: 100 ms
+    doubling to a 5 s cap, jitter seeded by [seed]).  [on_spawn pid] fires
+    after every fork — the CLI writes a pidfile there, and the chaos
+    harness uses it to aim its kills.  In the worker, [worker ()] returning
+    is exit 0; an escaped exception prints and exits 1 (a crash).
+    SIGTERM/SIGINT to the supervisor forward to the worker and end the
+    loop with {!Stopped}. *)

@@ -44,6 +44,13 @@ WACO_DOMAINS=2 dune exec -- test/test_parallel.exe || status=1
 # warm restart) with a bounded two-domain pool.
 dune build @serve || status=1
 
+# The @chaos alias runs the serving-layer chaos harness: a supervised
+# daemon SIGKILLed under load 20+ times (zero cache corruption, zero hung
+# clients, warm restarts), the supervisor's restart/give-up policy, and
+# the deterministic serving fault points (partial IO, mid-frame drop,
+# stuck measurement vs deadline).
+dune build @chaos || status=1
+
 # The @asym alias runs the asymptotic-analyzer suite: dominance-order
 # properties, golden cost expressions, pre-filter/Costsim agreement and the
 # tuner prune counters.

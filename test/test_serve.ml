@@ -78,7 +78,12 @@ let test_request_roundtrip () =
   let reqs =
     [
       Serve.Protocol.Query
-        { qid = "q1"; source = Serve.Protocol.Path "/tmp/m.mtx"; measure = true };
+        {
+          qid = "q1";
+          source = Serve.Protocol.Path "/tmp/m.mtx";
+          measure = true;
+          deadline_ms = 0;
+        };
       Serve.Protocol.Query
         {
           qid = "";
@@ -90,6 +95,7 @@ let test_request_roundtrip () =
                 entries = [| (0, 0, 1.5); (2, 3, -2.25); (1, 1, 1e-30) |];
               };
           measure = false;
+          deadline_ms = 250;
         };
       Serve.Protocol.Stats;
       Serve.Protocol.Ping;
@@ -154,6 +160,7 @@ let test_response_roundtrip () =
       Serve.Protocol.Stats_json "{}";
       Serve.Protocol.Pong;
       Serve.Protocol.Bye;
+      Serve.Protocol.Busy { retry_after_ms = 120 };
       Serve.Protocol.Error_msg "nope";
     ]
 
@@ -172,7 +179,12 @@ let test_framing_damage () =
   let frame =
     Serve.Protocol.request_to_frame
       (Serve.Protocol.Query
-         { qid = "t"; source = Serve.Protocol.Path "m.mtx"; measure = true })
+         {
+           qid = "t";
+           source = Serve.Protocol.Path "m.mtx";
+           measure = true;
+           deadline_ms = 0;
+         })
   in
   (* Every strict prefix of a valid frame is [`Need], never [`Bad] or a
      bogus [`Frame]. *)
@@ -233,6 +245,17 @@ let test_inline_validation () =
     (Printf.sprintf "source=inline\ndims=2 2\nnnz=%d\n"
        (Serve.Protocol.max_inline_nnz + 1));
   expect_error "missing source" "id=x\n";
+  expect_error "negative deadline"
+    "source=path\npath=m.mtx\ndeadline_ms=-5\n";
+  expect_error "non-numeric deadline"
+    "source=path\npath=m.mtx\ndeadline_ms=soon\n";
+  expect_error "over-limit deadline"
+    (Printf.sprintf "source=path\npath=m.mtx\ndeadline_ms=%d\n"
+       (Serve.Protocol.max_deadline_ms + 1));
+  (match decode_body "source=path\npath=m.mtx\ndeadline_ms=250\n" with
+  | Ok (Serve.Protocol.Query q) ->
+      Alcotest.(check int) "deadline parsed" 250 q.Serve.Protocol.deadline_ms
+  | _ -> Alcotest.fail "valid deadline rejected");
   match decode_body "source=inline\ndims=2 2\nnnz=1\n1 1 2.5\n" with
   | Ok (Serve.Protocol.Query { source = Serve.Protocol.Inline { entries; _ }; _ })
     ->
@@ -261,6 +284,7 @@ let test_fuzz_total () =
              Serve.Protocol.Inline
                { nrows = 4; ncols = 4; entries = [| (1, 2, 0.5) |] };
            measure = true;
+           deadline_ms = 0;
          })
   in
   for _ = 1 to 2000 do
@@ -468,18 +492,15 @@ let test_cache_crash_sweep () =
 (* Request scheduler (batch level, no socket)                             *)
 (* ====================================================================== *)
 
-let query_of ?(measure = true) ?(qid = "q") m =
+let inline_source m =
   let entries =
     Array.init (Coo.nnz m) (fun k ->
         (m.Coo.rows.(k), m.Coo.cols.(k), m.Coo.vals.(k)))
   in
-  {
-    Serve.Protocol.qid;
-    source =
-      Serve.Protocol.Inline
-        { nrows = m.Coo.nrows; ncols = m.Coo.ncols; entries };
-    measure;
-  }
+  Serve.Protocol.Inline { nrows = m.Coo.nrows; ncols = m.Coo.ncols; entries }
+
+let query_of ?(measure = true) ?(qid = "q") ?(deadline_ms = 0) m =
+  { Serve.Protocol.qid; source = inline_source m; measure; deadline_ms }
 
 let schedule_of = function
   | Serve.Protocol.Answer a -> a.Serve.Protocol.schedule
@@ -556,6 +577,7 @@ let test_batch_measure_modes_and_errors () =
       Serve.Protocol.qid = "bad";
       source = Serve.Protocol.Path "/nonexistent/missing.mtx";
       measure = true;
+      deadline_ms = 0;
     }
   in
   (match Serve.Server.process_batch server [ bad; query_of m ] with
@@ -565,6 +587,64 @@ let test_batch_measure_modes_and_errors () =
   | _ -> Alcotest.fail "mixed batch misbehaved");
   Alcotest.(check (option int)) "request error counted" (Some 1)
     (Serve.Metrics.counter (Serve.Server.metrics server) "request_errors")
+
+(* Deadline semantics, bottom-up: a pre-expired deadline at the tuner gives
+   the unmeasured fallback with reason "deadline"; a lax one changes
+   nothing; at the scheduler a blown [deadline_ms] answers degraded and is
+   never cached, and the same pattern without a deadline then computes and
+   caches normally. *)
+let test_deadlines () =
+  let model, index = Lazy.force fixture in
+  let m = small_matrix 21 in
+  (* Already expired before phase 1: unmeasured asymptotic fallback. *)
+  let r =
+    Waco.Tuner.query model machine ~k:4 ~ef:16 ~measure:true
+      ~deadline_at:(Unix.gettimeofday () -. 1.0) ~id:"dl-past" m index
+  in
+  Alcotest.(check bool) "expired: degraded" true r.Waco.Tuner.degraded;
+  Alcotest.(check (option string)) "expired: reason" (Some "deadline")
+    r.Waco.Tuner.degraded_reason;
+  Alcotest.(check int) "expired: nothing measured" 0 r.Waco.Tuner.measured_runs;
+  Alcotest.(check bool) "expired: NaN measured" true
+    (Float.is_nan r.Waco.Tuner.best_measured);
+  (* A lax deadline leaves the full pipeline untouched. *)
+  let r2 =
+    Waco.Tuner.query model machine ~k:4 ~ef:16 ~measure:true
+      ~deadline_at:(Unix.gettimeofday () +. 3600.0) ~id:"dl-lax" m index
+  in
+  Alcotest.(check bool) "lax: not degraded" false r2.Waco.Tuner.degraded;
+  Alcotest.(check bool) "lax: measured" true (r2.Waco.Tuner.measured_runs > 0);
+  (* Scheduler level: a 1 ms budget cannot survive the pipeline (stalled
+     measurements make sure of it), so the answer is degraded, counted as a
+     deadline miss, and never cached. *)
+  let server = mk_server () in
+  Robust.Faults.reset ();
+  Robust.Faults.arm_stuck_measures ~seconds:0.05 8;
+  let responses =
+    Serve.Server.process_batch server [ query_of ~deadline_ms:1 ~qid:"dl" m ]
+  in
+  Robust.Faults.reset ();
+  (match responses with
+  | [ Serve.Protocol.Answer a ] ->
+      Alcotest.(check bool) "blown deadline: degraded" true
+        a.Serve.Protocol.degraded;
+      Alcotest.(check (option string)) "blown deadline: reason"
+        (Some "deadline") a.Serve.Protocol.degraded_reason
+  | _ -> Alcotest.fail "deadline query did not answer");
+  Alcotest.(check (option int)) "deadline miss counted" (Some 1)
+    (Serve.Metrics.counter (Serve.Server.metrics server) "deadline_misses");
+  Alcotest.(check int) "degraded answer never cached" 0
+    (Serve.Cache.size (Serve.Server.cache server));
+  (* The same pattern without a deadline computes and caches normally. *)
+  (match Serve.Server.process_batch server [ query_of ~qid:"free" m ] with
+  | [ Serve.Protocol.Answer a ] ->
+      Alcotest.(check bool) "no deadline: full answer" false
+        a.Serve.Protocol.degraded;
+      Alcotest.(check bool) "no deadline: measured" true
+        (Float.is_finite a.Serve.Protocol.measured)
+  | _ -> Alcotest.fail "deadline-free query failed");
+  Alcotest.(check int) "full answer cached" 1
+    (Serve.Cache.size (Serve.Server.cache server))
 
 (* Worker-pool answers must be byte-identical to the sequential ones. *)
 let test_batch_pool_determinism () =
@@ -699,6 +779,7 @@ let test_e2e_daemon () =
                  qid = Printf.sprintf "c%d" i;
                  source = Serve.Protocol.Path mtx;
                  measure = true;
+                 deadline_ms = 0;
                }))
         clients;
       let answers =
@@ -823,7 +904,12 @@ let test_e2e_hostile_client () =
          stays up. *)
       Serve.Client.send hostile
         (Serve.Protocol.Query
-           { qid = "x"; source = Serve.Protocol.Path ""; measure = true });
+           {
+             qid = "x";
+             source = Serve.Protocol.Path "";
+             measure = true;
+             deadline_ms = 0;
+           });
       (* An empty path field is a body-level decode error. *)
       (match Serve.Client.recv hostile with
       | Serve.Protocol.Error_msg _ -> ()
@@ -845,6 +931,189 @@ let test_e2e_hostile_client () =
       Alcotest.(check bool) "shutdown" true (Serve.Client.shutdown good);
       Serve.Client.close good;
       ignore (Unix.waitpid [] pid))
+
+(* ====================================================================== *)
+(* Overload, hostile-connection reaping, client-side bounds (in-process)  *)
+(* ====================================================================== *)
+
+(* An in-process daemon: the server runs in its own domain, so the test
+   holds both ends — real sockets on one side, the live metrics record on
+   the other (the forked trampoline can only export stats JSON). *)
+let with_inproc_server ?max_pending ?idle_timeout_s ?frame_timeout_s f =
+  let dir = tmpdir "waco-serve-inproc" in
+  let socket = Filename.concat dir "waco.sock" in
+  let model, index = Lazy.force fixture in
+  let server =
+    Serve.Server.create ?max_pending ?idle_timeout_s ?frame_timeout_s ~k:4
+      ~ef:16 ~model ~index ~index_file:"<fixture>" ~machine ~socket ()
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Robust.Faults.reset ();
+      (* The daemon must die even when the test body raised before its own
+         shutdown (or before the daemon finished binding) — otherwise the
+         Domain.join below hangs the whole suite.  Retry briefly: shutting
+         down an already-shut daemon just fails to connect. *)
+      let rec stop attempts =
+        let ok =
+          try
+            let c = Serve.Client.connect ~timeout_s:1.0 socket in
+            ignore (Serve.Client.shutdown c);
+            Serve.Client.close c;
+            true
+          with _ -> not (Sys.file_exists socket)
+        in
+        if (not ok) && attempts > 0 then begin
+          Unix.sleepf 0.05;
+          stop (attempts - 1)
+        end
+      in
+      stop 100;
+      Domain.join daemon;
+      rm_rf dir)
+    (fun () ->
+      (* Don't hand the socket to the test until the daemon is serving. *)
+      let probe = wait_connect socket in
+      ignore (Serve.Client.ping probe);
+      Serve.Client.close probe;
+      f ~socket ~server)
+
+(* Past the pending high-water mark, new queries answer [Busy] immediately
+   instead of queueing without bound; every shed is counted; a shed client
+   that retries with backoff gets its answer. *)
+let test_overload_sheds () =
+  with_inproc_server ~max_pending:1 (fun ~socket ~server ->
+      let m = small_matrix 31 in
+      (* Stall the first (only uncached) computation so the pipelined burst
+         arrives while the daemon is busy: the whole burst is then decoded
+         in one read round against a full queue. *)
+      Robust.Faults.arm_stuck_measures ~seconds:0.4 1;
+      let c = wait_connect socket in
+      Serve.Client.send c (Serve.Protocol.Query (query_of ~qid:"q0" m));
+      Unix.sleepf 0.1 (* let the daemon pick q0 up and hit the stall *);
+      for i = 1 to 5 do
+        Serve.Client.send c
+          (Serve.Protocol.Query (query_of ~qid:(Printf.sprintf "q%d" i) m))
+      done;
+      let answers = ref 0 and busy = ref 0 in
+      for _ = 0 to 5 do
+        match Serve.Client.recv ~timeout_s:30.0 c with
+        | Serve.Protocol.Answer _ -> incr answers
+        | Serve.Protocol.Busy { retry_after_ms } ->
+            Alcotest.(check bool) "busy carries a positive hint" true
+              (retry_after_ms > 0);
+            incr busy
+        | Serve.Protocol.Error_msg e -> Alcotest.failf "unexpected error: %s" e
+        | _ -> Alcotest.fail "unexpected response under overload"
+      done;
+      Robust.Faults.reset ();
+      Alcotest.(check int) "every request resolved" 6 (!answers + !busy);
+      Alcotest.(check bool) "at least one answered" true (!answers >= 1);
+      Alcotest.(check bool) "at least one shed" true (!busy >= 1);
+      Alcotest.(check (option int)) "every shed counted" (Some !busy)
+        (Serve.Metrics.counter (Serve.Server.metrics server) "shed");
+      (* The shed client's move: back off and retry.  q0's answer is cached
+         by now, so the retry resolves from the cache. *)
+      (match
+         Serve.Client.query_with_retry ~attempts:5 ~base_s:0.02 ~qid:"retry"
+           ~socket (inline_source m)
+       with
+      | Ok a ->
+          Alcotest.(check bool) "retry after shed answers from cache" true
+            a.Serve.Protocol.cache_hit
+      | Error e -> Alcotest.failf "retry after shed failed: %s" e);
+      Serve.Client.close c)
+
+(* Wait until the daemon hangs up on [fd] (reaped -> EOF / reset). *)
+let wait_eof ?(timeout_s = 5.0) fd =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let buf = Bytes.create 64 in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then false
+    else
+      match Unix.select [ fd ] [] [] 0.1 with
+      | [], _, _ -> go ()
+      | _ -> (
+          match Unix.read fd buf 0 64 with
+          | 0 -> true
+          | _ -> go ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* A trickler stalled mid-frame and a connection that never says anything
+   are both reaped on their timeouts — each closed and counted — while a
+   well-behaved client keeps getting served. *)
+let test_hostile_connections_reaped () =
+  with_inproc_server ~frame_timeout_s:0.3 ~idle_timeout_s:0.8
+    (fun ~socket ~server ->
+      let raw () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        fd
+      in
+      let trickler = raw () in
+      let silent = raw () in
+      (* Two bytes of magic, then nothing: a frame that never completes. *)
+      ignore (Unix.write_substring trickler "WS" 0 2);
+      Alcotest.(check bool) "trickler reaped" true (wait_eof trickler);
+      Alcotest.(check bool) "silent connection reaped" true (wait_eof silent);
+      Unix.close trickler;
+      Unix.close silent;
+      let metric name =
+        Serve.Metrics.counter (Serve.Server.metrics server) name
+      in
+      Alcotest.(check (option int)) "mid-frame stall counted" (Some 1)
+        (metric "reaped_trickle");
+      Alcotest.(check (option int)) "idle reap counted" (Some 1)
+        (metric "reaped_idle");
+      (* The daemon is unharmed: a fresh, polite client is served. *)
+      let c = wait_connect socket in
+      Alcotest.(check bool) "daemon survives its hostile guests" true
+        (Serve.Client.ping c);
+      Serve.Client.close c)
+
+(* Client-side failure is bounded: recv against a mute peer times out,
+   connect to a dead path fails fast, and query_with_retry gives up with an
+   error after its attempts instead of hanging. *)
+let test_client_bounded_failure () =
+  let dir = tmpdir "waco-serve-client" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* A listener that accepts (via backlog) and never answers. *)
+      let mute_path = Filename.concat dir "mute.sock" in
+      let mute = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind mute (Unix.ADDR_UNIX mute_path);
+      Unix.listen mute 8;
+      let c = Serve.Client.connect ~timeout_s:2.0 mute_path in
+      let t0 = Unix.gettimeofday () in
+      (match Serve.Client.request ~timeout_s:0.3 c Serve.Protocol.Ping with
+      | _ -> Alcotest.fail "recv from a mute daemon returned"
+      | exception Failure _ -> ());
+      Alcotest.(check bool) "recv timeout is honored" true
+        (Unix.gettimeofday () -. t0 < 3.0);
+      Serve.Client.close c;
+      Unix.close mute;
+      (* No socket at all: connect raises instead of hanging... *)
+      let dead_path = Filename.concat dir "nobody.sock" in
+      (match Serve.Client.connect ~timeout_s:0.5 dead_path with
+      | _ -> Alcotest.fail "connect to a dead path succeeded"
+      | exception (Unix.Unix_error _ | Failure _) -> ());
+      (* ...and the retrying client converges to an error, quickly. *)
+      let t1 = Unix.gettimeofday () in
+      (match
+         Serve.Client.query_with_retry ~attempts:3 ~base_s:0.02 ~max_s:0.1
+           ~connect_timeout_s:0.5 ~qid:"gone" ~socket:dead_path
+           (Serve.Protocol.Path "m.mtx")
+       with
+      | Ok _ -> Alcotest.fail "query_with_retry to a dead path succeeded"
+      | Error _ -> ());
+      Alcotest.(check bool) "retry budget is bounded" true
+        (Unix.gettimeofday () -. t1 < 5.0))
 
 let () =
   Alcotest.run "serve"
@@ -872,6 +1141,15 @@ let () =
           Alcotest.test_case "measure modes + request errors" `Slow
             test_batch_measure_modes_and_errors;
           Alcotest.test_case "pool determinism" `Slow test_batch_pool_determinism;
+          Alcotest.test_case "deadline budgets" `Slow test_deadlines;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "overload sheds + retry" `Slow test_overload_sheds;
+          Alcotest.test_case "trickle + silent connections reaped" `Slow
+            test_hostile_connections_reaped;
+          Alcotest.test_case "client failure is bounded" `Quick
+            test_client_bounded_failure;
         ] );
       ( "compat",
         [
