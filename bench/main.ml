@@ -267,6 +267,113 @@ let scaling ~force () =
       close_out oc;
       Printf.printf "  wrote %s\n%!" bench_parallel_file)
 
+(* --- kernelmix: the four paper kernels swept over one shared corpus ------
+   Untrained (but deterministic) models: the sweep exercises what the
+   multi-kernel path added — the kernel-conditioned head, per-kernel Costsim
+   work distributions, per-kernel index construction — not training quality.
+   The matrices are shared across the 2-D kernels (MTTKRP runs the 3-D
+   tensor suite at the same count), so differences between rows are the
+   kernels, not the inputs.  The gated metric is each kernel's geomean
+   speedup over the fixed-CSR baseline, which is fully deterministic; a
+   >20% regression on any kernel refuses to overwrite without --force. *)
+
+let bench_kernelmix_file = "BENCH_kernelmix.json"
+
+let kernelmix ~force () =
+  let seed = Waco.Config.seed () in
+  let machine = Machine_model.Machine.intel_like in
+  let nmats = Waco.Config.scaled 8 in
+  let mats2d =
+    let rng = Rng.create (seed + 11) in
+    List.map
+      (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix))
+      (Gen.suite rng ~count:nmats ~max_dim:512 ~max_nnz:20000)
+  in
+  let tensors3d =
+    let rng = Rng.create (seed + 12) in
+    List.map
+      (fun (g : Gen.named3) -> (g.Gen.name3, g.Gen.tensor))
+      (Gen.tensor3_suite rng ~count:nmats ~max_dim:128 ~max_nnz:4000)
+  in
+  let per_kernel =
+    List.map
+      (fun algo ->
+        let kname = Waco.Kernel.name (Waco.Kernel.of_algo algo) in
+        let model = Waco.Costmodel.create (Rng.create (seed + 21)) algo in
+        let cases =
+          match algo with
+          | Algorithm.Mttkrp _ ->
+              List.map
+                (fun (n, t) -> Experiments.Lab.case_of_tensor n t)
+                tensors3d
+          | Algorithm.Spmv | Algorithm.Spmm _ | Algorithm.Sddmm _ ->
+              List.map (fun (n, m) -> Experiments.Lab.case_of_matrix n m) mats2d
+        in
+        let corpus =
+          let rng = Rng.create (seed + 22) in
+          let dims = Array.make (Algorithm.sparse_rank algo) 256 in
+          Array.init 256 (fun _ -> Space.sample rng algo ~dims)
+        in
+        let index =
+          Waco.Tuner.build_index ~lint:false (Rng.create (seed + 23)) model
+            corpus
+        in
+        let t0 = Unix.gettimeofday () in
+        let speedups =
+          List.map
+            (fun (wl, input) ->
+              let r = Waco.Tuner.tune model machine wl input index in
+              let csr = Baselines.fixed_csr machine wl algo in
+              csr.Baselines.kernel_time
+              /. Float.max 1e-12 r.Waco.Tuner.best_measured)
+            cases
+        in
+        let tune_s = Unix.gettimeofday () -. t0 in
+        let geo = Experiments.Lab.geomean speedups in
+        Printf.printf
+          "  %-7s geomean speedup vs fixed CSR %6.3fx  (%d cases, %.2fs)\n%!"
+          kname geo (List.length cases) tune_s;
+        (kname, geo, tune_s))
+      Experiments.Lab.algorithms
+  in
+  (* Regression guard: any kernel's recorded speedup shrinking >20% refuses
+     the overwrite. *)
+  let regressed =
+    if Sys.file_exists bench_kernelmix_file && not force then begin
+      let ic = open_in_bin bench_kernelmix_file in
+      let old = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      List.filter_map
+        (fun (kname, geo, _) ->
+          match json_float_field old ("speedup_" ^ kname) with
+          | Some o when geo < 0.8 *. o -> Some (kname, o, geo)
+          | _ -> None)
+        per_kernel
+    end
+    else []
+  in
+  match regressed with
+  | (kname, o, geo) :: _ ->
+      Printf.printf
+        "  REGRESSION > 20%% vs recorded %s (%s %.3fx -> %.3fx); keeping the \
+         old file (rerun with --force to overwrite)\n%!"
+        bench_kernelmix_file kname o geo
+  | [] ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "{\n";
+      Printf.bprintf buf "  \"matrices\": %d,\n" nmats;
+      List.iter
+        (fun (kname, geo, tune_s) ->
+          Printf.bprintf buf "  \"speedup_%s\": %.4f,\n" kname geo;
+          Printf.bprintf buf "  \"tune_s_%s\": %.4f,\n" kname tune_s)
+        per_kernel;
+      Printf.bprintf buf "  \"kernels\": %d\n" (List.length per_kernel);
+      Buffer.add_string buf "}\n";
+      let oc = open_out_bin bench_kernelmix_file in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" bench_kernelmix_file
+
 (* --- NN hot-path microbenchmarks: flat kernel maps + scratch buffers vs the
    retained pre-flat reference implementations (Nn.Sparse_conv_ref and local
    allocating closures).  Each op reports wall time AND GC allocation per
@@ -694,6 +801,7 @@ let serve_bench ~force () =
                  source = sources.((ci + q) mod Array.length sources);
                  measure = true;
                  deadline_ms = 0;
+                 kernel = None;
                })
         done)
       clients;
@@ -748,6 +856,7 @@ let serve_bench ~force () =
                source = sources.((ci + q) mod Array.length sources);
                measure = true;
                deadline_ms = 50;
+               kernel = None;
              })
       done)
     clients;
@@ -1002,6 +1111,7 @@ let canonical_order selected =
   @ (if List.mem "micro" selected then [ "micro" ] else [])
   @ (if List.mem "kernels" selected then [ "kernels" ] else [])
   @ (if List.mem "scaling" selected then [ "scaling" ] else [])
+  @ (if List.mem "kernelmix" selected then [ "kernelmix" ] else [])
   @ (if List.mem "serve" selected then [ "serve" ] else [])
   @ (if List.mem "asym" selected then [ "asym" ] else [])
 
@@ -1019,8 +1129,8 @@ let () =
   in
   List.iter
     (fun a ->
-      if a <> "micro" && a <> "scaling" && a <> "kernels" && a <> "serve"
-         && a <> "asym"
+      if a <> "micro" && a <> "scaling" && a <> "kernels" && a <> "kernelmix"
+         && a <> "serve" && a <> "asym"
          && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
       then Printf.eprintf "unknown target: %s (ignored)\n%!" a)
     selected;
@@ -1041,6 +1151,12 @@ let () =
         let t = Unix.gettimeofday () in
         scaling ~force ();
         Printf.printf "<<< scaling done in %.1fs\n%!" (Unix.gettimeofday () -. t)
+      end
+      else if name = "kernelmix" then begin
+        Printf.printf "\n>>> kernelmix — four-kernel sweep on a shared corpus\n%!";
+        let t = Unix.gettimeofday () in
+        kernelmix ~force ();
+        Printf.printf "<<< kernelmix done in %.1fs\n%!" (Unix.gettimeofday () -. t)
       end
       else if name = "serve" then begin
         Printf.printf "\n>>> serve — daemon latency/throughput bench\n%!";

@@ -24,6 +24,26 @@ let algo_arg =
   Arg.(value & opt string "SpMM" & info [ "algo" ] ~docv:"ALGO"
          ~doc:"Algorithm: SpMV|SpMM|SDDMM|MTTKRP")
 
+(* Kernel-first spelling of --algo: the lowercase names the serve protocol
+   and cache namespaces use, at the paper's canonical dense sizes.  When
+   given it wins over --algo. *)
+let kernel_arg =
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"KERNEL"
+         ~doc:"Kernel to target, by its wire name (spmv|spmm|sddmm|mttkrp); \
+               shorthand for --algo at the paper's canonical dense sizes")
+
+let kernel_of_cli kname =
+  match Waco.Kernel.of_name kname with
+  | Some k -> k
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown kernel: %s (expected one of %s)" kname
+           (String.concat "|" (List.map Waco.Kernel.name Waco.Kernel.all)))
+
+let resolve_algo ~algo_name = function
+  | Some kname -> Waco.Kernel.to_algo (kernel_of_cli kname)
+  | None -> Experiments.Lab.algo_of_name algo_name
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
 
@@ -101,10 +121,10 @@ let inspect_cmd =
 (* --- tune --- *)
 
 let tune_cmd =
-  let run path algo_name machine_name model_file index_file save_index_file seed
-      domains =
+  let run path algo_name kernel_name machine_name model_file index_file
+      save_index_file seed domains =
     let machine = machine_of machine_name in
-    let algo = Experiments.Lab.algo_of_name algo_name in
+    let algo = resolve_algo ~algo_name kernel_name in
     let m = Mmio.read_coo path in
     let rng = Rng.create seed in
     let pool = pool_of domains in
@@ -219,15 +239,15 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Co-optimize format+schedule for a matrix")
     Term.(
-      const run $ path $ algo_arg $ machine_arg $ model_file $ index_file
-      $ save_index_file $ seed_arg $ domains_arg)
+      const run $ path $ algo_arg $ kernel_arg $ machine_arg $ model_file
+      $ index_file $ save_index_file $ seed_arg $ domains_arg)
 
 (* --- collect --- *)
 
 let collect_cmd =
-  let run algo_name machine_name out count spm append seed domains =
+  let run algo_name kernel_name machine_name out count spm append seed domains =
     let machine = machine_of machine_name in
-    let algo = Experiments.Lab.algo_of_name algo_name in
+    let algo = resolve_algo ~algo_name kernel_name in
     let rng = Rng.create seed in
     let pool = pool_of domains in
     let corpus = Gen.suite rng ~count ~max_dim:1024 ~max_nnz:80000 in
@@ -254,16 +274,16 @@ let collect_cmd =
   in
   Cmd.v (Cmd.info "collect" ~doc:"Collect (matrix, schedule, runtime) tuples to disk")
     Term.(
-      const run $ algo_arg $ machine_arg $ out $ count $ spm $ append $ seed_arg
-      $ domains_arg)
+      const run $ algo_arg $ kernel_arg $ machine_arg $ out $ count $ spm
+      $ append $ seed_arg $ domains_arg)
 
 (* --- train --- *)
 
 let train_cmd =
-  let run algo_name machine_name out data_dir ckpt_dir ckpt_every resume seed
-      domains =
+  let run algo_name kernel_name machine_name out data_dir ckpt_dir ckpt_every
+      resume seed domains =
     let machine = machine_of machine_name in
-    let algo = Experiments.Lab.algo_of_name algo_name in
+    let algo = resolve_algo ~algo_name kernel_name in
     if resume && ckpt_dir = None then
       invalid_arg "--resume needs --checkpoint-dir";
     let rng = Rng.create seed in
@@ -314,8 +334,8 @@ let train_cmd =
   in
   Cmd.v (Cmd.info "train" ~doc:"Train and save a cost model")
     Term.(
-      const run $ algo_arg $ machine_arg $ out $ data_dir $ ckpt_dir $ ckpt_every
-      $ resume $ seed_arg $ domains_arg)
+      const run $ algo_arg $ kernel_arg $ machine_arg $ out $ data_dir
+      $ ckpt_dir $ ckpt_every $ resume $ seed_arg $ domains_arg)
 
 (* --- serve / query --- *)
 
@@ -324,9 +344,9 @@ let socket_arg =
          ~doc:"Unix-domain socket path the daemon listens on")
 
 let serve_cmd =
-  let run socket algo_name machine_name model_file index_file cache_file
-      cache_capacity max_batch k ef max_pending supervise max_restarts pidfile
-      seed domains =
+  let run socket algo_name kernel_name extra_kernels machine_name model_file
+      index_file cache_file cache_capacity max_batch k ef max_pending supervise
+      max_restarts pidfile seed domains =
     let log msg = Printf.eprintf "waco serve: %s\n%!" msg in
     (* Everything heavy — training, index build, the worker pool's domains —
        happens inside [worker], so under --supervise it runs in the forked
@@ -335,9 +355,27 @@ let serve_cmd =
        corrupt. *)
     let worker () =
     let machine = machine_of machine_name in
-    let algo = Experiments.Lab.algo_of_name algo_name in
+    let algo = resolve_algo ~algo_name kernel_name in
     let rng = Rng.create seed in
     let pool = pool_of domains in
+    (* Train a cost model for [algo] from a fresh synthetic corpus — the
+       no---model path for the primary slot, and the only path for
+       --extra-kernel slots. *)
+    let fresh_model kalgo =
+      let corpus = Gen.suite rng ~count:16 ~max_dim:1024 ~max_nnz:60000 in
+      let mats =
+        List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus
+      in
+      let data =
+        Waco.Dataset.of_matrices ?pool rng machine kalgo mats
+          ~schedules_per_matrix:24 ~valid_fraction:0.2
+      in
+      let model = Waco.Costmodel.create rng kalgo in
+      ignore
+        (Waco.Trainer.train ?pool ~lr:2e-3 rng model data
+           ~epochs:(Waco.Config.epochs ()));
+      (model, Waco.Dataset.all_schedules data)
+    in
     match
       let model, corpus =
         match model_file with
@@ -349,21 +387,9 @@ let serve_cmd =
             let dims = Array.make (Algorithm.sparse_rank algo) 1024 in
             (model, Array.init 256 (fun _ -> Space.sample rng algo ~dims))
         | None ->
-            log ("training a fresh " ^ algo_name
+            log ("training a fresh " ^ Algorithm.name algo
                  ^ " cost model (pass --model to reuse one)...");
-            let corpus = Gen.suite rng ~count:16 ~max_dim:1024 ~max_nnz:60000 in
-            let mats =
-              List.map (fun (g : Gen.named) -> (g.Gen.name, g.Gen.matrix)) corpus
-            in
-            let data =
-              Waco.Dataset.of_matrices ?pool rng machine algo mats
-                ~schedules_per_matrix:24 ~valid_fraction:0.2
-            in
-            let model = Waco.Costmodel.create rng algo in
-            ignore
-              (Waco.Trainer.train ?pool ~lr:2e-3 rng model data
-                 ~epochs:(Waco.Config.epochs ()));
-            (model, Waco.Dataset.all_schedules data)
+            fresh_model algo
       in
       let index, index_src =
         match index_file with
@@ -373,9 +399,22 @@ let serve_cmd =
       in
       log (Printf.sprintf "index: %s (%d schedules)" index_src
              index.Waco.Tuner.corpus_size);
+      (* Each --extra-kernel gets its own freshly trained model and index;
+         reusing snapshots across kernels would defeat the conditioned head. *)
+      let extra =
+        List.map
+          (fun kname ->
+            let kalgo = Waco.Kernel.to_algo (kernel_of_cli kname) in
+            log ("training a fresh " ^ Algorithm.name kalgo
+                 ^ " cost model for --extra-kernel " ^ kname ^ "...");
+            let emodel, ecorpus = fresh_model kalgo in
+            let eindex = Waco.Tuner.build_index ?pool rng emodel ecorpus in
+            (emodel, eindex, "<built fresh>"))
+          extra_kernels
+      in
       Serve.Server.create ?pool ~cache_capacity ?cache_file ~max_batch ~k ~ef
-        ~max_pending ~log ~model ~index ~index_file:index_src ~machine ~socket
-        ()
+        ~max_pending ~log ~extra ~model ~index ~index_file:index_src ~machine
+        ~socket ()
     with
     | exception Robust.Load_error err ->
         (* Unlike `waco tune`, a daemon has nothing to degrade to: without a
@@ -453,18 +492,30 @@ let serve_cmd =
            ~doc:"With --supervise: write the current worker's pid to $(docv) \
                  after every (re)start")
   in
+  let extra_kernels =
+    Arg.(value & opt_all string [] & info [ "extra-kernel" ] ~docv:"KERNEL"
+           ~doc:"Also serve $(docv) (spmv|spmm|sddmm) from its own slot: a \
+                 fresh cost model and index are trained at startup and the \
+                 schedule cache is namespaced per kernel.  Repeatable; \
+                 queries pick a slot with kernel=, and ones naming no kernel \
+                 go to the spmv slot when present")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the autotuning daemon (model + index loaded once, requests \
              over a Unix socket)")
     Term.(
-      const run $ socket_arg $ algo_arg $ machine_arg $ model_file $ index_file
-      $ cache_file $ cache_capacity $ max_batch $ k $ ef $ max_pending
-      $ supervise $ max_restarts $ pidfile $ seed_arg $ domains_arg)
+      const run $ socket_arg $ algo_arg $ kernel_arg $ extra_kernels
+      $ machine_arg $ model_file $ index_file $ cache_file $ cache_capacity
+      $ max_batch $ k $ ef $ max_pending $ supervise $ max_restarts $ pidfile
+      $ seed_arg $ domains_arg)
 
 let query_cmd =
-  let run socket matrix no_measure qid deadline_ms timeout_s retries stats ping
-      shutdown =
+  let run socket matrix kernel_name no_measure qid deadline_ms timeout_s retries
+      stats ping shutdown =
+    (* Validate before connecting: a typo'd kernel should not cost a round
+       trip (the daemon would reject it too, satellite 3). *)
+    let kernel = Option.map kernel_of_cli kernel_name in
     if matrix = None && not (stats || ping || shutdown) then begin
       prerr_endline
         "waco query: nothing to do (pass MATRIX, --stats, --ping or --shutdown)";
@@ -493,11 +544,11 @@ let query_cmd =
                 (* Fresh connections per attempt, qid-seeded backoff, busy
                    sheds honored — the resilient path. *)
                 Serve.Client.query_with_retry ~attempts:retries ?timeout_s
-                  ~measure:(not no_measure) ~deadline_ms ~qid ~socket
+                  ~measure:(not no_measure) ~deadline_ms ?kernel ~qid ~socket
                   (Serve.Protocol.Path path)
               else
-                Serve.Client.query ~measure:(not no_measure) ~deadline_ms ~qid
-                  ?timeout_s c (Serve.Protocol.Path path)
+                Serve.Client.query ~measure:(not no_measure) ~deadline_ms
+                  ?kernel ~qid ?timeout_s c (Serve.Protocol.Path path)
             with
             | Ok (a : Serve.Protocol.answer) ->
                 Printf.printf "schedule : %s\n" a.Serve.Protocol.schedule;
@@ -546,6 +597,13 @@ let query_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"MATRIX"
            ~doc:"MatrixMarket file to tune (a path the daemon can read)")
   in
+  let query_kernel =
+    Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"KERNEL"
+           ~doc:"Ask for a specific kernel's schedule (spmv|spmm|sddmm); the \
+                 daemon must serve that kernel (--extra-kernel) or the query \
+                 errors.  Omitted, the daemon answers from its spmv slot \
+                 when it has one (old-client compatibility)")
+  in
   let no_measure =
     Arg.(value & flag & info [ "no-measure" ]
            ~doc:"Skip the top-k simulator measurements (fast, predict-only \
@@ -583,8 +641,8 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Send one request to a running `waco serve` daemon")
     Term.(
-      const run $ socket_arg $ matrix $ no_measure $ qid $ deadline_ms
-      $ timeout_s $ retries $ stats $ ping $ shutdown)
+      const run $ socket_arg $ matrix $ query_kernel $ no_measure $ qid
+      $ deadline_ms $ timeout_s $ retries $ stats $ ping $ shutdown)
 
 (* --- lint / explain --- *)
 
@@ -772,8 +830,12 @@ let lint_cmd =
 (* --- explain --- *)
 
 let explain_cmd =
-  let run algo_name sched_text matrix dims_text =
-    let algo = algo_of_cli algo_name in
+  let run algo_name kernel_name sched_text matrix dims_text =
+    let algo =
+      match kernel_name with
+      | Some kname -> Waco.Kernel.to_algo (kernel_of_cli kname)
+      | None -> algo_of_cli algo_name
+    in
     let dims = dims_of_cli ~algo ~algo_name dims_text in
     let az = analyzer_of_cli ~algo ~dims matrix in
     let s =
@@ -784,6 +846,9 @@ let explain_cmd =
           | Ok s -> s
           | Error e -> invalid_arg ("unparseable --schedule: " ^ e))
     in
+    Printf.printf "kernel   : %s (%s)\n"
+      (Waco.Kernel.name (Waco.Kernel.of_algo algo))
+      (Algorithm.name algo);
     Printf.printf "schedule : %s\n" (Superschedule.describe s);
     Printf.printf "stats    : %s\n"
       (if matrix = None then "synthetic (pass --matrix for workload-aware)"
@@ -844,7 +909,7 @@ let explain_cmd =
            `P "Exit status: 0 on success, 2 for a structurally illegal \
                schedule (lint it first).";
          ])
-    Term.(const run $ algo_arg $ sched $ matrix $ dims)
+    Term.(const run $ algo_arg $ kernel_arg $ sched $ matrix $ dims)
 
 let main =
   Cmd.group (Cmd.info "waco" ~version:"1.0" ~doc:"WACO reproduction toolkit")

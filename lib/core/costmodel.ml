@@ -14,6 +14,12 @@ type t = {
   feature_cache : (string, float array) Hashtbl.t;
 }
 
+(* Predictor input row: feature ++ program embedding ++ kernel one-hot.
+   The kernel slot conditions the head on which of the four kernels the
+   runtime belongs to, so one model can rank schedules for every kernel its
+   embedder rank admits (SpMV/SpMM/SDDMM share rank 2; MTTKRP is rank 3). *)
+let row_dim = Config.feature_dim + Config.embed_dim + Kernel.count
+
 let create rng ?(kind = Extractor.Waconet) (algo : Algorithm.t) =
   let rank = Algorithm.sparse_rank algo in
   {
@@ -21,8 +27,7 @@ let create rng ?(kind = Extractor.Waconet) (algo : Algorithm.t) =
     extractor = Extractor.create rng kind;
     embedder = Embedder.create rng ~rank;
     predictor =
-      Nn.Mlp.create rng ~name:"predictor"
-        ~dims:[| Config.feature_dim + Config.embed_dim; 64; 32; 1 |]
+      Nn.Mlp.create rng ~name:"predictor" ~dims:[| row_dim; 64; 32; 1 |]
         ~final_relu:false;
     feature_cache = Hashtbl.create 128;
   }
@@ -45,33 +50,42 @@ let replicate t =
 
 let param_count t = Nn.Param.total_size (params t)
 
-let row_dim = Config.feature_dim + Config.embed_dim
+(* The kernel the head conditions on when the caller doesn't say: the
+   model's own algorithm. *)
+let kernel_of t = Kernel.of_algo t.algo
 
 (* Build predictor input rows: the (shared) feature concatenated with each
-   program embedding. *)
-let rows_of ~feature ~embs ~batch =
+   program embedding and the kernel's one-hot indicator. *)
+let rows_of ~kernel ~feature ~embs ~batch =
   let fd = Config.feature_dim and ed = Config.embed_dim in
+  let hot = Kernel.one_hot kernel in
   let rows = Array.make (batch * row_dim) 0.0 in
   for b = 0 to batch - 1 do
-    Array.blit feature 0 rows (b * row_dim) fd;
-    Array.blit embs (b * ed) rows ((b * row_dim) + fd) ed
+    let base = b * row_dim in
+    Array.blit feature 0 rows base fd;
+    Array.blit embs (b * ed) rows (base + fd) ed;
+    Array.blit hot 0 rows (base + fd + ed) Kernel.count
   done;
   rows
 
 (* Training-mode forward: returns predictions and a backward closure that
    pushes d(predictions) through predictor, embedder and extractor.  The
    feature is computed once and its gradient accumulated over the batch. *)
-let forward_train t (input : Extractor.input) (schedules : Superschedule.t array) =
+let forward_train ?kernel t (input : Extractor.input)
+    (schedules : Superschedule.t array) =
+  let kernel = Option.value kernel ~default:(kernel_of t) in
   let batch = Array.length schedules in
   let feature = Extractor.forward t.extractor input in
   let embs = Embedder.forward t.embedder schedules in
-  let rows = rows_of ~feature ~embs ~batch in
+  let rows = rows_of ~kernel ~feature ~embs ~batch in
   (* Fresh exact-size predictions: Loss.pairwise checks exact length, and
      callers retain them past the next forward. *)
   let pred = Array.sub (Nn.Mlp.forward t.predictor ~batch rows) 0 batch in
   let backward dpred =
     let drows = Nn.Mlp.backward t.predictor dpred in
     let fd = Config.feature_dim and ed = Config.embed_dim in
+    (* The kernel one-hot is an input indicator, not a parameter: its slot
+       of [drows] is dropped on the floor. *)
     let dfeat = Array.make fd 0.0 in
     let dembs = Array.make (batch * ed) 0.0 in
     for b = 0 to batch - 1 do
@@ -106,16 +120,18 @@ let embed t (schedules : Superschedule.t array) = Embedder.forward t.embedder sc
 
 (* Predict from a precomputed feature and a precomputed embedding — the cheap
    "final part of the cost model" ANNS runs per graph hop (Fig. 1c). *)
-let predict_tail t ~feature ~(embedding : float array) =
-  let rows = rows_of ~feature ~embs:embedding ~batch:1 in
+let predict_tail ?kernel t ~feature ~(embedding : float array) =
+  let kernel = Option.value kernel ~default:(kernel_of t) in
+  let rows = rows_of ~kernel ~feature ~embs:embedding ~batch:1 in
   (Nn.Mlp.forward t.predictor ~batch:1 rows).(0)
 
 (* Full prediction for a batch of schedules against one matrix. *)
-let predict t (input : Extractor.input) (schedules : Superschedule.t array) =
+let predict ?kernel t (input : Extractor.input) (schedules : Superschedule.t array) =
+  let kernel = Option.value kernel ~default:(kernel_of t) in
   let batch = Array.length schedules in
   let feature = feature t input in
   let embs = embed t schedules in
-  let rows = rows_of ~feature ~embs ~batch in
+  let rows = rows_of ~kernel ~feature ~embs ~batch in
   Array.sub (Nn.Mlp.forward t.predictor ~batch rows) 0 batch
 
 (* --- Persistence: flat text dump of all parameters, matched by name, inside
@@ -134,6 +150,26 @@ let dump_params t =
 let digest t = Robust.crc32_hex (dump_params t)
 
 let embed_dim t = Embedder.out_dim t.embedder
+
+(* [validate_compat]-style width check for the kernel-conditioned head: a
+   predictor whose input width disagrees with the row builder (e.g. a model
+   artifact from a pre-kernel-conditioning build restored into a doctored
+   record) must fail with a typed error naming both widths, never mis-slice
+   rows into plausible garbage. *)
+let validate_head t ~file =
+  let got = Nn.Mlp.in_dim t.predictor in
+  if got <> row_dim then
+    raise
+      (Robust.Load_error
+         (Robust.Malformed
+            {
+              file;
+              reason =
+                Printf.sprintf
+                  "predictor input width %d, but rows are feature(%d) + \
+                   embedding(%d) + kernel(%d) = %d"
+                  got Config.feature_dim Config.embed_dim Kernel.count row_dim;
+            }))
 
 let save t path = Robust.write_artifact ~kind:Robust.Kind.model path (dump_params t)
 
@@ -181,6 +217,7 @@ let restore_params t ~file ~lineno_base lines =
     (params t)
 
 let load t path =
+  validate_head t ~file:path;
   (match Robust.read_artifact ~expected_kind:Robust.Kind.model path with
   | Ok payload -> restore_params t ~file:path ~lineno_base:2 (Robust.lines payload)
   | Error (Robust.Not_an_artifact _) -> (

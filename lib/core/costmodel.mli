@@ -28,18 +28,27 @@ val replicate : t -> t
 val param_count : t -> int
 
 val row_dim : int
-(** Width of a predictor input row (feature ++ embedding). *)
+(** Width of a predictor input row
+    (feature ++ embedding ++ kernel one-hot). *)
 
-val rows_of : feature:float array -> embs:float array -> batch:int -> float array
+val kernel_of : t -> Kernel.t
+(** The kernel the head conditions on when a caller doesn't pass one: the
+    model's own algorithm's. *)
+
+val rows_of :
+  kernel:Kernel.t -> feature:float array -> embs:float array -> batch:int ->
+  float array
 (** Builds predictor input rows: the shared feature concatenated with each
-    program embedding. *)
+    program embedding and [kernel]'s one-hot indicator. *)
 
 val forward_train :
-  t -> Extractor.input -> Superschedule.t array ->
+  ?kernel:Kernel.t -> t -> Extractor.input -> Superschedule.t array ->
   float array * (float array -> unit)
 (** Training-mode forward: predictions plus a backward closure pushing
     d(predictions) through predictor, embedder and extractor (the feature is
-    computed once, its gradient summed over the batch). *)
+    computed once, its gradient summed over the batch).  The kernel one-hot
+    is an input indicator, never a parameter — it takes no gradient.
+    [kernel] defaults to {!kernel_of}. *)
 
 val feature : t -> Extractor.input -> float array
 (** Cached per [input.id]; see {!clear_feature_cache}. *)
@@ -51,12 +60,17 @@ val clear_feature_cache : t -> unit
 val embed : t -> Superschedule.t array -> float array
 (** Program embeddings — the vectors the KNN graph is built on. *)
 
-val predict_tail : t -> feature:float array -> embedding:float array -> float
+val predict_tail :
+  ?kernel:Kernel.t -> t -> feature:float array -> embedding:float array -> float
 (** The cheap "final part of the cost model" ANNS runs per graph hop
-    (Fig. 1c): predictor only, over a stored embedding. *)
+    (Fig. 1c): predictor only, over a stored embedding.  [kernel] defaults
+    to {!kernel_of}. *)
 
-val predict : t -> Extractor.input -> Superschedule.t array -> float array
-(** Full prediction for a batch of schedules against one matrix. *)
+val predict :
+  ?kernel:Kernel.t -> t -> Extractor.input -> Superschedule.t array ->
+  float array
+(** Full prediction for a batch of schedules against one matrix, conditioned
+    on [kernel] (default {!kernel_of}). *)
 
 val dump_params : t -> string
 (** The flat text dump of all parameters that {!save} wraps in the artifact
@@ -70,6 +84,12 @@ val digest : t -> string
 val embed_dim : t -> int
 (** The program-embedding width this model produces — must match the vector
     dimension of any HNSW index it queries ({!Tuner.validate_compat}). *)
+
+val validate_head : t -> file:string -> unit
+(** {!Tuner.validate_compat}-style width check: raises a typed
+    [Robust.Load_error] naming both widths when the predictor's input width
+    disagrees with {!row_dim} (e.g. a pre-kernel-conditioning artifact).
+    Run by {!load} before any parameter is restored. *)
 
 val save : t -> string -> unit
 (** Flat text dump of all parameters inside the checksummed

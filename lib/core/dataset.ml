@@ -19,6 +19,7 @@ type sample = {
 
 type t = {
   algo : Algorithm.t;
+  kernel : Kernel.t; (* = Kernel.of_algo algo; carried for downstream use *)
   machine : Machine.t;
   train : sample array;
   valid : sample array;
@@ -93,7 +94,7 @@ let collect ?pool rng machine algo
       drawn
   in
   let train, valid = split_train_valid rng samples ~valid_fraction in
-  { algo; machine; train; valid }
+  { algo; kernel = Kernel.of_algo algo; machine; train; valid }
 
 (* Dataset over 2-D matrices (SpMV / SpMM / SDDMM). *)
 let of_matrices ?pool rng machine algo (matrices : (string * Coo.t) list)

@@ -19,6 +19,9 @@ type sample = {
 
 type t = {
   algo : Algorithm.t;
+  kernel : Kernel.t;
+      (** [Kernel.of_algo algo] — carried explicitly so consumers (trainer,
+          serving) condition the cost-model head without re-deriving it *)
   machine : Machine.t;
   train : sample array;
   valid : sample array;

@@ -203,4 +203,4 @@ let load ~dir ~algo ~machine ~valid_fraction ?(report = fun _ -> ()) rng =
       matrices []
   in
   let train, valid = Dataset.split_train_valid rng samples ~valid_fraction in
-  { Dataset.algo; machine; train; valid }
+  { Dataset.algo; kernel = Kernel.of_algo algo; machine; train; valid }

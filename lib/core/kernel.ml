@@ -1,0 +1,54 @@
+(* The kernel identity threaded end-to-end through the tuning pipeline: a
+   payload-free enum over the paper's four kernels, carried by [Dataset]
+   records, concatenated (one-hot) into the cost-model head, keyed into the
+   serving cache namespaces and spelled on the wire as the [kernel=] query
+   field.  [Schedule.Algorithm.t] stays the structural source of truth
+   (ranks, reductions, dense trip counts); this type is the stable {e name}
+   of a kernel — lowercase, whitespace-free, safe inside cache keys and
+   protocol lines. *)
+
+type t = Spmv | Spmm | Sddmm | Mttkrp
+
+let all = [ Spmv; Spmm; Sddmm; Mttkrp ]
+let count = List.length all
+
+(* The serving default for clients that predate the [kernel=] key. *)
+let default = Spmv
+
+let name = function
+  | Spmv -> "spmv"
+  | Spmm -> "spmm"
+  | Sddmm -> "sddmm"
+  | Mttkrp -> "mttkrp"
+
+let of_name = function
+  | "spmv" -> Some Spmv
+  | "spmm" -> Some Spmm
+  | "sddmm" -> Some Sddmm
+  | "mttkrp" -> Some Mttkrp
+  | _ -> None
+
+(* Canonical dense sizes match [Algorithm.of_name] (the paper's |j|=256 for
+   SpMM/SDDMM, |j|=16 for MTTKRP), so a kernel round-trips through its
+   algorithm without drifting. *)
+let to_algo = function
+  | Spmv -> Schedule.Algorithm.Spmv
+  | Spmm -> Schedule.Algorithm.Spmm 256
+  | Sddmm -> Schedule.Algorithm.Sddmm 256
+  | Mttkrp -> Schedule.Algorithm.Mttkrp 16
+
+let of_algo = function
+  | Schedule.Algorithm.Spmv -> Spmv
+  | Schedule.Algorithm.Spmm _ -> Spmm
+  | Schedule.Algorithm.Sddmm _ -> Sddmm
+  | Schedule.Algorithm.Mttkrp _ -> Mttkrp
+
+let index = function Spmv -> 0 | Spmm -> 1 | Sddmm -> 2 | Mttkrp -> 3
+
+let one_hot k =
+  let v = Array.make count 0.0 in
+  v.(index k) <- 1.0;
+  v
+
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Fmt.string ppf (name t)

@@ -1,0 +1,41 @@
+(** The kernel identity threaded end-to-end through the tuning pipeline:
+    dataset records, the kernel-conditioned cost-model head, the serving
+    cache namespaces and the wire protocol's [kernel=] field.
+    {!Schedule.Algorithm.t} remains the structural description (rank,
+    reductions, dense trip counts); this is its stable lowercase {e name} —
+    whitespace-free, safe inside cache keys and protocol lines. *)
+
+type t = Spmv | Spmm | Sddmm | Mttkrp
+
+val all : t list
+(** In {!index} order. *)
+
+val count : int
+(** [List.length all]; the width of {!one_hot}. *)
+
+val default : t
+(** [Spmv] — what a pre-[kernel=] client is served. *)
+
+val name : t -> string
+(** Lowercase wire/cache spelling: ["spmv"], ["spmm"], ["sddmm"],
+    ["mttkrp"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}; [None] for anything unrecognized (callers must
+    reject, never default — see DESIGN.md §13). *)
+
+val to_algo : t -> Schedule.Algorithm.t
+(** The algorithm with the paper's canonical dense sizes (|j|=256 for
+    SpMM/SDDMM, |j|=16 for MTTKRP), matching [Algorithm.of_name]. *)
+
+val of_algo : Schedule.Algorithm.t -> t
+(** Forgets the dense size. *)
+
+val index : t -> int
+(** Position in {!all} / the hot slot in {!one_hot}. *)
+
+val one_hot : t -> float array
+(** Length-{!count} indicator row concatenated into the cost-model head. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -55,11 +55,14 @@ let random_pairs rng (sample : Dataset.sample) ~count =
 
 (* Ranking loss of the model on a sample's fixed validation pairs
    (forward only). *)
-let eval_sample model (sample : Dataset.sample) =
+let eval_sample ?kernel model (sample : Dataset.sample) =
+  let kernel = Option.value kernel ~default:(Costmodel.kernel_of model) in
   let schedules, truth = batch_of_pairs sample sample.Dataset.valid_pairs in
   let feature = Extractor.forward model.Costmodel.extractor sample.Dataset.input in
   let embs = Costmodel.embed model schedules in
-  let rows = Costmodel.rows_of ~feature ~embs ~batch:(Array.length schedules) in
+  let rows =
+    Costmodel.rows_of ~kernel ~feature ~embs ~batch:(Array.length schedules)
+  in
   let batch = Array.length schedules in
   (* Exact-size copy: the predictor returns its scratch buffer and
      Loss.pairwise checks exact length. *)
@@ -73,7 +76,8 @@ let eval_sample model (sample : Dataset.sample) =
    private caches — see [Costmodel.replicate]).  Per-sample results land in
    sample order and the means are folded sequentially, so the parallel run
    returns bit-identical floats to the sequential one. *)
-let eval_set ?pool model (samples : Dataset.sample array) =
+let eval_set ?pool ?kernel model (samples : Dataset.sample array) =
+  let kernel = Option.value kernel ~default:(Costmodel.kernel_of model) in
   if Array.length samples = 0 then (0.0, 1.0)
   else begin
     let per_sample =
@@ -84,9 +88,9 @@ let eval_set ?pool model (samples : Dataset.sample array) =
                 if i = 0 then model else Costmodel.replicate model)
           in
           Parallel.Pool.map_workers p
-            (fun ~worker s -> eval_sample replicas.(worker) s)
+            (fun ~worker s -> eval_sample ~kernel replicas.(worker) s)
             samples
-      | _ -> Array.map (eval_sample model) samples
+      | _ -> Array.map (eval_sample ~kernel model) samples
     in
     let tl = ref 0.0 and ta = ref 0.0 in
     Array.iter
@@ -330,7 +334,8 @@ let train ?pool ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ())
         else begin
           let schedules, truth = batch_of_pairs sample pairs in
           let pred, backward =
-            Costmodel.forward_train model sample.Dataset.input schedules
+            Costmodel.forward_train ~kernel:data.Dataset.kernel model
+              sample.Dataset.input schedules
           in
           let loss, dpred = Nn.Loss.pairwise ~min_gap:0.02 ~truth ~pred () in
           epoch_loss := !epoch_loss +. loss;
@@ -338,7 +343,7 @@ let train ?pool ?(pairs_per_step = 16) ?(lr = 1e-3) ?(log = fun _ -> ())
           Nn.Adam.step adam
         end)
       order;
-    let vl, va = eval_set ?pool model data.Dataset.valid in
+    let vl, va = eval_set ?pool ~kernel:data.Dataset.kernel model data.Dataset.valid in
     ep.(epoch) <- epoch + 1;
     trl.(epoch) <- !epoch_loss /. float_of_int (max 1 (Array.length order));
     vll.(epoch) <- vl;

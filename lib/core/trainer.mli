@@ -21,11 +21,13 @@ val random_pairs : Rng.t -> Dataset.sample -> count:int -> (int * int) array
     the sample has fewer than two schedules (no ranking constraint exists). *)
 
 val eval_set :
-  ?pool:Parallel.Pool.t -> Costmodel.t -> Dataset.sample array -> float * float
-(** (mean loss, mean pair accuracy) on fixed validation pairs.  With [pool],
-    samples are evaluated in parallel on per-domain forward-only replicas of
-    the model; results are reduced in sample order, so the floats are
-    bit-identical to the sequential run. *)
+  ?pool:Parallel.Pool.t -> ?kernel:Kernel.t ->
+  Costmodel.t -> Dataset.sample array -> float * float
+(** (mean loss, mean pair accuracy) on fixed validation pairs, conditioned on
+    [kernel] (default {!Costmodel.kernel_of}).  With [pool], samples are
+    evaluated in parallel on per-domain forward-only replicas of the model;
+    results are reduced in sample order, so the floats are bit-identical to
+    the sequential run. *)
 
 type checkpoint_spec = {
   dir : string;  (** checkpoint directory (created recursively) *)

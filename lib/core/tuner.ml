@@ -32,7 +32,7 @@ type index = {
    resulting graph is the same whatever the domain count. *)
 let build_index ?pool ?(m = 12) ?(ef_construction = 60) ?(lint = true) ?asym
     rng model (corpus : Superschedule.t array) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Robust.mono_now () in
   let filters =
     (if lint then [ Asym.Prefilter.lint ] else [])
     @ match asym with Some a -> [ Asym.Prefilter.asym a ] | None -> []
@@ -79,7 +79,7 @@ let build_index ?pool ?(m = 12) ?(ef_construction = 60) ?(lint = true) ?asym
     batch_embs;
   {
     hnsw;
-    build_seconds = Unix.gettimeofday () -. t0;
+    build_seconds = Robust.mono_now () -. t0;
     corpus_size = n;
     lint_rejected = counts.Asym.Prefilter.lint;
     asym_rejected = counts.Asym.Prefilter.asym;
@@ -132,8 +132,9 @@ let degraded ?(measure = true) machine (wl : Workload.t) algo ~reason =
     degraded_reason = Some reason;
   }
 
-(* Deadline support: [deadline_at] is an absolute [Unix.gettimeofday]
-   instant.  The tuner checks it at every phase boundary and — the watchdog —
+(* Deadline support: [deadline_at] is an absolute [Robust.mono_now] instant
+   (monotonic: a wall-clock step, e.g. NTP, can neither expire nor extend
+   it).  The tuner checks it at every phase boundary and — the watchdog —
    in front of every top-k measurement run, so one stuck measurement can
    overshoot the budget by at most its own duration, never by the whole
    phase.  A deadline-truncated result is marked [degraded] with reason
@@ -144,7 +145,7 @@ let deadline_reason = "deadline"
 let past deadline_at =
   match deadline_at with
   | None -> false
-  | Some d -> Unix.gettimeofday () >= d
+  | Some d -> Robust.mono_now () >= d
 
 let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
     ?(measure_backoff_s = 0.01) ?measure_budget_s ?(asym = true) ?deadline_at
@@ -158,9 +159,9 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
       ~reason:deadline_reason
   else begin
     (* Phase 1: extract the sparsity-pattern feature once. *)
-    let t0 = Unix.gettimeofday () in
+    let t0 = Robust.mono_now () in
     let feature = Costmodel.feature model input in
-    let t1 = Unix.gettimeofday () in
+    let t1 = Robust.mono_now () in
     (* Phase 2: ANNS over the KNN graph; the score runs only the predictor
        tail against stored embeddings. *)
     let score i =
@@ -193,7 +194,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
               not p)
             found
     in
-    let t2 = Unix.gettimeofday () in
+    let t2 = Robust.mono_now () in
     (* Predict-only answers: the serving daemon's cheap path ([measure =
        false]), and the deadline path when the budget ran out during the
        feature/traversal phases — the ranking is real, the simulator never
@@ -258,7 +259,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
           (* The per-run retry budget never exceeds the time the deadline
              has left. *)
           let remaining =
-            Option.map (fun d -> Float.max 0.0 (d -. Unix.gettimeofday ())) deadline_at
+            Option.map (fun d -> Float.max 0.0 (d -. Robust.mono_now ())) deadline_at
           in
           match (measure_budget_s, remaining) with
           | Some b, Some r -> Some (Float.min b r)
@@ -298,7 +299,7 @@ let tune ?pool ?(k = 10) ?(ef = 40) ?(measure = true) ?(measure_retries = 3)
            0 outcomes)
     in
     let measured = List.filter_map (fun (o, _, _) -> o) (Array.to_list outcomes) in
-    let t3 = Unix.gettimeofday () in
+    let t3 = Robust.mono_now () in
     match measured with
     | [] when skipped ->
         (* The deadline fired before a single candidate was measured: the

@@ -92,7 +92,8 @@ val tune :
     every measurement fails, the result degrades to the fixed-CSR baseline
     with [degraded = true] instead of raising.
 
-    [deadline_at] (an absolute [Unix.gettimeofday] instant) arms a
+    [deadline_at] (an absolute [Robust.mono_now] instant — monotonic, so a
+    wall-clock step can neither expire nor extend it) arms a
     best-effort watchdog: the deadline is re-checked at every phase boundary
     and before every individual candidate measurement.  Expired before the
     traversal → the unmeasured asymptotic fallback; expired after it → the

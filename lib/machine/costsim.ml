@@ -342,9 +342,10 @@ let estimate (machine : Machine.t) (wl : Workload.t) (s : Superschedule.t) =
   let dim = Format_abs.Spec.var_dim par in
   let split = spec.Format_abs.Spec.splits.(dim) in
   let work =
-    Workload.work_per_var_value wl ~dim ~split ~is_top:(Format_abs.Spec.var_is_top par)
+    Workload.kernel_work wl ~algo:s.Superschedule.algo ~dim ~split
+      ~is_top:(Format_abs.Spec.var_is_top par)
   in
-  let total_work = Float.max 1.0 (float_of_int (Array.fold_left ( + ) 0 work)) in
+  let total_work = Float.max 1e-9 (Array.fold_left ( +. ) 0.0 work) in
   let nthreads, throughput = Machine.thread_config machine s.Superschedule.threads in
   let speed_per_thread = throughput /. float_of_int nthreads in
   (* Parallel loop nested under outer loops re-enters the region each time. *)
@@ -360,11 +361,11 @@ let estimate (machine : Machine.t) (wl : Workload.t) (s : Superschedule.t) =
     done;
     Float.min 1e6 !p
   in
-  let chunks = Sptensor.Stats.chunk_work work ~chunk:s.Superschedule.chunk in
+  let chunks = Sptensor.Stats.chunk_work_f work ~chunk:s.Superschedule.chunk in
   let chunk_cost share =
     (share *. serial_sec /. speed_per_thread) +. machine.Machine.chunk_overhead_sec
   in
-  let shares = Array.map (fun w -> float_of_int w /. total_work) chunks in
+  let shares = Array.map (fun w -> w /. total_work) chunks in
   let makespan =
     if Array.length work <= 1 then serial_sec (* size-1 parallel var: no parallelism *)
     else

@@ -14,6 +14,9 @@ type t = {
   entries : (int array * float) array;
   counts : int array array; (* counts.(d).(x) = nonzeros with logical coord x on dim d *)
   storage_cache : (string, Format_abs.Storage_model.t) Hashtbl.t;
+  kernel_work_cache : (string, float array) Hashtbl.t;
+      (* keyed on (algo, dim, split, is_top): the weighted distributions the
+         per-kernel dynamic-scheduling simulation chunks up *)
   cache_lock : Mutex.t;
       (* The parallel measurement paths share one workload across domains;
          Hashtbl is not safe under concurrent mutation. *)
@@ -35,6 +38,7 @@ let build ~id ~dims ~entries =
     entries;
     counts;
     storage_cache = Hashtbl.create 64;
+    kernel_work_cache = Hashtbl.create 16;
     cache_lock = Mutex.create ();
   }
 
@@ -97,3 +101,60 @@ let work_per_var_value t ~dim ~split ~is_top =
     Array.iteri (fun x c -> work.(x mod split) <- work.(x mod split) + c) counts;
     work
   end
+
+(* Logical indices of dim [dim] each derived-variable value owns — the count
+   of output elements the value writes when [dim] is the output dimension. *)
+let indices_per_var_value t ~dim ~split ~is_top =
+  let n = Array.length t.counts.(dim) in
+  if is_top then begin
+    let nblocks = (n + split - 1) / split in
+    Array.init (max 1 nblocks) (fun v -> max 0 (min split (n - (v * split))))
+  end
+  else
+    Array.init (max 1 split) (fun v ->
+        if v >= n then 0 else ((n - 1 - v) / split) + 1)
+
+(* Per-kernel weighted work per value of the parallelized variable: each
+   nonzero costs its kernel's flops, and — when the parallelized dimension is
+   the output dimension (dim 0 of a dense output) — each owned logical index
+   pays its row of output writes.  SDDMM's output is sparse (written per
+   nonzero, already priced by the flop term), so it carries no write term;
+   when dim <> 0 the term vanishes and the distribution is a pure scaling of
+   the nonzero histogram. *)
+let kernel_work t ~(algo : Schedule.Algorithm.t) ~dim ~split ~is_top =
+  let key =
+    Printf.sprintf "%s/%d/%d/%b" (Schedule.Algorithm.name algo) dim split is_top
+  in
+  let cached =
+    Mutex.protect t.cache_lock (fun () -> Hashtbl.find_opt t.kernel_work_cache key)
+  in
+  match cached with
+  | Some w -> w
+  | None ->
+      let counts = work_per_var_value t ~dim ~split ~is_top in
+      let flops = Schedule.Algorithm.flops_per_entry algo in
+      let writes_per_idx =
+        if dim <> 0 then 0.0
+        else
+          match algo with
+          | Schedule.Algorithm.Spmv -> 1.0
+          | Schedule.Algorithm.Spmm jn | Schedule.Algorithm.Mttkrp jn ->
+              float_of_int jn
+          | Schedule.Algorithm.Sddmm _ -> 0.0
+      in
+      let w =
+        if writes_per_idx = 0.0 then
+          Array.map (fun c -> flops *. float_of_int c) counts
+        else begin
+          let idxs = indices_per_var_value t ~dim ~split ~is_top in
+          Array.mapi
+            (fun v c ->
+              (flops *. float_of_int c)
+              +. (writes_per_idx *. float_of_int idxs.(v)))
+            counts
+        end
+      in
+      Mutex.protect t.cache_lock (fun () ->
+          if not (Hashtbl.mem t.kernel_work_cache key) then
+            Hashtbl.add t.kernel_work_cache key w);
+      w

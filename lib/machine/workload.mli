@@ -12,6 +12,9 @@ type t = {
   counts : int array array;
       (** [counts.(d).(x)] = nonzeros with logical coordinate [x] on dim [d] *)
   storage_cache : (string, Format_abs.Storage_model.t) Hashtbl.t;
+  kernel_work_cache : (string, float array) Hashtbl.t;
+      (** per-(kernel, parallel-variable) weighted work distributions,
+          see {!kernel_work} *)
   cache_lock : Mutex.t;
       (** guards [storage_cache]: the parallel measurement paths share one
           workload across domains *)
@@ -33,3 +36,16 @@ val work_per_var_value : t -> dim:int -> split:int -> is_top:bool -> int array
 (** Nonzero count per value of a derived variable — the distribution the
     dynamic-scheduling simulation chunks up.  Top variables group [split]
     consecutive logical indices; bottoms stride across them. *)
+
+val kernel_work :
+  t ->
+  algo:Schedule.Algorithm.t ->
+  dim:int -> split:int -> is_top:bool ->
+  float array
+(** Per-kernel weighted work per value of the parallelized variable,
+    memoized per (kernel, variable): nonzeros are weighted by the kernel's
+    flops-per-entry, and when [dim] is the dense-output dimension (dim 0;
+    not SDDMM, whose output is sparse) each owned logical index adds its
+    output-write cost.  For [dim <> 0] this is a pure scaling of
+    {!work_per_var_value}, so the chunk {e shares} — and hence the simulated
+    makespan — coincide with the unweighted model there. *)

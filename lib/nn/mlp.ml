@@ -36,6 +36,14 @@ let out_dim t = t.linears.(Array.length t.linears - 1).Linear.out_dim
 let in_dim t = t.linears.(0).Linear.in_dim
 
 let forward t ~batch x =
+  (* Width guard: a caller whose row builder disagrees with the stack's
+     input width (e.g. rows missing a kernel-conditioning slot) must fail
+     here, loudly, not mis-slice its way to plausible garbage.  Longer is
+     fine — callers may hand over grow-only scratch buffers. *)
+  if Array.length x < batch * in_dim t then
+    invalid_arg
+      (Printf.sprintf "Mlp.forward: %d floats for batch %d of width %d"
+         (Array.length x) batch (in_dim t));
   let n = Array.length t.linears in
   let cur = ref x in
   for l = 0 to n - 1 do

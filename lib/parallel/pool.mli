@@ -13,8 +13,12 @@ type t
 
 val create : domains:int -> t
 (** Spawns [domains - 1] worker domains; the submitter participates as
-    worker 0.  [domains = 1] spawns nothing and runs everything inline.
-    Raises [Invalid_argument] when [domains < 1]. *)
+    worker 0.  The size is clamped to
+    [Domain.recommended_domain_count ()] — oversubscribing the hardware
+    only adds mutex and scheduler contention (an 8-domain collect on one
+    core ran ~4x slower than sequential).  [domains = 1] (requested or
+    clamped) spawns nothing and runs everything inline.  Raises
+    [Invalid_argument] when [domains < 1]. *)
 
 val domains : t -> int
 

@@ -30,6 +30,7 @@ type state = {
   mutable net_cap_ops : int; (* how many more net ops the cap covers *)
   mutable net_drop_at : int; (* nth net op from now signals peer death; 0 = off *)
   mutable net_ops_seen : int;
+  mutable wall_skew_s : float; (* offset added to the wall clock; 0 = off *)
 }
 
 let st =
@@ -46,6 +47,7 @@ let st =
     net_cap_ops = 0;
     net_drop_at = 0;
     net_ops_seen = 0;
+    wall_skew_s = 0.0;
   }
 
 (* Counter updates are serialized so armed faults stay exactly counter-driven
@@ -63,7 +65,7 @@ let refresh () =
     st.fail_nth > 0 || st.truncate_at >= 0 || st.corrupt_at >= 0
     || st.transient_measures > 0 || st.stuck_measures > 0
     || (st.net_cap >= 0 && st.net_cap_ops > 0)
-    || st.net_drop_at > 0
+    || st.net_drop_at > 0 || st.wall_skew_s <> 0.0
 
 let enabled () = st.active
 
@@ -80,6 +82,7 @@ let reset () =
       st.net_cap_ops <- 0;
       st.net_drop_at <- 0;
       st.net_ops_seen <- 0;
+      st.wall_skew_s <- 0.0;
       refresh ())
 
 let arm_fail_nth_write n =
@@ -128,6 +131,14 @@ let arm_net_drop_at n =
   with_lock (fun () ->
       st.net_drop_at <- n;
       st.net_ops_seen <- 0;
+      refresh ())
+
+(* Unlike the counter-driven faults above, a clock step is a lasting state
+   change: once armed the skew stays until [reset], exactly like an NTP jump
+   or a manual [date] on a real host. *)
+let arm_clock_skew ~seconds =
+  with_lock (fun () ->
+      st.wall_skew_s <- seconds;
       refresh ())
 
 let writes_seen () = with_lock (fun () -> st.writes_seen)
@@ -214,6 +225,8 @@ let net_io_cap () =
           Some cap
         end
         else None)
+
+let wall_skew () = if not st.active then 0.0 else with_lock (fun () -> st.wall_skew_s)
 
 let net_drop_tick () =
   if not st.active then false

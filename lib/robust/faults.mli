@@ -44,6 +44,14 @@ val arm_partial_net : cap:int -> int -> unit
 (** Cap the next [n] serving-layer socket reads/writes at [cap] bytes each,
     forcing the partial-IO paths a slow or trickling peer produces. *)
 
+val arm_clock_skew : seconds:float -> unit
+(** Step the {e wall} clock ({!Robust.wall_now}) by [seconds] from now on —
+    the deterministic NTP jump the monotonic-clock rule (DESIGN.md §12) must
+    make harmless.  Unlike the counter-driven faults, the skew persists until
+    {!reset}.  Monotonic time ({!Robust.mono_now}) is never skewed: real
+    monotonic clocks don't step, and every deadline/elapsed path must run on
+    one. *)
+
 val arm_net_drop_at : int -> unit
 (** Make the [n]th (1-based) serving-layer socket operation from now report
     the peer as dead ({!net_drop_tick} returns [true]), simulating a
@@ -72,3 +80,7 @@ val net_io_cap : unit -> int option
 val net_drop_tick : unit -> bool
 (** [true] exactly once, at the socket operation {!arm_net_drop_at} armed:
     the caller must treat the connection as reset by the peer. *)
+
+val wall_skew : unit -> float
+(** The currently armed wall-clock offset (0 when disarmed).  Consumed by
+    {!Robust.wall_now}; production code should call that, not this. *)

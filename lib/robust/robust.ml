@@ -18,6 +18,33 @@
 
 module Faults = Faults
 
+(* --- clocks --- *)
+
+(* Every deadline and elapsed-time computation in this codebase must run on
+   monotonic time: the wall clock steps (NTP, a manual `date`), and a step
+   blows every in-flight deadline or silently disables timeout reapers.
+   CLOCK_MONOTONIC comes from the bechamel C stub (clock_gettime, in
+   nanoseconds); on a platform where the stub reports nothing we fall back
+   to a monotonicized wall clock — gettimeofday clamped to never run
+   backward, which survives a step with at worst a frozen interval. *)
+let mono_now =
+  let last = Atomic.make neg_infinity in
+  let rec clamp t =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp t
+  in
+  fun () ->
+    let ns = Monotonic_clock.now () in
+    if Int64.compare ns 0L > 0 then Int64.to_float ns /. 1e9
+    else clamp (Unix.gettimeofday ())
+
+(* The wall clock, for human-facing timestamps only (e.g. the serving
+   daemon's "started" stat).  Routed through a fault hook so the chaos
+   harness can step it and prove nothing load-bearing reads it. *)
+let wall_now () = Unix.gettimeofday () +. Faults.wall_skew ()
+
 (* --- typed load failures --- *)
 
 type load_error =
@@ -284,10 +311,12 @@ let backoff_delay ?(base_s = 0.01) ?(max_s = 2.0) ?(jitter = 0.5) ?(seed = 0)
 let with_retry_backoff ?(attempts = 3) ?(base_s = 0.01) ?(max_s = 2.0)
     ?(jitter = 0.5) ?(seed = 0) ?budget_s ?on_retry ~label f =
   let attempts = max 1 attempts in
-  let start = Unix.gettimeofday () in
+  (* Elapsed time, so monotonic: a wall-clock step must not void (or
+     extend) the retry budget. *)
+  let start = mono_now () in
   let over_budget () =
     match budget_s with
-    | Some b -> Unix.gettimeofday () -. start >= b
+    | Some b -> mono_now () -. start >= b
     | None -> false
   in
   let rec go attempt =

@@ -7,6 +7,22 @@
 
 module Faults = Faults
 
+(** {2 Clocks} *)
+
+val mono_now : unit -> float
+(** Monotonic seconds (CLOCK_MONOTONIC; arbitrary epoch).  {e Every}
+    deadline and elapsed-time computation must use this clock: the wall
+    clock steps under NTP or a manual change, and a step blows in-flight
+    deadlines or silently disables timeout reapers (DESIGN.md §12).  Falls
+    back to a never-backward-clamped wall clock where the monotonic source
+    is unavailable. *)
+
+val wall_now : unit -> float
+(** The wall clock (Unix epoch seconds), for human-facing timestamps only —
+    e.g. the serving daemon's [started] stat.  Routed through
+    {!Faults.arm_clock_skew} so chaos tests can step it and prove nothing
+    load-bearing depends on it. *)
+
 (** {2 Typed load failures} *)
 
 type load_error =

@@ -112,7 +112,21 @@ let save t path =
 
 type loaded = { cache : t; status : [ `Warm of int | `Invalidated of string ] }
 
-let load ?(capacity = 512) ~model_digest ~index_digest ~machine path :
+(* Namespace check for kernel-partitioned caches: with [namespaces], every
+   persisted key must carry a [<ns>/] prefix from the list.  A key without
+   one comes from a pre-kernel snapshot whose entries cannot be attributed
+   to any kernel, so the snapshot is discarded wholesale — same policy as a
+   digest-stamp mismatch, never a partial reuse. *)
+let missing_namespace ~namespaces key =
+  match namespaces with
+  | None -> false
+  | Some nss ->
+      not
+        (List.exists
+           (fun ns -> String.starts_with ~prefix:(ns ^ "/") key)
+           nss)
+
+let load ?(capacity = 512) ?namespaces ~model_digest ~index_digest ~machine path :
     (loaded, Robust.load_error) result =
   match Robust.read_artifact ~expected_kind:Robust.Kind.cache path with
   | Error e -> Error e
@@ -166,6 +180,7 @@ let load ?(capacity = 512) ~model_digest ~index_digest ~machine path :
                          the whole load with a typed error — a half-trusted
                          cache is worse than a cold one. *)
                       let err = ref None in
+                      let orphan = ref None in
                       (try
                          Array.iteri
                            (fun li line ->
@@ -173,6 +188,10 @@ let load ?(capacity = 512) ~model_digest ~index_digest ~machine path :
                                match String.split_on_char ' ' line with
                                | [ "E"; tick_s; key; pred_s; meas_s; deg_s; sched ]
                                  -> (
+                                   if missing_namespace ~namespaces key then begin
+                                     orphan := Some key;
+                                     raise Exit
+                                   end;
                                    match
                                      ( int_of_string_opt tick_s,
                                        float_of_string_opt pred_s,
@@ -206,9 +225,23 @@ let load ?(capacity = 512) ~model_digest ~index_digest ~machine path :
                                    raise Exit)
                            lines
                        with Exit -> ());
-                      match !err with
-                      | Some reason -> malformed reason
-                      | None ->
+                      match (!err, !orphan) with
+                      | Some reason, _ -> malformed reason
+                      | None, Some key ->
+                          (* Partially replayed entries are discarded with
+                             the snapshot: hand back an empty cache. *)
+                          Ok
+                            {
+                              cache =
+                                create ~capacity ~model_digest ~index_digest
+                                  ~machine ();
+                              status =
+                                `Invalidated
+                                  (Printf.sprintf
+                                     "entry %S carries no kernel namespace \
+                                      (pre-kernel snapshot)" key);
+                            }
+                      | None, None ->
                           fresh.evictions <- 0;
                           Ok { cache = fresh; status = `Warm (size fresh) }
                     end)

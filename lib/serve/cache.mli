@@ -45,9 +45,17 @@ val save : t -> string -> unit
 type loaded = { cache : t; status : [ `Warm of int | `Invalidated of string ] }
 
 val load :
-  ?capacity:int -> model_digest:string -> index_digest:string ->
-  machine:string -> string -> (loaded, Robust.load_error) result
+  ?capacity:int -> ?namespaces:string list -> model_digest:string ->
+  index_digest:string -> machine:string -> string ->
+  (loaded, Robust.load_error) result
 (** [`Warm n] restores [n] entries with their recency order intact;
     [`Invalidated reason] returns an empty cache because the snapshot was
     computed under different model/index/machine identities.  [Error] is
-    envelope or record damage — the caller starts cold. *)
+    envelope or record damage — the caller starts cold.
+
+    With [namespaces] (the kernel-partitioned daemon passes its served
+    kernel names), every persisted key must start with [<ns>/] for some
+    listed namespace; a key without one comes from a pre-kernel snapshot
+    and invalidates the {e whole} snapshot — the same wholesale policy as a
+    digest-stamp mismatch, so an SpMV-era entry can never be served to an
+    SDDMM query. *)

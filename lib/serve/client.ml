@@ -70,7 +70,7 @@ let send t (req : Protocol.request) =
    code treats any of these as a dead daemon. *)
 let recv ?timeout_s t =
   if t.closed then failwith "Client.recv: connection closed";
-  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let deadline = Option.map (fun s -> Robust.mono_now () +. s) timeout_s in
   let chunk = Bytes.create 65536 in
   let rec go () =
     let s = Buffer.contents t.inbuf in
@@ -85,7 +85,7 @@ let recv ?timeout_s t =
     | `Need _ ->
         (match deadline with
         | Some d -> (
-            let remaining = d -. Unix.gettimeofday () in
+            let remaining = d -. Robust.mono_now () in
             if remaining <= 0.0 then
               failwith "Client.recv: timed out waiting for response";
             match Unix.select [ t.fd ] [] [] remaining with
@@ -105,11 +105,11 @@ let request ?timeout_s t req =
   send t req;
   recv ?timeout_s t
 
-let query ?(measure = true) ?(deadline_ms = 0) ?(qid = "q") ?timeout_s t source
-    =
+let query ?(measure = true) ?(deadline_ms = 0) ?kernel ?(qid = "q") ?timeout_s
+    t source =
   match
     request ?timeout_s t
-      (Protocol.Query { Protocol.qid; source; measure; deadline_ms })
+      (Protocol.Query { Protocol.qid; source; measure; deadline_ms; kernel })
   with
   | Protocol.Answer a -> Ok a
   | Protocol.Busy { retry_after_ms } ->
@@ -138,7 +138,7 @@ let shutdown t =
    path) — retrying cannot fix it, so it returns immediately. *)
 let query_with_retry ?(attempts = 3) ?(base_s = 0.05) ?(max_s = 1.0)
     ?(connect_timeout_s = 5.0) ?timeout_s ?(measure = true) ?(deadline_ms = 0)
-    ?(qid = "q") ~socket source =
+    ?kernel ?(qid = "q") ~socket source =
   let seed = Hashtbl.hash qid in
   let attempts = max 1 attempts in
   let rec go attempt =
@@ -151,7 +151,8 @@ let query_with_retry ?(attempts = 3) ?(base_s = 0.05) ?(max_s = 1.0)
             (fun () ->
               match
                 request ?timeout_s c
-                  (Protocol.Query { Protocol.qid; source; measure; deadline_ms })
+                  (Protocol.Query
+                     { Protocol.qid; source; measure; deadline_ms; kernel })
               with
               | Protocol.Answer a -> `Done (Ok a)
               | Protocol.Busy { retry_after_ms } -> `Busy retry_after_ms

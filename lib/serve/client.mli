@@ -36,19 +36,24 @@ val request : ?timeout_s:float -> t -> Protocol.request -> Protocol.response
 (** [send] then [recv]. *)
 
 val query :
-  ?measure:bool -> ?deadline_ms:int -> ?qid:string -> ?timeout_s:float ->
+  ?measure:bool -> ?deadline_ms:int -> ?kernel:Waco.Kernel.t -> ?qid:string ->
+  ?timeout_s:float ->
   t -> Protocol.source ->
   (Protocol.answer, string) result
 (** One tuning request.  [measure] (default [true]) [false] asks for the
     predict-only fast path.  [deadline_ms] > 0 gives the daemon an answer
     budget; a blown budget comes back as a degraded answer with reason
-    ["deadline"], not an error.  [Error _] carries the daemon's error
-    message for this request — including a [Busy] shed, rendered as
-    ["busy: retry after <n> ms"] (the connection stays usable). *)
+    ["deadline"], not an error.  [kernel] names the daemon slot (and cache
+    namespace) that answers; omitted, the daemon's default slot does — a
+    kernel the daemon does not serve is an [Error _].  [Error _] carries the
+    daemon's error message for this request — including a [Busy] shed,
+    rendered as ["busy: retry after <n> ms"] (the connection stays
+    usable). *)
 
 val query_with_retry :
   ?attempts:int -> ?base_s:float -> ?max_s:float -> ?connect_timeout_s:float ->
-  ?timeout_s:float -> ?measure:bool -> ?deadline_ms:int -> ?qid:string ->
+  ?timeout_s:float -> ?measure:bool -> ?deadline_ms:int ->
+  ?kernel:Waco.Kernel.t -> ?qid:string ->
   socket:string -> Protocol.source ->
   (Protocol.answer, string) result
 (** The resilient round trip: connect, query, close — retried up to

@@ -59,7 +59,7 @@ type t = {
 let create () =
   {
     mu = Mutex.create ();
-    started = Unix.gettimeofday ();
+    started = Robust.wall_now ();
     requests = 0;
     answers = 0;
     protocol_errors = 0;
@@ -156,7 +156,7 @@ let to_json ?(extra_ints = []) ?(extra = []) t =
   let floats =
     locked t (fun () ->
         [
-          ("uptime_s", Unix.gettimeofday () -. t.started);
+          ("uptime_s", Robust.wall_now () -. t.started);
           ("parse_s", t.parse_s);
           ("extract_s", t.extract_s);
           ("traverse_s", t.traverse_s);

@@ -94,6 +94,10 @@ type query = {
   source : source;
   measure : bool;
   deadline_ms : int;  (* 0 = no deadline; omitted on the wire when 0 *)
+  kernel : Waco.Kernel.t option;
+      (* None = omitted on the wire: a pre-kernel client, served the daemon's
+         default slot.  An unrecognized kernel name is a decode Error, never
+         a silent default. *)
 }
 
 type request = Query of query | Stats | Ping | Shutdown
@@ -111,6 +115,9 @@ let encode_query (q : query) =
   if String.contains q.qid '\n' then invalid_arg "Protocol.encode_query: id with newline";
   Printf.bprintf buf "id=%s\n" q.qid;
   Printf.bprintf buf "measure=%d\n" (if q.measure then 1 else 0);
+  (match q.kernel with
+  | Some k -> Printf.bprintf buf "kernel=%s\n" (Waco.Kernel.name k)
+  | None -> ());
   if q.deadline_ms > 0 then Printf.bprintf buf "deadline_ms=%d\n" q.deadline_ms;
   (match q.source with
   | Path p ->
@@ -160,6 +167,18 @@ let decode_query body : (query, string) result =
     | None | Some "1" -> Ok true
     | Some "0" -> Ok false
     | Some other -> Error (Printf.sprintf "measure=%s (expected 0 or 1)" other)
+  in
+  let* kernel =
+    match field "kernel" with
+    | None -> Ok None
+    | Some s -> (
+        match Waco.Kernel.of_name s with
+        | Some k -> Ok (Some k)
+        | None ->
+            Error
+              (Printf.sprintf
+                 "kernel=%s (expected one of %s)" s
+                 (String.concat ", " (List.map Waco.Kernel.name Waco.Kernel.all))))
   in
   let* deadline_ms =
     match field "deadline_ms" with
@@ -226,7 +245,7 @@ let decode_query body : (query, string) result =
     | Some other -> Error (Printf.sprintf "unknown source %S" other)
     | None -> Error "missing source field"
   in
-  Ok { qid; source; measure; deadline_ms }
+  Ok { qid; source; measure; deadline_ms; kernel }
 
 let request_of_frame ~msg body : (request, string) result =
   if msg = msg_query then

@@ -62,6 +62,11 @@ type query = {
           request; 0 (the default, omitted on the wire) means no deadline.
           On expiry the daemon answers immediately from the cache or the
           asymptotic fallback, marked [degraded_reason = "deadline"]. *)
+  kernel : Waco.Kernel.t option;
+      (** which kernel's model/index/cache-namespace answers this query;
+          [None] (omitted on the wire — every pre-kernel client) is served
+          the daemon's default slot.  An {e unrecognized} kernel name on the
+          wire is a decode [Error], never a silent default. *)
 }
 
 type request = Query of query | Stats | Ping | Shutdown

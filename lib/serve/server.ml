@@ -43,11 +43,23 @@ type conn = {
          frame boundary (empty input buffer) *)
 }
 
+(* One served kernel: its trained model (replicated per worker domain, slot 0
+   the loaded model itself) and its HNSW index.  The daemon owns one slot per
+   kernel it serves; every query resolves to exactly one slot, and cache keys
+   are namespaced by the slot's kernel name so answers can never cross. *)
+type slot = {
+  kernel : Waco.Kernel.t;
+  replicas : Waco.Costmodel.t array;
+  index : Waco.Tuner.index;
+}
+
 type t = {
   socket_path : string;
   machine : Machine.t;
-  replicas : Waco.Costmodel.t array;  (* slot 0 is the loaded model itself *)
-  index : Waco.Tuner.index;
+  slots : slot array;  (* slot 0 is the primary (the ~model/~index pair) *)
+  default_slot : int;
+      (* what a kernel-less (pre-kernel client) query gets: the spmv slot
+         when served, else the primary *)
   pool : Parallel.Pool.t option;
   cache : Cache.t;
   cache_file : string option;
@@ -75,22 +87,56 @@ let index_digest (index : Waco.Tuner.index) =
 
 let create ?pool ?(cache_capacity = 512) ?cache_file ?(max_batch = 32) ?(k = 10)
     ?(ef = 40) ?(max_pending = 256) ?(idle_timeout_s = 60.0)
-    ?(frame_timeout_s = 10.0) ?(write_timeout_s = 5.0) ?(log = ignore) ~model
-    ~index ~index_file ~machine ~socket () =
-  Waco.Tuner.validate_compat model ~index_file index;
+    ?(frame_timeout_s = 10.0) ?(write_timeout_s = 5.0) ?(log = ignore)
+    ?(extra = []) ~model ~index ~index_file ~machine ~socket () =
   let domains = match pool with Some p -> Parallel.Pool.domains p | None -> 1 in
-  let replicas =
-    Array.init (max 1 domains) (fun i ->
-        if i = 0 then model else Waco.Costmodel.replicate model)
+  let mk_slot (m, idx, idx_file) =
+    Waco.Tuner.validate_compat m ~index_file:idx_file idx;
+    let kernel = Waco.Costmodel.kernel_of m in
+    if Waco.Kernel.equal kernel Waco.Kernel.Mttkrp then
+      invalid_arg
+        "Server.create: mttkrp needs a 3-D tensor; the wire protocol carries \
+         2-D matrices";
+    {
+      kernel;
+      replicas =
+        Array.init (max 1 domains) (fun i ->
+            if i = 0 then m else Waco.Costmodel.replicate m);
+      index = idx;
+    }
   in
-  let model_digest = Waco.Costmodel.digest model in
-  let idx_digest = index_digest index in
+  let slots =
+    Array.of_list (List.map mk_slot ((model, index, index_file) :: extra))
+  in
+  Array.iteri
+    (fun i s ->
+      Array.iteri
+        (fun j s' ->
+          if i < j && Waco.Kernel.equal s.kernel s'.kernel then
+            invalid_arg
+              (Printf.sprintf "Server.create: kernel %s served twice"
+                 (Waco.Kernel.name s.kernel)))
+        slots)
+    slots;
+  let default_slot =
+    let spmv = ref 0 in
+    Array.iteri
+      (fun i s -> if Waco.Kernel.equal s.kernel Waco.Kernel.default then spmv := i)
+      slots;
+    !spmv
+  in
+  let join f = String.concat "+" (Array.to_list (Array.map f slots)) in
+  let model_digest = join (fun s -> Waco.Costmodel.digest s.replicas.(0)) in
+  let idx_digest = join (fun s -> index_digest s.index) in
+  let namespaces =
+    Array.to_list (Array.map (fun s -> Waco.Kernel.name s.kernel) slots)
+  in
   let machine_name = machine.Machine.name in
   let cache, cache_status =
     match cache_file with
     | Some file when Sys.file_exists file -> (
         match
-          Cache.load ~capacity:cache_capacity ~model_digest
+          Cache.load ~capacity:cache_capacity ~namespaces ~model_digest
             ~index_digest:idx_digest ~machine:machine_name file
         with
         | Ok { cache; status = `Warm n } ->
@@ -114,8 +160,8 @@ let create ?pool ?(cache_capacity = 512) ?cache_file ?(max_batch = 32) ?(k = 10)
   {
     socket_path = socket;
     machine;
-    replicas;
-    index;
+    slots;
+    default_slot;
     pool;
     cache;
     cache_file;
@@ -152,9 +198,36 @@ let coo_of_source = function
       | exception Invalid_argument e -> Error e)
 
 (* Cache keys separate the measured and predict-only answer spaces: the two
-   modes legitimately choose different schedules for the same pattern. *)
-let cache_key_of ~measure fp =
-  Fingerprint.key fp ^ if measure then "" else "#p"
+   modes legitimately choose different schedules for the same pattern.  The
+   kernel-name prefix partitions the key space per served kernel, so the
+   same sparsity fingerprint can never hand one kernel's schedule to
+   another's query. *)
+let cache_key_of ~kernel ~measure fp =
+  Waco.Kernel.name kernel ^ "/" ^ Fingerprint.key fp
+  ^ if measure then "" else "#p"
+
+(* Which slot answers a query: its named kernel's, or — kernel omitted, a
+   pre-kernel client — the daemon's default slot.  A recognized kernel the
+   daemon does not serve is a per-query error, never a silent substitute. *)
+let slot_for t (kernel : Waco.Kernel.t option) =
+  match kernel with
+  | None -> Ok t.default_slot
+  | Some k -> (
+      let found = ref None in
+      Array.iteri
+        (fun i s -> if Waco.Kernel.equal s.kernel k then found := Some i)
+        t.slots;
+      match !found with
+      | Some i -> Ok i
+      | None ->
+          Error
+            (Printf.sprintf "kernel %s not served (this daemon serves %s)"
+               (Waco.Kernel.name k)
+               (String.concat ", "
+                  (Array.to_list
+                     (Array.map
+                        (fun s -> Waco.Kernel.name s.kernel)
+                        t.slots)))))
 
 let answer_of_result ~cache_hit ~span (r : Waco.Tuner.result) : Protocol.answer =
   {
@@ -188,7 +261,7 @@ let deadline_at_of (q : Protocol.query) ~arrival =
 
 let expired = function
   | None -> false
-  | Some d -> Unix.gettimeofday () >= d
+  | Some d -> Robust.mono_now () >= d
 
 (* Merge two members' deadlines for one deduplicated computation: the group
    runs under the laxest member (None = no deadline at all), so a tight
@@ -196,15 +269,15 @@ let expired = function
 let merge_deadline a b =
   match (a, b) with Some x, Some y -> Some (Float.max x y) | _ -> None
 
-(* One computed miss: run the factored tuner entry point on this worker's
-   replica and record what it spent. *)
-let compute_one t replica ~key ~measure ?deadline_at m =
+(* One computed miss: run the factored tuner entry point on the resolved
+   slot's worker replica and record what it spent. *)
+let compute_one t slot ~worker ~key ~measure ?deadline_at m =
   let mt = t.metrics in
   Metrics.bump mt (fun m -> m.extractor_forwards <- m.extractor_forwards + 1);
   Metrics.bump mt (fun m -> m.traversals <- m.traversals + 1);
   let r =
-    Waco.Tuner.query replica t.machine ~k:t.k ~ef:t.ef ~measure ?deadline_at
-      ~id:key m t.index
+    Waco.Tuner.query slot.replicas.(worker) t.machine ~k:t.k ~ef:t.ef ~measure
+      ?deadline_at ~id:key m slot.index
   in
   Metrics.bump mt (fun m ->
       m.measured_runs <- m.measured_runs + r.Waco.Tuner.measured_runs;
@@ -218,9 +291,9 @@ let compute_one t replica ~key ~measure ?deadline_at m =
 (* The expired-before-compute answer: the asymptotic analyzer's
    guaranteed-not-terrible pick, unmeasured — there is no time left for a
    traversal, let alone a simulator run.  Degraded, so never cached. *)
-let deadline_fallback t ~key ~span m =
+let deadline_fallback t slot ~key ~span m =
   let wl = Workload.of_coo ~id:key m in
-  let algo = t.replicas.(0).Waco.Costmodel.algo in
+  let algo = slot.replicas.(0).Waco.Costmodel.algo in
   let r =
     Waco.Tuner.degraded ~measure:false t.machine wl algo ~reason:"deadline"
   in
@@ -241,13 +314,21 @@ let process_stamped t (batch : (Protocol.query * float) list) :
     List.map
       (fun ((q : Protocol.query), arrival) ->
         let span = Metrics.span_create () in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Robust.mono_now () in
         let outcome =
-          match coo_of_source q.Protocol.source with
+          match slot_for t q.Protocol.kernel with
           | Error e -> `Err e
-          | Ok m -> `Parsed (cache_key_of ~measure:q.Protocol.measure (Fingerprint.of_coo m), m)
+          | Ok si -> (
+              match coo_of_source q.Protocol.source with
+              | Error e -> `Err e
+              | Ok m ->
+                  `Parsed
+                    ( si,
+                      cache_key_of ~kernel:t.slots.(si).kernel
+                        ~measure:q.Protocol.measure (Fingerprint.of_coo m),
+                      m ))
         in
-        span.Metrics.parse_s <- Unix.gettimeofday () -. t0;
+        span.Metrics.parse_s <- Robust.mono_now () -. t0;
         (q, deadline_at_of q ~arrival, span, outcome))
       batch
   in
@@ -261,16 +342,17 @@ let process_stamped t (batch : (Protocol.query * float) list) :
     (fun (q, dl, _, outcome) ->
       match outcome with
       | `Err _ -> ()
-      | `Parsed (key, m) ->
+      | `Parsed (si, key, m) ->
           if Cache.find t.cache key = None then begin
             match Hashtbl.find_opt misses key with
-            | Some (m0, measure0, dl0) ->
+            | Some (si0, m0, measure0, dl0) ->
                 (* Another member already claims this key: relax the group
                    deadline to the laxest member. *)
-                Hashtbl.replace misses key (m0, measure0, merge_deadline dl0 dl)
+                Hashtbl.replace misses key
+                  (si0, m0, measure0, merge_deadline dl0 dl)
             | None ->
                 if not (expired dl) then begin
-                  Hashtbl.add misses key (m, q.Protocol.measure, dl);
+                  Hashtbl.add misses key (si, m, q.Protocol.measure, dl);
                   miss_order := key :: !miss_order
                 end
           end)
@@ -280,10 +362,10 @@ let process_stamped t (batch : (Protocol.query * float) list) :
      the batch depth allow it. *)
   let computed = Hashtbl.create 8 in
   let work key ~worker =
-    let m, measure, deadline_at = Hashtbl.find misses key in
-    let t0 = Unix.gettimeofday () in
-    let r = compute_one t t.replicas.(worker) ~key ~measure ?deadline_at m in
-    (key, r, Unix.gettimeofday () -. t0)
+    let si, m, measure, deadline_at = Hashtbl.find misses key in
+    let t0 = Robust.mono_now () in
+    let r = compute_one t t.slots.(si) ~worker ~key ~measure ?deadline_at m in
+    (key, r, Robust.mono_now () -. t0)
   in
   let results =
     match t.pool with
@@ -341,7 +423,7 @@ let process_stamped t (batch : (Protocol.query * float) list) :
               m.request_errors <- m.request_errors + 1);
           Metrics.record_span t.metrics span;
           Protocol.Error_msg e
-      | `Parsed (key, m) -> (
+      | `Parsed (si, key, m) -> (
           match Hashtbl.find_opt computed key with
           | Some (r, _secs) ->
               span.Metrics.extract_s <- r.Waco.Tuner.feature_seconds;
@@ -366,7 +448,8 @@ let process_stamped t (batch : (Protocol.query * float) list) :
                     (Protocol.Answer (answer_of_entry ~span entry))
               | None ->
                   if expired dl then
-                    note_deadline_miss dl (deadline_fallback t ~key ~span m)
+                    note_deadline_miss dl
+                      (deadline_fallback t t.slots.(si) ~key ~span m)
                   else begin
                     Metrics.bump t.metrics (fun m ->
                         m.request_errors <- m.request_errors + 1);
@@ -379,7 +462,7 @@ let process_stamped t (batch : (Protocol.query * float) list) :
    The socket path stamps arrival at frame decode instead, so a queued
    query's deadline budget includes its queue wait. *)
 let process_batch t (batch : Protocol.query list) : Protocol.response list =
-  let now = Unix.gettimeofday () in
+  let now = Robust.mono_now () in
   process_stamped t (List.map (fun q -> (q, now)) batch)
 
 (* --- the IO loop ------------------------------------------------------- *)
@@ -391,10 +474,19 @@ let stats_json t =
         ("cache_size", Cache.size t.cache);
         ("cache_capacity", Cache.capacity t.cache);
         ("cache_evictions", Cache.evictions t.cache);
-        ("index_size", Anns.Hnsw.size t.index.Waco.Tuner.hnsw);
-        ("index_lint_rejected", t.index.Waco.Tuner.lint_rejected);
-        ("index_asym_rejected", t.index.Waco.Tuner.asym_rejected);
-        ("domains", Array.length t.replicas);
+        ( "index_size",
+          Array.fold_left
+            (fun acc s -> acc + Anns.Hnsw.size s.index.Waco.Tuner.hnsw)
+            0 t.slots );
+        ( "index_lint_rejected",
+          Array.fold_left
+            (fun acc s -> acc + s.index.Waco.Tuner.lint_rejected)
+            0 t.slots );
+        ( "index_asym_rejected",
+          Array.fold_left
+            (fun acc s -> acc + s.index.Waco.Tuner.asym_rejected)
+            0 t.slots );
+        ("domains", Array.length t.slots.(0).replicas);
         ("pending", t.pending_queries);
         ("max_pending", t.max_pending);
       ]
@@ -403,6 +495,11 @@ let stats_json t =
         ("socket", t.socket_path);
         ("machine", t.machine.Machine.name);
         ("cache_status", t.cache_status);
+        ( "kernels",
+          String.concat "+"
+            (Array.to_list
+               (Array.map (fun s -> Waco.Kernel.name s.kernel) t.slots)) );
+        ("default_kernel", Waco.Kernel.name t.slots.(t.default_slot).kernel);
       ]
     t.metrics
 
@@ -424,7 +521,7 @@ let write_bounded t conn s =
   let fd = conn.fd in
   let n = String.length s in
   let b = Bytes.unsafe_of_string s in
-  let deadline = Unix.gettimeofday () +. t.write_timeout_s in
+  let deadline = Robust.mono_now () +. t.write_timeout_s in
   let rec go off =
     if off < n then begin
       if Robust.Faults.net_drop_tick () then
@@ -438,7 +535,7 @@ let write_bounded t conn s =
       match Unix.write fd b off len with
       | w -> go (off + w)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          let remaining = deadline -. Unix.gettimeofday () in
+          let remaining = deadline -. Robust.mono_now () in
           if remaining <= 0.0 then raise Write_stall;
           (match Unix.select [] [ fd ] [] remaining with
           | _, [], _ -> raise Write_stall
@@ -493,8 +590,8 @@ let drain_frames t conn =
                 send t conn (Protocol.Busy { retry_after_ms = retry_hint t })
             | Protocol.Query _ ->
                 t.pending_queries <- t.pending_queries + 1;
-                Queue.add (conn, req, Unix.gettimeofday ()) t.queue
-            | _ -> Queue.add (conn, req, Unix.gettimeofday ()) t.queue);
+                Queue.add (conn, req, Robust.mono_now ()) t.queue
+            | _ -> Queue.add (conn, req, Robust.mono_now ()) t.queue);
             go ()
         | Error e ->
             Metrics.bump t.metrics (fun m ->
@@ -549,7 +646,7 @@ let drain_queue t =
    dies too.  Both free their fd — neither can pin the select loop's fd set
    forever. *)
 let reap t conns =
-  let now = Unix.gettimeofday () in
+  let now = Robust.mono_now () in
   List.iter
     (fun conn ->
       if conn.alive then
@@ -630,7 +727,7 @@ let run ?(on_ready = ignore) t =
                         fd;
                         inbuf = Buffer.create 1024;
                         alive = true;
-                        last_byte = Unix.gettimeofday ();
+                        last_byte = Robust.mono_now ();
                         partial_since = 0.0;
                       }
                       :: !conns
@@ -657,7 +754,7 @@ let run ?(on_ready = ignore) t =
                     match Unix.read conn.fd chunk 0 len with
                     | 0 -> close_conn conn
                     | n ->
-                        conn.last_byte <- Unix.gettimeofday ();
+                        conn.last_byte <- Robust.mono_now ();
                         Buffer.add_subbytes conn.inbuf chunk 0 n;
                         drain_frames t conn;
                         (* Track how long the current partial frame (if
@@ -665,7 +762,7 @@ let run ?(on_ready = ignore) t =
                         if Buffer.length conn.inbuf = 0 then
                           conn.partial_since <- 0.0
                         else if conn.partial_since = 0.0 then
-                          conn.partial_since <- Unix.gettimeofday ()
+                          conn.partial_since <- Robust.mono_now ()
                     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
                         close_conn conn
                     | exception

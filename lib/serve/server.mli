@@ -31,6 +31,7 @@ val create :
   ?frame_timeout_s:float ->
   ?write_timeout_s:float ->
   ?log:(string -> unit) ->
+  ?extra:(Waco.Costmodel.t * Waco.Tuner.index * string) list ->
   model:Waco.Costmodel.t ->
   index:Waco.Tuner.index ->
   index_file:string ->
@@ -43,7 +44,18 @@ val create :
     [index_file]), builds one forward-only model replica per pool domain,
     and loads [cache_file] when it exists: a snapshot whose model digest,
     index fingerprint and machine name all match comes back warm; anything
-    else (stale stamp, damaged envelope) starts cold — never garbage.
+    else (stale stamp, damaged envelope, a pre-kernel un-namespaced entry)
+    starts cold — never garbage.
+
+    [extra] adds one serving slot per additional [(model, index,
+    index_file)] triple: the daemon then answers [kernel=] queries from the
+    matching slot, with cache keys namespaced by kernel name so answers can
+    never cross kernels.  Each model serves the kernel of its own algorithm;
+    serving the same kernel twice, or MTTKRP (whose operand is a 3-D tensor
+    the wire protocol cannot carry), raises [Invalid_argument].  A query
+    naming no kernel is served by the SpMV slot when present, else the
+    primary [model] slot — so a single-kernel daemon behaves exactly as
+    before this field existed.
 
     [max_batch] (default 32) bounds one micro-batch; [k]/[ef] are the
     tuner's search knobs, fixed at daemon start so cached and fresh answers

@@ -77,10 +77,10 @@ let run ?(max_restarts = 10) ?(base_s = 0.1) ?(max_s = 5.0) ?(seed = 0)
           child := pid;
           on_spawn pid;
           log (Printf.sprintf "worker started (pid %d)" pid);
-          let born = Unix.gettimeofday () in
+          let born = Robust.mono_now () in
           let status = wait pid in
           child := -1;
-          let lived = Unix.gettimeofday () -. born in
+          let lived = Robust.mono_now () -. born in
           if !stopping then begin
             log
               (Printf.sprintf "worker stopped on request (%s)"

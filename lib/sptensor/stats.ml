@@ -104,6 +104,16 @@ let chunk_work (row_counts : int array) ~chunk =
   Array.iteri (fun i c -> work.(i / chunk) <- work.(i / chunk) + c) row_counts;
   work
 
+(* Float variant for weighted (per-kernel) work distributions, where a row's
+   work is flops-proportional rather than nnz-proportional. *)
+let chunk_work_f (row_work : float array) ~chunk =
+  if chunk <= 0 then invalid_arg "Stats.chunk_work_f: chunk must be positive";
+  let nrows = Array.length row_work in
+  let nchunks = (nrows + chunk - 1) / chunk in
+  let work = Array.make (max nchunks 1) 0.0 in
+  Array.iteri (fun i c -> work.(i / chunk) <- work.(i / chunk) +. c) row_work;
+  work
+
 (* Number of distinct column indices touched, per row-block of size [bi].
    Upper-bounds the dense-operand footprint of one outer-loop iteration. *)
 let distinct_cols_per_rowblock (m : Coo.t) ~bi =

@@ -37,6 +37,11 @@ val chunk_work : int array -> chunk:int -> int array
     [chunk] rows — the work units the dynamic-scheduling simulation
     dispatches. *)
 
+val chunk_work_f : float array -> chunk:int -> float array
+(** {!chunk_work} over float (weighted) per-row work — used by the
+    per-kernel work distributions, where a row's work is flops-proportional
+    rather than nnz-proportional. *)
+
 val distinct_cols_per_rowblock : Coo.t -> bi:int -> int array
 (** Distinct column indices touched per row-block of size [bi]. *)
 

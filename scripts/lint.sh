@@ -20,6 +20,15 @@ else
   done
 fi
 
+# Monotonic-clock rule (DESIGN.md §12): deadline and elapsed-time paths in
+# the serve layer and the tuner must never read the wall clock directly —
+# Robust.mono_now / Robust.wall_now are the only entry points (both live in
+# lib/robust, the one place allowed to call Unix.gettimeofday).
+if grep -rn "Unix.gettimeofday" lib/serve lib/core/tuner.ml 2>/dev/null; then
+  echo "lint.sh: Unix.gettimeofday on a deadline/elapsed path (use Robust.mono_now)" >&2
+  status=1
+fi
+
 # The @lint alias packs a generated matrix cleanly and checks that a broken
 # schedule exits 2 with its diagnostics.
 dune build @lint || status=1

@@ -269,7 +269,7 @@ let test_kill_under_load () =
                 Serve.Client.send c
                   (Serve.Protocol.Query
                      { qid = Printf.sprintf "inflight%d" i; source = src;
-                       measure = true; deadline_ms = 0 });
+                       measure = true; deadline_ms = 0; kernel = None });
                 Unix.kill pid Sys.sigkill;
                 match Serve.Client.recv ~timeout_s:10.0 c with
                 | Serve.Protocol.Answer _ | Serve.Protocol.Busy _
@@ -429,6 +429,45 @@ let test_fault_stuck_measurement () =
         (Unix.gettimeofday () -. t0 < 10.0);
       Serve.Client.close c)
 
+(* An NTP-style wall-clock step landing mid-request must not blow the
+   deadline: every deadline/elapsed path runs on the monotonic clock
+   (DESIGN.md §12), which a stepping wall clock never moves.  The request is
+   pinned in flight by stalled measurements, the wall clock jumps an hour
+   forward underneath it, and the answer still comes back full-fat. *)
+let test_fault_clock_step () =
+  with_inproc_server (fun ~socket ~server ->
+      let m = small_matrix 44 in
+      let c = wait_connect socket in
+      (* Keep the request computing long enough for the step to land while
+         its deadline budget is live. *)
+      Robust.Faults.arm_stuck_measures ~seconds:0.1 4;
+      Serve.Client.send c
+        (Serve.Protocol.Query
+           {
+             qid = "ntp";
+             source = inline_source m;
+             measure = true;
+             deadline_ms = 30_000;
+             kernel = None;
+           });
+      (* Let the daemon stamp the arrival on the pre-step clock... *)
+      Unix.sleepf 0.05;
+      (* ...then step the wall clock an hour forward, mid-request. *)
+      Robust.Faults.arm_clock_skew ~seconds:3600.0;
+      (match Serve.Client.recv ~timeout_s:30.0 c with
+      | Serve.Protocol.Answer a ->
+          Alcotest.(check bool) "clock step: not degraded" false
+            a.Serve.Protocol.degraded;
+          Alcotest.(check bool) "clock step: fully measured" true
+            (Float.is_finite a.Serve.Protocol.measured)
+      | Serve.Protocol.Error_msg e ->
+          Alcotest.failf "query under clock step: %s" e
+      | _ -> Alcotest.fail "unexpected response under clock step");
+      Robust.Faults.reset ();
+      Alcotest.(check (option int)) "no spurious deadline miss" (Some 0)
+        (Serve.Metrics.counter (Serve.Server.metrics server) "deadline_misses");
+      Serve.Client.close c)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -447,5 +486,7 @@ let () =
           Alcotest.test_case "mid-frame drop" `Slow test_fault_mid_frame_drop;
           Alcotest.test_case "stuck measurement vs deadline" `Slow
             test_fault_stuck_measurement;
+          Alcotest.test_case "wall-clock step vs monotonic deadline" `Slow
+            test_fault_clock_step;
         ] );
     ]

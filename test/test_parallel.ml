@@ -256,6 +256,7 @@ let test_train_skips_degenerate_sample () =
   let data =
     {
       Waco.Dataset.algo;
+      kernel = Waco.Kernel.of_algo algo;
       machine;
       train = [| degenerate_sample 1 |];
       valid = [| degenerate_sample 2 |];

@@ -83,6 +83,7 @@ let test_request_roundtrip () =
           source = Serve.Protocol.Path "/tmp/m.mtx";
           measure = true;
           deadline_ms = 0;
+          kernel = None;
         };
       Serve.Protocol.Query
         {
@@ -96,6 +97,7 @@ let test_request_roundtrip () =
               };
           measure = false;
           deadline_ms = 250;
+          kernel = None;
         };
       Serve.Protocol.Stats;
       Serve.Protocol.Ping;
@@ -184,6 +186,7 @@ let test_framing_damage () =
            source = Serve.Protocol.Path "m.mtx";
            measure = true;
            deadline_ms = 0;
+           kernel = None;
          })
   in
   (* Every strict prefix of a valid frame is [`Need], never [`Bad] or a
@@ -262,6 +265,50 @@ let test_inline_validation () =
       Alcotest.(check int) "entries parsed" 1 (Array.length entries)
   | _ -> Alcotest.fail "valid inline body rejected"
 
+(* The kernel= field: parsed into the typed option, round-tripped on the
+   wire, and an unrecognized value is a decode error — never a silent
+   default (a typo'd kernel must not be served an SpMV schedule). *)
+let test_kernel_field () =
+  let has s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let decode_body body =
+    Serve.Protocol.request_of_frame ~msg:Serve.Protocol.msg_query body
+  in
+  (match decode_body "source=path\npath=m.mtx\nkernel=sddmm\n" with
+  | Ok (Serve.Protocol.Query q) ->
+      Alcotest.(check bool) "kernel parsed" true
+        (q.Serve.Protocol.kernel = Some Waco.Kernel.Sddmm)
+  | _ -> Alcotest.fail "valid kernel= rejected");
+  (* Absent kernel= decodes to None — the old-client path. *)
+  (match decode_body "source=path\npath=m.mtx\n" with
+  | Ok (Serve.Protocol.Query q) ->
+      Alcotest.(check bool) "absent kernel is None" true
+        (q.Serve.Protocol.kernel = None)
+  | _ -> Alcotest.fail "kernel-free query rejected");
+  (* Unknown kernel name: an error naming the valid spellings. *)
+  (match decode_body "source=path\npath=m.mtx\nkernel=conv2d\n" with
+  | Error e ->
+      Alcotest.(check bool) "error names the bad value" true (has e "conv2d");
+      Alcotest.(check bool) "error lists valid kernels" true (has e "sddmm")
+  | Ok _ -> Alcotest.fail "unknown kernel= silently accepted");
+  (* Full wire roundtrip with a kernel set. *)
+  let q =
+    Serve.Protocol.Query
+      {
+        qid = "k";
+        source = Serve.Protocol.Path "m.mtx";
+        measure = true;
+        deadline_ms = 0;
+        kernel = Some Waco.Kernel.Spmv;
+      }
+  in
+  match decode_request (Serve.Protocol.request_to_frame q) with
+  | Ok q' -> Alcotest.(check bool) "kernel roundtrips" true (q = q')
+  | Error e -> Alcotest.failf "kernel roundtrip failed: %s" e
+
 (* The decoder and body parsers must be total: random bytes can produce any
    verdict but never an exception. *)
 let test_fuzz_total () =
@@ -285,6 +332,7 @@ let test_fuzz_total () =
                { nrows = 4; ncols = 4; entries = [| (1, 2, 0.5) |] };
            measure = true;
            deadline_ms = 0;
+           kernel = None;
          })
   in
   for _ = 1 to 2000 do
@@ -488,6 +536,61 @@ let test_cache_crash_sweep () =
   | _ -> Alcotest.fail "clean save did not land");
   rm_rf dir
 
+(* Kernel namespaces: a namespaced load accepts only keys under the served
+   kernels' prefixes; a persisted entry with no namespace (a pre-kernel
+   snapshot) invalidates the whole snapshot — the digest-stamp policy, so a
+   legacy SpMV entry can never answer an SDDMM query. *)
+let test_cache_namespaces () =
+  let dir = tmpdir "waco-serve-ns" in
+  let path = Filename.concat dir "cache.waco" in
+  let load ?namespaces () =
+    Serve.Cache.load ?namespaces ~model_digest:"mdig" ~index_digest:"idig"
+      ~machine:"intel-like" path
+  in
+  let c = mk_cache ~capacity:8 () in
+  Serve.Cache.add c "spmm/fp1:aaaa" (entry 1);
+  Serve.Cache.add c "sddmm/fp1:aaaa" (entry 2);
+  Serve.Cache.save c path;
+  (* Every key namespaced under a served kernel: warm. *)
+  (match load ~namespaces:[ "spmm"; "sddmm" ] () with
+  | Ok { cache; status = `Warm 2 } ->
+      Alcotest.(check bool) "namespaced entries restored" true
+        (Serve.Cache.find cache "spmm/fp1:aaaa" <> None
+        && Serve.Cache.find cache "sddmm/fp1:aaaa" <> None)
+  | Ok { status = `Warm n; _ } -> Alcotest.failf "restored %d of 2" n
+  | Ok { status = `Invalidated why; _ } -> Alcotest.failf "invalidated: %s" why
+  | Error e -> Alcotest.failf "load: %s" (Robust.load_error_to_string e));
+  (* A namespace the daemon no longer serves: wholesale invalidation. *)
+  (match load ~namespaces:[ "spmm" ] () with
+  | Ok { cache; status = `Invalidated _ } ->
+      Alcotest.(check int) "foreign namespace empties the cache" 0
+        (Serve.Cache.size cache)
+  | Ok { status = `Warm _; _ } -> Alcotest.fail "foreign-namespace entry reused"
+  | Error e -> Alcotest.failf "load: %s" (Robust.load_error_to_string e));
+  (* No namespace check requested: the raw snapshot loads as before. *)
+  (match load () with
+  | Ok { status = `Warm 2; _ } -> ()
+  | _ -> Alcotest.fail "namespace-free load changed behavior");
+  (* A legacy un-namespaced entry among namespaced ones: wholesale
+     invalidation, empty cache. *)
+  let legacy = mk_cache ~capacity:8 () in
+  Serve.Cache.add legacy "spmm/fp1:bbbb" (entry 3);
+  Serve.Cache.add legacy "fp1:cccc" (entry 4);
+  Serve.Cache.save legacy path;
+  (match load ~namespaces:[ "spmm"; "sddmm" ] () with
+  | Ok { cache; status = `Invalidated why } ->
+      Alcotest.(check int) "pre-kernel snapshot starts cold" 0
+        (Serve.Cache.size cache);
+      Alcotest.(check bool) "reason cites the orphan key" true
+        (let n = String.length why in
+         let rec go i =
+           i + 8 <= n && (String.sub why i 8 = "fp1:cccc" || go (i + 1))
+         in
+         go 0)
+  | Ok { status = `Warm _; _ } -> Alcotest.fail "pre-kernel snapshot reused"
+  | Error e -> Alcotest.failf "load: %s" (Robust.load_error_to_string e));
+  rm_rf dir
+
 (* ====================================================================== *)
 (* Request scheduler (batch level, no socket)                             *)
 (* ====================================================================== *)
@@ -499,8 +602,8 @@ let inline_source m =
   in
   Serve.Protocol.Inline { nrows = m.Coo.nrows; ncols = m.Coo.ncols; entries }
 
-let query_of ?(measure = true) ?(qid = "q") ?(deadline_ms = 0) m =
-  { Serve.Protocol.qid; source = inline_source m; measure; deadline_ms }
+let query_of ?(measure = true) ?(qid = "q") ?(deadline_ms = 0) ?kernel m =
+  { Serve.Protocol.qid; source = inline_source m; measure; deadline_ms; kernel }
 
 let schedule_of = function
   | Serve.Protocol.Answer a -> a.Serve.Protocol.schedule
@@ -578,6 +681,7 @@ let test_batch_measure_modes_and_errors () =
       source = Serve.Protocol.Path "/nonexistent/missing.mtx";
       measure = true;
       deadline_ms = 0;
+      kernel = None;
     }
   in
   (match Serve.Server.process_batch server [ bad; query_of m ] with
@@ -599,7 +703,7 @@ let test_deadlines () =
   (* Already expired before phase 1: unmeasured asymptotic fallback. *)
   let r =
     Waco.Tuner.query model machine ~k:4 ~ef:16 ~measure:true
-      ~deadline_at:(Unix.gettimeofday () -. 1.0) ~id:"dl-past" m index
+      ~deadline_at:(Robust.mono_now () -. 1.0) ~id:"dl-past" m index
   in
   Alcotest.(check bool) "expired: degraded" true r.Waco.Tuner.degraded;
   Alcotest.(check (option string)) "expired: reason" (Some "deadline")
@@ -610,7 +714,7 @@ let test_deadlines () =
   (* A lax deadline leaves the full pipeline untouched. *)
   let r2 =
     Waco.Tuner.query model machine ~k:4 ~ef:16 ~measure:true
-      ~deadline_at:(Unix.gettimeofday () +. 3600.0) ~id:"dl-lax" m index
+      ~deadline_at:(Robust.mono_now () +. 3600.0) ~id:"dl-lax" m index
   in
   Alcotest.(check bool) "lax: not degraded" false r2.Waco.Tuner.degraded;
   Alcotest.(check bool) "lax: measured" true (r2.Waco.Tuner.measured_runs > 0);
@@ -656,6 +760,125 @@ let test_batch_pool_determinism () =
   let s2 = List.map schedule_of (Serve.Server.process_batch par batch) in
   Parallel.Pool.shutdown pool;
   List.iter2 (Alcotest.(check string) "pool-invariant schedule") s1 s2
+
+(* ====================================================================== *)
+(* Multi-kernel serving: slot routing, cache isolation, checkpoints       *)
+(* ====================================================================== *)
+
+let sddmm_algo = Algorithm.Sddmm 256
+
+let sddmm_fixture =
+  lazy
+    (let model = Waco.Costmodel.create (Rng.create 13) sddmm_algo in
+     let rng = Rng.create 5 in
+     let corpus =
+       Array.init 64 (fun _ -> Space.sample rng sddmm_algo ~dims:[| 48; 48 |])
+     in
+     let index = Waco.Tuner.build_index (Rng.create 9) model corpus in
+     (model, index))
+
+(* Same matrix, two kernels: each answer computes on its own slot, lands in
+   its own cache namespace, and the schedules are distinct — an SpMM entry
+   can never be handed to an SDDMM query.  A kernel the daemon doesn't
+   serve errors instead of silently defaulting. *)
+let test_cross_kernel_isolation () =
+  let model, index = Lazy.force fixture in
+  let smodel, sindex = Lazy.force sddmm_fixture in
+  let server =
+    Serve.Server.create ~k:4 ~ef:16
+      ~extra:[ (smodel, sindex, "<sddmm-fixture>") ]
+      ~model ~index ~index_file:"<fixture>" ~machine ~socket:"unused.sock" ()
+  in
+  let m = small_matrix 51 in
+  let sched_for ?kernel qid =
+    match Serve.Server.process_batch server [ query_of ?kernel ~qid m ] with
+    | [ r ] -> schedule_of r
+    | _ -> Alcotest.failf "%s: wrong response count" qid
+  in
+  let spmm_sched = sched_for "spmm-q" in
+  let sddmm_sched = sched_for ~kernel:Waco.Kernel.Sddmm "sddmm-q" in
+  Alcotest.(check bool) "distinct schedules across kernels" false
+    (spmm_sched = sddmm_sched);
+  (* Both landed in the shared cache, each under its kernel's namespace. *)
+  let fpk = Serve.Fingerprint.key (Serve.Fingerprint.of_coo m) in
+  let cache = Serve.Server.cache server in
+  Alcotest.(check int) "two distinct cache entries" 2 (Serve.Cache.size cache);
+  (match Serve.Cache.find cache ("spmm/" ^ fpk) with
+  | Some e ->
+      Alcotest.(check string) "spmm namespace holds the spmm answer"
+        spmm_sched e.Serve.Cache.schedule
+  | None -> Alcotest.fail "spmm/ entry missing");
+  (match Serve.Cache.find cache ("sddmm/" ^ fpk) with
+  | Some e ->
+      Alcotest.(check string) "sddmm namespace holds the sddmm answer"
+        sddmm_sched e.Serve.Cache.schedule
+  | None -> Alcotest.fail "sddmm/ entry missing");
+  (* Round 2: per-kernel hits, unchanged payloads. *)
+  (match
+     Serve.Server.process_batch server
+       [ query_of ~qid:"spmm-2" m; query_of ~kernel:Waco.Kernel.Sddmm ~qid:"sddmm-2" m ]
+   with
+  | [ Serve.Protocol.Answer a1; Serve.Protocol.Answer a2 ] ->
+      Alcotest.(check bool) "both hit" true
+        (a1.Serve.Protocol.cache_hit && a2.Serve.Protocol.cache_hit);
+      Alcotest.(check string) "spmm hit unchanged" spmm_sched
+        a1.Serve.Protocol.schedule;
+      Alcotest.(check string) "sddmm hit unchanged" sddmm_sched
+        a2.Serve.Protocol.schedule
+  | _ -> Alcotest.fail "round 2 misbehaved");
+  (* A kernel with no slot: a per-query error naming what is served. *)
+  (match
+     Serve.Server.process_batch server
+       [ query_of ~kernel:Waco.Kernel.Spmv ~qid:"spmv-q" m ]
+   with
+  | [ Serve.Protocol.Error_msg e ] ->
+      let has s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error names the unserved kernel" true
+        (has e "spmv")
+  | _ -> Alcotest.fail "unserved kernel did not error");
+  (* Serving the same kernel twice is a configuration error. *)
+  match
+    Serve.Server.create ~k:4 ~ef:16
+      ~extra:[ (model, index, "<dup>") ]
+      ~model ~index ~index_file:"<fixture>" ~machine ~socket:"unused.sock" ()
+  with
+  | _ -> Alcotest.fail "duplicate kernel slots accepted"
+  | exception Invalid_argument _ -> ()
+
+(* A kernel-conditioned checkpoint round-trips bit-identically: predictions
+   from the restored model match the originals exactly, and the one-hot
+   really conditions the head (a different kernel moves the output). *)
+let test_kernel_checkpoint_roundtrip () =
+  let dir = tmpdir "waco-kernel-ckpt" in
+  let path = Filename.concat dir "model.waco" in
+  let model = Waco.Costmodel.create (Rng.create 21) sddmm_algo in
+  let m = small_matrix 61 in
+  let input = Waco.Extractor.input_of_coo ~id:"ckpt" m in
+  let rng = Rng.create 22 in
+  let scheds =
+    Array.init 8 (fun _ -> Space.sample rng sddmm_algo ~dims:[| 48; 48 |])
+  in
+  let before = Waco.Costmodel.predict model input scheds in
+  (* The head is genuinely conditioned: swapping the one-hot changes the
+     prediction on the same weights. *)
+  let cross = Waco.Costmodel.predict ~kernel:Waco.Kernel.Spmv model input scheds in
+  Alcotest.(check bool) "one-hot conditions the head" false (before = cross);
+  Waco.Costmodel.save model path;
+  let fresh = Waco.Costmodel.create (Rng.create 99) sddmm_algo in
+  Waco.Costmodel.load fresh path;
+  Alcotest.(check string) "weight digest survives the roundtrip"
+    (Waco.Costmodel.digest model) (Waco.Costmodel.digest fresh);
+  let after = Waco.Costmodel.predict fresh input scheds in
+  Alcotest.(check bool) "bit-identical predictions after reload" true
+    (before = after);
+  (* The restored model conditions identically too. *)
+  let cross' = Waco.Costmodel.predict ~kernel:Waco.Kernel.Spmv fresh input scheds in
+  Alcotest.(check bool) "conditioned predictions survive" true (cross = cross');
+  rm_rf dir
 
 (* ====================================================================== *)
 (* Model/index compatibility (load-time + lint A008)                      *)
@@ -780,6 +1003,7 @@ let test_e2e_daemon () =
                  source = Serve.Protocol.Path mtx;
                  measure = true;
                  deadline_ms = 0;
+                 kernel = None;
                }))
         clients;
       let answers =
@@ -909,6 +1133,7 @@ let test_e2e_hostile_client () =
              source = Serve.Protocol.Path "";
              measure = true;
              deadline_ms = 0;
+             kernel = None;
            });
       (* An empty path field is a body-level decode error. *)
       (match Serve.Client.recv hostile with
@@ -1124,6 +1349,7 @@ let () =
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
           Alcotest.test_case "framing damage" `Quick test_framing_damage;
           Alcotest.test_case "inline validation" `Quick test_inline_validation;
+          Alcotest.test_case "kernel field" `Quick test_kernel_field;
           Alcotest.test_case "fuzz: decoder is total" `Quick test_fuzz_total;
         ] );
       ( "fingerprint",
@@ -1134,6 +1360,7 @@ let () =
           Alcotest.test_case "persistence + invalidation" `Quick
             test_cache_persistence;
           Alcotest.test_case "crash sweep" `Slow test_cache_crash_sweep;
+          Alcotest.test_case "kernel namespaces" `Quick test_cache_namespaces;
         ] );
       ( "scheduler",
         [
@@ -1150,6 +1377,13 @@ let () =
             test_hostile_connections_reaped;
           Alcotest.test_case "client failure is bounded" `Quick
             test_client_bounded_failure;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "cross-kernel cache isolation" `Slow
+            test_cross_kernel_isolation;
+          Alcotest.test_case "conditioned checkpoint roundtrip" `Slow
+            test_kernel_checkpoint_roundtrip;
         ] );
       ( "compat",
         [
