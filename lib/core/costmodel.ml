@@ -6,12 +6,32 @@
 
 open Schedule
 
+(* Compiled inference plans over the three model stages (DESIGN.md §14):
+   built lazily on first predict-path use, cached per instance.  Plans
+   share the instance's parameter arrays (in-place optimizer updates stay
+   visible) but own their arenas — single-domain, like eager scratch.
+
+   [c_last_feature]/[c_last_kernel] memoize the static two-thirds of the
+   tail's single input row (physical equality on the feature): an HNSW
+   traversal calls the tail thousands of times per query with the feature
+   fixed and only the embedding changing. *)
+type compiled = {
+  c_ext : Extractor.compiled;
+  c_emb : Embedder.compiled;
+  c_tail : Vm.Plan.t; (* predictor over built rows *)
+  c_rows : int; (* the tail plan's input-row buffer *)
+  c_one_hots : float array array; (* indexed by Kernel.index *)
+  mutable c_last_feature : float array;
+  mutable c_last_kernel : int;
+}
+
 type t = {
   algo : Algorithm.t;
   extractor : Extractor.t;
   embedder : Embedder.t;
   predictor : Nn.Mlp.t;
   feature_cache : (string, float array) Hashtbl.t;
+  mutable vm : compiled option; (* lazily-compiled inference plans *)
 }
 
 (* Predictor input row: feature ++ program embedding ++ kernel one-hot.
@@ -30,6 +50,7 @@ let create rng ?(kind = Extractor.Waconet) (algo : Algorithm.t) =
       Nn.Mlp.create rng ~name:"predictor" ~dims:[| row_dim; 64; 32; 1 |]
         ~final_relu:false;
     feature_cache = Hashtbl.create 128;
+    vm = None;
   }
 
 let params t =
@@ -46,6 +67,8 @@ let replicate t =
     embedder = Embedder.replicate t.embedder;
     predictor = Nn.Mlp.replicate t.predictor;
     feature_cache = Hashtbl.create 16;
+    (* Plans hold private arenas: each replica compiles its own. *)
+    vm = None;
   }
 
 let param_count t = Nn.Param.total_size (params t)
@@ -99,16 +122,84 @@ let forward_train ?kernel t (input : Extractor.input)
   in
   (pred, backward)
 
-(* --- Inference --- *)
+(* --- Inference ---
+
+   Every predict path below runs on the compiled VM plans; results are
+   bitwise-equal to the eager layers (test/test_vm.ml), so artifacts, cache
+   keys and index builds are unchanged.  Training stays on the eager path
+   ([forward_train]) because backward needs the layers' forward caches. *)
+
+let compile t =
+  match t.vm with
+  | Some c -> c
+  | None ->
+      let b = Vm.Plan.builder () in
+      let rows = Vm.Plan.fresh b in
+      let out = Vm.Plan.fresh b in
+      let outv = { Vm.Plan.buf = out; off = 0; stride = 1 } in
+      Vm.Plan.mlp b t.predictor
+        ~src:{ Vm.Plan.buf = rows; off = 0; stride = row_dim }
+        ~dst:outv;
+      let c =
+        {
+          c_ext = Extractor.compile t.extractor;
+          c_emb = Embedder.compile t.embedder;
+          c_tail = Vm.Plan.finish b ~nlayers:0 ~out:outv;
+          c_rows = rows;
+          c_one_hots = Array.of_list (List.map Kernel.one_hot Kernel.all);
+          (* Fresh sentinel: physically equal to no caller's feature. *)
+          c_last_feature = Array.make 1 nan;
+          c_last_kernel = -1;
+        }
+      in
+      t.vm <- Some c;
+      c
 
 let feature t (input : Extractor.input) =
   match Hashtbl.find_opt t.feature_cache input.Extractor.id with
   | Some f -> f
   | None ->
-      (* Extractor.forward returns a fresh exact-size array; safe to retain. *)
-      let f = Extractor.forward t.extractor input in
+      let c = compile t in
+      (* Fresh exact-size copy off the plan's borrowed row; safe to retain. *)
+      let f =
+        Array.sub (Extractor.forward_batch c.c_ext [| input |]) 0 Config.feature_dim
+      in
       Hashtbl.add t.feature_cache input.Extractor.id f;
       f
+
+(* Uncached single-pattern feature for callers evaluating a model whose
+   weights are still moving (the trainer's eval loop). *)
+let feature_nocache t (input : Extractor.input) =
+  let c = compile t in
+  Array.sub (Extractor.forward_batch c.c_ext [| input |]) 0 Config.feature_dim
+
+(* Warm the feature cache for a whole group of patterns with one plan
+   execution — serve phase B's per-kernel-slot batch.  Cached (or repeated)
+   ids are skipped; returns how many features were actually computed. *)
+let feature_batch t (inputs : Extractor.input array) =
+  let seen = Hashtbl.create (max 4 (Array.length inputs)) in
+  let fresh =
+    Array.to_list inputs
+    |> List.filter (fun (i : Extractor.input) ->
+           let id = i.Extractor.id in
+           if Hashtbl.mem t.feature_cache id || Hashtbl.mem seen id then false
+           else begin
+             Hashtbl.add seen id ();
+             true
+           end)
+    |> Array.of_list
+  in
+  let n = Array.length fresh in
+  if n > 0 then begin
+    let c = compile t in
+    let feats = Extractor.forward_batch c.c_ext fresh in
+    let fd = Config.feature_dim in
+    Array.iteri
+      (fun k (i : Extractor.input) ->
+        Hashtbl.add t.feature_cache i.Extractor.id (Array.sub feats (k * fd) fd))
+      fresh
+  end;
+  n
 
 let clear_feature_cache t =
   Hashtbl.reset t.feature_cache;
@@ -116,23 +207,59 @@ let clear_feature_cache t =
 
 (* Program embeddings for a batch of schedules (the vectors the KNN graph is
    built on). *)
-let embed t (schedules : Superschedule.t array) = Embedder.forward t.embedder schedules
+let embed t (schedules : Superschedule.t array) =
+  let batch = Array.length schedules in
+  let c = compile t in
+  Array.sub (Embedder.forward_compiled c.c_emb schedules) 0 (batch * Config.embed_dim)
 
 (* Predict from a precomputed feature and a precomputed embedding — the cheap
-   "final part of the cost model" ANNS runs per graph hop (Fig. 1c). *)
+   "final part of the cost model" ANNS runs per graph hop (Fig. 1c).  Zero
+   steady-state allocation: the row lives in the tail plan's arena, and the
+   feature + one-hot thirds are re-blitted only when they change. *)
 let predict_tail ?kernel t ~feature ~(embedding : float array) =
   let kernel = Option.value kernel ~default:(kernel_of t) in
-  let rows = rows_of ~kernel ~feature ~embs:embedding ~batch:1 in
-  (Nn.Mlp.forward t.predictor ~batch:1 rows).(0)
+  let c = compile t in
+  let fd = Config.feature_dim and ed = Config.embed_dim in
+  let rows = Vm.Plan.buffer c.c_tail c.c_rows ~len:row_dim in
+  let ki = Kernel.index kernel in
+  if not (feature == c.c_last_feature && ki = c.c_last_kernel) then begin
+    Array.blit feature 0 rows 0 fd;
+    Array.blit c.c_one_hots.(ki) 0 rows (fd + ed) Kernel.count;
+    c.c_last_feature <- feature;
+    c.c_last_kernel <- ki
+  end;
+  Array.blit embedding 0 rows fd ed;
+  (Vm.Plan.run_batch c.c_tail ~batch:1).(0)
+
+(* Compiled [rows_of] + predictor: one fused GEMM chain over [batch] rows.
+   [embs] is read at stride [embed_dim] from offset 0 (what {!embed} and the
+   compiled embedder produce). *)
+let predict_tail_batch ?kernel t ~feature ~embs ~batch =
+  let kernel = Option.value kernel ~default:(kernel_of t) in
+  let c = compile t in
+  let fd = Config.feature_dim and ed = Config.embed_dim in
+  let rows = Vm.Plan.buffer c.c_tail c.c_rows ~len:(batch * row_dim) in
+  let hot = c.c_one_hots.(Kernel.index kernel) in
+  for b = 0 to batch - 1 do
+    let base = b * row_dim in
+    Array.blit feature 0 rows base fd;
+    Array.blit embs (b * ed) rows (base + fd) ed;
+    Array.blit hot 0 rows (base + fd + ed) Kernel.count
+  done;
+  (* The batch fill clobbered row 0; drop the single-row memo. *)
+  c.c_last_kernel <- -1;
+  Array.sub (Vm.Plan.run_batch c.c_tail ~batch) 0 batch
 
 (* Full prediction for a batch of schedules against one matrix. *)
-let predict ?kernel t (input : Extractor.input) (schedules : Superschedule.t array) =
-  let kernel = Option.value kernel ~default:(kernel_of t) in
+let predict_batch ?kernel t (input : Extractor.input) (schedules : Superschedule.t array)
+    =
   let batch = Array.length schedules in
   let feature = feature t input in
-  let embs = embed t schedules in
-  let rows = rows_of ~kernel ~feature ~embs ~batch in
-  Array.sub (Nn.Mlp.forward t.predictor ~batch rows) 0 batch
+  let c = compile t in
+  let embs = Embedder.forward_compiled c.c_emb schedules in
+  predict_tail_batch ?kernel t ~feature ~embs ~batch
+
+let predict = predict_batch
 
 (* --- Persistence: flat text dump of all parameters, matched by name, inside
    the checksummed [Robust] artifact envelope and written atomically.  A crash

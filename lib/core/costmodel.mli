@@ -6,12 +6,19 @@
 
 open Schedule
 
+type compiled
+(** The model's compiled inference plans (DESIGN.md §14): extractor,
+    embedder and predictor-tail VM plans sharing the instance's parameter
+    arrays.  Built lazily by {!compile}; single-domain like eager scratch
+    (replicas compile their own). *)
+
 type t = {
   algo : Algorithm.t;
   extractor : Extractor.t;
   embedder : Embedder.t;
   predictor : Nn.Mlp.t;
   feature_cache : (string, float array) Hashtbl.t;
+  mutable vm : compiled option;  (** lazily-compiled inference plans *)
 }
 
 val create : Sptensor.Rng.t -> ?kind:Extractor.kind -> Algorithm.t -> t
@@ -50,8 +57,23 @@ val forward_train :
     is an input indicator, never a parameter — it takes no gradient.
     [kernel] defaults to {!kernel_of}. *)
 
+val compile : t -> compiled
+(** The instance's inference plans, compiling them on first use.  Every
+    predict-path entry point below runs on these plans; results are
+    bitwise-equal to the eager layers (test/test_vm.ml), so artifacts,
+    cache keys and index builds are unchanged. *)
+
 val feature : t -> Extractor.input -> float array
 (** Cached per [input.id]; see {!clear_feature_cache}. *)
+
+val feature_nocache : t -> Extractor.input -> float array
+(** Uncached single-pattern feature — for evaluating a model whose weights
+    are still moving (the trainer's eval loop). *)
+
+val feature_batch : t -> Extractor.input array -> int
+(** Warm the feature cache for a whole group of patterns with one batched
+    plan execution (serve phase B's per-kernel-slot batch).  Cached or
+    repeated ids are skipped; returns how many features were computed. *)
 
 val clear_feature_cache : t -> unit
 (** Required whenever extractor weights change (after training) or when the
@@ -66,11 +88,23 @@ val predict_tail :
     (Fig. 1c): predictor only, over a stored embedding.  [kernel] defaults
     to {!kernel_of}. *)
 
-val predict :
+val predict_tail_batch :
+  ?kernel:Kernel.t -> t -> feature:float array -> embs:float array ->
+  batch:int -> float array
+(** Compiled {!rows_of} + predictor in one fused GEMM chain: fresh
+    predictions for [batch] embeddings (rows of [embs] at stride
+    [Config.embed_dim]) against one shared feature. *)
+
+val predict_batch :
   ?kernel:Kernel.t -> t -> Extractor.input -> Superschedule.t array ->
   float array
 (** Full prediction for a batch of schedules against one matrix, conditioned
-    on [kernel] (default {!kernel_of}). *)
+    on [kernel] (default {!kernel_of}); one plan execution per model stage. *)
+
+val predict :
+  ?kernel:Kernel.t -> t -> Extractor.input -> Superschedule.t array ->
+  float array
+(** [predict_batch]. *)
 
 val dump_params : t -> string
 (** The flat text dump of all parameters that {!save} wraps in the artifact

@@ -58,15 +58,13 @@ let random_pairs rng (sample : Dataset.sample) ~count =
 let eval_sample ?kernel model (sample : Dataset.sample) =
   let kernel = Option.value kernel ~default:(Costmodel.kernel_of model) in
   let schedules, truth = batch_of_pairs sample sample.Dataset.valid_pairs in
-  let feature = Extractor.forward model.Costmodel.extractor sample.Dataset.input in
-  let embs = Costmodel.embed model schedules in
-  let rows =
-    Costmodel.rows_of ~kernel ~feature ~embs ~batch:(Array.length schedules)
-  in
   let batch = Array.length schedules in
-  (* Exact-size copy: the predictor returns its scratch buffer and
-     Loss.pairwise checks exact length. *)
-  let pred = Array.sub (Nn.Mlp.forward model.Costmodel.predictor ~batch rows) 0 batch in
+  (* Compiled forward-only path (DESIGN.md §14), bitwise-equal to the eager
+     layers.  The feature is recomputed, not cached: eval runs between
+     epochs, while the weights are still moving. *)
+  let feature = Costmodel.feature_nocache model sample.Dataset.input in
+  let embs = Costmodel.embed model schedules in
+  let pred = Costmodel.predict_tail_batch ~kernel model ~feature ~embs ~batch in
   let loss, _ = Nn.Loss.pairwise ~min_gap:0.02 ~truth ~pred () in
   let acc = Nn.Loss.pair_accuracy ~truth ~pred in
   (loss, acc)

@@ -357,6 +357,34 @@ let query ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
   tune ?pool ?k ?ef ?measure ?measure_retries ?measure_backoff_s
     ?measure_budget_s ?asym ?deadline_at model machine wl input index
 
+type batch_query = {
+  bq_id : string;
+  bq_coo : Sptensor.Coo.t;
+  bq_measure : bool;
+  bq_deadline_at : float option;
+}
+
+(* Answer a group of distinct matrices against one model: every uncached
+   pattern's feature comes from a single batched extractor-plan execution
+   (DESIGN.md §14) before the per-matrix searches run — serve phase B's
+   "one run_batch per kernel slot".  Per-query deadlines are re-checked by
+   [tune] as usual; a query already expired merely wastes its share of the
+   (cheap, batched) feature work. *)
+let query_batch ?pool ?k ?ef ?measure_retries ?measure_backoff_s
+    ?measure_budget_s ?asym model machine (queries : batch_query array)
+    (index : index) =
+  let inputs =
+    Array.map (fun q -> Extractor.input_of_coo ~id:q.bq_id q.bq_coo) queries
+  in
+  ignore (Costmodel.feature_batch model inputs : int);
+  Array.mapi
+    (fun i q ->
+      let wl = Workload.of_coo ~id:q.bq_id q.bq_coo in
+      tune ?pool ?k ?ef ~measure:q.bq_measure ?measure_retries
+        ?measure_backoff_s ?measure_budget_s ?asym ?deadline_at:q.bq_deadline_at
+        model machine wl inputs.(i) index)
+    queries
+
 (* A model whose embedding width differs from the index's vector dimension
    would fail deep inside the first traversal (predictor input-row mismatch)
    with a message pointing nowhere near the cause.  Check the pair at load

@@ -114,6 +114,24 @@ val query :
     search.  [id] keys the model's feature cache — callers identifying
     matrices by content fingerprint get cross-request feature reuse. *)
 
+type batch_query = {
+  bq_id : string;
+  bq_coo : Sptensor.Coo.t;
+  bq_measure : bool;
+  bq_deadline_at : float option;
+}
+(** One member of a {!query_batch} group: per-query measure flag and
+    deadline, shared model/machine/index. *)
+
+val query_batch :
+  ?pool:Parallel.Pool.t -> ?k:int -> ?ef:int -> ?measure_retries:int ->
+  ?measure_backoff_s:float -> ?measure_budget_s:float -> ?asym:bool ->
+  Costmodel.t -> Machine.t -> batch_query array -> index -> result array
+(** {!query} over a group of distinct matrices: all uncached features come
+    from one batched extractor-plan execution (DESIGN.md §14) before the
+    per-matrix searches run — serve phase B's one [run_batch] per kernel
+    slot.  Results align with the input order. *)
+
 val validate_compat : Costmodel.t -> index_file:string -> index -> unit
 (** Raises [Robust.Load_error (Malformed _)] (citing [index_file] and both
     dimensions) when the model's embedding width differs from the index's

@@ -60,6 +60,75 @@ let forward t ~batch (input : float array) =
   done;
   out
 
+(* Blocked batched GEMM over strided row views with the bias add and an
+   optional trailing ReLU fused in — the inference VM's Gemm instruction
+   (DESIGN.md §14).  Per-cell accumulation is exactly [forward]'s: seeded
+   with the bias, then the full input extent in ascending order into one
+   accumulator, so results are bitwise-equal to forward(-then-relu) on the
+   eager path.  Tiling covers batch rows only (four row accumulators share
+   one streamed weight row); the reduction dimension is never split, which
+   is what keeps the identity exact.  Forward-only: no caching, and zero
+   allocation. *)
+let forward_into t ~batch ~src ~src_off ~src_stride ~dst ~dst_off ~dst_stride ~relu =
+  if batch > 0 then begin
+    let id = t.in_dim and od = t.out_dim in
+    if
+      src_off < 0 || dst_off < 0
+      || Array.length src < src_off + ((batch - 1) * src_stride) + id
+      || Array.length dst < dst_off + ((batch - 1) * dst_stride) + od
+    then invalid_arg "Linear.forward_into: view out of bounds";
+    let w = t.w.Param.data and bias = t.b.Param.data in
+    let n = ref 0 in
+    while !n + 4 <= batch do
+      let s0 = src_off + (!n * src_stride) in
+      let s1 = s0 + src_stride in
+      let s2 = s1 + src_stride in
+      let s3 = s2 + src_stride in
+      let d0 = dst_off + (!n * dst_stride) in
+      let d1 = d0 + dst_stride in
+      let d2 = d1 + dst_stride in
+      let d3 = d2 + dst_stride in
+      for o = 0 to od - 1 do
+        let wb = o * id in
+        let b0 = Array.unsafe_get bias o in
+        let a0 = ref b0 and a1 = ref b0 and a2 = ref b0 and a3 = ref b0 in
+        for i = 0 to id - 1 do
+          let wv = Array.unsafe_get w (wb + i) in
+          a0 := !a0 +. (wv *. Array.unsafe_get src (s0 + i));
+          a1 := !a1 +. (wv *. Array.unsafe_get src (s1 + i));
+          a2 := !a2 +. (wv *. Array.unsafe_get src (s2 + i));
+          a3 := !a3 +. (wv *. Array.unsafe_get src (s3 + i))
+        done;
+        if relu then begin
+          Array.unsafe_set dst (d0 + o) (if !a0 > 0.0 then !a0 else 0.0);
+          Array.unsafe_set dst (d1 + o) (if !a1 > 0.0 then !a1 else 0.0);
+          Array.unsafe_set dst (d2 + o) (if !a2 > 0.0 then !a2 else 0.0);
+          Array.unsafe_set dst (d3 + o) (if !a3 > 0.0 then !a3 else 0.0)
+        end
+        else begin
+          Array.unsafe_set dst (d0 + o) !a0;
+          Array.unsafe_set dst (d1 + o) !a1;
+          Array.unsafe_set dst (d2 + o) !a2;
+          Array.unsafe_set dst (d3 + o) !a3
+        end
+      done;
+      n := !n + 4
+    done;
+    while !n < batch do
+      let sb = src_off + (!n * src_stride) in
+      let db = dst_off + (!n * dst_stride) in
+      for o = 0 to od - 1 do
+        let wb = o * id in
+        let acc = ref (Array.unsafe_get bias o) in
+        for i = 0 to id - 1 do
+          acc := !acc +. (Array.unsafe_get w (wb + i) *. Array.unsafe_get src (sb + i))
+        done;
+        Array.unsafe_set dst (db + o) (if relu && not (!acc > 0.0) then 0.0 else !acc)
+      done;
+      incr n
+    done
+  end
+
 (* Accumulates dW, db; returns d(input) in this instance's scratch buffer
    (valid prefix = batch * in_dim, valid until the next backward). *)
 let backward t (dout : float array) =

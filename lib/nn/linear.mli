@@ -30,6 +30,24 @@ val forward : t -> batch:int -> float array -> float array
 (** Input length must be at least [batch * in_dim]; the result is this
     instance's scratch buffer (valid prefix [batch * out_dim]). *)
 
+val forward_into :
+  t ->
+  batch:int ->
+  src:float array ->
+  src_off:int ->
+  src_stride:int ->
+  dst:float array ->
+  dst_off:int ->
+  dst_stride:int ->
+  relu:bool ->
+  unit
+(** Blocked batched GEMM over strided row views, bias and an optional
+    trailing ReLU fused in — the inference VM's batched entry point
+    (DESIGN.md §14).  Row [n] of the input occupies
+    [src_off + n*src_stride ..+ in_dim]; outputs land at
+    [dst_off + n*dst_stride ..+ out_dim].  Bitwise-equal to
+    [forward](-then-ReLU); forward-only (no caching), zero allocation. *)
+
 val backward : t -> float array -> float array
 (** Accumulates dW, db; returns d(input) in this instance's scratch buffer
     (valid prefix [batch * in_dim]). *)

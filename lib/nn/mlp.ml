@@ -35,6 +35,10 @@ let out_dim t = t.linears.(Array.length t.linears - 1).Linear.out_dim
 
 let in_dim t = t.linears.(0).Linear.in_dim
 
+let layers t = t.linears
+
+let relu_after t l = l < Array.length t.relus
+
 let forward t ~batch x =
   (* Width guard: a caller whose row builder disagrees with the stack's
      input width (e.g. rows missing a kernel-conditioning slot) must fail

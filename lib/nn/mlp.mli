@@ -18,6 +18,14 @@ val out_dim : t -> int
 
 val in_dim : t -> int
 
+val layers : t -> Linear.t array
+(** The underlying linear layers in forward order — read-only structural
+    access for the inference VM's plan compiler (DESIGN.md §14). *)
+
+val relu_after : t -> int -> bool
+(** Whether the forward path applies a ReLU after layer [l] (always true for
+    hidden layers; [final_relu] for the last). *)
+
 val forward : t -> batch:int -> float array -> float array
 
 val backward : t -> float array -> float array

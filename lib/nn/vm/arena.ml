@@ -1,0 +1,15 @@
+(* Grow-only buffer arena backing a compiled plan: one slot per planned
+   value, monotone growth, borrowed slices (DESIGN.md §14).  Growth zeroes —
+   cross-item buffers must be pre-sized for the whole batch before any
+   instruction runs. *)
+
+type t = { bufs : float array array }
+
+let create ~n = { bufs = Array.make n [||] }
+
+let slots t = Array.length t.bufs
+
+let ensure t i need =
+  if Array.length t.bufs.(i) < need then t.bufs.(i) <- Array.make need 0.0
+
+let get t i = t.bufs.(i)

@@ -1,0 +1,28 @@
+(** The inference VM's grow-only buffer arena (DESIGN.md §14).
+
+    A plan owns one arena with a fixed number of slots, one per planned
+    value.  Buffers grow monotonically and are never freed, extending §9's
+    per-layer scratch contract to whole plans: every instruction writes into
+    a borrowed slice of an arena buffer, so steady-state execution allocates
+    zero bytes.
+
+    Growth discards previous contents (the replacement array is zeroed), so
+    any buffer whose contents must survive across per-item executions — e.g.
+    the pooled-concat matrix filled one row per item — must be sized for the
+    whole batch up front ({!Plan.run_batch} does this before touching any
+    instruction). *)
+
+type t
+
+val create : n:int -> t
+(** An arena with [n] empty buffer slots. *)
+
+val slots : t -> int
+
+val ensure : t -> int -> int -> unit
+(** [ensure a i need] grows slot [i] to at least [need] floats (zero-filled
+    on growth; a no-op once large enough). *)
+
+val get : t -> int -> float array
+(** Borrow slot [i]'s current backing array.  Valid until the next [ensure]
+    that actually grows it. *)

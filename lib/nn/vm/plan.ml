@@ -1,0 +1,280 @@
+(* Instruction tape + view planner for the inference VM (DESIGN.md §14).
+
+   Compilation walks a model's layers once and emits fused instructions over
+   arena buffer views; execution replays the tape with zero steady-state
+   allocation.  Bitwise identity with the eager layers is load-bearing (the
+   serve cache and golden artifacts depend on it) and rests on two rules:
+
+   - a fused ReLU runs only after an instruction's accumulation is complete
+     (max commutes with nothing inside a reduction);
+   - GEMM tiling covers batch rows only — every output cell remains a single
+     ascending-order accumulation chain seeded with the bias, exactly
+     [Linear.forward]'s; the reduction dimension is never split.
+
+   Conv execution reproduces [Sparse_conv.forward_with_map]'s order exactly:
+   bias init over all sites first, then kernel offsets ascending, pairs
+   ascending within each offset segment, and per pair one ascending
+   inner-channel accumulation added to the output site. *)
+
+type view = { buf : int; off : int; stride : int }
+
+type instr =
+  | Gemm of { lin : Nn.Linear.t; src : view; dst : view; relu : bool }
+  | Conv of {
+      conv : Nn.Sparse_conv.t;
+      layer : int;
+      src : int; (* -1 = the bound per-item input features *)
+      dst : int;
+      relu : bool;
+    }
+  | Pool of { src : int; channels : int; layer : int; dst : view }
+
+type t = {
+  arena : Arena.t;
+  per_item : instr array;
+  batched : instr array;
+  maps : Nn.Sparse_conv.kernel_map array; (* per-item bindings, one per layer slot *)
+  mutable input_feats : float array; (* per-item binding for [src = -1] convs *)
+  mutable item : int;
+  out : view;
+}
+
+(* Compilation ------------------------------------------------------------ *)
+
+type builder = {
+  mutable nbufs : int;
+  mutable rev_item : instr list;
+  mutable rev_batched : instr list;
+}
+
+let builder () = { nbufs = 0; rev_item = []; rev_batched = [] }
+
+let fresh b =
+  let id = b.nbufs in
+  b.nbufs <- id + 1;
+  id
+
+let gemm b lin ~src ~dst ~relu = b.rev_batched <- Gemm { lin; src; dst; relu } :: b.rev_batched
+
+let mlp b (m : Nn.Mlp.t) ~src ~dst =
+  let layers = Nn.Mlp.layers m in
+  let n = Array.length layers in
+  let cur = ref src in
+  for l = 0 to n - 1 do
+    let lin = layers.(l) in
+    let d =
+      if l = n - 1 then dst
+      else { buf = fresh b; off = 0; stride = lin.Nn.Linear.out_dim }
+    in
+    gemm b lin ~src:!cur ~dst:d ~relu:(Nn.Mlp.relu_after m l);
+    cur := d
+  done
+
+let conv b c ~layer ~src ~dst ~relu =
+  b.rev_item <- Conv { conv = c; layer; src; dst; relu } :: b.rev_item
+
+let pool b ~src ~channels ~layer ~dst =
+  b.rev_item <- Pool { src; channels; layer; dst } :: b.rev_item
+
+(* Kernel maps are bound per item; slots start on a shared empty map so an
+   unbound slot reads as zero sites rather than tripping unsafe accesses. *)
+let empty_map =
+  {
+    Nn.Sparse_conv.out_coords = [||];
+    out_h = 0;
+    out_w = 0;
+    off_start = [| 0 |];
+    pairs_in = [||];
+    pairs_out = [||];
+  }
+
+let finish b ~nlayers ~out =
+  {
+    arena = Arena.create ~n:b.nbufs;
+    per_item = Array.of_list (List.rev b.rev_item);
+    batched = Array.of_list (List.rev b.rev_batched);
+    maps = Array.make nlayers empty_map;
+    input_feats = [||];
+    item = 0;
+    out;
+  }
+
+(* Execution -------------------------------------------------------------- *)
+
+let buffer t id ~len =
+  Arena.ensure t.arena id len;
+  Arena.get t.arena id
+
+let start_item t n = t.item <- n
+
+let bind_map t i map = t.maps.(i) <- map
+
+let set_input_feats t feats = t.input_feats <- feats
+
+(* Pre-size every cross-item view destination before any instruction runs:
+   arena growth zeroes, so a buffer filled one row per item (the pooled
+   concat) must never grow mid-batch. *)
+let ensure_views t ~batch instrs =
+  for k = 0 to Array.length instrs - 1 do
+    match Array.unsafe_get instrs k with
+    | Gemm g ->
+        Arena.ensure t.arena g.dst.buf
+          (g.dst.off + ((batch - 1) * g.dst.stride) + g.lin.Nn.Linear.out_dim)
+    | Pool p ->
+        Arena.ensure t.arena p.dst.buf (p.dst.off + ((batch - 1) * p.dst.stride) + p.channels)
+    | Conv _ -> () (* sized per item at exec (site-count dependent) *)
+  done
+
+let begin_batch t ~batch =
+  if batch > 0 then begin
+    ensure_views t ~batch t.per_item;
+    ensure_views t ~batch t.batched
+  end
+
+let exec_gemm t ~batch (lin : Nn.Linear.t) ~(src : view) ~(dst : view) ~relu =
+  Nn.Linear.forward_into lin ~batch
+    ~src:(Arena.get t.arena src.buf)
+    ~src_off:src.off ~src_stride:src.stride
+    ~dst:(Arena.get t.arena dst.buf)
+    ~dst_off:dst.off ~dst_stride:dst.stride ~relu
+
+let exec_conv t (c : Nn.Sparse_conv.t) ~layer ~src ~dst ~relu =
+  let map = t.maps.(layer) in
+  let n_out = Array.length map.Nn.Sparse_conv.out_coords in
+  let ci = c.Nn.Sparse_conv.in_ch and co = c.Nn.Sparse_conv.out_ch in
+  Arena.ensure t.arena dst (n_out * co);
+  let out = Arena.get t.arena dst in
+  let inf = if src < 0 then t.input_feats else Arena.get t.arena src in
+  let w = c.Nn.Sparse_conv.w.Nn.Param.data and bias = c.Nn.Sparse_conv.b.Nn.Param.data in
+  (* Bind-time trust boundary: the pyramid builder guarantees pair indices
+     are in range; one explicit check keeps the unsafe loops honest. *)
+  let np = Nn.Sparse_conv.map_npairs map in
+  if np > 0 then begin
+    let max_in = ref 0 and max_out = ref 0 in
+    for p = 0 to np - 1 do
+      let i = Array.unsafe_get map.Nn.Sparse_conv.pairs_in p
+      and o = Array.unsafe_get map.Nn.Sparse_conv.pairs_out p in
+      if i > !max_in then max_in := i;
+      if o > !max_out then max_out := o
+    done;
+    if ((!max_in + 1) * ci) > Array.length inf || !max_out >= n_out then
+      invalid_arg "Vm.Plan: conv binding out of range"
+  end;
+  for s = 0 to n_out - 1 do
+    let sb = s * co in
+    for o = 0 to co - 1 do
+      Array.unsafe_set out (sb + o) (Array.unsafe_get bias o)
+    done
+  done;
+  let ostart = map.Nn.Sparse_conv.off_start in
+  let pin = map.Nn.Sparse_conv.pairs_in and pout = map.Nn.Sparse_conv.pairs_out in
+  let nk = Array.length ostart - 1 in
+  if ci = 1 then
+    (* Single input channel (WACONet's first conv): the per-pair reduction is
+       one product.  [0.0 +.] preserves the eager accumulator's first step
+       bit-for-bit (sign of zero included). *)
+    for off = 0 to nk - 1 do
+      let wb = off * co in
+      for p = Array.unsafe_get ostart off to Array.unsafe_get ostart (off + 1) - 1 do
+        let x = Array.unsafe_get inf (Array.unsafe_get pin p) in
+        let ob = Array.unsafe_get pout p * co in
+        for o = 0 to co - 1 do
+          Array.unsafe_set out (ob + o)
+            (Array.unsafe_get out (ob + o) +. (0.0 +. (Array.unsafe_get w (wb + o) *. x)))
+        done
+      done
+    done
+  else if ci = 6 then
+    (* Six input channels (WACONet's stacked convs): hoist the input loads
+       out of the output-channel loop — the generic path reloads all [ci]
+       inputs per output channel — and unroll the reduction.  The explicit
+       left-to-right chain seeded with [0.0 +.] is the eager accumulator's
+       exact float-op sequence. *)
+    for off = 0 to nk - 1 do
+      let wbase = off * co * 6 in
+      for p = Array.unsafe_get ostart off to Array.unsafe_get ostart (off + 1) - 1 do
+        let ib = Array.unsafe_get pin p * 6 in
+        let ob = Array.unsafe_get pout p * co in
+        let x0 = Array.unsafe_get inf ib
+        and x1 = Array.unsafe_get inf (ib + 1)
+        and x2 = Array.unsafe_get inf (ib + 2)
+        and x3 = Array.unsafe_get inf (ib + 3)
+        and x4 = Array.unsafe_get inf (ib + 4)
+        and x5 = Array.unsafe_get inf (ib + 5) in
+        for o = 0 to co - 1 do
+          let wrow = wbase + (o * 6) in
+          let acc =
+            0.0
+            +. (Array.unsafe_get w wrow *. x0)
+            +. (Array.unsafe_get w (wrow + 1) *. x1)
+            +. (Array.unsafe_get w (wrow + 2) *. x2)
+            +. (Array.unsafe_get w (wrow + 3) *. x3)
+            +. (Array.unsafe_get w (wrow + 4) *. x4)
+            +. (Array.unsafe_get w (wrow + 5) *. x5)
+          in
+          Array.unsafe_set out (ob + o) (Array.unsafe_get out (ob + o) +. acc)
+        done
+      done
+    done
+  else
+    for off = 0 to nk - 1 do
+      let wbase = off * co * ci in
+      for p = Array.unsafe_get ostart off to Array.unsafe_get ostart (off + 1) - 1 do
+        let ib = Array.unsafe_get pin p * ci in
+        let ob = Array.unsafe_get pout p * co in
+        for o = 0 to co - 1 do
+          let wrow = wbase + (o * ci) in
+          let acc = ref 0.0 in
+          for i = 0 to ci - 1 do
+            acc := !acc +. (Array.unsafe_get w (wrow + i) *. Array.unsafe_get inf (ib + i))
+          done;
+          Array.unsafe_set out (ob + o) (Array.unsafe_get out (ob + o) +. !acc)
+        done
+      done
+    done;
+  if relu then
+    for k = 0 to (n_out * co) - 1 do
+      if not (Array.unsafe_get out k > 0.0) then Array.unsafe_set out k 0.0
+    done
+
+let exec_pool t ~src ~channels ~layer ~(dst : view) =
+  let n = Array.length t.maps.(layer).Nn.Sparse_conv.out_coords in
+  let feats = Arena.get t.arena src in
+  let out = Arena.get t.arena dst.buf in
+  let base = dst.off + (t.item * dst.stride) in
+  if base + channels > Array.length out then
+    invalid_arg "Vm.Plan: pool row out of bounds (begin_batch missing?)";
+  if n * channels > Array.length feats then invalid_arg "Vm.Plan: pool source too short";
+  for ch = 0 to channels - 1 do
+    Array.unsafe_set out (base + ch) 0.0
+  done;
+  if n > 0 then begin
+    for s = 0 to n - 1 do
+      let sb = s * channels in
+      for ch = 0 to channels - 1 do
+        Array.unsafe_set out (base + ch)
+          (Array.unsafe_get out (base + ch) +. Array.unsafe_get feats (sb + ch))
+      done
+    done;
+    let scale = 1.0 /. float_of_int n in
+    for ch = 0 to channels - 1 do
+      Array.unsafe_set out (base + ch) (Array.unsafe_get out (base + ch) *. scale)
+    done
+  end
+
+let exec t ~batch instrs =
+  for k = 0 to Array.length instrs - 1 do
+    match Array.unsafe_get instrs k with
+    | Gemm { lin; src; dst; relu } -> exec_gemm t ~batch lin ~src ~dst ~relu
+    | Conv { conv; layer; src; dst; relu } -> exec_conv t conv ~layer ~src ~dst ~relu
+    | Pool { src; channels; layer; dst } -> exec_pool t ~src ~channels ~layer ~dst
+  done
+
+let run_item t = exec t ~batch:1 t.per_item
+
+let run_batch t ~batch =
+  begin_batch t ~batch;
+  if batch > 0 then exec t ~batch t.batched;
+  Arena.get t.arena t.out.buf
+
+let out_view t = t.out

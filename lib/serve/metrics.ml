@@ -44,6 +44,11 @@ type t = {
   mutable batches : int;  (* micro-batches dispatched *)
   mutable batched_requests : int;  (* queries carried by those batches *)
   mutable max_batch : int;
+  mutable phase_b_batches : int;  (* phase-B dispatches with >= 1 miss *)
+  mutable phase_b_misses : int;  (* distinct misses those dispatches carried *)
+  mutable phase_b_max : int;  (* largest distinct-miss group so far *)
+  phase_b_hist : int array;  (* miss-count histogram: 1 / 2-3 / 4-7 / 8-15 / 16+ *)
+  mutable vm_batched_runs : int;  (* per-kernel-slot batched plan executions *)
   mutable cache_persist_failures : int;
   mutable shed : int;  (* queries answered [Busy] past the high-water mark *)
   mutable deadline_misses : int;  (* answers marked degraded_reason=deadline *)
@@ -76,6 +81,11 @@ let create () =
     batches = 0;
     batched_requests = 0;
     max_batch = 0;
+    phase_b_batches = 0;
+    phase_b_misses = 0;
+    phase_b_max = 0;
+    phase_b_hist = Array.make 5 0;
+    vm_batched_runs = 0;
     cache_persist_failures = 0;
     shed = 0;
     deadline_misses = 0;
@@ -99,6 +109,24 @@ let record_batch t n =
       t.batches <- t.batches + 1;
       t.batched_requests <- t.batched_requests + n;
       t.max_batch <- max t.max_batch n)
+
+(* Histogram bucket for a phase-B distinct-miss count (n >= 1):
+   1 / 2-3 / 4-7 / 8-15 / 16+. *)
+let phase_b_bucket n =
+  if n <= 1 then 0
+  else if n <= 3 then 1
+  else if n <= 7 then 2
+  else if n <= 15 then 3
+  else 4
+
+let record_phase_b t n =
+  if n > 0 then
+    locked t (fun () ->
+        t.phase_b_batches <- t.phase_b_batches + 1;
+        t.phase_b_misses <- t.phase_b_misses + n;
+        t.phase_b_max <- max t.phase_b_max n;
+        let b = phase_b_bucket n in
+        t.phase_b_hist.(b) <- t.phase_b_hist.(b) + 1)
 
 let record_span t (s : span) =
   locked t (fun () ->
@@ -127,6 +155,15 @@ let counters t =
         ("batches", t.batches);
         ("batched_requests", t.batched_requests);
         ("max_batch", t.max_batch);
+        ("phase_b_batches", t.phase_b_batches);
+        ("phase_b_misses", t.phase_b_misses);
+        ("phase_b_max", t.phase_b_max);
+        ("phase_b_hist_1", t.phase_b_hist.(0));
+        ("phase_b_hist_2_3", t.phase_b_hist.(1));
+        ("phase_b_hist_4_7", t.phase_b_hist.(2));
+        ("phase_b_hist_8_15", t.phase_b_hist.(3));
+        ("phase_b_hist_16_plus", t.phase_b_hist.(4));
+        ("vm_batched_runs", t.vm_batched_runs);
         ("cache_persist_failures", t.cache_persist_failures);
         ("shed", t.shed);
         ("deadline_misses", t.deadline_misses);

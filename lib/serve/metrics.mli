@@ -37,6 +37,14 @@ type t = {
   mutable batches : int;
   mutable batched_requests : int;
   mutable max_batch : int;
+  mutable phase_b_batches : int;
+      (** phase-B dispatches that carried at least one distinct miss *)
+  mutable phase_b_misses : int;  (** distinct misses those dispatches carried *)
+  mutable phase_b_max : int;  (** largest distinct-miss group so far *)
+  phase_b_hist : int array;
+      (** distinct-miss-count histogram, buckets 1 / 2-3 / 4-7 / 8-15 / 16+ *)
+  mutable vm_batched_runs : int;
+      (** per-kernel-slot batched plan executions (DESIGN.md §14) *)
   mutable cache_persist_failures : int;
   mutable shed : int;  (** queries answered [Busy] past the high-water mark *)
   mutable deadline_misses : int;
@@ -60,6 +68,11 @@ val bump : t -> (t -> unit) -> unit
 
 val record_batch : t -> int -> unit
 (** Note a dispatched micro-batch of [n] queries. *)
+
+val record_phase_b : t -> int -> unit
+(** Note a phase-B dispatch of [n] distinct cache misses (no-op when
+    [n = 0]): bumps the batch/miss counters, the running maximum and the
+    miss-count histogram bucket. *)
 
 val record_span : t -> span -> unit
 

@@ -111,7 +111,15 @@ let max_inline_nnz = 1_000_000
 let max_deadline_ms = 3_600_000
 
 let encode_query (q : query) =
-  let buf = Buffer.create 256 in
+  let buf =
+    Buffer.create
+      (match q.source with
+      (* Entry lines run ~26 bytes ("r c " plus a %.17g float); sizing the
+         buffer up front keeps the encoder from doubling-and-copying its way
+         through a large inline matrix. *)
+      | Inline { entries; _ } -> 64 + (32 * Array.length entries)
+      | Path _ -> 256)
+  in
   if String.contains q.qid '\n' then invalid_arg "Protocol.encode_query: id with newline";
   Printf.bprintf buf "id=%s\n" q.qid;
   Printf.bprintf buf "measure=%d\n" (if q.measure then 1 else 0);
@@ -126,8 +134,18 @@ let encode_query (q : query) =
   | Inline { nrows; ncols; entries } ->
       Printf.bprintf buf "source=inline\ndims=%d %d\nnnz=%d\n" nrows ncols
         (Array.length entries);
+      (* The entry-line hot loop: [string_of_int] coordinates and a "%h"
+         hex-float value — bit-exact like the old "%.17g" (the decoder's
+         [float_of_string] accepts both grammars) but formatted by mantissa
+         bit manipulation instead of a ~600ns decimal conversion. *)
       Array.iter
-        (fun (r, c, v) -> Printf.bprintf buf "%d %d %.17g\n" r c v)
+        (fun (r, c, v) ->
+          Buffer.add_string buf (string_of_int r);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int c);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (Printf.sprintf "%h" v);
+          Buffer.add_char buf '\n')
         entries);
   Buffer.contents buf
 
@@ -146,20 +164,113 @@ let kv line =
 
 let ( let* ) r f = Result.bind r f
 
-let decode_query body : (query, string) result =
-  let lines = String.split_on_char '\n' body in
-  let lines = List.filter (fun l -> l <> "") lines in
-  let rec header acc = function
-    | [] -> Ok (acc, [])
-    | line :: rest -> (
-        (* Entry lines ("r c v") start once the header keys end. *)
-        match String.index_opt line '=' with
-        | None -> Ok (acc, line :: rest)
-        | Some _ ->
-            let* k, v = kv line in
-            header ((k, v) :: acc) rest)
+(* A query body is scanned in one forward pass over the raw string instead
+   of being split into a line list: on the serving hot path an inline query
+   is mostly entry lines ("r c v"), and the split-filter-split pipeline
+   allocated three short-lived lists per entry.  Semantics are unchanged:
+   empty lines are skipped (and not counted against nnz), the header ends at
+   the first non-empty line without '=', duplicate header keys resolve to
+   the last occurrence, and entry lines are strict single-space
+   three-field records. *)
+
+(* End of the line starting at [i]: the next '\n', or the end of the body. *)
+let line_end body i =
+  match String.index_from_opt body i '\n' with
+  | Some j -> j
+  | None -> String.length body
+
+(* Count the non-empty lines from [i] to the end of the body. *)
+let count_lines body i =
+  let n = String.length body in
+  let rec go acc i =
+    if i >= n then acc
+    else
+      let j = line_end body i in
+      go (if j = i then acc else acc + 1) (j + 1)
   in
-  let* fields, entry_lines = header [] lines in
+  go 0 i
+
+(* Coordinate token [i, j): the common shape — a plain run of at most 18
+   decimal digits (what the encoder emits, and short enough that the
+   accumulator cannot overflow) — parses inline without a substring; any
+   other shape falls back to [int_of_string_opt] on the substring, so the
+   accepted grammar ("0x1f", "1_000", "+3"...) is exactly the stdlib's.
+   Returns a negative sentinel on failure: the caller's [>= 0] bounds check
+   rejects it just as it rejected a parsed negative before. *)
+let parse_coord body i j =
+  let len = j - i in
+  if len >= 1 && len <= 18 then begin
+    let v = ref 0 in
+    let k = ref i in
+    let ok = ref true in
+    while !ok && !k < j do
+      let c = Char.code (String.unsafe_get body !k) - Char.code '0' in
+      if c >= 0 && c <= 9 then begin
+        v := (!v * 10) + c;
+        incr k
+      end
+      else ok := false
+    done;
+    if !ok then !v
+    else
+      match int_of_string_opt (String.sub body i len) with
+      | Some v -> v
+      | None -> min_int
+  end
+  else
+    match int_of_string_opt (String.sub body i len) with
+    | Some v -> v
+    | None -> min_int
+
+(* Parse one entry line [i, j): "r c v", exactly two spaces, the same field
+   boundaries [String.split_on_char ' '] produced (so "1  2 3" and trailing
+   spaces fail identically); the value goes through [float_of_string_opt] on
+   the substring (exact stdlib rounding and grammar).  [store] receives the
+   validated triple; any malformation answers the old "bad entry" message. *)
+let parse_entry body i j ~nrows ~ncols ~store =
+  let bad () = Error (Printf.sprintf "bad entry %S" (String.sub body i (j - i))) in
+  match String.index_from_opt body i ' ' with
+  | Some s1 when s1 < j -> (
+      match String.index_from_opt body (s1 + 1) ' ' with
+      | Some s2 when s2 < j -> (
+          match String.index_from_opt body (s2 + 1) ' ' with
+          | Some s3 when s3 < j -> bad ()
+          | _ ->
+              let r = parse_coord body i s1 in
+              let c = parse_coord body (s1 + 1) s2 in
+              if r >= 0 && r < nrows && c >= 0 && c < ncols then
+                match
+                  float_of_string_opt (String.sub body (s2 + 1) (j - s2 - 1))
+                with
+                | Some v when Float.is_finite v ->
+                    store r c v;
+                    Ok ()
+                | _ -> bad ()
+              else bad ())
+      | _ -> bad ())
+  | _ -> bad ()
+
+let decode_query body : (query, string) result =
+  let n = String.length body in
+  (* Header phase: key=value lines until the first non-empty line without
+     '=' (where the entry lines start).  Fields accumulate most-recent
+     first, so [List.assoc_opt] resolves duplicates to the last occurrence
+     exactly as before. *)
+  let rec header acc i =
+    if i >= n then Ok (acc, n)
+    else
+      let j = line_end body i in
+      if j = i then header acc (j + 1)
+      else
+        match String.index_from_opt body i '=' with
+        | Some e when e < j ->
+            header
+              ((String.sub body i (e - i), String.sub body (e + 1) (j - e - 1))
+              :: acc)
+              (j + 1)
+        | _ -> Ok (acc, i)
+  in
+  let* fields, entry_off = header [] 0 in
   let field k = List.assoc_opt k fields in
   let qid = Option.value ~default:"" (field "id") in
   let* measure =
@@ -209,37 +320,27 @@ let decode_query body : (query, string) result =
             in
             match int_of_string_opt nnz_s with
             | Some nnz when nnz >= 0 && nnz <= max_inline_nnz ->
-                if List.length entry_lines <> nnz then
-                  Error
-                    (Printf.sprintf "nnz=%d but %d entry lines" nnz
-                       (List.length entry_lines))
-                else
-                  let* entries =
-                    List.fold_left
-                      (fun acc line ->
-                        let* acc = acc in
-                        match String.split_on_char ' ' line with
-                        | [ r; c; v ] -> (
-                            match
-                              ( int_of_string_opt r,
-                                int_of_string_opt c,
-                                float_of_string_opt v )
-                            with
-                            | Some r, Some c, Some v
-                              when r >= 0 && r < nrows && c >= 0 && c < ncols
-                                   && Float.is_finite v ->
-                                Ok ((r, c, v) :: acc)
-                            | _ -> Error (Printf.sprintf "bad entry %S" line))
-                        | _ -> Error (Printf.sprintf "bad entry %S" line))
-                      (Ok []) entry_lines
+                let have = count_lines body entry_off in
+                if have <> nnz then
+                  Error (Printf.sprintf "nnz=%d but %d entry lines" nnz have)
+                else begin
+                  let entries = Array.make nnz (0, 0, 0.0) in
+                  (* Fill [entries] in order; the first malformed line wins
+                     the error, as the old fold did. *)
+                  let rec fill k i =
+                    if k = nnz then Ok (Inline { nrows; ncols; entries })
+                    else
+                      let j = line_end body i in
+                      if j = i then fill k (j + 1)
+                      else
+                        let* () =
+                          parse_entry body i j ~nrows ~ncols ~store:(fun r c v ->
+                              entries.(k) <- (r, c, v))
+                        in
+                        fill (k + 1) (j + 1)
                   in
-                  Ok
-                    (Inline
-                       {
-                         nrows;
-                         ncols;
-                         entries = Array.of_list (List.rev entries);
-                       })
+                  fill 0 entry_off
+                end
             | _ -> Error (Printf.sprintf "bad nnz %S" nnz_s))
         | _ -> Error "source=inline needs dims and nnz fields")
     | Some other -> Error (Printf.sprintf "unknown source %S" other)
@@ -282,14 +383,16 @@ type response =
 let encode_answer (a : answer) =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "schedule=%s\n" a.schedule;
-  Printf.bprintf buf "predicted=%.17g\n" a.predicted;
-  Printf.bprintf buf "measured=%.17g\n" a.measured;
+  (* Hex floats, like the query entry lines: bit-exact and cheap to format;
+     [decode_answer]'s [float_of_string_opt] reads either grammar. *)
+  Printf.bprintf buf "predicted=%h\n" a.predicted;
+  Printf.bprintf buf "measured=%h\n" a.measured;
   Printf.bprintf buf "cache=%s\n" (if a.cache_hit then "hit" else "miss");
   Printf.bprintf buf "degraded=%d\n" (if a.degraded then 1 else 0);
   (match a.degraded_reason with
   | Some r -> Printf.bprintf buf "reason=%s\n" (String.map (fun c -> if c = '\n' then ' ' else c) r)
   | None -> ());
-  List.iter (fun (k, s) -> Printf.bprintf buf "span.%s=%.17g\n" k s) a.spans;
+  List.iter (fun (k, s) -> Printf.bprintf buf "span.%s=%h\n" k s) a.spans;
   Buffer.contents buf
 
 let response_to_frame = function

@@ -190,10 +190,7 @@ let coo_of_source = function
           Error (Printf.sprintf "%s: %s" p e)
       | exception Sys_error e -> Error e)
   | Protocol.Inline { nrows; ncols; entries } -> (
-      match
-        Sptensor.Coo.of_triplets ~nrows ~ncols
-          (Array.to_list (Array.map (fun (r, c, v) -> (r, c, v)) entries))
-      with
+      match Sptensor.Coo.of_triplet_array ~nrows ~ncols entries with
       | m -> Ok m
       | exception Invalid_argument e -> Error e)
 
@@ -269,6 +266,17 @@ let expired = function
 let merge_deadline a b =
   match (a, b) with Some x, Some y -> Some (Float.max x y) | _ -> None
 
+(* Fold one computed result's spend into the cumulative counters — shared
+   by the per-miss (pool) and batched (single-domain) phase-B paths. *)
+let note_result t (r : Waco.Tuner.result) =
+  Metrics.bump t.metrics (fun m ->
+      m.measured_runs <- m.measured_runs + r.Waco.Tuner.measured_runs;
+      m.measure_failures <- m.measure_failures + r.Waco.Tuner.measure_failures;
+      m.retries_absorbed <- m.retries_absorbed + r.Waco.Tuner.measure_retries;
+      m.asym_pruned <- m.asym_pruned + r.Waco.Tuner.asym_pruned);
+  if r.Waco.Tuner.degraded then
+    Metrics.bump t.metrics (fun m -> m.degraded <- m.degraded + 1)
+
 (* One computed miss: run the factored tuner entry point on the resolved
    slot's worker replica and record what it spent. *)
 let compute_one t slot ~worker ~key ~measure ?deadline_at m =
@@ -279,14 +287,62 @@ let compute_one t slot ~worker ~key ~measure ?deadline_at m =
     Waco.Tuner.query slot.replicas.(worker) t.machine ~k:t.k ~ef:t.ef ~measure
       ?deadline_at ~id:key m slot.index
   in
-  Metrics.bump mt (fun m ->
-      m.measured_runs <- m.measured_runs + r.Waco.Tuner.measured_runs;
-      m.measure_failures <- m.measure_failures + r.Waco.Tuner.measure_failures;
-      m.retries_absorbed <- m.retries_absorbed + r.Waco.Tuner.measure_retries;
-      m.asym_pruned <- m.asym_pruned + r.Waco.Tuner.asym_pruned);
-  if r.Waco.Tuner.degraded then
-    Metrics.bump mt (fun m -> m.degraded <- m.degraded + 1);
+  note_result t r;
   r
+
+(* The single-domain phase B: group the distinct misses by kernel slot (in
+   first-appearance order, so the cache-insertion order of phase C is
+   unchanged) and run each group through [Tuner.query_batch] — all of a
+   group's uncached features come from one batched extractor-plan execution
+   (DESIGN.md §14) instead of one eager forward per miss. *)
+let compute_batched t miss_keys misses computed =
+  let group_order = ref [] in
+  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+  Array.iteri
+    (fun i key ->
+      let si, _, _, _ = Hashtbl.find misses key in
+      match Hashtbl.find_opt groups si with
+      | Some members -> members := i :: !members
+      | None ->
+          Hashtbl.add groups si (ref [ i ]);
+          group_order := si :: !group_order)
+    miss_keys;
+  List.iter
+    (fun si ->
+      let idxs = Array.of_list (List.rev !(Hashtbl.find groups si)) in
+      let slot = t.slots.(si) in
+      let queries =
+        Array.map
+          (fun i ->
+            let key = miss_keys.(i) in
+            let _, m, measure, deadline_at = Hashtbl.find misses key in
+            {
+              Waco.Tuner.bq_id = key;
+              bq_coo = m;
+              bq_measure = measure;
+              bq_deadline_at = deadline_at;
+            })
+          idxs
+      in
+      Metrics.bump t.metrics (fun m ->
+          m.extractor_forwards <- m.extractor_forwards + Array.length idxs;
+          m.traversals <- m.traversals + Array.length idxs;
+          m.vm_batched_runs <- m.vm_batched_runs + 1);
+      let t0 = Robust.mono_now () in
+      let results =
+        Waco.Tuner.query_batch slot.replicas.(0) t.machine ~k:t.k ~ef:t.ef
+          queries slot.index
+      in
+      let secs =
+        (Robust.mono_now () -. t0) /. float_of_int (max 1 (Array.length idxs))
+      in
+      Array.iteri
+        (fun j i ->
+          let r = results.(j) in
+          note_result t r;
+          Hashtbl.replace computed miss_keys.(i) (r, secs))
+        idxs)
+    (List.rev !group_order)
 
 (* The expired-before-compute answer: the asymptotic analyzer's
    guaranteed-not-terrible pick, unmeasured — there is no time left for a
@@ -358,22 +414,29 @@ let process_stamped t (batch : (Protocol.query * float) list) :
           end)
     parsed;
   let miss_keys = Array.of_list (List.rev !miss_order) in
-  (* Phase B: compute the distinct misses, concurrently when the pool and
-     the batch depth allow it. *)
+  (* Phase B: compute the distinct misses — concurrently when the pool and
+     the batch depth allow it, else slot-grouped through the batched
+     compiled plans.  Either way, one observability record per dispatch. *)
+  Metrics.record_phase_b t.metrics (Array.length miss_keys);
   let computed = Hashtbl.create 8 in
-  let work key ~worker =
-    let si, m, measure, deadline_at = Hashtbl.find misses key in
-    let t0 = Robust.mono_now () in
-    let r = compute_one t t.slots.(si) ~worker ~key ~measure ?deadline_at m in
-    (key, r, Robust.mono_now () -. t0)
-  in
-  let results =
-    match t.pool with
-    | Some p when Parallel.Pool.domains p > 1 && Array.length miss_keys > 1 ->
-        Parallel.Pool.map_workers p (fun ~worker key -> work key ~worker) miss_keys
-    | _ -> Array.map (fun key -> work key ~worker:0) miss_keys
-  in
-  Array.iter (fun (key, r, secs) -> Hashtbl.replace computed key (r, secs)) results;
+  (match t.pool with
+  | Some p when Parallel.Pool.domains p > 1 && Array.length miss_keys > 1 ->
+      let work key ~worker =
+        let si, m, measure, deadline_at = Hashtbl.find misses key in
+        let t0 = Robust.mono_now () in
+        let r =
+          compute_one t t.slots.(si) ~worker ~key ~measure ?deadline_at m
+        in
+        (key, r, Robust.mono_now () -. t0)
+      in
+      let results =
+        Parallel.Pool.map_workers p (fun ~worker key -> work key ~worker)
+          miss_keys
+      in
+      Array.iter
+        (fun (key, r, secs) -> Hashtbl.replace computed key (r, secs))
+        results
+  | _ -> compute_batched t miss_keys misses computed);
   (* Phase C (sequential): cache insertion in deterministic order, one
      write-through persist per batch, answers in input order.  Degraded
      answers — including every deadline-truncated one — never enter the

@@ -60,6 +60,70 @@ let of_triplets ~nrows ~ncols triplets =
   done;
   { nrows; ncols; rows; cols; vals }
 
+(* [of_triplets] over an array, without the list round-trip.  The serving
+   hot path hands over wire-decoded entries that are almost always already
+   row-major sorted and duplicate-free (encoders emit canonical COO); one
+   ordering scan makes that case three column copies with no sort, no
+   triplet-array clone and no dedup pass.  Out-of-order input falls back to
+   the sort-and-sum construction on a private copy ([a] is never mutated). *)
+let of_triplet_array ~nrows ~ncols (a : (int * int * float) array) =
+  let n = Array.length a in
+  for k = 0 to n - 1 do
+    let i, j, _ = Array.unsafe_get a k in
+    if i < 0 || i >= nrows || j < 0 || j >= ncols then
+      invalid_arg
+        (Printf.sprintf "Coo.of_triplets: (%d,%d) out of %dx%d" i j nrows ncols)
+  done;
+  let sorted_unique = ref true in
+  (for k = 1 to n - 1 do
+     let i1, j1, _ = Array.unsafe_get a (k - 1) in
+     let i2, j2, _ = Array.unsafe_get a k in
+     if i1 > i2 || (i1 = i2 && j1 >= j2) then sorted_unique := false
+   done);
+  if !sorted_unique then begin
+    let rows = Array.make n 0 in
+    let cols = Array.make n 0 in
+    let vals = Array.make n 0.0 in
+    for k = 0 to n - 1 do
+      let i, j, v = Array.unsafe_get a k in
+      Array.unsafe_set rows k i;
+      Array.unsafe_set cols k j;
+      Array.unsafe_set vals k v
+    done;
+    { nrows; ncols; rows; cols; vals }
+  end
+  else begin
+    let arr = Array.copy a in
+    Array.sort
+      (fun (i1, j1, _) (i2, j2, _) ->
+        if i1 <> i2 then Int.compare i1 i2 else Int.compare j1 j2)
+      arr;
+    let uniq = ref 0 in
+    Array.iteri
+      (fun k (i, j, _) ->
+        if k = 0 then incr uniq
+        else begin
+          let pi, pj, _ = arr.(k - 1) in
+          if i <> pi || j <> pj then incr uniq
+        end)
+      arr;
+    let rows = Array.make !uniq 0 in
+    let cols = Array.make !uniq 0 in
+    let vals = Array.make !uniq 0.0 in
+    let w = ref (-1) in
+    for k = 0 to n - 1 do
+      let i, j, v = arr.(k) in
+      if !w >= 0 && rows.(!w) = i && cols.(!w) = j then vals.(!w) <- vals.(!w) +. v
+      else begin
+        incr w;
+        rows.(!w) <- i;
+        cols.(!w) <- j;
+        vals.(!w) <- v
+      end
+    done;
+    { nrows; ncols; rows; cols; vals }
+  end
+
 let to_triplets t =
   let out = ref [] in
   for k = nnz t - 1 downto 0 do

@@ -20,6 +20,12 @@ val of_triplets : nrows:int -> ncols:int -> (int * int * float) list -> t
 (** Builds from unordered triplets; sorts and sums duplicates.  Raises
     [Invalid_argument] on out-of-bounds coordinates. *)
 
+val of_triplet_array : nrows:int -> ncols:int -> (int * int * float) array -> t
+(** {!of_triplets} over an array (the input is never mutated): same
+    validation, sorting and duplicate-summing semantics, but input that is
+    already row-major sorted and duplicate-free — the serving daemon's
+    wire-decoded entries — builds with three column copies and no sort. *)
+
 val to_triplets : t -> (int * int * float) list
 (** Triplets in storage (row-major) order. *)
 

@@ -29,6 +29,15 @@ if grep -rn "Unix.gettimeofday" lib/serve lib/core/tuner.ml 2>/dev/null; then
   status=1
 fi
 
+# Compiled-plan rule (DESIGN.md §14): the serve layer must reach the model
+# through the batched VM entry points (Costmodel.feature_batch, the tuner's
+# query_batch) — never the eager per-item forwards, which would silently
+# give up the batching the phase-B throughput numbers rest on.
+if grep -rn "Extractor\.forward\|Costmodel\.predict " lib/serve 2>/dev/null; then
+  echo "lint.sh: eager forward/predict in lib/serve (use the batched VM entry points)" >&2
+  status=1
+fi
+
 # The @lint alias packs a generated matrix cleanly and checks that a broken
 # schedule exits 2 with its diagnostics.
 dune build @lint || status=1
@@ -42,6 +51,11 @@ dune build @faults || status=1
 # allocation budget on the conv hot path, and the golden-artifact
 # byte-identity check.
 dune build @perf || status=1
+
+# The @vm alias runs the inference-VM suite: compiled-plan/eager bitwise
+# parity on every served kernel, steady-state allocation budgets for
+# run_batch and the batched extractor, and the training-untouched gradcheck.
+dune build @vm || status=1
 
 # Exercise the multi-domain pool paths once per run: the parallel suite
 # (pool semantics, byte-identical artifacts, faults under parallel
