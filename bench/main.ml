@@ -238,6 +238,24 @@ let scaling ~force () =
          overwrite)\n%!"
         bench_parallel_file oc s4c oi s4i
   | None ->
+      (* Keep the previous sweep's gated speedups as prev_* so a chunking
+         retune carries its own before/after evidence in the file. *)
+      let prev =
+        if Sys.file_exists bench_parallel_file then begin
+          let ic = open_in_bin bench_parallel_file in
+          let len = in_channel_length ic in
+          let old = really_input_string ic len in
+          close_in ic;
+          match
+            ( json_float_field old "speedup4_collect",
+              json_float_field old "speedup4_index",
+              json_float_field old "speedup4_eval" )
+          with
+          | Some c, Some i, Some e -> Some (c, i, e)
+          | _ -> None
+        end
+        else None
+      in
       let buf = Buffer.create 1024 in
       Buffer.add_string buf "{\n";
       Printf.bprintf buf "  \"domains\": [%s],\n"
@@ -258,6 +276,12 @@ let scaling ~force () =
       Printf.bprintf buf "  \"speedup4_collect\": %.4f,\n" s4c;
       Printf.bprintf buf "  \"speedup4_index\": %.4f,\n" s4i;
       Printf.bprintf buf "  \"speedup4_eval\": %.4f,\n" s4e;
+      (match prev with
+      | Some (c, i, e) ->
+          Printf.bprintf buf "  \"prev_speedup4_collect\": %.4f,\n" c;
+          Printf.bprintf buf "  \"prev_speedup4_index\": %.4f,\n" i;
+          Printf.bprintf buf "  \"prev_speedup4_eval\": %.4f,\n" e
+      | None -> ());
       Printf.bprintf buf "  \"baseline_s\": [%.4f, %.4f, %.4f],\n" base_c base_i
         base_e;
       Printf.bprintf buf "  \"identical\": %b\n" identical;
@@ -787,6 +811,58 @@ let kernels ~force () =
 
 let bench_serve_file = "BENCH_serve.json"
 
+(* BENCH_serve.json is shared by `serve` and `loadgen`: each target owns a
+   disjoint set of keys (loadgen's all carry the "loadgen_" prefix) and
+   rewrites the file preserving the other's.  The format stays the
+   hand-rolled one-pair-per-line JSON the rest of the bench writes. *)
+let read_json_pairs file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if String.length line < 4 || line.[0] <> '"' then None
+        else
+          match String.index_from_opt line 1 '"' with
+          | None -> None
+          | Some close -> (
+              let key = String.sub line 1 (close - 1) in
+              match String.index_from_opt line close ':' with
+              | None -> None
+              | Some colon ->
+                  let v =
+                    String.trim
+                      (String.sub line (colon + 1)
+                         (String.length line - colon - 1))
+                  in
+                  let v =
+                    if v <> "" && v.[String.length v - 1] = ',' then
+                      String.sub v 0 (String.length v - 1)
+                    else v
+                  in
+                  Some (key, v)))
+      (String.split_on_char '\n' s)
+  end
+
+let write_json_pairs file pairs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf "  %S: %s" k v)
+    pairs;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out_bin file in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
 let serve_bench ~force () =
   let algo = Algorithm.Spmm 256 in
   let machine = Machine_model.Machine.intel_like in
@@ -991,22 +1067,495 @@ let serve_bench ~force () =
          overwrite)\n%!"
         bench_serve_file ow warm ot (qps 16)
   | None ->
-      let buf = Buffer.create 512 in
-      Buffer.add_string buf "{\n";
-      Printf.bprintf buf "  \"cold_ms\": %.4f,\n" cold;
-      Printf.bprintf buf "  \"warm_ms\": %.4f,\n" warm;
-      List.iter
-        (fun (c, v) -> Printf.bprintf buf "  \"throughput_%d\": %.1f,\n" c v)
-        tp;
-      Printf.bprintf buf "  \"working_set\": %d,\n" (Array.length sources);
-      Printf.bprintf buf "  \"requests_per_client\": %d,\n" per_client;
-      Printf.bprintf buf "  \"overload_shed\": %d,\n" shed;
-      Printf.bprintf buf "  \"overload_deadline_misses\": %d,\n" misses;
-      Printf.bprintf buf "  \"overload_p99_ms\": %.4f\n" p99;
-      Buffer.add_string buf "}\n";
-      let oc = open_out_bin bench_serve_file in
-      output_string oc (Buffer.contents buf);
-      close_out oc;
+      let preserved =
+        List.filter (fun (k, _) -> has_prefix "loadgen_" k)
+          (read_json_pairs bench_serve_file)
+      in
+      write_json_pairs bench_serve_file
+        ([
+           ("cold_ms", Printf.sprintf "%.4f" cold);
+           ("warm_ms", Printf.sprintf "%.4f" warm);
+         ]
+        @ List.map
+            (fun (c, v) ->
+              (Printf.sprintf "throughput_%d" c, Printf.sprintf "%.1f" v))
+            tp
+        @ [
+            ("working_set", string_of_int (Array.length sources));
+            ("requests_per_client", string_of_int per_client);
+            ("overload_shed", string_of_int shed);
+            ("overload_deadline_misses", string_of_int misses);
+            ("overload_p99_ms", Printf.sprintf "%.4f" p99);
+          ]
+        @ preserved);
+      Printf.printf "  wrote %s\n%!" bench_serve_file
+
+(* --- loadgen: scale-out serving load harness ---------------------------
+
+   Replays a configurable stream of synthetic tuning queries — generated
+   sparsity patterns with zipf-skewed popularity, a mixed kernel
+   assignment, and a configurable measured fraction — against two
+   topologies built from the same artifacts and the same per-daemon cache
+   capacity: one daemon alone, and a `waco route` consistent-hash router
+   over four shard daemons.  Per-daemon capacity is the fixed resource;
+   the working set is sized past one cache, so the single daemon pays
+   capacity misses at steady state while the shard tier's aggregate
+   capacity covers the whole set (the fingerprint hash pins each pattern
+   to one shard, so per-shard hit rates stay high).  Closed-loop
+   concurrent clients measure what serving systems measure: per-query
+   latency percentiles and sustained throughput, plus shed/hit/miss
+   counters and per-shard routing balance from the aggregated stats.
+
+   Defaults keep the bench seconds-scale; every axis is an env knob —
+   WACO_LOADGEN_QUERIES (raise to millions for a soak), _CLIENTS,
+   _DISTINCT, _ZIPF, _MEASURE_PCT, _CACHE, and _TCP=1 to run the whole
+   topology over tcp:127.0.0.1 instead of Unix sockets.  Results land in
+   BENCH_serve.json under loadgen_* keys (the serve target's keys are
+   preserved); a run whose router throughput or scale-out speedup
+   regresses more than 20% against the recorded numbers refuses to
+   overwrite without --force. *)
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+let env_float name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some v when v > 0.0 -> v
+  | _ -> default
+
+let loadgen_bench ~force () =
+  let total = env_int "WACO_LOADGEN_QUERIES" 4000 in
+  let nclients = env_int "WACO_LOADGEN_CLIENTS" 16 in
+  let distinct = env_int "WACO_LOADGEN_DISTINCT" 192 in
+  let zipf_s = env_float "WACO_LOADGEN_ZIPF" 0.7 in
+  let measure_pct = min 100 (env_int "WACO_LOADGEN_MEASURE_PCT" 35) in
+  let cache_capacity = env_int "WACO_LOADGEN_CACHE" 48 in
+  let nshards = 4 in
+  let tcp = Sys.getenv_opt "WACO_LOADGEN_TCP" <> None in
+  let seed = Waco.Config.seed () in
+  let machine = Machine_model.Machine.intel_like in
+  let spmm = Algorithm.Spmm 256 in
+  let spmv = Waco.Kernel.to_algo Waco.Kernel.Spmv in
+  Printf.printf
+    "  %d queries, %d clients, %d distinct patterns (zipf %.2f), %d%% \
+     measured, cache %d/daemon, %s\n%!"
+    total nclients distinct zipf_s measure_pct cache_capacity
+    (if tcp then "tcp" else "unix");
+  (* One model/index pair per kernel slot, shared by every daemon in both
+     topologies: the comparison isolates topology, nothing else. *)
+  let model = Waco.Costmodel.create (Rng.create seed) spmm in
+  let crng = Rng.create (seed + 1) in
+  let corpus = Array.init 128 (fun _ -> Space.sample crng spmm ~dims:[| 64; 64 |]) in
+  let index = Waco.Tuner.build_index (Rng.create (seed + 2)) model corpus in
+  let vmodel = Waco.Costmodel.create (Rng.create (seed + 3)) spmv in
+  let vrng = Rng.create (seed + 4) in
+  let vcorpus = Array.init 128 (fun _ -> Space.sample vrng spmv ~dims:[| 64; 64 |]) in
+  let vindex = Waco.Tuner.build_index (Rng.create (seed + 5)) vmodel vcorpus in
+  (* The working set: [distinct] patterns over the generator families, all
+     with distinct fingerprints, so cache keys = patterns and the capacity
+     accounting is exact.  Pattern index doubles as zipf rank. *)
+  let families =
+    [| Gen.Uniform; Gen.Power_law 1.5; Gen.Banded 8; Gen.Block_dense 4;
+       Gen.Rmat; Gen.Clustered 4 |]
+  in
+  let prng = Rng.create (seed + 6) in
+  let seen = Hashtbl.create distinct in
+  let patterns =
+    Array.init distinct (fun i ->
+        let rec draw () =
+          let m =
+            Gen.generate prng families.(i mod Array.length families)
+              ~nrows:64 ~ncols:64 ~nnz:400
+          in
+          let key = Serve.Fingerprint.key (Serve.Fingerprint.of_coo m) in
+          if Hashtbl.mem seen key then draw ()
+          else begin
+            Hashtbl.add seen key ();
+            m
+          end
+        in
+        draw ())
+  in
+  let sources =
+    Array.map
+      (fun (m : Coo.t) ->
+        Serve.Protocol.Inline
+          {
+            nrows = m.Coo.nrows;
+            ncols = m.Coo.ncols;
+            entries =
+              Array.init (Coo.nnz m) (fun k ->
+                  (m.Coo.rows.(k), m.Coo.cols.(k), m.Coo.vals.(k)));
+          })
+      patterns
+  in
+  let kernels =
+    Array.init distinct (fun i ->
+        if i mod 4 = 0 then Waco.Kernel.Spmv else Waco.Kernel.Spmm)
+  in
+  (* The measured fraction, spread across ranks (31 is coprime to 100, so
+     measured patterns land on hot and cold ranks alike). *)
+  let measures = Array.init distinct (fun i -> i * 31 mod 100 < measure_pct) in
+  let cdf =
+    let acc = ref 0.0 in
+    let c =
+      Array.init distinct (fun i ->
+          acc := !acc +. (float_of_int (i + 1) ** -.zipf_s);
+          !acc)
+    in
+    Array.map (fun x -> x /. !acc) c
+  in
+  let pick rng =
+    let u = Rng.float rng in
+    let lo = ref 0 and hi = ref (distinct - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let dir = Filename.temp_file "waco-bench-loadgen" "" in
+  Sys.remove dir;
+  Robust.mkdir_p dir;
+  let mk_server name =
+    let socket =
+      if tcp then "tcp:127.0.0.1:0" else Filename.concat dir (name ^ ".sock")
+    in
+    Serve.Server.create ~cache_capacity ~max_batch:32
+      ~extra:[ (vmodel, vindex, "<bench-spmv>") ]
+      ~model ~index ~index_file:"<bench>" ~machine ~socket ()
+  in
+  let spawn_server server =
+    let d = Domain.spawn (fun () -> Serve.Server.run server) in
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec wait () =
+      match Serve.Server.bound_endpoint server with
+      | Some e -> e
+      | None ->
+          if Unix.gettimeofday () > deadline then
+            failwith "loadgen: daemon never bound";
+          Unix.sleepf 0.01;
+          wait ()
+    in
+    (d, wait ())
+  in
+  let connect_retry endpoint =
+    let rec go attempts =
+      match Serve.Client.connect endpoint with
+      | c -> c
+      | exception _ when attempts > 0 ->
+          Unix.sleepf 0.02;
+          go (attempts - 1)
+    in
+    go 250
+  in
+  let percentile a q =
+    a.(min (Array.length a - 1)
+         (int_of_float (float_of_int (Array.length a) *. q)))
+  in
+  (* One topology under load: a pipelined warmup sweep over every pattern
+     (both topologies pay the same compulsory misses, outside the timed
+     window), then [nclients] closed-loop client domains drawing from the
+     zipf popularity until [total] queries have been answered. *)
+  let run_load ~label ~endpoint =
+    let c0 = connect_retry endpoint in
+    (* Pipeline the sweep one micro-batch at a time: a client that ships
+       the whole working set before draining a byte trips the daemon's
+       write-stall protection (correctly — that's PR-7's backpressure). *)
+    let step = 32 in
+    let i = ref 0 in
+    while !i < distinct do
+      let stop = min distinct (!i + step) in
+      for q = !i to stop - 1 do
+        Serve.Client.send c0
+          (Serve.Protocol.Query
+             {
+               qid = Printf.sprintf "warm%d" q;
+               source = sources.(q);
+               measure = measures.(q);
+               deadline_ms = 0;
+               kernel = Some kernels.(q);
+             })
+      done;
+      for _ = !i to stop - 1 do
+        match Serve.Client.recv ~timeout_s:120.0 c0 with
+        | Serve.Protocol.Answer _ -> ()
+        | _ -> failwith "loadgen: non-answer during warmup"
+      done;
+      i := stop
+    done;
+    let per_client = max 1 (total / nclients) in
+    let t0 = Unix.gettimeofday () in
+    let workers =
+      Array.init nclients (fun ci ->
+          Domain.spawn (fun () ->
+              let rng = Rng.create (seed + 100 + ci) in
+              let c = connect_retry endpoint in
+              let lats = Array.make per_client 0.0 in
+              let errors = ref 0 in
+              for q = 0 to per_client - 1 do
+                let i = pick rng in
+                let t = Unix.gettimeofday () in
+                (match
+                   Serve.Client.query ~measure:measures.(i)
+                     ~kernel:kernels.(i)
+                     ~qid:(Printf.sprintf "c%d.%d" ci q)
+                     c sources.(i)
+                 with
+                | Ok _ -> ()
+                | Error _ -> incr errors);
+                lats.(q) <- (Unix.gettimeofday () -. t) *. 1e3
+              done;
+              Serve.Client.close c;
+              (lats, !errors)))
+    in
+    let results = Array.map Domain.join workers in
+    let wall = Unix.gettimeofday () -. t0 in
+    let lats = Array.concat (Array.to_list (Array.map fst results)) in
+    let errors = Array.fold_left (fun a (_, e) -> a + e) 0 results in
+    Array.sort compare lats;
+    let qps = float_of_int (Array.length lats) /. wall in
+    let stats =
+      match Serve.Client.request c0 Serve.Protocol.Stats with
+      | Serve.Protocol.Stats_json j -> j
+      | _ -> "{}"
+    in
+    Serve.Client.close c0;
+    let p50 = percentile lats 0.50
+    and p95 = percentile lats 0.95
+    and p99 = percentile lats 0.99 in
+    Printf.printf
+      "  %-6s %8.0f q/s   p50 %6.2f  p95 %6.2f  p99 %6.2f ms   errors %d\n%!"
+      label qps p50 p95 p99 errors;
+    (qps, p50, p95, p99, errors, stats)
+  in
+  let shutdown_at endpoint =
+    let c = connect_retry endpoint in
+    ignore (Serve.Client.shutdown c);
+    Serve.Client.close c
+  in
+  (* Counter out of a JSON slice: [from_key] narrows multi-section
+     aggregates (the same counter name appears in every shard's embedded
+     stats) to the section of interest before scanning. *)
+  let counter_in ?from_key json name =
+    let slice =
+      match from_key with
+      | None -> json
+      | Some k -> (
+          let pat = Printf.sprintf "%S" k in
+          let rec find i =
+            if i + String.length pat > String.length json then json
+            else if String.sub json i (String.length pat) = pat then
+              String.sub json i (String.length json - i)
+            else find (i + 1)
+          in
+          find 0)
+    in
+    Option.value ~default:0 (Serve.Metrics.json_counter slice name)
+  in
+  (* Topology 1: one daemon, [nclients] clients straight at it. *)
+  let single = mk_server "single" in
+  let sd, sep = spawn_server single in
+  let sq, sp50, sp95, sp99, serr, sstats = run_load ~label:"single" ~endpoint:sep in
+  shutdown_at sep;
+  Domain.join sd;
+  let s_hits = counter_in sstats "cache_hits"
+  and s_misses = counter_in sstats "cache_misses" in
+  (* Topology 2: the same daemon config x4 behind the router. *)
+  let shard_servers =
+    Array.init nshards (fun i -> mk_server (Printf.sprintf "shard%d" i))
+  in
+  let shard_handles = Array.map spawn_server shard_servers in
+  let shard_eps = Array.map snd shard_handles in
+  let router_listen =
+    if tcp then "tcp:127.0.0.1:0" else Filename.concat dir "router.sock"
+  in
+  let router =
+    Serve.Router.create ~listen:router_listen
+      ~shards:(Array.to_list shard_eps) ()
+  in
+  let rd = Domain.spawn (fun () -> Serve.Router.run router) in
+  let rep =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec wait () =
+      match Serve.Router.bound_endpoint router with
+      | Some e -> e
+      | None ->
+          if Unix.gettimeofday () > deadline then
+            failwith "loadgen: router never bound";
+          Unix.sleepf 0.01;
+          wait ()
+    in
+    wait ()
+  in
+  (* Don't start the clock until every shard is on the ring. *)
+  let () =
+    let c = connect_retry rep in
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec wait () =
+      let up =
+        match Serve.Client.request c Serve.Protocol.Stats with
+        | Serve.Protocol.Stats_json j -> counter_in j "shards_up"
+        | _ -> 0
+      in
+      if up < nshards then begin
+        if Unix.gettimeofday () > deadline then
+          failwith "loadgen: shards never joined the ring";
+        Unix.sleepf 0.02;
+        wait ()
+      end
+    in
+    wait ();
+    Serve.Client.close c
+  in
+  let rq, rp50, rp95, rp99, rerr, rstats = run_load ~label:"router" ~endpoint:rep in
+  let r_hits = counter_in ~from_key:"totals" rstats "cache_hits"
+  and r_misses = counter_in ~from_key:"totals" rstats "cache_misses"
+  and r_shed =
+    counter_in rstats "shed" + counter_in ~from_key:"totals" rstats "shed"
+  in
+  (* Per-shard balance straight from the shards' routed counters in the
+     aggregated stats answer. *)
+  let routed =
+    let pat = "\"routed\": " in
+    let from =
+      match String.index_opt rstats '[' with Some i -> i | None -> 0
+    in
+    let out = ref [] in
+    let i = ref from in
+    while !i + String.length pat <= String.length rstats do
+      if String.sub rstats !i (String.length pat) = pat then begin
+        let j = ref (!i + String.length pat) in
+        let v = ref 0 in
+        while
+          !j < String.length rstats
+          && rstats.[!j] >= '0'
+          && rstats.[!j] <= '9'
+        do
+          v := (!v * 10) + (Char.code rstats.[!j] - Char.code '0');
+          incr j
+        done;
+        out := !v :: !out;
+        i := !j
+      end
+      else incr i
+    done;
+    Array.of_list (List.rev !out)
+  in
+  let balance =
+    if Array.length routed = 0 then 0.0
+    else
+      let total_r = Array.fold_left ( + ) 0 routed in
+      let mean = float_of_int total_r /. float_of_int (Array.length routed) in
+      if mean <= 0.0 then 0.0
+      else float_of_int (Array.fold_left max 0 routed) /. mean
+  in
+  (* Key spread: how the consistent hash partitions the working set's
+     fingerprints, unweighted by popularity — the number the ±25%
+     uniformity property is about (routed counts above are zipf-weighted
+     query traffic, naturally skewed by whoever owns the hot ranks). *)
+  let key_spread =
+    let ring = Serve.Router.Ring.create (Array.to_list shard_eps) in
+    let counts = Hashtbl.create nshards in
+    Array.iter
+      (fun m ->
+        let owner =
+          Serve.Router.Ring.lookup ring
+            (Serve.Router.Ring.routing_key
+               (Serve.Fingerprint.key (Serve.Fingerprint.of_coo m)))
+        in
+        Hashtbl.replace counts owner
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts owner)))
+      patterns;
+    Array.map
+      (fun ep -> Option.value ~default:0 (Hashtbl.find_opt counts ep))
+      shard_eps
+  in
+  let key_balance =
+    let mean = float_of_int distinct /. float_of_int nshards in
+    float_of_int (Array.fold_left max 0 key_spread) /. mean
+  in
+  shutdown_at rep;
+  Array.iter shutdown_at shard_eps;
+  Domain.join rd;
+  Array.iter (fun (d, _) -> Domain.join d) shard_handles;
+  (try Array.iter Sys.remove (Sys.readdir dir |> Array.map (Filename.concat dir))
+   with Sys_error _ -> ());
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  let speedup = if sq > 0.0 then rq /. sq else 0.0 in
+  Printf.printf
+    "  scale-out: %.2fx throughput vs single at %d clients (hit rate %.2f \
+     -> %.2f)\n  balance: keys max/mean %.2f [%s], query traffic max/mean \
+     %.2f [%s]\n%!"
+    speedup nclients
+    (float_of_int s_hits /. float_of_int (max 1 (s_hits + s_misses)))
+    (float_of_int r_hits /. float_of_int (max 1 (r_hits + r_misses)))
+    key_balance
+    (String.concat "," (Array.to_list (Array.map string_of_int key_spread)))
+    balance
+    (String.concat "," (Array.to_list (Array.map string_of_int routed)));
+  (* Regression guard on the two headline numbers. *)
+  let old = read_json_pairs bench_serve_file in
+  let old_f key =
+    Option.bind (List.assoc_opt key old) float_of_string_opt
+  in
+  match (old_f "loadgen_router_qps", old_f "loadgen_speedup") with
+  | (Some oq, _) when (not force) && rq < 0.8 *. oq ->
+      Printf.printf
+        "  REGRESSION > 20%% vs recorded router throughput (%.0f -> %.0f \
+         q/s); keeping the old file (rerun with --force to overwrite)\n%!"
+        oq rq
+  | (_, Some os) when (not force) && speedup < 0.8 *. os ->
+      Printf.printf
+        "  REGRESSION > 20%% vs recorded scale-out speedup (%.2fx -> \
+         %.2fx); keeping the old file (rerun with --force to overwrite)\n%!"
+        os speedup
+  | _ ->
+      let preserved =
+        List.filter (fun (k, _) -> not (has_prefix "loadgen_" k)) old
+      in
+      write_json_pairs bench_serve_file
+        (preserved
+        @ [
+            ("loadgen_queries", string_of_int total);
+            ("loadgen_clients", string_of_int nclients);
+            ("loadgen_distinct", string_of_int distinct);
+            ("loadgen_zipf", Printf.sprintf "%.2f" zipf_s);
+            ("loadgen_measure_pct", string_of_int measure_pct);
+            ("loadgen_cache_capacity", string_of_int cache_capacity);
+            ("loadgen_shards", string_of_int nshards);
+            ("loadgen_single_qps", Printf.sprintf "%.1f" sq);
+            ("loadgen_single_p50_ms", Printf.sprintf "%.4f" sp50);
+            ("loadgen_single_p95_ms", Printf.sprintf "%.4f" sp95);
+            ("loadgen_single_p99_ms", Printf.sprintf "%.4f" sp99);
+            ( "loadgen_single_hit_rate",
+              Printf.sprintf "%.4f"
+                (float_of_int s_hits
+                /. float_of_int (max 1 (s_hits + s_misses))) );
+            ("loadgen_router_qps", Printf.sprintf "%.1f" rq);
+            ("loadgen_router_p50_ms", Printf.sprintf "%.4f" rp50);
+            ("loadgen_router_p95_ms", Printf.sprintf "%.4f" rp95);
+            ("loadgen_router_p99_ms", Printf.sprintf "%.4f" rp99);
+            ( "loadgen_router_hit_rate",
+              Printf.sprintf "%.4f"
+                (float_of_int r_hits
+                /. float_of_int (max 1 (r_hits + r_misses))) );
+            ("loadgen_speedup", Printf.sprintf "%.4f" speedup);
+            ( "loadgen_shard_routed",
+              Printf.sprintf "[%s]"
+                (String.concat ", "
+                   (Array.to_list (Array.map string_of_int routed))) );
+            ("loadgen_balance", Printf.sprintf "%.4f" balance);
+            ( "loadgen_key_spread",
+              Printf.sprintf "[%s]"
+                (String.concat ", "
+                   (Array.to_list (Array.map string_of_int key_spread))) );
+            ("loadgen_key_balance", Printf.sprintf "%.4f" key_balance);
+            ("loadgen_shed", string_of_int r_shed);
+            ("loadgen_errors", string_of_int (serr + rerr));
+          ]);
       Printf.printf "  wrote %s\n%!" bench_serve_file
 
 (* --- asym: static pre-filter effect on the search ----------------------
@@ -1191,6 +1740,7 @@ let canonical_order selected =
   @ (if List.mem "scaling" selected then [ "scaling" ] else [])
   @ (if List.mem "kernelmix" selected then [ "kernelmix" ] else [])
   @ (if List.mem "serve" selected then [ "serve" ] else [])
+  @ (if List.mem "loadgen" selected then [ "loadgen" ] else [])
   @ (if List.mem "asym" selected then [ "asym" ] else [])
 
 let () =
@@ -1208,7 +1758,7 @@ let () =
   List.iter
     (fun a ->
       if a <> "micro" && a <> "scaling" && a <> "kernels" && a <> "kernelmix"
-         && a <> "serve" && a <> "asym"
+         && a <> "serve" && a <> "loadgen" && a <> "asym"
          && not (List.exists (fun (n, _, _) -> n = a) experiment_targets)
       then Printf.eprintf "unknown target: %s (ignored)\n%!" a)
     selected;
@@ -1241,6 +1791,13 @@ let () =
         let t = Unix.gettimeofday () in
         serve_bench ~force ();
         Printf.printf "<<< serve done in %.1fs\n%!" (Unix.gettimeofday () -. t)
+      end
+      else if name = "loadgen" then begin
+        Printf.printf
+          "\n>>> loadgen — scale-out serving load harness (router vs single)\n%!";
+        let t = Unix.gettimeofday () in
+        loadgen_bench ~force ();
+        Printf.printf "<<< loadgen done in %.1fs\n%!" (Unix.gettimeofday () -. t)
       end
       else if name = "asym" then begin
         Printf.printf "\n>>> asym — static pre-filter prune rate and latency\n%!";

@@ -343,10 +343,32 @@ let socket_arg =
   Arg.(value & opt string "waco.sock" & info [ "socket" ] ~docv:"PATH"
          ~doc:"Unix-domain socket path the daemon listens on")
 
+(* `--listen`/`--connect` take the full endpoint syntax (a bare Unix-socket
+   path, unix:PATH, or tcp:HOST:PORT) and override `--socket` when given,
+   so every pre-TCP invocation keeps working unchanged. *)
+let listen_arg =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ENDPOINT"
+         ~doc:"Listen endpoint: a Unix-socket path, unix:PATH, or \
+               tcp:HOST:PORT (port 0 = kernel-chosen).  Overrides --socket")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ENDPOINT"
+         ~doc:"Daemon endpoint to connect to: a Unix-socket path, unix:PATH, \
+               or tcp:HOST:PORT.  Overrides --socket")
+
+let endpoint_of ~socket ~override =
+  let spec = match override with Some e -> e | None -> socket in
+  match Serve.Addr.parse spec with
+  | Ok _ -> spec
+  | Error e ->
+      Printf.eprintf "waco: bad endpoint: %s\n%!" e;
+      exit 2
+
 let serve_cmd =
-  let run socket algo_name kernel_name extra_kernels machine_name model_file
-      index_file cache_file cache_capacity max_batch k ef max_pending supervise
-      max_restarts pidfile seed domains =
+  let run socket listen algo_name kernel_name extra_kernels machine_name
+      model_file index_file cache_file cache_capacity max_batch k ef
+      max_pending supervise max_restarts pidfile seed domains =
+    let socket = endpoint_of ~socket ~override:listen in
     let log msg = Printf.eprintf "waco serve: %s\n%!" msg in
     (* Everything heavy — training, index build, the worker pool's domains —
        happens inside [worker], so under --supervise it runs in the forked
@@ -503,16 +525,17 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the autotuning daemon (model + index loaded once, requests \
-             over a Unix socket)")
+             over a Unix or TCP socket)")
     Term.(
-      const run $ socket_arg $ algo_arg $ kernel_arg $ extra_kernels
-      $ machine_arg $ model_file $ index_file $ cache_file $ cache_capacity
-      $ max_batch $ k $ ef $ max_pending $ supervise $ max_restarts $ pidfile
-      $ seed_arg $ domains_arg)
+      const run $ socket_arg $ listen_arg $ algo_arg $ kernel_arg
+      $ extra_kernels $ machine_arg $ model_file $ index_file $ cache_file
+      $ cache_capacity $ max_batch $ k $ ef $ max_pending $ supervise
+      $ max_restarts $ pidfile $ seed_arg $ domains_arg)
 
 let query_cmd =
-  let run socket matrix kernel_name no_measure qid deadline_ms timeout_s retries
-      stats ping shutdown =
+  let run socket connect matrix kernel_name no_measure qid deadline_ms
+      timeout_s retries stats ping shutdown =
+    let socket = endpoint_of ~socket ~override:connect in
     (* Validate before connecting: a typo'd kernel should not cost a round
        trip (the daemon would reject it too, satellite 3). *)
     let kernel = Option.map kernel_of_cli kernel_name in
@@ -639,10 +662,66 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query"
-       ~doc:"Send one request to a running `waco serve` daemon")
+       ~doc:"Send one request to a running `waco serve` daemon or `waco \
+             route` router")
     Term.(
-      const run $ socket_arg $ matrix $ query_kernel $ no_measure $ qid
-      $ deadline_ms $ timeout_s $ retries $ stats $ ping $ shutdown)
+      const run $ socket_arg $ connect_arg $ matrix $ query_kernel
+      $ no_measure $ qid $ deadline_ms $ timeout_s $ retries $ stats $ ping
+      $ shutdown)
+
+(* --- route --- *)
+
+let route_cmd =
+  let run socket listen shards max_pending failover_hops =
+    let listen = endpoint_of ~socket ~override:listen in
+    if shards = [] then begin
+      prerr_endline "waco route: pass at least one --shard ENDPOINT";
+      exit 2
+    end;
+    List.iter
+      (fun s ->
+        match Serve.Addr.parse s with
+        | Ok _ -> ()
+        | Error e ->
+            Printf.eprintf "waco route: bad shard endpoint: %s\n%!" e;
+            exit 2)
+      shards;
+    let log msg = Printf.eprintf "waco route: %s\n%!" msg in
+    match
+      Serve.Router.create ~max_pending ~failover_hops ~log ~listen ~shards ()
+    with
+    | exception Invalid_argument e ->
+        Printf.eprintf "waco route: %s\n%!" e;
+        exit 2
+    | router -> Serve.Router.run router
+  in
+  let shards =
+    Arg.(value & opt_all string [] & info [ "shard" ] ~docv:"ENDPOINT"
+           ~doc:"A shard daemon's endpoint (Unix-socket path, unix:PATH, or \
+                 tcp:HOST:PORT).  Repeatable; each shard owns ~64 virtual \
+                 points on the consistent-hash ring.  A shard down at start \
+                 is redialed with backoff and joins the ring when it answers")
+  in
+  let max_pending =
+    Arg.(value & opt int 1024 & info [ "max-pending" ] ~docv:"N"
+           ~doc:"Queries awaiting a shard answer before the router sheds new \
+                 ones with its own queue-depth retry hint (a shard's busy is \
+                 always relayed with the shard's hint)")
+  in
+  let failover_hops =
+    Arg.(value & opt int 1 & info [ "failover-hops" ] ~docv:"N"
+           ~doc:"Additional shards a predict-only query may be retried on \
+                 after a shard dies mid-query (measured queries answer an \
+                 honest error instead)")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Run the consistent-hash router over N `waco serve` shard \
+             daemons: queries spread by sparsity fingerprint, stats \
+             aggregate across shards, dead shards fail over within bounds")
+    Term.(
+      const run $ socket_arg $ listen_arg $ shards $ max_pending
+      $ failover_hops)
 
 (* --- lint / explain --- *)
 
@@ -915,7 +994,7 @@ let main =
   Cmd.group (Cmd.info "waco" ~version:"1.0" ~doc:"WACO reproduction toolkit")
     [
       gen_cmd; inspect_cmd; tune_cmd; collect_cmd; train_cmd; serve_cmd;
-      query_cmd; lint_cmd; explain_cmd;
+      query_cmd; route_cmd; lint_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval main)

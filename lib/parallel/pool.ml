@@ -145,10 +145,19 @@ let run_chunks t ~nchunks body =
    against per-chunk handoff cost (a mutex round-trip each).  The previous
    8-per-domain default doubled handoffs for no balance gain on the pool's
    workloads, which hurts most when domains outnumber hardware threads and
-   every handoff is also a context switch (DESIGN.md §8).  Chunk size never
-   affects results: every item writes its own slot, reduction stays
+   every handoff is also a context switch (DESIGN.md §8).
+
+   Small batches are the exception: the serving shard's micro-batches
+   (≤ max_batch = 32 distinct cache misses) mix items whose costs differ
+   by orders of magnitude — an HNSW predict probe next to a measured
+   cost-simulator run — so a 4-per-domain split routinely strands one
+   domain behind a chunk of stragglers while the rest idle.  There the
+   handoff cost is noise against per-item cost, so hand out single items
+   and let stealing level the variance.  Chunk size never affects
+   results: every item writes its own slot, reduction stays
    sequential. *)
-let default_chunk t n = max 1 (n / (t.domains * 4))
+let default_chunk t n =
+  if n <= t.domains * 8 then 1 else max 1 (n / (t.domains * 4))
 
 let parallel_for t ?chunk ~n body =
   if n > 0 then begin

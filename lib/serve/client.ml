@@ -18,31 +18,12 @@ type t = {
   mutable closed : bool;
 }
 
+(* [path] is an [Addr] spec: a bare Unix-socket path (every pre-TCP
+   caller), [unix:PATH], or [tcp:HOST:PORT].  The bounded non-blocking
+   connect lives in [Addr.connect] so the router's shard links share it. *)
 let connect ?(timeout_s = 5.0) path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  try
-    Unix.set_nonblock fd;
-    (match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> ()
-    | exception
-        Unix.Unix_error
-          ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
-        (* In-flight: wait for writability with a bound, then read the
-           socket's error slot for the verdict. *)
-        match Unix.select [] [ fd ] [] (Float.max 0.0 timeout_s) with
-        | _, [ _ ], _ -> (
-            match Unix.getsockopt_error fd with
-            | None -> ()
-            | Some err -> raise (Unix.Unix_error (err, "connect", path)))
-        | _ ->
-            failwith
-              (Printf.sprintf "Client.connect: %s: no daemon answer in %.1fs"
-                 path timeout_s)));
-    Unix.clear_nonblock fd;
-    { fd; inbuf = Buffer.create 1024; closed = false }
-  with e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e
+  let fd = Addr.connect ~timeout_s (Addr.of_string path) in
+  { fd; inbuf = Buffer.create 1024; closed = false }
 
 let close t =
   if not t.closed then begin
@@ -132,10 +113,14 @@ let shutdown t =
 
 (* One fresh connection per attempt: a connection that saw a timeout or a
    torn frame is in an unknown state and is never reused.  [Busy] answers
-   honor the daemon's retry hint (still capped by [max_s]); transport
-   failures back off on the qid-seeded deterministic schedule.  A daemon
-   [Error_msg] is a real answer about this request (damaged matrix, bad
-   path) — retrying cannot fix it, so it returns immediately. *)
+   honor the daemon's retry hint in full — [max_s] caps only the client's
+   own backoff, never the hint, which arrives identically whether the shed
+   came from the daemon or was relayed verbatim by a router (the router
+   never synthesizes a replacement hint for a shard's shed).  A hard 30 s
+   ceiling bounds a hostile or broken hint.  Transport failures back off on
+   the qid-seeded deterministic schedule.  A daemon [Error_msg] is a real
+   answer about this request (damaged matrix, bad path) — retrying cannot
+   fix it, so it returns immediately. *)
 let query_with_retry ?(attempts = 3) ?(base_s = 0.05) ?(max_s = 1.0)
     ?(connect_timeout_s = 5.0) ?timeout_s ?(measure = true) ?(deadline_ms = 0)
     ?kernel ?(qid = "q") ~socket source =
@@ -169,9 +154,8 @@ let query_with_retry ?(attempts = 3) ?(base_s = 0.05) ?(max_s = 1.0)
         let backoff =
           Robust.backoff_delay ~base_s ~max_s ~seed ~attempt ()
         in
-        Unix.sleepf
-          (Float.min max_s
-             (Float.max backoff (float_of_int hint_ms /. 1000.0)));
+        let hint_s = Float.min 30.0 (float_of_int hint_ms /. 1000.0) in
+        Unix.sleepf (Float.max backoff hint_s);
         go (attempt + 1)
     | `Busy hint_ms ->
         Error

@@ -1,4 +1,5 @@
-(** Blocking client for the serving daemon's Unix-socket protocol.
+(** Blocking client for the serving daemon's framed protocol, over a Unix
+    or TCP socket ({!Addr} spec strings everywhere a socket path was).
 
     One {!t} is one connection.  The convenience wrappers ({!query}, {!stats},
     {!ping}, {!shutdown}) are strict request/response; the lower-level
@@ -13,7 +14,8 @@
 type t
 
 val connect : ?timeout_s:float -> string -> t
-(** Connect to the daemon's socket path, waiting at most [timeout_s]
+(** Connect to the daemon's endpoint — a bare Unix-socket path,
+    [unix:PATH], or [tcp:HOST:PORT] — waiting at most [timeout_s]
     (default 5 s) via a non-blocking connect + select — never an unbounded
     hang.  Raises [Unix.Unix_error] (e.g. [ENOENT]/[ECONNREFUSED]) when no
     daemon is listening, [Failure] on timeout. *)
@@ -61,7 +63,10 @@ val query_with_retry :
     timeout, torn frame, daemon restart mid-request) or a [Busy] shed,
     sleeping {!Robust.backoff_delay} between attempts (exponential from
     [base_s] = 50 ms, capped at [max_s] = 1 s) with jitter seeded by [qid];
-    a [Busy] retry honors the daemon's hint when it is larger.  Each
+    a [Busy] retry honors the daemon's [retry_after_ms] hint in full even
+    past [max_s] (bounded only by a 30 s ceiling against a broken hint),
+    and identically whether the shed was answered directly or relayed
+    verbatim through a {!Router}.  Each
     attempt uses a fresh connection (a torn one is never reused) and the
     same [qid]: answers are keyed by sparsity fingerprint in the daemon's
     cache, so a retry after a half-processed attempt re-answers idempotently

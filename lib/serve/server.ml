@@ -1,5 +1,6 @@
 (* The `waco serve` daemon: loads a model + HNSW index once, then answers
-   tuning requests over a Unix-domain socket for as long as it lives.
+   tuning requests over a Unix-domain or TCP socket ([Addr] spec) for as
+   long as it lives.
 
    One thread of control owns all IO: a [select] loop accepts connections,
    accumulates bytes per connection and peels complete frames off with the
@@ -54,7 +55,11 @@ type slot = {
 }
 
 type t = {
-  socket_path : string;
+  socket_path : string;  (* the listen endpoint spec ([Addr] syntax) *)
+  mutable bound : string option;
+      (* the endpoint actually bound once [run] is listening — differs from
+         [socket_path] only for [tcp:HOST:0], where the kernel picks the
+         port; tests read it back instead of racing on a fixed port *)
   machine : Machine.t;
   slots : slot array;  (* slot 0 is the primary (the ~model/~index pair) *)
   default_slot : int;
@@ -81,6 +86,7 @@ type t = {
 let metrics t = t.metrics
 let cache t = t.cache
 let cache_status t = t.cache_status
+let bound_endpoint t = t.bound
 
 let index_digest (index : Waco.Tuner.index) =
   Anns.Hnsw.fingerprint index.Waco.Tuner.hnsw ~payload:Schedule.Sched_io.serialize
@@ -157,8 +163,12 @@ let create ?pool ?(cache_capacity = 512) ?cache_file ?(max_batch = 32) ?(k = 10)
             ~index_digest:idx_digest ~machine:machine_name (),
           "cold" )
   in
+  (* Fail fast on a malformed listen spec: a daemon that parses its
+     endpoint only at [run] time dies after the expensive model load. *)
+  ignore (Addr.of_string socket);
   {
     socket_path = socket;
+    bound = None;
     machine;
     slots;
     default_slot;
@@ -556,6 +566,7 @@ let stats_json t =
     ~extra:
       [
         ("socket", t.socket_path);
+        ("listen", (match t.bound with Some b -> b | None -> t.socket_path));
         ("machine", t.machine.Machine.name);
         ("cache_status", t.cache_status);
         ( "kernels",
@@ -735,19 +746,16 @@ let run ?(on_ready = ignore) t =
   let prev_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
   in
-  (try if Sys.file_exists t.socket_path then Sys.remove t.socket_path
-   with Sys_error _ -> ());
-  Robust.mkdir_p (Filename.dirname t.socket_path);
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX t.socket_path);
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
-  t.log (Printf.sprintf "listening on %s" t.socket_path);
+  let addr = Addr.of_string t.socket_path in
+  let listen_fd = Addr.listen addr in
+  let addr = Addr.resolve_bound addr listen_fd in
+  t.bound <- Some (Addr.to_string addr);
+  t.log (Printf.sprintf "listening on %s" (Addr.to_string addr));
   on_ready ();
   let conns : conn list ref = ref [] in
   let finally () =
     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-    (try Sys.remove t.socket_path with Sys_error _ -> ());
+    Addr.cleanup addr;
     List.iter close_conn !conns;
     (match t.cache_file with
     | Some file -> (
@@ -785,6 +793,7 @@ let run ?(on_ready = ignore) t =
                        life: reads can spuriously EAGAIN (handled below)
                        and writes go through the bounded writer. *)
                     Unix.set_nonblock fd;
+                    Addr.nodelay fd;
                     conns :=
                       {
                         fd;

@@ -1,5 +1,8 @@
 (** The `waco serve` daemon: model + index loaded once, tuning requests
-    answered over a Unix-domain socket until shutdown.
+    answered over a Unix-domain or TCP socket ({!Addr} spec) until
+    shutdown.  The transport choice is invisible above the fd: framing,
+    micro-batching, deadlines, shedding and the reapers behave identically
+    on both.
 
     A single [select] loop owns all IO; between IO rounds the request
     scheduler drains decoded queries in micro-batches — per-batch the
@@ -82,11 +85,18 @@ val process_batch : t -> Protocol.query list -> Protocol.response list
     arrival at frame decode instead, charging queue wait to the budget. *)
 
 val run : ?on_ready:(unit -> unit) -> t -> unit
-(** Bind the socket (removing a stale file first), call [on_ready], and
-    serve until a [Shutdown] request arrives.  On exit: cache persisted,
-    connections closed, socket unlinked — also on exceptional exit.
-    SIGPIPE is ignored for the duration (dying clients surface as [EPIPE]
-    on their own connection, not a daemon kill). *)
+(** Bind the endpoint (removing a stale socket file first for Unix paths),
+    call [on_ready], and serve until a [Shutdown] request arrives.  On
+    exit: cache persisted, connections closed, Unix socket unlinked — also
+    on exceptional exit.  SIGPIPE is ignored for the duration (dying
+    clients surface as [EPIPE] on their own connection, not a daemon
+    kill). *)
+
+val bound_endpoint : t -> string option
+(** The endpoint {!run} actually bound — [Some] once listening.  Differs
+    from the [~socket] spec only for [tcp:HOST:0], where it carries the
+    kernel-chosen port; in-process tests poll it instead of racing on a
+    fixed port. *)
 
 val metrics : t -> Metrics.t
 val cache : t -> Cache.t

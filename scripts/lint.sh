@@ -23,7 +23,9 @@ fi
 # Monotonic-clock rule (DESIGN.md §12): deadline and elapsed-time paths in
 # the serve layer and the tuner must never read the wall clock directly —
 # Robust.mono_now / Robust.wall_now are the only entry points (both live in
-# lib/robust, the one place allowed to call Unix.gettimeofday).
+# lib/robust, the one place allowed to call Unix.gettimeofday).  lib/serve
+# includes the scale-out router (lib/serve/router.ml), whose redial backoff
+# and reaper clocks are deadline paths like any other.
 if grep -rn "Unix.gettimeofday" lib/serve lib/core/tuner.ml 2>/dev/null; then
   echo "lint.sh: Unix.gettimeofday on a deadline/elapsed path (use Robust.mono_now)" >&2
   status=1
@@ -78,5 +80,17 @@ dune build @chaos || status=1
 # properties, golden cost expressions, pre-filter/Costsim agreement and the
 # tuner prune counters.
 dune build @asym || status=1
+
+# The @router alias runs the scale-out tier: consistent-hash ring balance
+# and minimal-remap properties, the TCP transport end to end, the router
+# daemon (verbatim relay, FIFO, stats fan-out, Busy propagation), and a
+# shard SIGKILLed mid-load (predict-only failover, honest measured errors,
+# warm ring rejoin).
+dune build @router || status=1
+
+# The @tcp alias reruns the full serving + chaos suites with every daemon
+# on the TCP transport (WACO_TEST_TRANSPORT=tcp): both transports must
+# satisfy the same robustness contract.
+dune build @tcp || status=1
 
 exit $status

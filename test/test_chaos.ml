@@ -34,6 +34,27 @@ let rec rm_rf path =
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
 
+(* Transport parametrization, mirroring test_serve: WACO_TEST_TRANSPORT=tcp
+   (the @tcp alias) reruns the chaos sweeps with every daemon on
+   127.0.0.1, the port derived from the would-be socket path's hash —
+   subprocess daemons cannot report a kernel-chosen port back. *)
+let tcp_transport = Sys.getenv_opt "WACO_TEST_TRANSPORT" = Some "tcp"
+
+let endpoint_in dir name =
+  let path = Filename.concat dir name in
+  if tcp_transport then
+    Printf.sprintf "tcp:127.0.0.1:%d" (20000 + (Hashtbl.hash path mod 20000))
+  else path
+
+let endpoint_unbound ep =
+  if tcp_transport then
+    match Serve.Client.connect ~timeout_s:0.5 ep with
+    | c ->
+        Serve.Client.close c;
+        false
+    | exception (Unix.Unix_error _ | Failure _) -> true
+  else not (Sys.file_exists ep)
+
 (* --- shared fixture: an untrained (but deterministic) model + index ---- *)
 
 let fixture =
@@ -210,7 +231,7 @@ let kill_iterations = 22
 
 let test_kill_under_load () =
   let dir = tmpdir "waco-chaos-kill" in
-  let socket = Filename.concat dir "waco.sock" in
+  let socket = endpoint_in dir "waco.sock" in
   let cache_file = Filename.concat dir "cache.waco" in
   let pidfile = Filename.concat dir "worker.pid" in
   let read_pid () =
@@ -331,7 +352,7 @@ let test_kill_under_load () =
    globals are shared with the server loop under test. *)
 let with_inproc_server f =
   let dir = tmpdir "waco-chaos-inproc" in
-  let socket = Filename.concat dir "waco.sock" in
+  let socket = endpoint_in dir "waco.sock" in
   let model, index = Lazy.force fixture in
   let server =
     Serve.Server.create ~k:4 ~ef:16 ~model ~index ~index_file:"<fixture>"
@@ -348,7 +369,7 @@ let with_inproc_server f =
             ignore (Serve.Client.shutdown c);
             Serve.Client.close c;
             true
-          with _ -> not (Sys.file_exists socket)
+          with _ -> endpoint_unbound socket
         in
         if (not ok) && attempts > 0 then begin
           Unix.sleepf 0.05;

@@ -28,6 +28,35 @@ let rec rm_rf path =
   end
   else Sys.remove path
 
+(* Transport parametrization: WACO_TEST_TRANSPORT=tcp (the @tcp alias)
+   reruns this whole suite with every daemon listening on 127.0.0.1
+   instead of a Unix socket — the two transports must satisfy the same
+   contract.  The port is derived from the would-be socket path's hash:
+   subprocess daemons cannot report a kernel-chosen port back to the
+   test, and the path already carries a per-test random tmpdir. *)
+let tcp_transport = Sys.getenv_opt "WACO_TEST_TRANSPORT" = Some "tcp"
+
+let endpoint_of_path path =
+  if tcp_transport then
+    Printf.sprintf "tcp:127.0.0.1:%d" (20000 + (Hashtbl.hash path mod 20000))
+  else path
+
+let endpoint_in dir name = endpoint_of_path (Filename.concat dir name)
+
+(* Transport-blind "nothing is listening there anymore": the Unix socket
+   file is gone, or the TCP connect is refused. *)
+let endpoint_unbound ep =
+  if tcp_transport then
+    match Serve.Client.connect ~timeout_s:0.5 ep with
+    | c ->
+        Serve.Client.close c;
+        false
+    | exception (Unix.Unix_error _ | Failure _) -> true
+  else not (Sys.file_exists ep)
+
+(* A raw connected fd on either transport, for the hostile-bytes tests. *)
+let raw_connect ep = Serve.Addr.connect (Serve.Addr.of_string ep)
+
 (* --- shared fixture: an untrained (but deterministic) model + index ---- *)
 
 let fixture =
@@ -980,7 +1009,7 @@ let json_has json fragment =
 
 let test_e2e_daemon () =
   let dir = tmpdir "waco-serve-e2e" in
-  let socket = Filename.concat dir "waco.sock" in
+  let socket = endpoint_in dir "waco.sock" in
   let cache_file = Filename.concat dir "cache.waco" in
   let mtx = Filename.concat dir "m.mtx" in
   Mmio.write_coo mtx (small_matrix 1);
@@ -1097,14 +1126,14 @@ let test_e2e_daemon () =
           Alcotest.(check bool) "clean shutdown" true (Serve.Client.shutdown c);
           Serve.Client.close c;
           ignore (Unix.waitpid [] pid2);
-          Alcotest.(check bool) "socket unlinked on shutdown" false
-            (Sys.file_exists socket)))
+          Alcotest.(check bool) "endpoint unbound on shutdown" true
+            (endpoint_unbound socket)))
 
 (* A client speaking garbage gets an error (or a dropped connection) while
    the daemon keeps serving everyone else. *)
 let test_e2e_hostile_client () =
   let dir = tmpdir "waco-serve-hostile" in
-  let socket = Filename.concat dir "waco.sock" in
+  let socket = endpoint_in dir "waco.sock" in
   let pid = spawn_daemon ~socket ~cache_file:(Filename.concat dir "c.waco") () in
   Fun.protect
     ~finally:(fun () ->
@@ -1120,8 +1149,7 @@ let test_e2e_hostile_client () =
       (match Serve.Client.recv hostile with
       | Serve.Protocol.Pong -> ()
       | _ -> Alcotest.fail "hostile client's ping failed");
-      let fd_writer = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd_writer (Unix.ADDR_UNIX socket);
+      let fd_writer = raw_connect socket in
       let garbage = Bytes.of_string "XXXXGARBAGEGARBAGE" in
       ignore (Unix.write fd_writer garbage 0 (Bytes.length garbage));
       (* Undecodable body in a valid frame: error response, connection
@@ -1166,7 +1194,7 @@ let test_e2e_hostile_client () =
    the other (the forked trampoline can only export stats JSON). *)
 let with_inproc_server ?max_pending ?idle_timeout_s ?frame_timeout_s f =
   let dir = tmpdir "waco-serve-inproc" in
-  let socket = Filename.concat dir "waco.sock" in
+  let socket = endpoint_in dir "waco.sock" in
   let model, index = Lazy.force fixture in
   let server =
     Serve.Server.create ?max_pending ?idle_timeout_s ?frame_timeout_s ~k:4
@@ -1187,7 +1215,7 @@ let with_inproc_server ?max_pending ?idle_timeout_s ?frame_timeout_s f =
             ignore (Serve.Client.shutdown c);
             Serve.Client.close c;
             true
-          with _ -> not (Sys.file_exists socket)
+          with _ -> endpoint_unbound socket
         in
         if (not ok) && attempts > 0 then begin
           Unix.sleepf 0.05;
@@ -1275,11 +1303,7 @@ let wait_eof ?(timeout_s = 5.0) fd =
 let test_hostile_connections_reaped () =
   with_inproc_server ~frame_timeout_s:0.3 ~idle_timeout_s:0.8
     (fun ~socket ~server ->
-      let raw () =
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.connect fd (Unix.ADDR_UNIX socket);
-        fd
-      in
+      let raw () = raw_connect socket in
       let trickler = raw () in
       let silent = raw () in
       (* Two bytes of magic, then nothing: a frame that never completes. *)
@@ -1310,10 +1334,8 @@ let test_client_bounded_failure () =
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
       (* A listener that accepts (via backlog) and never answers. *)
-      let mute_path = Filename.concat dir "mute.sock" in
-      let mute = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind mute (Unix.ADDR_UNIX mute_path);
-      Unix.listen mute 8;
+      let mute_path = endpoint_in dir "mute.sock" in
+      let mute = Serve.Addr.listen ~backlog:8 (Serve.Addr.of_string mute_path) in
       let c = Serve.Client.connect ~timeout_s:2.0 mute_path in
       let t0 = Unix.gettimeofday () in
       (match Serve.Client.request ~timeout_s:0.3 c Serve.Protocol.Ping with
@@ -1324,7 +1346,12 @@ let test_client_bounded_failure () =
       Serve.Client.close c;
       Unix.close mute;
       (* No socket at all: connect raises instead of hanging... *)
-      let dead_path = Filename.concat dir "nobody.sock" in
+      (* Nobody listening: a never-created socket path, or (tcp) a closed
+         low port — both must refuse fast, not hang. *)
+      let dead_path =
+        if tcp_transport then "tcp:127.0.0.1:9"
+        else Filename.concat dir "nobody.sock"
+      in
       (match Serve.Client.connect ~timeout_s:0.5 dead_path with
       | _ -> Alcotest.fail "connect to a dead path succeeded"
       | exception (Unix.Unix_error _ | Failure _) -> ());
